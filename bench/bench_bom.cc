@@ -1,0 +1,100 @@
+// E3, Example 6: bill-of-materials cost rollups. Expected shape: the
+// tabled top-down solver is linear in (objects * set cardinality) since
+// each sum_costs suffix is computed once; deeper part sets cost
+// proportionally more, and shared suffixes across objects hit the
+// table.
+#include <benchmark/benchmark.h>
+
+#include "workloads.h"
+
+namespace lps::bench {
+namespace {
+
+const char* kRules = R"(
+  sum_costs({}, 0).
+  sum_costs(Z, K) :- schoose(Z, P, Rest), cost(P, M),
+                     sum_costs(Rest, N), add(M, N, K).
+  obj_cost(X, N) :- parts(X, Y), sum_costs(Y, N).
+)";
+
+void BM_BomTopDownAllObjects(benchmark::State& state) {
+  int objects = static_cast<int>(state.range(0));
+  int card = static_cast<int>(state.range(1));
+  std::string source =
+      BomCatalog(objects, card, 4 * card, 31) + kRules;
+  size_t answers = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = MustLoad(source, LanguageMode::kLPS);
+    state.ResumeTiming();
+    auto rows = engine->SolveTopDown("obj_cost(X, N)");
+    if (!rows.ok()) {
+      state.SkipWithError(rows.status().ToString().c_str());
+      return;
+    }
+    answers = rows->size();
+    benchmark::DoNotOptimize(*rows);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_BomTopDownAllObjects)
+    ->Args({8, 4})
+    ->Args({32, 4})
+    ->Args({128, 4})
+    ->Args({32, 8})
+    ->Args({32, 16})
+    ->Args({32, 32});
+
+void BM_BomTopDownPointQuery(benchmark::State& state) {
+  int card = static_cast<int>(state.range(0));
+  std::string source = BomCatalog(64, card, 4 * card, 31) + kRules;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = MustLoad(source, LanguageMode::kLPS);
+    state.ResumeTiming();
+    auto rows = engine->SolveTopDown("obj_cost(obj0, N)");
+    if (!rows.ok()) {
+      state.SkipWithError(rows.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*rows);
+  }
+}
+BENCHMARK(BM_BomTopDownPointQuery)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// Shared suffixes: identical part sets across objects exercise the
+// answer table (one sum per distinct set, not per object).
+void BM_BomSharedSets(benchmark::State& state) {
+  int objects = static_cast<int>(state.range(0));
+  std::string source = "pred parts(atom, set).\npred cost(atom, atom).\n";
+  for (int p = 0; p < 16; ++p) {
+    source += "cost(part" + std::to_string(p) + ", " +
+              std::to_string(p + 1) + ").\n";
+  }
+  for (int o = 0; o < objects; ++o) {
+    // Only 4 distinct sets regardless of object count.
+    int variant = o % 4;
+    source += "parts(obj" + std::to_string(o) + ", {part" +
+              std::to_string(variant) + ", part" +
+              std::to_string(variant + 4) + ", part" +
+              std::to_string(variant + 8) + "}).\n";
+  }
+  source += kRules;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = MustLoad(source, LanguageMode::kLPS);
+    state.ResumeTiming();
+    auto rows = engine->SolveTopDown("obj_cost(X, N)");
+    if (!rows.ok()) {
+      state.SkipWithError(rows.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*rows);
+  }
+}
+BENCHMARK(BM_BomSharedSets)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace lps::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// E5b / E14, Theorem 5: naive vs semi-naive iteration to the same
+// fixpoint. Expected shape: on recursive workloads (transitive closure
+// over chains and random graphs) semi-naive does O(paths) work while
+// naive re-derives everything every round: the gap grows with the
+// chain length.
+#include <benchmark/benchmark.h>
+
+#include "workloads.h"
+
+namespace lps::bench {
+namespace {
+
+void RunTc(benchmark::State& state, const std::string& facts,
+           bool semi_naive) {
+  std::string source = facts + TransitiveClosureRules();
+  size_t tuples = 0, rule_runs = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = MustLoad(source, LanguageMode::kLPS);
+    state.ResumeTiming();
+    EvalOptions opts;
+    opts.semi_naive = semi_naive;
+    opts.max_tuples = 10000000;
+    opts.max_iterations = 1000000;
+    EvalStats stats = MustEvaluate(engine.get(), opts);
+    tuples = stats.tuples_derived;
+    rule_runs = stats.rule_runs;
+  }
+  state.counters["tuples"] = static_cast<double>(tuples);
+  state.counters["rule_runs"] = static_cast<double>(rule_runs);
+}
+
+void BM_TcChainNaive(benchmark::State& state) {
+  RunTc(state, ChainGraph(static_cast<int>(state.range(0))), false);
+}
+BENCHMARK(BM_TcChainNaive)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_TcChainSemiNaive(benchmark::State& state) {
+  RunTc(state, ChainGraph(static_cast<int>(state.range(0))), true);
+}
+BENCHMARK(BM_TcChainSemiNaive)->Arg(16)->Arg(64)->Arg(128)->Arg(512);
+
+void BM_TcRandomNaive(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  RunTc(state, RandomGraph(n, 2 * n, 99), false);
+}
+BENCHMARK(BM_TcRandomNaive)->Arg(32)->Arg(64);
+
+void BM_TcRandomSemiNaive(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  RunTc(state, RandomGraph(n, 2 * n, 99), true);
+}
+BENCHMARK(BM_TcRandomSemiNaive)->Arg(32)->Arg(64)->Arg(128);
+
+// Quantified rule with division over a growing set family: measures the
+// fixpoint machinery on the paper's native construct rather than plain
+// Datalog.
+void RunAllq(benchmark::State& state, bool semi_naive) {
+  int sets = static_cast<int>(state.range(0));
+  int card = static_cast<int>(state.range(1));
+  std::string source = SetFamily(sets, card, 2 * card, 5);
+  for (int i = 0; i < 2 * card; i += 2) {
+    source += "q(" + std::to_string(i) + ").\n";
+  }
+  source += "allq(X) :- s(X), forall E in X : q(E).\n";
+  size_t combos = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = MustLoad(source, LanguageMode::kLPS);
+    state.ResumeTiming();
+    EvalOptions opts;
+    opts.semi_naive = semi_naive;
+    EvalStats stats = MustEvaluate(engine.get(), opts);
+    combos = stats.combos_checked;
+  }
+  state.counters["combos"] = static_cast<double>(combos);
+}
+
+void BM_QuantifiedNaive(benchmark::State& state) {
+  RunAllq(state, false);
+}
+BENCHMARK(BM_QuantifiedNaive)->Args({64, 8})->Args({256, 8});
+
+void BM_QuantifiedSemiNaive(benchmark::State& state) {
+  RunAllq(state, true);
+}
+BENCHMARK(BM_QuantifiedSemiNaive)
+    ->Args({64, 8})
+    ->Args({256, 8})
+    ->Args({1024, 8})
+    ->Args({256, 32});
+
+}  // namespace
+}  // namespace lps::bench
+
+BENCHMARK_MAIN();

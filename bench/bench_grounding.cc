@@ -1,0 +1,133 @@
+// E5a, Lemma 4: the ground Horn body of an LPS clause has
+// |X1| * ... * |Xn| * k atoms. Expected shape: time and body size grow
+// as cardinality^quantifiers - the exponential blow-up that makes
+// native quantifier evaluation (division) worthwhile.
+#include <benchmark/benchmark.h>
+
+#include "workloads.h"
+
+namespace lps::bench {
+namespace {
+
+// Builds p(X1..Xn) :- (forall e1 in X1)...(forall en in Xn) q(e1..en).
+struct GroundSetup {
+  GroundSetup(int quantifiers, int cardinality) : program(&store) {
+    std::vector<Sort> psorts(quantifiers, Sort::kSet);
+    PredicateId p = program.signature().Declare("p", psorts).value();
+    std::vector<Sort> qsorts(quantifiers, Sort::kAtom);
+    PredicateId q = program.signature().Declare("q", qsorts).value();
+
+    clause.head.pred = p;
+    Literal body_lit{q, {}, true};
+    for (int i = 0; i < quantifiers; ++i) {
+      TermId range = store.MakeVariable("R" + std::to_string(i),
+                                        Sort::kSet);
+      TermId var =
+          store.MakeVariable("e" + std::to_string(i), Sort::kAtom);
+      clause.head.args.push_back(range);
+      clause.quantifiers.push_back(Quantifier{var, range});
+      body_lit.args.push_back(var);
+      theta.Bind(range, MakeIntRangeSet(&store, cardinality));
+    }
+    clause.body.push_back(std::move(body_lit));
+  }
+
+  TermStore store;
+  Program program;
+  Clause clause;
+  Substitution theta;
+};
+
+void BM_GroundClause(benchmark::State& state) {
+  GroundSetup setup(static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(1)));
+  GroundOptions opts;
+  opts.max_body_atoms = 10000000;
+  size_t body_atoms = 0;
+  for (auto _ : state) {
+    auto ground = GroundClause(&setup.store, setup.clause, setup.theta,
+                               opts);
+    if (!ground.ok()) state.SkipWithError(ground.status().ToString().c_str());
+    body_atoms = ground->body.size();
+    benchmark::DoNotOptimize(*ground);
+  }
+  state.counters["body_atoms"] = static_cast<double>(body_atoms);
+}
+BENCHMARK(BM_GroundClause)
+    ->Args({1, 4})
+    ->Args({1, 64})
+    ->Args({1, 1024})
+    ->Args({2, 4})
+    ->Args({2, 32})
+    ->Args({2, 128})
+    ->Args({3, 4})
+    ->Args({3, 16})
+    ->Args({3, 64})
+    ->Args({4, 8})
+    ->Args({4, 16});
+
+void BM_GroundBodySizeOnly(benchmark::State& state) {
+  // Counting without materialising: the analytical Lemma 4 number.
+  GroundSetup setup(static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto n = GroundBodySize(&setup.store, setup.clause, setup.theta);
+    if (!n.ok()) state.SkipWithError(n.status().ToString().c_str());
+    benchmark::DoNotOptimize(*n);
+  }
+}
+BENCHMARK(BM_GroundBodySizeOnly)->Args({3, 64})->Args({4, 16});
+
+void BM_GroundProgramOverDomain(benchmark::State& state) {
+  // Whole-program grounding over an active domain of `sets` sets: the
+  // preprocessing cost a ground-then-solve pipeline (Theorem 5's proof
+  // route) pays before any evaluation.
+  int sets = static_cast<int>(state.range(0));
+  int cardinality = static_cast<int>(state.range(1));
+  TermStore store;
+  Program program(&store);
+  PredicateId p =
+      program.signature().Declare("p", {Sort::kSet}).value();
+  PredicateId q =
+      program.signature().Declare("q", {Sort::kAtom}).value();
+  TermId range = store.MakeVariable("R", Sort::kSet);
+  TermId var = store.MakeVariable("e", Sort::kAtom);
+  Clause clause;
+  clause.head = Literal{p, {range}, true};
+  clause.quantifiers.push_back(Quantifier{var, range});
+  clause.body.push_back(Literal{q, {var}, true});
+  program.AddClause(clause);
+
+  Rng rng(3);
+  std::vector<TermId> atom_domain, set_domain;
+  for (int i = 0; i < cardinality * 4; ++i) {
+    atom_domain.push_back(store.MakeInt(i));
+  }
+  for (int i = 0; i < sets; ++i) {
+    set_domain.push_back(
+        MakeRandomSet(&store, cardinality, cardinality * 4, &rng));
+  }
+  GroundOptions opts;
+  opts.max_instances = 10000000;
+  opts.max_body_atoms = 10000000;
+  for (auto _ : state) {
+    auto ground =
+        GroundProgramOverDomain(program, atom_domain, set_domain, opts);
+    if (!ground.ok()) {
+      state.SkipWithError(ground.status().ToString().c_str());
+    }
+    benchmark::DoNotOptimize(*ground);
+  }
+  state.SetItemsProcessed(state.iterations() * sets);
+}
+BENCHMARK(BM_GroundProgramOverDomain)
+    ->Args({16, 4})
+    ->Args({64, 4})
+    ->Args({256, 4})
+    ->Args({64, 16})
+    ->Args({64, 64});
+
+}  // namespace
+}  // namespace lps::bench
+
+BENCHMARK_MAIN();

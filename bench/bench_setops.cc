@@ -1,0 +1,140 @@
+// E14 ablation: hash-consed canonical sets vs a non-interned baseline.
+//
+// Expected shape: construction costs are similar (both sort), but
+// equality on interned sets is O(1) id comparison vs O(n) deep
+// comparison, and repeated construction of the same set is amortized to
+// a hash lookup.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "workloads.h"
+
+namespace lps::bench {
+namespace {
+
+// --- interned -------------------------------------------------------
+
+void BM_InternedConstruct(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  TermStore store;
+  Rng rng(7);
+  for (auto _ : state) {
+    TermId s = MakeRandomSet(&store, n, 1 << 20, &rng);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InternedConstruct)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// Re-creating an identical set hits the interner.
+void BM_InternedReconstructSame(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  TermStore store;
+  std::vector<TermId> elems;
+  for (int i = 0; i < n; ++i) elems.push_back(store.MakeInt(i));
+  for (auto _ : state) {
+    TermId s = store.MakeSet(elems);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InternedReconstructSame)->Arg(4)->Arg(64)->Arg(256);
+
+void BM_InternedEquality(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  TermStore store;
+  TermId a = MakeIntRangeSet(&store, n);
+  TermId b = MakeIntRangeSet(&store, n);
+  for (auto _ : state) {
+    bool eq = (a == b);  // =s is id comparison (Definition 3.2c)
+    benchmark::DoNotOptimize(eq);
+  }
+}
+BENCHMARK(BM_InternedEquality)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_InternedUnion(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  TermStore store;
+  Rng rng(11);
+  TermId a = MakeRandomSet(&store, n, 4 * n, &rng);
+  TermId b = MakeRandomSet(&store, n, 4 * n, &rng);
+  for (auto _ : state) {
+    TermId u = SetUnion(&store, a, b);
+    benchmark::DoNotOptimize(u);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_InternedUnion)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_InternedSubset(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  TermStore store;
+  TermId big = MakeIntRangeSet(&store, n);
+  TermId small = MakeIntRangeSet(&store, n / 2);
+  for (auto _ : state) {
+    bool sub = SetIsSubset(store, small, big);
+    benchmark::DoNotOptimize(sub);
+  }
+}
+BENCHMARK(BM_InternedSubset)->Arg(4)->Arg(64)->Arg(1024);
+
+// --- non-interned baseline (plain sorted vectors, deep compare) ------
+
+using RawSet = std::vector<int64_t>;
+
+RawSet MakeRawSet(int cardinality, int universe, Rng* rng) {
+  RawSet s;
+  s.reserve(cardinality);
+  for (int i = 0; i < cardinality; ++i) {
+    s.push_back(static_cast<int64_t>(rng->Below(universe)));
+  }
+  std::sort(s.begin(), s.end());
+  s.erase(std::unique(s.begin(), s.end()), s.end());
+  return s;
+}
+
+void BM_RawConstruct(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  for (auto _ : state) {
+    RawSet s = MakeRawSet(n, 1 << 20, &rng);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RawConstruct)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_RawEquality(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  RawSet a, b;
+  for (int i = 0; i < n; ++i) {
+    a.push_back(i);
+    b.push_back(i);
+  }
+  for (auto _ : state) {
+    bool eq = (a == b);  // deep comparison every time
+    benchmark::DoNotOptimize(eq);
+  }
+}
+BENCHMARK(BM_RawEquality)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_RawUnion(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(11);
+  RawSet a = MakeRawSet(n, 4 * n, &rng);
+  RawSet b = MakeRawSet(n, 4 * n, &rng);
+  for (auto _ : state) {
+    RawSet u;
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(u));
+    benchmark::DoNotOptimize(u);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_RawUnion)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace lps::bench
+
+BENCHMARK_MAIN();

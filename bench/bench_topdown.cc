@@ -1,0 +1,140 @@
+// E14: top-down (goal-directed) vs bottom-up (full materialisation) on
+// point queries. Expected shape: for a selective goal over a large EDB
+// the tabled SLD solver touches only the relevant slice, while
+// bottom-up pays for the whole model; for full-output queries the
+// bottom-up engine wins (no resolution overhead per tuple).
+#include <benchmark/benchmark.h>
+
+#include "workloads.h"
+
+namespace lps::bench {
+namespace {
+
+std::string JoinWorkload(int n) {
+  // Non-recursive three-hop join over a chain (the top-down solver cuts
+  // cyclic goals, so recursion is the bottom-up engine's job).
+  return ChainGraph(n) + R"(
+    hop2(X, Z) :- edge(X, Y), edge(Y, Z).
+    hop3(X, W) :- hop2(X, Z), edge(Z, W).
+  )";
+}
+
+void BM_PointQueryTopDown(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::string source = JoinWorkload(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = MustLoad(source, LanguageMode::kLPS);
+    state.ResumeTiming();
+    auto rows = engine->SolveTopDown("hop3(n0, W)");
+    if (!rows.ok()) {
+      state.SkipWithError(rows.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*rows);
+  }
+}
+BENCHMARK(BM_PointQueryTopDown)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_PointQueryBottomUp(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::string source = JoinWorkload(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = MustLoad(source, LanguageMode::kLPS);
+    state.ResumeTiming();
+    MustEvaluate(engine.get());
+    auto rows = engine->Query("hop3(n0, W)");
+    if (!rows.ok()) {
+      state.SkipWithError(rows.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*rows);
+  }
+}
+BENCHMARK(BM_PointQueryBottomUp)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_FullOutputTopDown(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::string source = JoinWorkload(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = MustLoad(source, LanguageMode::kLPS);
+    state.ResumeTiming();
+    auto rows = engine->SolveTopDown("hop3(X, W)");
+    if (!rows.ok()) {
+      state.SkipWithError(rows.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*rows);
+  }
+}
+BENCHMARK(BM_FullOutputTopDown)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_FullOutputBottomUp(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::string source = JoinWorkload(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = MustLoad(source, LanguageMode::kLPS);
+    state.ResumeTiming();
+    MustEvaluate(engine.get());
+    auto rows = engine->Query("hop3(X, W)");
+    if (!rows.ok()) {
+      state.SkipWithError(rows.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*rows);
+  }
+}
+BENCHMARK(BM_FullOutputBottomUp)->Arg(64)->Arg(256)->Arg(1024);
+
+// Set-heavy goal: subset checks against a family of sets, where the
+// top-down engine expands quantifiers over ground sets on demand.
+void BM_SubsetGoalTopDown(benchmark::State& state) {
+  int sets = static_cast<int>(state.range(0));
+  std::string source = SetFamily(sets, 8, 16, 41) + R"(
+    covered(X) :- s(X), forall E in X : good(E).
+    good(0). good(1). good(2). good(3).
+    good(4). good(5). good(6). good(7).
+  )";
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = MustLoad(source, LanguageMode::kLPS);
+    state.ResumeTiming();
+    auto rows = engine->SolveTopDown("covered(X)");
+    if (!rows.ok()) {
+      state.SkipWithError(rows.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*rows);
+  }
+}
+BENCHMARK(BM_SubsetGoalTopDown)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SubsetGoalBottomUp(benchmark::State& state) {
+  int sets = static_cast<int>(state.range(0));
+  std::string source = SetFamily(sets, 8, 16, 41) + R"(
+    covered(X) :- s(X), forall E in X : good(E).
+    good(0). good(1). good(2). good(3).
+    good(4). good(5). good(6). good(7).
+  )";
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = MustLoad(source, LanguageMode::kLPS);
+    state.ResumeTiming();
+    MustEvaluate(engine.get());
+    auto rows = engine->Query("covered(X)");
+    if (!rows.ok()) {
+      state.SkipWithError(rows.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*rows);
+  }
+}
+BENCHMARK(BM_SubsetGoalBottomUp)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace lps::bench
+
+BENCHMARK_MAIN();

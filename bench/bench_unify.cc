@@ -1,0 +1,111 @@
+// E13: set-unifier enumeration cost (Section 3.2's "arbitrary
+// unifiers"). Expected shape: the number of unifiers of
+// {V1..Vk} = {c1..cm} grows like the number of surjections, so time is
+// super-exponential in k; unification against ground sets of equal
+// cardinality is the cheap permutation case.
+#include <benchmark/benchmark.h>
+
+#include "workloads.h"
+
+namespace lps::bench {
+namespace {
+
+void BM_UnifyVarsAgainstConsts(benchmark::State& state) {
+  int nvars = static_cast<int>(state.range(0));
+  int nconsts = static_cast<int>(state.range(1));
+  TermStore store;
+  std::vector<TermId> lhs_elems, rhs_elems;
+  for (int i = 0; i < nvars; ++i) {
+    lhs_elems.push_back(
+        store.MakeVariable("V" + std::to_string(i), Sort::kAtom));
+  }
+  for (int i = 0; i < nconsts; ++i) {
+    rhs_elems.push_back(store.MakeConstant("c" + std::to_string(i)));
+  }
+  TermId lhs = store.MakeSet(lhs_elems);
+  TermId rhs = store.MakeSet(rhs_elems);
+  size_t unifiers = 0;
+  for (auto _ : state) {
+    UnifyOptions opts;
+    Unifier u(&store, opts);
+    std::vector<Substitution> out;
+    Status st = u.Enumerate(lhs, rhs, &out);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    unifiers = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["unifiers"] = static_cast<double>(unifiers);
+}
+BENCHMARK(BM_UnifyVarsAgainstConsts)
+    ->Args({1, 1})
+    ->Args({2, 2})
+    ->Args({3, 2})
+    ->Args({3, 3})
+    ->Args({4, 3})
+    ->Args({4, 4})
+    ->Args({5, 4});
+
+void BM_UnifyGroundSets(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  TermStore store;
+  TermId a = MakeIntRangeSet(&store, n);
+  TermId b = MakeIntRangeSet(&store, n);
+  for (auto _ : state) {
+    Unifier u(&store);
+    std::vector<Substitution> out;
+    Status st = u.Enumerate(a, b, &out);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_UnifyGroundSets)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_UnifyPartialOverlap(benchmark::State& state) {
+  // {V, c0..ck-1} vs {c0..ck}: one variable, k shared constants.
+  int k = static_cast<int>(state.range(0));
+  TermStore store;
+  std::vector<TermId> lhs_elems, rhs_elems;
+  lhs_elems.push_back(store.MakeVariable("V", Sort::kAtom));
+  for (int i = 0; i < k; ++i) {
+    TermId c = store.MakeConstant("c" + std::to_string(i));
+    lhs_elems.push_back(c);
+    rhs_elems.push_back(c);
+  }
+  rhs_elems.push_back(store.MakeConstant("c" + std::to_string(k)));
+  TermId lhs = store.MakeSet(lhs_elems);
+  TermId rhs = store.MakeSet(rhs_elems);
+  for (auto _ : state) {
+    Unifier u(&store);
+    std::vector<Substitution> out;
+    Status st = u.Enumerate(lhs, rhs, &out);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_UnifyPartialOverlap)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_UnifyFunctionTerms(benchmark::State& state) {
+  // Deep non-set structure: the classical linear case for contrast.
+  int depth = static_cast<int>(state.range(0));
+  TermStore store;
+  TermId x = store.MakeVariable("X", Sort::kAtom);
+  TermId t1 = x;
+  TermId t2 = store.MakeConstant("a");
+  for (int i = 0; i < depth; ++i) {
+    t1 = store.MakeFunction("f", {t1});
+    t2 = store.MakeFunction("f", {t2});
+  }
+  for (auto _ : state) {
+    Unifier u(&store);
+    std::vector<Substitution> out;
+    Status st = u.Enumerate(t1, t2, &out);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_UnifyFunctionTerms)->Arg(4)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace lps::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+#include "workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lps::bench {
+
+std::string ChainGraph(int n) {
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    out += "edge(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+           ").\n";
+  }
+  return out;
+}
+
+std::string RandomGraph(int nodes, int edges, uint64_t seed) {
+  Rng rng(seed);
+  std::string out;
+  for (int i = 0; i < edges; ++i) {
+    out += "edge(n" + std::to_string(rng.Below(nodes)) + ", n" +
+           std::to_string(rng.Below(nodes)) + ").\n";
+  }
+  return out;
+}
+
+std::string TransitiveClosureRules() {
+  return R"(
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- path(X, Y), edge(Y, Z).
+  )";
+}
+
+std::string SetFamily(int count, int cardinality, int universe,
+                      uint64_t seed) {
+  Rng rng(seed);
+  std::string out;
+  for (int i = 0; i < count; ++i) {
+    out += "s({";
+    for (int j = 0; j < cardinality; ++j) {
+      if (j > 0) out += ", ";
+      out += std::to_string(rng.Below(universe));
+    }
+    out += "}).\n";
+  }
+  return out;
+}
+
+std::string BomCatalog(int objects, int cardinality, int universe,
+                       uint64_t seed) {
+  Rng rng(seed);
+  std::string out = "pred parts(atom, set).\npred cost(atom, atom).\n";
+  for (int p = 0; p < universe; ++p) {
+    out += "cost(part" + std::to_string(p) + ", " +
+           std::to_string(1 + rng.Below(100)) + ").\n";
+  }
+  for (int o = 0; o < objects; ++o) {
+    out += "parts(obj" + std::to_string(o) + ", {";
+    for (int j = 0; j < cardinality; ++j) {
+      if (j > 0) out += ", ";
+      out += "part" + std::to_string(rng.Below(universe));
+    }
+    out += "}).\n";
+  }
+  return out;
+}
+
+TermId MakeIntRangeSet(TermStore* store, int n) {
+  std::vector<TermId> elems;
+  elems.reserve(n);
+  for (int i = 0; i < n; ++i) elems.push_back(store->MakeInt(i));
+  return store->MakeSet(std::move(elems));
+}
+
+TermId MakeRandomSet(TermStore* store, int cardinality, int universe,
+                     Rng* rng) {
+  std::vector<TermId> elems;
+  elems.reserve(cardinality);
+  for (int i = 0; i < cardinality; ++i) {
+    elems.push_back(
+        store->MakeInt(static_cast<int64_t>(rng->Below(universe))));
+  }
+  return store->MakeSet(std::move(elems));
+}
+
+std::unique_ptr<Engine> MustLoad(const std::string& source,
+                                 LanguageMode mode) {
+  auto engine = std::make_unique<Engine>(mode);
+  Status st = engine->LoadString(source);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench workload failed to load: %s\n",
+                 st.ToString().c_str());
+    std::abort();
+  }
+  return engine;
+}
+
+EvalStats MustEvaluate(Engine* engine, EvalOptions options) {
+  Status st = engine->Evaluate(options);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench evaluation failed: %s\n",
+                 st.ToString().c_str());
+    std::abort();
+  }
+  return engine->eval_stats();
+}
+
+}  // namespace lps::bench

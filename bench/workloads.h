@@ -1,0 +1,69 @@
+// Deterministic workload generators shared by the benchmark binaries.
+// All randomness is a fixed-seed xorshift so every run measures the
+// same inputs.
+#ifndef LPS_BENCH_WORKLOADS_H_
+#define LPS_BENCH_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lps/lps.h"
+
+namespace lps::bench {
+
+/// Tiny deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed | 1) {}
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+  /// Uniform in [0, bound).
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+ private:
+  uint64_t state_;
+};
+
+/// edge facts forming a chain n0 -> n1 -> ... -> n_n.
+std::string ChainGraph(int n);
+
+/// edge facts of a random graph with `nodes` nodes and `edges` edges.
+std::string RandomGraph(int nodes, int edges, uint64_t seed);
+
+/// The standard transitive-closure program (rules only).
+std::string TransitiveClosureRules();
+
+/// s(...) facts: `count` random subsets of {0..universe-1}, each of the
+/// given cardinality.
+std::string SetFamily(int count, int cardinality, int universe,
+                      uint64_t seed);
+
+/// parts/cost facts: `objects` objects, each with a component set of
+/// `cardinality` parts drawn from `universe` distinct parts with random
+/// integer costs.
+std::string BomCatalog(int objects, int cardinality, int universe,
+                       uint64_t seed);
+
+/// A ground set {0, 1, ..., n-1} of integer atoms in `store`.
+TermId MakeIntRangeSet(TermStore* store, int n);
+
+/// A ground set of `cardinality` random integers below `universe`.
+TermId MakeRandomSet(TermStore* store, int cardinality, int universe,
+                     Rng* rng);
+
+/// Builds an engine, loads `source`, and aborts on error (benchmarks
+/// should not silently measure failures).
+std::unique_ptr<Engine> MustLoad(const std::string& source,
+                                 LanguageMode mode = LanguageMode::kLDL);
+
+/// Evaluates and aborts on error; returns the stats.
+EvalStats MustEvaluate(Engine* engine, EvalOptions options = {});
+
+}  // namespace lps::bench
+
+#endif  // LPS_BENCH_WORKLOADS_H_

@@ -1,0 +1,78 @@
+// lpsi: a small LPS interpreter. Loads a program file, evaluates it
+// bottom-up, answers its "?- goal." queries, then reads further goals
+// from stdin (one per line, no trailing dot required).
+//
+//   build/examples/lpsi program.lps
+//   echo "path(a, X)" | build/examples/lpsi program.lps
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "lps/lps.h"
+
+namespace {
+
+void Answer(lps::Engine* engine, const std::string& goal) {
+  auto rows = engine->Query(goal);
+  if (!rows.ok()) {
+    std::printf("error: %s\n", rows.status().ToString().c_str());
+    return;
+  }
+  if (rows->empty()) {
+    std::printf("false.\n");
+    return;
+  }
+  for (const lps::Tuple& t : *rows) {
+    std::printf("%s\n", engine->TupleToString(t).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <program.lps>\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  lps::Engine engine(lps::LanguageMode::kLDL);
+  lps::Status st = engine.LoadString(buffer.str());
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = engine.Evaluate();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const lps::EvalStats& stats = engine.eval_stats();
+  std::fprintf(stderr, "%% %zu tuples, %zu iterations, %zu strata\n",
+               stats.tuples_derived, stats.iterations, stats.strata);
+
+  // Queries embedded in the file.
+  for (const lps::Literal& q : engine.pending_queries()) {
+    std::string text = lps::LiteralToString(
+        *engine.store(), *engine.signature(), q);
+    std::printf("?- %s\n", text.c_str());
+    Answer(&engine, text);
+  }
+
+  // Interactive goals.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line.back() == '.') line.pop_back();
+    Answer(&engine, line);
+  }
+  return 0;
+}

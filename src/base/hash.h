@@ -1,0 +1,29 @@
+// Hash utilities shared by the interners and relation indexes.
+#ifndef LPS_BASE_HASH_H_
+#define LPS_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace lps {
+
+/// Mixes `value` into `seed` (boost::hash_combine recipe, 64-bit variant).
+inline void HashCombine(size_t* seed, size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+/// Hash of a sequence of integral ids (tuples, set element lists).
+template <typename Container>
+size_t HashRange(const Container& ids) {
+  size_t seed = 0x42ULL;
+  for (auto id : ids) {
+    HashCombine(&seed, std::hash<uint64_t>{}(static_cast<uint64_t>(id)));
+  }
+  return seed;
+}
+
+}  // namespace lps
+
+#endif  // LPS_BASE_HASH_H_

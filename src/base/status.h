@@ -1,0 +1,149 @@
+// Status / Result<T> error handling, in the style used by Arrow and
+// RocksDB: no exceptions cross the public API; fallible operations
+// return a Status or a Result<T> that callers must inspect.
+#ifndef LPS_BASE_STATUS_H_
+#define LPS_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace lps {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,  // e.g. iteration/derivation limits hit
+  kParseError,
+  kSortError,        // two-sorted type errors (Definition 1-3)
+  kSafetyError,      // range restriction / safety violations
+  kStratificationError,
+};
+
+/// Human-readable name for a StatusCode ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status SortError(std::string msg) {
+    return Status(StatusCode::kSortError, std::move(msg));
+  }
+  static Status SafetyError(std::string msg) {
+    return Status(StatusCode::kSafetyError, std::move(msg));
+  }
+  static Status StratificationError(std::string msg) {
+    return Status(StatusCode::kStratificationError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error. Accessing the value of a non-OK Result aborts.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK status requires a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate errors out of the current function.
+#define LPS_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::lps::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#define LPS_CONCAT_IMPL(a, b) a##b
+#define LPS_CONCAT(a, b) LPS_CONCAT_IMPL(a, b)
+
+// Assign the value of a Result-returning expression or propagate its error.
+#define LPS_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto LPS_CONCAT(_res_, __LINE__) = (rexpr);                   \
+  if (!LPS_CONCAT(_res_, __LINE__).ok())                        \
+    return LPS_CONCAT(_res_, __LINE__).status();                \
+  lhs = std::move(LPS_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace lps
+
+#endif  // LPS_BASE_STATUS_H_

@@ -1,0 +1,20 @@
+// Small string helpers (join, numeric formatting) used by printers and
+// error messages.
+#ifndef LPS_BASE_STRINGS_H_
+#define LPS_BASE_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace lps {
+
+/// Joins `parts` with `sep` ("a, b, c").
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// True if `s` is a decimal integer literal (optional leading '-').
+bool IsIntegerLiteral(const std::string& s);
+
+}  // namespace lps
+
+#endif  // LPS_BASE_STRINGS_H_

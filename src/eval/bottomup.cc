@@ -1,0 +1,515 @@
+#include "eval/bottomup.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "lang/validate.h"
+#include "term/printer.h"
+#include "term/set_algebra.h"
+
+namespace lps {
+
+BottomUpEvaluator::BottomUpEvaluator(const Program* program, Database* db,
+                                     EvalOptions options)
+    : program_(program), db_(db), options_(options) {}
+
+Status BottomUpEvaluator::Evaluate() {
+  const TermStore& store = *program_->store();
+  const Signature& sig = program_->signature();
+
+  // Load EDB facts.
+  for (const Literal& f : program_->facts()) {
+    if (db_->AddTuple(f.pred, f.args)) ++stats_.tuples_derived;
+  }
+
+  LPS_ASSIGN_OR_RETURN(Stratification strat, Stratify(*program_));
+  stats_.strata = strat.num_strata;
+
+  // Compile rules.
+  rules_.clear();
+  rules_.resize(program_->clauses().size());
+  for (size_t i = 0; i < program_->clauses().size(); ++i) {
+    CompiledRule& r = rules_[i];
+    r.clause = &program_->clauses()[i];
+    LPS_ASSIGN_OR_RETURN(r.plan, BuildRulePlan(store, sig, *r.clause));
+    bool has_enum = false;
+    for (const PlanStep& s : r.plan.free_plan.steps) {
+      if (s.kind == StepKind::kEnumAtom || s.kind == StepKind::kEnumSet ||
+          s.kind == StepKind::kEnumAny) {
+        has_enum = true;
+      }
+    }
+    r.horn_simple = !r.plan.has_quantifiers &&
+                    !r.clause->grouping.has_value() && !has_enum;
+  }
+
+  for (size_t s = 0; s < strat.num_strata; ++s) {
+    LPS_RETURN_IF_ERROR(EvaluateStratum(strat.strata_clauses[s], strat, s));
+  }
+  return Status::OK();
+}
+
+Status BottomUpEvaluator::EvaluateStratum(
+    const std::vector<size_t>& clause_indices, const Stratification& strat,
+    size_t stratum) {
+  const Signature& sig = program_->signature();
+
+  // Identify in-stratum positive body literals for delta joins.
+  for (size_t ci : clause_indices) {
+    CompiledRule& r = rules_[ci];
+    r.in_stratum_literals.clear();
+    r.last_version = UINT64_MAX;
+    for (size_t li : r.plan.free_literals) {
+      const Literal& lit = r.clause->body[li];
+      if (lit.positive && !sig.IsBuiltin(lit.pred) &&
+          strat.pred_stratum[lit.pred] == stratum) {
+        r.in_stratum_literals.push_back(li);
+      }
+    }
+  }
+
+  // Grouping rules first: their bodies live in strictly lower strata,
+  // so one pass computes them completely.
+  for (size_t ci : clause_indices) {
+    if (rules_[ci].clause->grouping.has_value()) {
+      LPS_RETURN_IF_ERROR(RunGroupingRule(&rules_[ci]));
+    }
+  }
+
+  // Delta watermarks per predicate.
+  std::unordered_map<PredicateId, size_t> mark;
+
+  size_t iteration = 0;
+  for (;;) {
+    if (++stats_.iterations > options_.max_iterations) {
+      return Status::ResourceExhausted("iteration limit exceeded");
+    }
+    uint64_t version_before = db_->version();
+
+    // Delta ranges for this iteration: everything since the previous
+    // iteration's start.
+    std::unordered_map<PredicateId, std::pair<size_t, size_t>> delta;
+    if (options_.semi_naive && iteration > 0) {
+      for (size_t ci : clause_indices) {
+        for (size_t li : rules_[ci].in_stratum_literals) {
+          PredicateId p = rules_[ci].clause->body[li].pred;
+          if (delta.count(p)) continue;
+          size_t begin = mark.count(p) ? mark[p] : 0;
+          delta[p] = {begin, db_->RelationSize(p)};
+        }
+      }
+    }
+    for (auto& [p, range] : delta) mark[p] = range.second;
+
+    for (size_t ci : clause_indices) {
+      CompiledRule& r = rules_[ci];
+      if (r.clause->grouping.has_value()) continue;  // ran above
+
+      if (options_.semi_naive && r.horn_simple) {
+        if (iteration == 0) {
+          ++stats_.rule_runs;
+          LPS_RETURN_IF_ERROR(RunRule(&r, nullptr));
+        } else {
+          for (size_t li : r.in_stratum_literals) {
+            PredicateId p = r.clause->body[li].pred;
+            auto range = delta[p];
+            if (range.first >= range.second) continue;  // empty delta
+            DeltaSpec spec{li, range.first, range.second};
+            ++stats_.rule_runs;
+            LPS_RETURN_IF_ERROR(RunRule(&r, &spec));
+          }
+        }
+      } else {
+        // Naive mode, or a complex rule: re-run whenever anything it
+        // could observe changed.
+        if (!options_.semi_naive || r.last_version != db_->version()) {
+          r.last_version = db_->version();
+          ++stats_.rule_runs;
+          if (r.plan.has_quantifiers) {
+            LPS_RETURN_IF_ERROR(RunEmptyBranch(&r));
+          }
+          LPS_RETURN_IF_ERROR(RunRule(&r, nullptr));
+        }
+      }
+    }
+
+    if (db_->version() == version_before) break;
+    ++iteration;
+  }
+  return Status::OK();
+}
+
+Status BottomUpEvaluator::RunRule(CompiledRule* rule,
+                                  const DeltaSpec* delta) {
+  Substitution theta;
+  return ExecSteps(*rule, rule->plan.free_plan.steps, 0, &theta, delta,
+                   [this, rule](Substitution* t) {
+                     return HandleQuantifiers(*rule, t,
+                                              [this, rule](Substitution* t2) {
+                                                return EmitHead(*rule, t2);
+                                              });
+                   });
+}
+
+Status BottomUpEvaluator::RunGroupingRule(CompiledRule* rule) {
+  ++stats_.rule_runs;
+  groups_.clear();
+  const Clause& clause = *rule->clause;
+  const GroupSpec& g = *clause.grouping;
+  TermStore* store = program_->store();
+
+  Substitution theta;
+  LPS_RETURN_IF_ERROR(ExecSteps(
+      *rule, rule->plan.free_plan.steps, 0, &theta, nullptr,
+      [&](Substitution* t) {
+        return HandleQuantifiers(*rule, t, [&](Substitution* t2) {
+          // Accumulate: key = head args except the grouped position.
+          Tuple key;
+          key.reserve(clause.head.args.size());
+          for (size_t i = 0; i < clause.head.args.size(); ++i) {
+            if (i == g.arg_index) continue;
+            TermId v = t2->Apply(store, clause.head.args[i]);
+            if (!store->is_ground(v)) {
+              return Status::SafetyError(
+                  "unbound head variable in grouping clause for " +
+                  program_->signature().Name(clause.head.pred));
+            }
+            key.push_back(v);
+          }
+          TermId gv = t2->Apply(store, g.grouped_var);
+          if (!store->is_ground(gv)) {
+            return Status::SafetyError(
+                "grouped variable not bound by the body of the grouping "
+                "clause for " +
+                program_->signature().Name(clause.head.pred));
+          }
+          groups_[std::move(key)].push_back(gv);
+          return Status::OK();
+        });
+      }));
+
+  // Emit one tuple per group (Definition 14). Only witnessed groups are
+  // produced; see DESIGN.md on the empty-group convention.
+  for (auto& [key, elements] : groups_) {
+    TermId set = store->MakeSet(elements);
+    Tuple out;
+    out.reserve(clause.head.args.size());
+    size_t k = 0;
+    for (size_t i = 0; i < clause.head.args.size(); ++i) {
+      if (i == g.arg_index) {
+        out.push_back(set);
+      } else {
+        out.push_back(key[k++]);
+      }
+    }
+    if (db_->AddTuple(clause.head.pred, std::move(out))) {
+      if (++stats_.tuples_derived > options_.max_tuples) {
+        return Status::ResourceExhausted("tuple limit exceeded");
+      }
+    }
+  }
+  groups_.clear();
+  return Status::OK();
+}
+
+Status BottomUpEvaluator::RunEmptyBranch(CompiledRule* rule) {
+  // Definition 4: (forall x in {}) phi is true, so whenever some
+  // quantifier range is empty the whole body holds and the head follows
+  // for every active-domain value of the remaining head variables.
+  ++stats_.empty_branch_runs;
+  TermStore* store = program_->store();
+  Substitution theta;
+  return ExecSteps(
+      *rule, rule->plan.empty_branch_plan.steps, 0, &theta, nullptr,
+      [&](Substitution* t) {
+        bool some_empty = false;
+        for (const Quantifier& q : rule->clause->quantifiers) {
+          TermId range = t->Apply(store, q.range);
+          if (!store->is_ground(range) ||
+              store->kind(range) != TermKind::kSet) {
+            return Status::SafetyError(
+                "quantifier range not bound in empty-range branch");
+          }
+          if (store->args(range).empty()) {
+            some_empty = true;
+            break;
+          }
+        }
+        if (!some_empty) return Status::OK();
+        return EmitHead(*rule, t);
+      });
+}
+
+Status BottomUpEvaluator::ExecSteps(
+    const CompiledRule& rule, const std::vector<PlanStep>& steps,
+    size_t idx, Substitution* theta, const DeltaSpec* delta,
+    const std::function<Status(Substitution*)>& cont) {
+  if (idx == steps.size()) return cont(theta);
+  const PlanStep& step = steps[idx];
+  TermStore* store = program_->store();
+  const Signature& sig = program_->signature();
+
+  switch (step.kind) {
+    case StepKind::kScan: {
+      const Literal& lit = rule.clause->body[step.literal_index];
+      std::vector<TermId> patterns(lit.args.size());
+      uint32_t mask = 0;
+      Tuple key(lit.args.size(), kInvalidTerm);
+      for (size_t i = 0; i < lit.args.size(); ++i) {
+        patterns[i] = theta->Apply(store, lit.args[i]);
+        if (store->is_ground(patterns[i])) {
+          mask |= (1u << i);
+          key[i] = patterns[i];
+        }
+      }
+      Relation& rel = db_->relation(lit.pred);
+      // Copy: Lookup's reference is invalidated by later inserts.
+      std::vector<uint32_t> indices = rel.Lookup(mask, key);
+      bool is_delta =
+          delta != nullptr && delta->literal_index == step.literal_index;
+      for (uint32_t ti : indices) {
+        if (is_delta && (ti < delta->begin || ti >= delta->end)) continue;
+        const Tuple row = rel.tuple(ti);  // copy; rel may grow
+        // Bind the non-ground positions.
+        Substitution ext = *theta;
+        bool ok = true;
+        std::vector<size_t> complex;
+        for (size_t i = 0; i < patterns.size() && ok; ++i) {
+          if (mask & (1u << i)) continue;
+          TermId p = ext.Apply(store, patterns[i]);
+          if (store->is_ground(p)) {
+            ok = (p == row[i]);
+          } else if (store->IsVariable(p)) {
+            if (!SortAllowsBinding(*store, p, row[i])) {
+              ok = false;
+            } else {
+              ext.Bind(p, row[i]);
+            }
+          } else {
+            complex.push_back(i);
+          }
+        }
+        if (!ok) continue;
+        if (complex.empty()) {
+          LPS_RETURN_IF_ERROR(
+              ExecSteps(rule, steps, idx + 1, &ext, delta, cont));
+          continue;
+        }
+        // Complex patterns (set/function terms with variables): unify.
+        std::vector<TermId> pat, val;
+        for (size_t i : complex) {
+          pat.push_back(ext.Apply(store, patterns[i]));
+          val.push_back(row[i]);
+        }
+        Unifier unifier(store, options_.builtins.unify);
+        std::vector<Substitution> unifiers;
+        LPS_RETURN_IF_ERROR(unifier.EnumerateTuples(pat, val, &unifiers));
+        for (const Substitution& u : unifiers) {
+          Substitution ext2 = ext;
+          for (const auto& [v, t] : u.bindings()) ext2.Bind(v, t);
+          LPS_RETURN_IF_ERROR(
+              ExecSteps(rule, steps, idx + 1, &ext2, delta, cont));
+        }
+      }
+      return Status::OK();
+    }
+    case StepKind::kBuiltin: {
+      const Literal& lit = rule.clause->body[step.literal_index];
+      std::vector<TermId> args(lit.args.size());
+      for (size_t i = 0; i < args.size(); ++i) {
+        args[i] = theta->Apply(store, lit.args[i]);
+      }
+      return EvalBuiltin(
+          store, lit.pred, args, options_.builtins,
+          [&](const Substitution& ext) {
+            Substitution next = *theta;
+            for (const auto& [v, t] : ext.bindings()) next.Bind(v, t);
+            return ExecSteps(rule, steps, idx + 1, &next, delta, cont);
+          });
+    }
+    case StepKind::kNegated: {
+      const Literal& lit = rule.clause->body[step.literal_index];
+      LPS_ASSIGN_OR_RETURN(bool holds, LiteralHolds(lit, *theta));
+      // lit.positive is false: the check passes when the atom fails.
+      if (!holds) {
+        return ExecSteps(rule, steps, idx + 1, theta, delta, cont);
+      }
+      return Status::OK();
+    }
+    case StepKind::kEnumAtom:
+    case StepKind::kEnumSet:
+    case StepKind::kEnumAny: {
+      if (theta->IsBound(step.var)) {
+        return ExecSteps(rule, steps, idx + 1, theta, delta, cont);
+      }
+      auto enumerate = [&](const std::vector<TermId>& domain) -> Status {
+        size_t n = domain.size();  // snapshot: domain may grow
+        for (size_t i = 0; i < n; ++i) {
+          Substitution next = *theta;
+          next.Bind(step.var, domain[i]);
+          LPS_RETURN_IF_ERROR(
+              ExecSteps(rule, steps, idx + 1, &next, delta, cont));
+        }
+        return Status::OK();
+      };
+      if (step.kind == StepKind::kEnumAtom) {
+        return enumerate(db_->atom_domain());
+      }
+      if (step.kind == StepKind::kEnumSet) {
+        return enumerate(db_->set_domain());
+      }
+      LPS_RETURN_IF_ERROR(enumerate(db_->atom_domain()));
+      return enumerate(db_->set_domain());
+    }
+  }
+  (void)sig;
+  return Status::Internal("unknown plan step");
+}
+
+Result<bool> BottomUpEvaluator::LiteralHolds(const Literal& lit,
+                                             const Substitution& theta) {
+  TermStore* store = program_->store();
+  const Signature& sig = program_->signature();
+  std::vector<TermId> args(lit.args.size());
+  for (size_t i = 0; i < args.size(); ++i) {
+    args[i] = theta.Apply(store, lit.args[i]);
+    if (!store->is_ground(args[i])) {
+      return Status::SafetyError(
+          "literal " + sig.Name(lit.pred) +
+          " is not ground where a ground check is required (unsafe "
+          "clause?)");
+    }
+  }
+  if (sig.IsBuiltin(lit.pred)) {
+    return CheckBuiltin(store, lit.pred, args, options_.builtins);
+  }
+  return db_->Contains(lit.pred, args);
+}
+
+Status BottomUpEvaluator::HandleQuantifiers(
+    const CompiledRule& rule, Substitution* theta,
+    const std::function<Status(Substitution*)>& cont) {
+  const Clause& clause = *rule.clause;
+  if (clause.quantifiers.empty()) return cont(theta);
+  TermStore* store = program_->store();
+
+  // Resolve the ranges; all must be ground sets here.
+  std::vector<std::vector<TermId>> ranges;
+  ranges.reserve(clause.quantifiers.size());
+  std::vector<TermId> qvars;
+  for (const Quantifier& q : clause.quantifiers) {
+    TermId r = theta->Apply(store, q.range);
+    if (!store->is_ground(r) || store->kind(r) != TermKind::kSet) {
+      return Status::SafetyError("quantifier range not bound: " +
+                                 TermToString(*store, q.range));
+    }
+    if (store->args(r).empty()) {
+      // Vacuous truth is handled by the empty-range branch.
+      return Status::OK();
+    }
+    auto elems = store->args(r);
+    ranges.emplace_back(elems.begin(), elems.end());
+    qvars.push_back(q.var);
+  }
+
+  const std::vector<size_t>& qlits = rule.plan.quantified_literals;
+  if (qlits.empty()) return cont(theta);
+
+  // Verifies all combinations for a candidate binding of free vars.
+  auto verify_all = [&](Substitution* base) -> Result<bool> {
+    std::vector<size_t> idx(ranges.size(), 0);
+    for (;;) {
+      Substitution combo = *base;
+      for (size_t i = 0; i < ranges.size(); ++i) {
+        combo.Bind(qvars[i], ranges[i][idx[i]]);
+      }
+      ++stats_.combos_checked;
+      for (size_t li : qlits) {
+        const Literal& lit = clause.body[li];
+        LPS_ASSIGN_OR_RETURN(bool holds, LiteralHolds(lit, combo));
+        if (holds != lit.positive) return false;
+      }
+      size_t i = 0;
+      while (i < ranges.size() && ++idx[i] == ranges[i].size()) {
+        idx[i] = 0;
+        ++i;
+      }
+      if (i == ranges.size()) break;
+    }
+    return true;
+  };
+
+  if (rule.plan.seed_vars.empty()) {
+    LPS_ASSIGN_OR_RETURN(bool ok, verify_all(theta));
+    if (ok) return cont(theta);
+    return Status::OK();
+  }
+
+  // Division with first-element seeding: solve the quantified literals
+  // at the first combination to obtain candidate bindings for the
+  // seed variables, then verify each candidate on all combinations.
+  ++stats_.seed_joins;
+  Substitution first = *theta;
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    first.Bind(qvars[i], ranges[i][0]);
+  }
+
+  // Dedup candidates by their seed-variable values.
+  std::vector<std::vector<TermId>> seen;
+  return ExecSteps(
+      rule, rule.plan.seed_plan.steps, 0, &first, nullptr,
+      [&](Substitution* sol) -> Status {
+        std::vector<TermId> fingerprint;
+        fingerprint.reserve(rule.plan.seed_vars.size());
+        for (TermId v : rule.plan.seed_vars) {
+          fingerprint.push_back(sol->Apply(store, v));
+        }
+        if (std::find(seen.begin(), seen.end(), fingerprint) !=
+            seen.end()) {
+          return Status::OK();
+        }
+        seen.push_back(fingerprint);
+        Substitution candidate = *theta;
+        for (size_t i = 0; i < rule.plan.seed_vars.size(); ++i) {
+          candidate.Bind(rule.plan.seed_vars[i], fingerprint[i]);
+        }
+        LPS_ASSIGN_OR_RETURN(bool ok, verify_all(&candidate));
+        if (ok) return cont(&candidate);
+        return Status::OK();
+      });
+}
+
+Status BottomUpEvaluator::EmitHead(const CompiledRule& rule,
+                                   Substitution* theta) {
+  if (rule.clause->grouping.has_value()) {
+    return Status::Internal("EmitHead called for grouping rule");
+  }
+  TermStore* store = program_->store();
+  Tuple out;
+  out.reserve(rule.clause->head.args.size());
+  for (TermId a : rule.clause->head.args) {
+    TermId t = theta->Apply(store, a);
+    if (!store->is_ground(t)) {
+      return Status::SafetyError(
+          "head variable not bound by the body in clause for " +
+          program_->signature().Name(rule.clause->head.pred) +
+          " (unsafe clause)");
+    }
+    out.push_back(t);
+  }
+  if (db_->AddTuple(rule.clause->head.pred, std::move(out))) {
+    if (++stats_.tuples_derived > options_.max_tuples) {
+      return Status::ResourceExhausted("tuple limit exceeded");
+    }
+  }
+  return Status::OK();
+}
+
+Result<EvalStats> EvaluateProgram(const Program& program, Database* db,
+                                  EvalOptions options) {
+  BottomUpEvaluator eval(&program, db, options);
+  LPS_RETURN_IF_ERROR(eval.Evaluate());
+  return eval.stats();
+}
+
+}  // namespace lps

@@ -1,0 +1,114 @@
+// Bottom-up fixpoint evaluation (Section 3.2): computes the least
+// Herbrand model M_P = lfp(T_P) = T_P ^ omega (Theorem 5) restricted to
+// the active domain, stratum by stratum when negation or grouping is
+// present (Section 4.2 / 6.2).
+//
+// Two evaluation modes:
+//  * naive        - every iteration re-derives from the full relations;
+//  * semi-naive   - Horn-shaped rules use per-literal delta joins;
+//                   quantified / enumerating / grouping rules re-run only
+//                   when something they can observe changed.
+// Both reach the same fixpoint; bench_fixpoint measures the gap.
+//
+// Restricted universal quantifiers are evaluated as relational division
+// with first-element seeding, with a separate vacuous-truth branch for
+// empty quantifier ranges (Definition 4; see DESIGN.md section 6).
+#ifndef LPS_EVAL_BOTTOMUP_H_
+#define LPS_EVAL_BOTTOMUP_H_
+
+#include <unordered_map>
+
+#include "eval/builtins.h"
+#include "eval/database.h"
+#include "eval/plan.h"
+#include "lang/program.h"
+#include "transform/stratify.h"
+
+namespace lps {
+
+struct EvalOptions {
+  bool semi_naive = true;
+  size_t max_iterations = 100000;
+  size_t max_tuples = 2000000;
+  BuiltinOptions builtins;
+};
+
+struct EvalStats {
+  size_t strata = 0;
+  size_t iterations = 0;
+  size_t rule_runs = 0;
+  size_t tuples_derived = 0;
+  size_t combos_checked = 0;   // quantifier verification work
+  size_t seed_joins = 0;       // division seedings performed
+  size_t empty_branch_runs = 0;
+};
+
+class BottomUpEvaluator {
+ public:
+  /// `program` and `db` must outlive the evaluator. Facts are loaded
+  /// into `db` by Evaluate().
+  BottomUpEvaluator(const Program* program, Database* db,
+                    EvalOptions options = {});
+
+  /// Runs to fixpoint. Repeatable: already-present tuples are kept.
+  Status Evaluate();
+
+  const EvalStats& stats() const { return stats_; }
+
+ private:
+  struct CompiledRule {
+    const Clause* clause = nullptr;
+    RulePlan plan;
+    bool horn_simple = false;   // eligible for delta joins
+    std::vector<size_t> in_stratum_literals;  // positive user literals on
+                                              // same-stratum predicates
+    uint64_t last_version = UINT64_MAX;       // for complex-rule gating
+  };
+
+  // Delta restriction for one scan literal.
+  struct DeltaSpec {
+    size_t literal_index;
+    size_t begin;
+    size_t end;
+  };
+
+  Status EvaluateStratum(const std::vector<size_t>& clause_indices,
+                         const Stratification& strat, size_t stratum);
+  Status RunRule(CompiledRule* rule, const DeltaSpec* delta);
+  Status RunGroupingRule(CompiledRule* rule);
+  Status RunEmptyBranch(CompiledRule* rule);
+
+  // Executes plan steps [idx..) extending theta; calls cont on success.
+  Status ExecSteps(const CompiledRule& rule,
+                   const std::vector<PlanStep>& steps, size_t idx,
+                   Substitution* theta, const DeltaSpec* delta,
+                   const std::function<Status(Substitution*)>& cont);
+
+  Status HandleQuantifiers(const CompiledRule& rule, Substitution* theta,
+                           const std::function<Status(Substitution*)>& cont);
+
+  // True if the (ground) literal holds in the current database.
+  Result<bool> LiteralHolds(const Literal& lit, const Substitution& theta);
+
+  Status EmitHead(const CompiledRule& rule, Substitution* theta);
+
+  const Program* program_;
+  Database* db_;
+  EvalOptions options_;
+  EvalStats stats_;
+
+  std::vector<CompiledRule> rules_;
+  // Group accumulator for the grouping rule being run.
+  struct GroupKeyHash {
+    size_t operator()(const Tuple& t) const { return HashRange(t); }
+  };
+  std::unordered_map<Tuple, std::vector<TermId>, GroupKeyHash> groups_;
+};
+
+/// Convenience: load facts, stratify, evaluate; returns stats.
+Result<EvalStats> EvaluateProgram(const Program& program, Database* db,
+                                  EvalOptions options = {});
+
+}  // namespace lps
+
+#endif  // LPS_EVAL_BOTTOMUP_H_

@@ -1,0 +1,421 @@
+#include "eval/builtins.h"
+
+#include <algorithm>
+
+#include "eval/relation.h"
+#include "term/printer.h"
+#include "term/set_algebra.h"
+
+namespace lps {
+
+bool BuiltinModeSupported(PredicateId pred,
+                          const std::vector<bool>& g) {
+  switch (pred) {
+    case kPredEq:
+      return g[0] || g[1];
+    case kPredNeq:
+    case kPredNotIn:
+    case kPredLt:
+    case kPredLe:
+      return g[0] && g[1];
+    case kPredIn:
+      return g[1];
+    case kPredUnion:
+      return (g[0] && g[1]) || g[2];
+    case kPredScons:
+      return (g[0] && g[1]) || g[2];
+    case kPredSchoose:
+      return g[0] || (g[1] && g[2]);
+    case kPredCard:
+    case kPredSSum:
+    case kPredSMin:
+    case kPredSMax:
+      return g[0];
+    case kPredAdd:
+    case kPredSub:
+    case kPredMul:
+    case kPredDiv:
+      return (g[0] && g[1]) || (g[0] && g[2]) || (g[1] && g[2]);
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+bool IsInt(const TermStore& store, TermId t) {
+  return store.kind(t) == TermKind::kInt;
+}
+bool IsGroundSet(const TermStore& store, TermId t) {
+  return store.is_ground(t) && store.kind(t) == TermKind::kSet;
+}
+
+// Unifies the candidate ground tuple with the pattern args and emits
+// the resulting substitutions.
+Status EmitCandidate(TermStore* store, std::span<const TermId> args,
+                     const Tuple& candidate, const BuiltinOptions& options,
+                     const BuiltinEmit& emit) {
+  Unifier unifier(store, options.unify);
+  std::vector<Substitution> unifiers;
+  LPS_RETURN_IF_ERROR(unifier.EnumerateTuples(
+      args, std::span<const TermId>(candidate.data(), candidate.size()),
+      &unifiers));
+  for (const Substitution& s : unifiers) {
+    LPS_RETURN_IF_ERROR(emit(s));
+  }
+  return Status::OK();
+}
+
+Status ModeError(TermStore* store, const char* name,
+                 std::span<const TermId> args) {
+  return Status::SafetyError(
+      std::string("builtin ") + name + "(" +
+      TermListToString(*store, args) + ") is insufficiently instantiated");
+}
+
+}  // namespace
+
+Status EvalBuiltin(TermStore* store, PredicateId pred,
+                   std::span<const TermId> args,
+                   const BuiltinOptions& options, const BuiltinEmit& emit) {
+  auto ground = [&](size_t i) { return store->is_ground(args[i]); };
+
+  // Set positions bound to non-set ground terms make the relation
+  // simply false (atoms have no elements in any LPS/ELPS model) - not a
+  // mode error. notin is the exception: x is never a member of an atom.
+  {
+    static constexpr int kSetPositions[][3] = {
+        /*kPredEq*/ {-1, -1, -1},  /*kPredNeq*/ {-1, -1, -1},
+        /*kPredIn*/ {1, -1, -1},   /*kPredNotIn*/ {-1, -1, -1},
+        /*kPredUnion*/ {0, 1, 2},  /*kPredScons*/ {1, 2, -1},
+        /*kPredSchoose*/ {0, 2, -1},
+    };
+    if (pred <= kPredSchoose) {
+      for (int pos : kSetPositions[pred]) {
+        if (pos < 0) continue;
+        size_t i = static_cast<size_t>(pos);
+        if (ground(i) && store->kind(args[i]) != TermKind::kSet) {
+          return Status::OK();  // relation is false here
+        }
+      }
+    } else if ((pred == kPredCard || pred == kPredSSum ||
+                pred == kPredSMin || pred == kPredSMax) &&
+               ground(0) && store->kind(args[0]) != TermKind::kSet) {
+      return Status::OK();
+    }
+    if (pred == kPredNotIn && ground(0) && ground(1) &&
+        store->kind(args[1]) != TermKind::kSet) {
+      return emit(Substitution());  // x notin <atom> always holds
+    }
+  }
+
+  switch (pred) {
+    case kPredEq: {
+      Unifier unifier(store, options.unify);
+      std::vector<Substitution> unifiers;
+      LPS_RETURN_IF_ERROR(unifier.Enumerate(args[0], args[1], &unifiers));
+      for (const Substitution& s : unifiers) {
+        LPS_RETURN_IF_ERROR(emit(s));
+      }
+      return Status::OK();
+    }
+    case kPredNeq: {
+      if (!ground(0) || !ground(1)) return ModeError(store, "!=", args);
+      // Hash-consing makes semantic equality id equality on both sorts.
+      if (args[0] != args[1]) return emit(Substitution());
+      return Status::OK();
+    }
+    case kPredIn: {
+      if (!IsGroundSet(*store, args[1])) return ModeError(store, "in", args);
+      if (ground(0)) {
+        if (SetContains(*store, args[1], args[0])) {
+          return emit(Substitution());
+        }
+        return Status::OK();
+      }
+      for (TermId e : store->args(args[1])) {
+        LPS_RETURN_IF_ERROR(
+            EmitCandidate(store, args, {e, args[1]}, options, emit));
+      }
+      return Status::OK();
+    }
+    case kPredNotIn: {
+      if (!ground(0) || !IsGroundSet(*store, args[1])) {
+        return ModeError(store, "notin", args);
+      }
+      if (!SetContains(*store, args[1], args[0])) {
+        return emit(Substitution());
+      }
+      return Status::OK();
+    }
+    case kPredUnion: {
+      if (IsGroundSet(*store, args[0]) && IsGroundSet(*store, args[1])) {
+        TermId z = SetUnion(store, args[0], args[1]);
+        return EmitCandidate(store, args, {args[0], args[1], z}, options,
+                             emit);
+      }
+      if (!IsGroundSet(*store, args[2])) {
+        return ModeError(store, "union", args);
+      }
+      TermId z = args[2];
+      size_t zn = SetCardinality(*store, z);
+      if (IsGroundSet(*store, args[0]) || IsGroundSet(*store, args[1])) {
+        // One operand bound: X u Y = Z  iff  X subset Z and
+        // Y = (Z \ X) u s for s subset X.
+        bool x_bound = IsGroundSet(*store, args[0]);
+        TermId x = x_bound ? args[0] : args[1];
+        if (!SetIsSubset(*store, x, z)) return Status::OK();
+        if (SetCardinality(*store, x) > options.max_decompose_cardinality) {
+          return Status::ResourceExhausted(
+              "union decomposition cardinality limit");
+        }
+        std::vector<TermId> subsets;
+        LPS_RETURN_IF_ERROR(SetSubsets(
+            store, x, options.max_decompose_cardinality, &subsets));
+        TermId rest = SetDifference(store, z, x);
+        for (TermId s : subsets) {
+          TermId other = SetUnion(store, rest, s);
+          Tuple cand = x_bound ? Tuple{x, other, z} : Tuple{other, x, z};
+          LPS_RETURN_IF_ERROR(
+              EmitCandidate(store, args, cand, options, emit));
+        }
+        return Status::OK();
+      }
+      // Only Z bound: each element goes to X only, Y only, or both.
+      if (zn > options.max_decompose_cardinality) {
+        return Status::ResourceExhausted(
+            "union decomposition cardinality limit");
+      }
+      auto elems = store->args(z);
+      std::vector<TermId> ev(elems.begin(), elems.end());
+      size_t total = 1;
+      for (size_t i = 0; i < ev.size(); ++i) total *= 3;
+      if (total > options.max_candidates) {
+        return Status::ResourceExhausted("union candidate limit");
+      }
+      std::vector<uint8_t> choice(ev.size(), 0);
+      for (size_t c = 0; c < total; ++c) {
+        size_t rem = c;
+        std::vector<TermId> xs, ys;
+        for (size_t i = 0; i < ev.size(); ++i) {
+          switch (rem % 3) {
+            case 0:
+              xs.push_back(ev[i]);
+              break;
+            case 1:
+              ys.push_back(ev[i]);
+              break;
+            default:
+              xs.push_back(ev[i]);
+              ys.push_back(ev[i]);
+              break;
+          }
+          rem /= 3;
+        }
+        TermId x = store->MakeSet(std::move(xs));
+        TermId y = store->MakeSet(std::move(ys));
+        LPS_RETURN_IF_ERROR(
+            EmitCandidate(store, args, {x, y, z}, options, emit));
+      }
+      return Status::OK();
+    }
+    case kPredScons: {
+      if (ground(0) && IsGroundSet(*store, args[1])) {
+        TermId z = SetCons(store, args[0], args[1]);
+        return EmitCandidate(store, args, {args[0], args[1], z}, options,
+                             emit);
+      }
+      if (!IsGroundSet(*store, args[2])) {
+        return ModeError(store, "scons", args);
+      }
+      TermId z = args[2];
+      // Z = {x} u Y  iff  x in Z and Y in { Z \ {x}, Z }.
+      for (TermId e : store->args(z)) {
+        if (ground(0) && args[0] != e) continue;
+        TermId without = SetRemove(store, z, e);
+        LPS_RETURN_IF_ERROR(
+            EmitCandidate(store, args, {e, without, z}, options, emit));
+        if (without != z) {
+          LPS_RETURN_IF_ERROR(
+              EmitCandidate(store, args, {e, z, z}, options, emit));
+        }
+      }
+      return Status::OK();
+    }
+    case kPredSchoose: {
+      if (IsGroundSet(*store, args[0])) {
+        auto elems = store->args(args[0]);
+        if (elems.empty()) return Status::OK();  // schoose({}, _, _) fails
+        TermId min = elems.front();  // canonical order: smallest id
+        TermId rest = SetRemove(store, args[0], min);
+        return EmitCandidate(store, args, {args[0], min, rest}, options,
+                             emit);
+      }
+      if (ground(1) && IsGroundSet(*store, args[2])) {
+        // Inverse mode: Z = {x} u R is valid iff x is Z's minimum,
+        // i.e. x < every element of R and x not in R.
+        TermId x = args[1];
+        if (SetContains(*store, args[2], x)) return Status::OK();
+        auto elems = store->args(args[2]);
+        for (TermId e : elems) {
+          if (e < x) return Status::OK();
+        }
+        TermId z = SetCons(store, x, args[2]);
+        return EmitCandidate(store, args, {z, x, args[2]}, options, emit);
+      }
+      return ModeError(store, "schoose", args);
+    }
+    case kPredCard: {
+      if (!IsGroundSet(*store, args[0])) {
+        return ModeError(store, "card", args);
+      }
+      TermId n = store->MakeInt(
+          static_cast<int64_t>(SetCardinality(*store, args[0])));
+      return EmitCandidate(store, args, {args[0], n}, options, emit);
+    }
+    case kPredSSum:
+    case kPredSMin:
+    case kPredSMax: {
+      // Aggregates over integer sets (the Example 5 capability as a
+      // builtin). Non-integer elements make the relation false; min and
+      // max of the empty set are undefined (false); the empty sum is 0.
+      if (!IsGroundSet(*store, args[0])) {
+        return ModeError(store, "aggregate", args);
+      }
+      auto elems = store->args(args[0]);
+      for (TermId e : elems) {
+        if (!IsInt(*store, e)) return Status::OK();
+      }
+      if (elems.empty() && pred != kPredSSum) return Status::OK();
+      int64_t acc = (pred == kPredSSum) ? 0
+                    : store->int_value(elems.front());
+      for (TermId e : elems) {
+        int64_t v = store->int_value(e);
+        switch (pred) {
+          case kPredSSum:
+            acc += v;
+            break;
+          case kPredSMin:
+            acc = std::min(acc, v);
+            break;
+          default:
+            acc = std::max(acc, v);
+            break;
+        }
+      }
+      return EmitCandidate(store, args, {args[0], store->MakeInt(acc)},
+                           options, emit);
+    }
+    case kPredAdd:
+    case kPredSub:
+    case kPredMul:
+    case kPredDiv: {
+      auto is_int = [&](size_t i) {
+        return ground(i) && IsInt(*store, args[i]);
+      };
+      // All-ground instantiations must be numeric to hold.
+      int bound = (ground(0) ? 1 : 0) + (ground(1) ? 1 : 0) +
+                  (ground(2) ? 1 : 0);
+      if (bound < 2) return ModeError(store, "arith", args);
+      // Any ground non-integer argument simply fails (the relation is
+      // over integers).
+      for (size_t i = 0; i < 3; ++i) {
+        if (ground(i) && !IsInt(*store, args[i])) return Status::OK();
+      }
+      int64_t m = is_int(0) ? store->int_value(args[0]) : 0;
+      int64_t n = is_int(1) ? store->int_value(args[1]) : 0;
+      int64_t k = is_int(2) ? store->int_value(args[2]) : 0;
+      bool have = false;
+      switch (pred) {
+        case kPredAdd:
+          if (ground(0) && ground(1)) {
+            k = m + n;
+            have = true;
+          } else if (ground(0) && ground(2)) {
+            n = k - m;
+            have = true;
+          } else if (ground(1) && ground(2)) {
+            m = k - n;
+            have = true;
+          }
+          break;
+        case kPredSub:
+          if (ground(0) && ground(1)) {
+            k = m - n;
+            have = true;
+          } else if (ground(0) && ground(2)) {
+            n = m - k;
+            have = true;
+          } else if (ground(1) && ground(2)) {
+            m = k + n;
+            have = true;
+          }
+          break;
+        case kPredMul:
+          if (ground(0) && ground(1)) {
+            k = m * n;
+            have = true;
+          } else if (ground(0) && ground(2)) {
+            if (m == 0 || k % m != 0) return Status::OK();
+            n = k / m;
+            have = true;
+          } else {
+            if (n == 0 || k % n != 0) return Status::OK();
+            m = k / n;
+            have = true;
+          }
+          break;
+        case kPredDiv:
+          if (ground(0) && ground(1)) {
+            if (n == 0) return Status::OK();
+            k = m / n;
+            have = true;
+          } else if (ground(1) && ground(2)) {
+            m = k * n;
+            have = true;
+          } else {
+            if (k == 0) return Status::OK();
+            n = m / k;
+            if (n == 0 || m / n != k) return Status::OK();
+            have = true;
+          }
+          break;
+        default:
+          break;
+      }
+      if (!have) return ModeError(store, "arith", args);
+      Tuple cand = {store->MakeInt(m), store->MakeInt(n),
+                    store->MakeInt(k)};
+      return EmitCandidate(store, args, cand, options, emit);
+    }
+    case kPredLt:
+    case kPredLe: {
+      if (!ground(0) || !ground(1)) return ModeError(store, "lt/le", args);
+      if (!IsInt(*store, args[0]) || !IsInt(*store, args[1])) {
+        return Status::OK();
+      }
+      int64_t a = store->int_value(args[0]);
+      int64_t b = store->int_value(args[1]);
+      bool holds = (pred == kPredLt) ? (a < b) : (a <= b);
+      if (holds) return emit(Substitution());
+      return Status::OK();
+    }
+    default:
+      return Status::Internal("EvalBuiltin: not a builtin predicate");
+  }
+}
+
+Result<bool> CheckBuiltin(TermStore* store, PredicateId pred,
+                          std::span<const TermId> args,
+                          const BuiltinOptions& options) {
+  bool found = false;
+  Status st = EvalBuiltin(store, pred, args, options,
+                          [&found](const Substitution&) {
+                            found = true;
+                            return Status::OK();
+                          });
+  if (!st.ok()) return st;
+  return found;
+}
+
+}  // namespace lps

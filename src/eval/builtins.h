@@ -1,0 +1,52 @@
+// Evaluation of the special predicates (Definition 3's =, in;
+// Definition 15's union and scons; arithmetic; extensions schoose and
+// card).
+//
+// A builtin literal is evaluated against a (partially) bound argument
+// list: the evaluator produces candidate ground tuples from the bound
+// positions and unifies them with the remaining argument patterns,
+// emitting one substitution per solution. Which positions must be bound
+// is the builtin's *mode*; BuiltinModeSupported drives join planning.
+#ifndef LPS_EVAL_BUILTINS_H_
+#define LPS_EVAL_BUILTINS_H_
+
+#include <functional>
+#include <span>
+
+#include "base/status.h"
+#include "lang/signature.h"
+#include "term/substitution.h"
+#include "unify/unify.h"
+
+namespace lps {
+
+struct BuiltinOptions {
+  /// Cap on candidate tuples produced by decomposition modes
+  /// (union(X,Y,Z) with only Z bound enumerates 3^|Z| pairs).
+  size_t max_candidates = 1 << 20;
+  /// Cap on |Z| for those decomposition modes.
+  size_t max_decompose_cardinality = 16;
+  UnifyOptions unify;
+};
+
+/// True if `pred` is evaluable when exactly the positions with
+/// ground[i] == true are ground.
+bool BuiltinModeSupported(PredicateId pred, const std::vector<bool>& ground);
+
+using BuiltinEmit = std::function<Status(const Substitution&)>;
+
+/// Evaluates builtin `pred` on `args` (already substituted; may contain
+/// variables). Calls `emit` once per solution with the extending
+/// substitution. Returns an error for unsupported instantiation modes.
+Status EvalBuiltin(TermStore* store, PredicateId pred,
+                   std::span<const TermId> args,
+                   const BuiltinOptions& options, const BuiltinEmit& emit);
+
+/// Ground check: true iff the fully ground builtin literal holds.
+Result<bool> CheckBuiltin(TermStore* store, PredicateId pred,
+                          std::span<const TermId> args,
+                          const BuiltinOptions& options);
+
+}  // namespace lps
+
+#endif  // LPS_EVAL_BUILTINS_H_

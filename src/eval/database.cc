@@ -1,0 +1,82 @@
+#include "eval/database.h"
+
+#include <algorithm>
+
+#include "lang/clause.h"
+#include "term/printer.h"
+
+namespace lps {
+
+Database::Database(TermStore* store, const Signature* sig)
+    : store_(store), sig_(sig) {
+  RegisterTerm(store_->EmptySet());
+}
+
+Relation& Database::relation(PredicateId pred) {
+  auto it = relations_.find(pred);
+  if (it != relations_.end()) return it->second;
+  size_t arity = sig_->info(pred).arity();
+  return relations_.emplace(pred, Relation(arity)).first->second;
+}
+
+const Relation* Database::FindRelation(PredicateId pred) const {
+  auto it = relations_.find(pred);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+bool Database::AddTuple(PredicateId pred, Tuple t) {
+  for (TermId term : t) RegisterTerm(term);
+  bool added = relation(pred).Insert(std::move(t));
+  if (added) ++version_;
+  return added;
+}
+
+bool Database::Contains(PredicateId pred, const Tuple& t) const {
+  const Relation* rel = FindRelation(pred);
+  return rel != nullptr && rel->Contains(t);
+}
+
+void Database::RegisterTerm(TermId t) {
+  if (!store_->is_ground(t)) return;
+  if (!registered_.insert(t).second) return;
+  ++version_;
+  if (store_->sort(t) == Sort::kSet) {
+    set_domain_.push_back(t);
+    for (TermId e : store_->args(t)) RegisterTerm(e);
+  } else {
+    atom_domain_.push_back(t);
+    // Atoms built from function symbols contribute their subterms too.
+    for (TermId a : store_->args(t)) RegisterTerm(a);
+  }
+}
+
+size_t Database::TupleCount() const {
+  size_t n = 0;
+  for (const auto& [pred, rel] : relations_) n += rel.size();
+  return n;
+}
+
+size_t Database::RelationSize(PredicateId pred) const {
+  const Relation* rel = FindRelation(pred);
+  return rel == nullptr ? 0 : rel->size();
+}
+
+std::string Database::ToString(const Signature& sig) const {
+  // Deterministic order: by predicate id.
+  std::vector<PredicateId> preds;
+  for (const auto& [pred, rel] : relations_) preds.push_back(pred);
+  std::sort(preds.begin(), preds.end());
+  std::string out;
+  for (PredicateId p : preds) {
+    const Relation& rel = *FindRelation(p);
+    for (const Tuple& t : rel.tuples()) {
+      out += sig.Name(p);
+      out += '(';
+      out += TermListToString(*store_, t);
+      out += ").\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace lps

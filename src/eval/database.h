@@ -1,0 +1,72 @@
+// The evaluation database: one Relation per predicate plus the active
+// Herbrand domains.
+//
+// The paper's semantics ranges over the full (infinite) Herbrand
+// universe; the engine evaluates over the *active domain* - every
+// ground term that occurs in a stored tuple, plus the empty set (which
+// Definition 4's vacuous-truth rule makes ubiquitous). Quantified
+// variables whose value is not otherwise constrained range over these
+// domains (see DESIGN.md, substitution table).
+#ifndef LPS_EVAL_DATABASE_H_
+#define LPS_EVAL_DATABASE_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "eval/relation.h"
+#include "lang/program.h"
+
+namespace lps {
+
+class Database {
+ public:
+  Database(TermStore* store, const Signature* sig);
+
+  TermStore* store() const { return store_; }
+
+  Relation& relation(PredicateId pred);
+  const Relation* FindRelation(PredicateId pred) const;
+
+  /// Inserts a ground tuple; returns true if new. Registers the tuple's
+  /// terms (and, recursively, set elements) in the active domains.
+  bool AddTuple(PredicateId pred, Tuple t);
+
+  bool Contains(PredicateId pred, const Tuple& t) const;
+
+  /// Ground atoms of sort a seen so far.
+  const std::vector<TermId>& atom_domain() const { return atom_domain_; }
+  /// Ground sets seen so far (always contains {}).
+  const std::vector<TermId>& set_domain() const { return set_domain_; }
+
+  /// Adds a ground term (and its subterms) to the active domains without
+  /// storing any tuple. Used to seed domains, e.g. with all subsets of
+  /// an EDB set for the disjoint-union examples.
+  void RegisterTerm(TermId t);
+
+  /// Total stored tuples across all relations.
+  size_t TupleCount() const;
+
+  /// Monotonically increasing version; bumped by every successful
+  /// AddTuple / new domain registration. Rule-level change tracking in
+  /// the evaluator compares versions.
+  uint64_t version() const { return version_; }
+
+  /// Version of a single relation (its size) plus domain sizes; used to
+  /// detect novelty for specific predicates.
+  size_t RelationSize(PredicateId pred) const;
+
+  std::string ToString(const Signature& sig) const;
+
+ private:
+  TermStore* store_;
+  const Signature* sig_;
+  std::unordered_map<PredicateId, Relation> relations_;
+  std::vector<TermId> atom_domain_;
+  std::vector<TermId> set_domain_;
+  std::unordered_set<TermId> registered_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace lps
+
+#endif  // LPS_EVAL_DATABASE_H_

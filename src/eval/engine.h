@@ -1,0 +1,87 @@
+// The public facade: parse LPS source, compile positive bodies
+// (Theorem 6), validate, evaluate bottom-up, and answer queries.
+//
+// Typical use (see examples/quickstart.cc):
+//
+//   Engine engine(LanguageMode::kLPS);
+//   engine.LoadString(R"(
+//     disj(X, Y) :- forall A in X, forall B in Y : A != B.
+//     s({1, 2}). s({3}).
+//     pair(X, Y) :- s(X), s(Y), disj(X, Y).
+//   )");
+//   engine.Evaluate();
+//   engine.HoldsText("pair({1,2}, {3})");   // -> true
+#ifndef LPS_EVAL_ENGINE_H_
+#define LPS_EVAL_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "eval/bottomup.h"
+#include "eval/topdown.h"
+#include "lang/validate.h"
+#include "parse/parser.h"
+
+namespace lps {
+
+class Engine {
+ public:
+  explicit Engine(LanguageMode mode = LanguageMode::kLDL);
+
+  TermStore* store() { return store_.get(); }
+  Program* program() { return program_.get(); }
+  Database* database() { return db_.get(); }
+  Signature* signature() { return &program_->signature(); }
+  LanguageMode mode() const { return mode_; }
+
+  /// Parses and adds clauses/facts; may be called repeatedly before
+  /// Evaluate(). Positive bodies are compiled per Theorem 6; the
+  /// resulting program is validated against the engine's language mode.
+  Status LoadString(const std::string& source);
+
+  /// Adds a ground fact programmatically.
+  Status AddFact(const std::string& pred, std::vector<TermId> args);
+
+  /// Runs the bottom-up evaluator to fixpoint.
+  Status Evaluate(EvalOptions options = {});
+  const EvalStats& eval_stats() const { return eval_stats_; }
+
+  /// Queries evaluated against the current database. `goal` is an atom
+  /// or comparison, e.g. "pair(X, {3})"; each answer is one tuple of
+  /// the goal's arguments.
+  Result<std::vector<Tuple>> Query(const std::string& goal);
+
+  /// True if the ground goal holds in the current database.
+  Result<bool> HoldsText(const std::string& goal);
+
+  /// Solves a goal top-down (SLD with set unification) against the
+  /// program, without requiring a prior Evaluate().
+  Result<std::vector<Tuple>> SolveTopDown(const std::string& goal,
+                                          TopDownOptions options = {});
+
+  /// Parses a single ground or non-ground term, e.g. "{a, b}".
+  Result<TermId> ParseTerm(const std::string& text);
+
+  /// Queries collected from "?- goal." items in loaded sources.
+  const std::vector<Literal>& pending_queries() const { return queries_; }
+
+  /// Renders a tuple for display.
+  std::string TupleToString(const Tuple& tuple) const;
+
+  /// Discards all derived tuples (keeps program and facts).
+  void ResetDatabase();
+
+ private:
+  Result<Literal> ParseGoal(const std::string& goal);
+
+  LanguageMode mode_;
+  std::unique_ptr<TermStore> store_;
+  std::unique_ptr<Program> program_;
+  std::unique_ptr<Database> db_;
+  std::vector<Literal> queries_;
+  EvalStats eval_stats_;
+};
+
+}  // namespace lps
+
+#endif  // LPS_EVAL_ENGINE_H_

@@ -1,0 +1,262 @@
+#include "eval/plan.h"
+
+#include <algorithm>
+
+#include "eval/builtins.h"
+
+namespace lps {
+
+namespace {
+
+bool Contains(const std::vector<TermId>& v, TermId t) {
+  return std::find(v.begin(), v.end(), t) != v.end();
+}
+
+void AddUnique(std::vector<TermId>* v, TermId t) {
+  if (!Contains(*v, t)) v->push_back(t);
+}
+
+// Variables of one literal.
+std::vector<TermId> LitVars(const TermStore& store, const Literal& lit) {
+  std::vector<TermId> vars;
+  CollectLiteralVariables(store, lit, &vars);
+  return vars;
+}
+
+// An argument term counts as bound if all its variables are bound.
+bool TermBound(const TermStore& store, TermId t,
+               const std::vector<TermId>& bound) {
+  if (store.is_ground(t)) return true;
+  std::vector<TermId> vars;
+  store.CollectVariables(t, &vars);
+  return std::all_of(vars.begin(), vars.end(),
+                     [&](TermId v) { return Contains(bound, v); });
+}
+
+StepKind EnumKindFor(const TermStore& store, TermId var) {
+  switch (store.sort(var)) {
+    case Sort::kAtom:
+      return StepKind::kEnumAtom;
+    case Sort::kSet:
+      return StepKind::kEnumSet;
+    case Sort::kAny:
+      return StepKind::kEnumAny;
+  }
+  return StepKind::kEnumAny;
+}
+
+}  // namespace
+
+BodyPlan BuildBodyPlan(const TermStore& store, const Signature& sig,
+                       const Clause& clause,
+                       const std::vector<size_t>& literal_indices,
+                       const std::vector<TermId>& initially_bound,
+                       const std::vector<TermId>& must_bind,
+                       bool bind_all_literal_vars) {
+  BodyPlan plan;
+  std::vector<TermId> bound = initially_bound;
+  std::vector<size_t> remaining = literal_indices;
+
+  auto vars_unbound = [&](const Literal& lit) {
+    size_t n = 0;
+    for (TermId v : LitVars(store, lit)) {
+      if (!Contains(bound, v)) ++n;
+    }
+    return n;
+  };
+  auto all_bound = [&](const Literal& lit) {
+    return vars_unbound(lit) == 0;
+  };
+
+  while (!remaining.empty()) {
+    int best_score = -1;
+    size_t best_pos = 0;
+    for (size_t pos = 0; pos < remaining.size(); ++pos) {
+      const Literal& lit = clause.body[remaining[pos]];
+      int score = -1;
+      if (!lit.positive) {
+        // Negated literals (user or builtin) need every variable bound.
+        if (all_bound(lit)) score = 90;
+      } else if (sig.IsBuiltin(lit.pred)) {
+        std::vector<bool> ground(lit.args.size());
+        for (size_t i = 0; i < lit.args.size(); ++i) {
+          ground[i] = TermBound(store, lit.args[i], bound);
+        }
+        if (BuiltinModeSupported(lit.pred, ground)) {
+          score = all_bound(lit) ? 100 : 60;
+        }
+      } else {
+        // Positive user literal: always runnable as an (indexed) scan;
+        // prefer the most bound one.
+        size_t bound_args = 0;
+        for (TermId a : lit.args) {
+          if (TermBound(store, a, bound)) ++bound_args;
+        }
+        score = all_bound(lit)
+                    ? 95
+                    : static_cast<int>(20 + 10 * bound_args) -
+                          static_cast<int>(vars_unbound(lit));
+      }
+      if (score > best_score) {
+        best_score = score;
+        best_pos = pos;
+      }
+    }
+
+    if (best_score < 0) {
+      // Every remaining literal is blocked (builtin modes unsatisfied):
+      // enumerate one of their variables from the active domain.
+      TermId victim = kInvalidTerm;
+      for (size_t li : remaining) {
+        for (TermId v : LitVars(store, clause.body[li])) {
+          if (!Contains(bound, v)) {
+            victim = v;
+            break;
+          }
+        }
+        if (victim != kInvalidTerm) break;
+      }
+      if (victim == kInvalidTerm) break;  // defensive; cannot happen
+      plan.steps.push_back(
+          PlanStep{EnumKindFor(store, victim), 0, victim});
+      AddUnique(&bound, victim);
+      continue;
+    }
+
+    size_t li = remaining[best_pos];
+    const Literal& lit = clause.body[li];
+    StepKind kind = !lit.positive          ? StepKind::kNegated
+                    : sig.IsBuiltin(lit.pred) ? StepKind::kBuiltin
+                                              : StepKind::kScan;
+    plan.steps.push_back(PlanStep{kind, li, kInvalidTerm});
+    if (lit.positive) {
+      for (TermId v : LitVars(store, lit)) AddUnique(&bound, v);
+    }
+    remaining.erase(remaining.begin() + best_pos);
+  }
+
+  for (TermId v : must_bind) {
+    if (!Contains(bound, v)) {
+      plan.steps.push_back(PlanStep{EnumKindFor(store, v), 0, v});
+      AddUnique(&bound, v);
+    }
+  }
+  (void)bind_all_literal_vars;  // scans/builtins ground their variables
+  return plan;
+}
+
+Result<RulePlan> BuildRulePlan(const TermStore& store, const Signature& sig,
+                               const Clause& clause) {
+  RulePlan plan;
+  plan.has_quantifiers = !clause.quantifiers.empty();
+
+  std::vector<TermId> qvars;
+  for (const Quantifier& q : clause.quantifiers) {
+    AddUnique(&qvars, q.var);
+  }
+
+  // Head variables (the grouped variable is body-bound, not a head var).
+  std::vector<TermId> head_vars;
+  for (size_t i = 0; i < clause.head.args.size(); ++i) {
+    if (clause.grouping.has_value() &&
+        clause.grouping->arg_index == i) {
+      continue;
+    }
+    store.CollectVariables(clause.head.args[i], &head_vars);
+  }
+  for (TermId v : head_vars) {
+    if (Contains(qvars, v)) {
+      return Status::SafetyError(
+          "quantified variable appears in clause head (it is scoped to "
+          "the body by Definition 5)");
+    }
+  }
+
+  // Range variables must be bound before quantifier expansion.
+  for (const Quantifier& q : clause.quantifiers) {
+    std::vector<TermId> rv;
+    store.CollectVariables(q.range, &rv);
+    for (TermId v : rv) {
+      if (Contains(qvars, v)) {
+        return Status::SafetyError(
+            "quantifier range may not use a quantified variable");
+      }
+      AddUnique(&plan.range_vars_needed, v);
+    }
+  }
+
+  // Classify body literals.
+  for (size_t i = 0; i < clause.body.size(); ++i) {
+    std::vector<TermId> vars = LitVars(store, clause.body[i]);
+    bool quantified = std::any_of(vars.begin(), vars.end(), [&](TermId v) {
+      return Contains(qvars, v);
+    });
+    if (quantified) {
+      plan.quantified_literals.push_back(i);
+    } else {
+      plan.free_literals.push_back(i);
+    }
+  }
+
+  // Variables occurring in quantified literals (excluding the quantified
+  // ones) can be *seeded* by relational division instead of enumerated.
+  std::vector<TermId> qlit_free_vars;
+  for (size_t li : plan.quantified_literals) {
+    for (TermId v : LitVars(store, clause.body[li])) {
+      if (!Contains(qvars, v)) AddUnique(&qlit_free_vars, v);
+    }
+  }
+
+  // The free plan must bind: range vars (always), plus head vars and the
+  // grouped var unless they are seedable.
+  std::vector<TermId> must_bind = plan.range_vars_needed;
+  auto seedable = [&](TermId v) {
+    return Contains(qlit_free_vars, v) &&
+           !Contains(plan.range_vars_needed, v);
+  };
+  for (TermId v : head_vars) {
+    if (!seedable(v)) AddUnique(&must_bind, v);
+  }
+  if (clause.grouping.has_value()) {
+    TermId gv = clause.grouping->grouped_var;
+    if (!seedable(gv)) AddUnique(&must_bind, gv);
+  }
+
+  plan.free_plan = BuildBodyPlan(store, sig, clause, plan.free_literals,
+                                 {}, must_bind, true);
+
+  // Which variables are bound after the free plan?
+  std::vector<TermId> bound_after_free = must_bind;
+  for (size_t li : plan.free_literals) {
+    const Literal& lit = clause.body[li];
+    if (lit.positive) {
+      for (TermId v : LitVars(store, lit)) AddUnique(&bound_after_free, v);
+    }
+  }
+  for (const PlanStep& s : plan.free_plan.steps) {
+    if (s.var != kInvalidTerm) AddUnique(&bound_after_free, s.var);
+  }
+
+  for (TermId v : qlit_free_vars) {
+    if (!Contains(bound_after_free, v)) AddUnique(&plan.seed_vars, v);
+  }
+
+  if (plan.has_quantifiers) {
+    // Division seeding plan: runs with free vars + quantified vars bound.
+    std::vector<TermId> seed_bound = bound_after_free;
+    for (TermId v : qvars) AddUnique(&seed_bound, v);
+    plan.seed_plan =
+        BuildBodyPlan(store, sig, clause, plan.quantified_literals,
+                      seed_bound, plan.seed_vars, true);
+
+    // Empty-range branch: bind range vars and head vars by enumeration;
+    // body is vacuously true.
+    std::vector<TermId> empty_must = plan.range_vars_needed;
+    for (TermId v : head_vars) AddUnique(&empty_must, v);
+    plan.empty_branch_plan =
+        BuildBodyPlan(store, sig, clause, {}, {}, empty_must, true);
+  }
+  return plan;
+}
+
+}  // namespace lps

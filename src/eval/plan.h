@@ -1,0 +1,78 @@
+// Join planning for clause bodies.
+//
+// A plan is a greedy ordering of body literals (scans, builtin calls,
+// negated checks) with explicit active-domain enumeration steps for
+// variables no literal can bind. Planning is shared by the bottom-up
+// evaluator's free part, its quantified "division" part, and the
+// grouping executor.
+#ifndef LPS_EVAL_PLAN_H_
+#define LPS_EVAL_PLAN_H_
+
+#include <vector>
+
+#include "lang/program.h"
+
+namespace lps {
+
+enum class StepKind : uint8_t {
+  kScan,        // positive user-predicate literal: index join
+  kBuiltin,     // builtin literal: mode-driven evaluation
+  kNegated,     // negated literal (user or builtin): ground check
+  kEnumAtom,    // bind a variable from the atom domain
+  kEnumSet,     // bind a variable from the set domain
+  kEnumAny,     // bind an untyped variable from both domains
+};
+
+struct PlanStep {
+  StepKind kind;
+  size_t literal_index = 0;  // into the clause body, for literal steps
+  TermId var = kInvalidTerm;  // for enumeration steps
+};
+
+struct BodyPlan {
+  std::vector<PlanStep> steps;
+  /// Variables still unbound after all steps (possible only when the
+  /// caller allows deferred binding, e.g. division seeding).
+  std::vector<TermId> unbound;
+};
+
+/// Builds an execution order for the body literals listed in
+/// `literal_indices`. `initially_bound` variables are treated as ground.
+/// Every variable in `must_bind` is bound by the end of the plan,
+/// inserting enumeration steps if no literal can bind it. Variables
+/// occurring in the chosen literals are bound as a side effect.
+/// If `bind_all_literal_vars` is set, enumeration steps are also added
+/// for any literal variable left unbound (needed when the plan's
+/// solutions must be ground).
+BodyPlan BuildBodyPlan(const TermStore& store, const Signature& sig,
+                       const Clause& clause,
+                       const std::vector<size_t>& literal_indices,
+                       const std::vector<TermId>& initially_bound,
+                       const std::vector<TermId>& must_bind,
+                       bool bind_all_literal_vars);
+
+/// Full rule plan for the bottom-up evaluator.
+struct RulePlan {
+  std::vector<size_t> free_literals;        // no quantified variables
+  std::vector<size_t> quantified_literals;  // at least one quantified var
+  BodyPlan free_plan;       // binds free vars; range/head vars included
+  std::vector<TermId> range_vars_needed;  // vars of quantifier ranges
+  bool has_quantifiers = false;
+  /// Variables seeded by the division step (free vars occurring only in
+  /// quantified literals).
+  std::vector<TermId> seed_vars;
+  /// Plan for solving the quantified literals at the first element
+  /// combination (relational division seeding; executes with free and
+  /// quantified variables bound).
+  BodyPlan seed_plan;
+  /// Plan for the empty-range branch: binds range-term variables and
+  /// head variables only (the body is vacuously true).
+  BodyPlan empty_branch_plan;
+};
+
+Result<RulePlan> BuildRulePlan(const TermStore& store, const Signature& sig,
+                               const Clause& clause);
+
+}  // namespace lps
+
+#endif  // LPS_EVAL_PLAN_H_

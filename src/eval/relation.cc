@@ -1,0 +1,54 @@
+#include "eval/relation.h"
+
+namespace lps {
+
+const std::vector<uint32_t> Relation::kEmpty;
+
+bool Relation::Insert(Tuple t) {
+  auto [it, inserted] = dedup_.insert(t);
+  if (!inserted) return false;
+  tuples_.push_back(std::move(t));
+  return true;
+}
+
+Tuple Relation::ProjectKey(uint32_t mask, const Tuple& t) const {
+  Tuple key;
+  key.reserve(arity_);
+  for (size_t i = 0; i < arity_; ++i) {
+    if (mask & (1u << i)) key.push_back(t[i]);
+  }
+  return key;
+}
+
+const std::vector<uint32_t>& Relation::Lookup(uint32_t mask,
+                                              const Tuple& key) {
+  Index* index = nullptr;
+  for (Index& ix : indexes_) {
+    if (ix.mask == mask) {
+      index = &ix;
+      break;
+    }
+  }
+  if (index == nullptr) {
+    indexes_.push_back(Index{mask, {}, 0});
+    index = &indexes_.back();
+  }
+  // Catch up with newly inserted tuples.
+  for (size_t i = index->built_up_to; i < tuples_.size(); ++i) {
+    index->buckets[ProjectKey(mask, tuples_[i])].push_back(
+        static_cast<uint32_t>(i));
+  }
+  index->built_up_to = tuples_.size();
+
+  auto it = index->buckets.find(ProjectKey(mask, key));
+  return it == index->buckets.end() ? kEmpty : it->second;
+}
+
+void Relation::AllIndices(std::vector<uint32_t>* out) const {
+  out->resize(tuples_.size());
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    (*out)[i] = static_cast<uint32_t>(i);
+  }
+}
+
+}  // namespace lps

@@ -1,0 +1,67 @@
+// Tuple storage for one predicate, with lazily built hash indexes on
+// bound-column masks. Tuples are vectors of interned TermIds, so
+// set-valued columns cost one word per tuple and comparisons are O(1).
+#ifndef LPS_EVAL_RELATION_H_
+#define LPS_EVAL_RELATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/hash.h"
+#include "term/term.h"
+
+namespace lps {
+
+using Tuple = std::vector<TermId>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return HashRange(t); }
+};
+
+/// Append-only tuple set. Tuple order is insertion order, which the
+/// semi-naive evaluator exploits: tuples at index >= some watermark form
+/// the delta of an iteration.
+class Relation {
+ public:
+  explicit Relation(size_t arity) : arity_(arity) {}
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+
+  /// Inserts; returns true if the tuple was new.
+  bool Insert(Tuple t);
+
+  bool Contains(const Tuple& t) const { return dedup_.count(t) > 0; }
+
+  /// Indices of tuples whose columns selected by `mask` (bit i = column
+  /// i bound) equal the corresponding entries of `key` (entries for
+  /// unbound columns are ignored). Builds the per-mask index on first
+  /// use and maintains it incrementally afterwards.
+  const std::vector<uint32_t>& Lookup(uint32_t mask, const Tuple& key);
+
+  /// All tuple indices (identity scan).
+  void AllIndices(std::vector<uint32_t>* out) const;
+
+ private:
+  struct Index {
+    uint32_t mask;
+    std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> buckets;
+    size_t built_up_to = 0;  // tuples_ prefix already indexed
+  };
+
+  Tuple ProjectKey(uint32_t mask, const Tuple& t) const;
+
+  size_t arity_;
+  std::vector<Tuple> tuples_;
+  std::unordered_set<Tuple, TupleHash> dedup_;
+  std::vector<Index> indexes_;
+  static const std::vector<uint32_t> kEmpty;
+};
+
+}  // namespace lps
+
+#endif  // LPS_EVAL_RELATION_H_

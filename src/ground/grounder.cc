@@ -1,0 +1,188 @@
+#include "ground/grounder.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "base/hash.h"
+#include "term/printer.h"
+
+namespace lps {
+
+namespace {
+
+// Applies theta to a literal.
+Literal ApplyToLiteral(TermStore* store, const Substitution& theta,
+                       const Literal& lit) {
+  Literal out = lit;
+  for (TermId& t : out.args) t = theta.Apply(store, t);
+  return out;
+}
+
+bool LiteralGround(const TermStore& store, const Literal& lit) {
+  return std::all_of(lit.args.begin(), lit.args.end(), [&](TermId t) {
+    return store.is_ground(t);
+  });
+}
+
+}  // namespace
+
+Result<Clause> GroundClause(TermStore* store, const Clause& clause,
+                            const Substitution& theta,
+                            const GroundOptions& options) {
+  if (clause.grouping.has_value()) {
+    return Status::InvalidArgument(
+        "grounding of grouping clauses is undefined (Lemma 4 covers LPS "
+        "clauses only)");
+  }
+  Clause out;
+  out.head = ApplyToLiteral(store, theta, clause.head);
+  if (!LiteralGround(*store, out.head)) {
+    return Status::InvalidArgument(
+        "substitution does not ground the head of clause for predicate #" +
+        std::to_string(clause.head.pred));
+  }
+
+  // Resolve the quantifier ranges; each must now be a ground set.
+  std::vector<std::span<const TermId>> ranges;
+  std::vector<TermId> qvars;
+  for (const Quantifier& q : clause.quantifiers) {
+    TermId range = theta.Apply(store, q.range);
+    if (!store->is_ground(range) ||
+        store->kind(range) != TermKind::kSet) {
+      return Status::InvalidArgument(
+          "substitution does not ground quantifier range " +
+          TermToString(*store, q.range));
+    }
+    // Definition 4: (forall x in {}) phi is true, so the body vanishes.
+    if (store->args(range).empty()) {
+      return out;  // bare ground head
+    }
+    ranges.push_back(store->args(range));
+    qvars.push_back(q.var);
+  }
+
+  // Expand the conjunction over all combinations (k1,...,kn)
+  // (Lemma 4's big conjunction).
+  size_t combos = 1;
+  for (auto r : ranges) {
+    if (combos > options.max_body_atoms / r.size() + 1) {
+      return Status::ResourceExhausted("ground body too large");
+    }
+    combos *= r.size();
+  }
+  if (combos * std::max<size_t>(clause.body.size(), 1) >
+      options.max_body_atoms) {
+    return Status::ResourceExhausted("ground body too large");
+  }
+
+  // Duplicate ground atoms (from collapsing sets) are dropped via a
+  // hash set; a linear scan would be quadratic in |body|.
+  struct LitHash {
+    size_t operator()(const Literal& lit) const {
+      size_t h = HashRange(lit.args);
+      HashCombine(&h, lit.pred);
+      HashCombine(&h, lit.positive ? 1u : 2u);
+      return h;
+    }
+  };
+  std::unordered_set<Literal, LitHash> seen;
+  std::vector<size_t> idx(ranges.size(), 0);
+  for (;;) {
+    Substitution combo = theta;
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      combo.Bind(qvars[i], ranges[i][idx[i]]);
+    }
+    for (const Literal& lit : clause.body) {
+      Literal ground_lit = ApplyToLiteral(store, combo, lit);
+      if (!LiteralGround(*store, ground_lit)) {
+        return Status::InvalidArgument(
+            "substitution does not ground the body");
+      }
+      if (seen.insert(ground_lit).second) {
+        out.body.push_back(std::move(ground_lit));
+      }
+    }
+    if (ranges.empty()) break;
+    size_t i = 0;
+    while (i < ranges.size() && ++idx[i] == ranges[i].size()) {
+      idx[i] = 0;
+      ++i;
+    }
+    if (i == ranges.size()) break;
+  }
+  return out;
+}
+
+Status GroundClauseOverDomain(TermStore* store, const Clause& clause,
+                              const std::vector<TermId>& atom_domain,
+                              const std::vector<TermId>& set_domain,
+                              const GroundOptions& options,
+                              std::vector<Clause>* out) {
+  std::vector<TermId> free_vars = ClauseFreeVariables(*store, clause);
+  std::vector<const std::vector<TermId>*> pools;
+  for (TermId v : free_vars) {
+    if (store->sort(v) == Sort::kSet) {
+      pools.push_back(&set_domain);
+    } else if (store->sort(v) == Sort::kAtom) {
+      pools.push_back(&atom_domain);
+    } else {
+      return Status::SortError(
+          "domain grounding requires sorted variables (kAny found)");
+    }
+    if (pools.back()->empty()) return Status::OK();  // no instances
+  }
+  std::vector<size_t> idx(free_vars.size(), 0);
+  size_t produced = 0;
+  for (;;) {
+    Substitution theta;
+    for (size_t i = 0; i < free_vars.size(); ++i) {
+      theta.Bind(free_vars[i], (*pools[i])[idx[i]]);
+    }
+    Result<Clause> g = GroundClause(store, clause, theta, options);
+    if (!g.ok()) return g.status();
+    out->push_back(std::move(g).value());
+    if (++produced > options.max_instances) {
+      return Status::ResourceExhausted("too many ground instances");
+    }
+    if (free_vars.empty()) break;
+    size_t i = 0;
+    while (i < free_vars.size() && ++idx[i] == pools[i]->size()) {
+      idx[i] = 0;
+      ++i;
+    }
+    if (i == free_vars.size()) break;
+  }
+  return Status::OK();
+}
+
+Result<Program> GroundProgramOverDomain(const Program& program,
+                                        const std::vector<TermId>& atom_domain,
+                                        const std::vector<TermId>& set_domain,
+                                        const GroundOptions& options) {
+  Program out = program;  // copies signature and facts
+  out.mutable_clauses()->clear();
+  std::vector<Clause> ground;
+  for (const Clause& c : program.clauses()) {
+    LPS_RETURN_IF_ERROR(GroundClauseOverDomain(
+        program.store(), c, atom_domain, set_domain, options, &ground));
+  }
+  for (Clause& c : ground) out.AddClause(std::move(c));
+  return out;
+}
+
+Result<size_t> GroundBodySize(TermStore* store, const Clause& clause,
+                              const Substitution& theta) {
+  size_t combos = 1;
+  for (const Quantifier& q : clause.quantifiers) {
+    TermId range = theta.Apply(store, q.range);
+    if (!store->is_ground(range) ||
+        store->kind(range) != TermKind::kSet) {
+      return Status::InvalidArgument("range not ground");
+    }
+    if (store->args(range).empty()) return size_t{0};
+    combos *= store->args(range).size();
+  }
+  return combos * clause.body.size();
+}
+
+}  // namespace lps

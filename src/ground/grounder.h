@@ -1,0 +1,60 @@
+// Lemma 4: every ground instance of an LPS clause is logically
+// equivalent to a ground instance of a Horn clause. The grounder
+// performs that expansion: given a ground substitution for the clause's
+// free variables, the quantifier prefix (forall x1 in X1)...(xn in Xn)
+// is unfolded into the conjunction of the body over all element
+// combinations of the (now ground) sets X1,...,Xn.
+//
+// GroundProgramOverDomain grounds every clause of a program over an
+// explicit finite domain, producing a quantifier-free program whose
+// least model coincides with the LPS program's on that domain - the
+// executable content of Theorem 5's proof.
+#ifndef LPS_GROUND_GROUNDER_H_
+#define LPS_GROUND_GROUNDER_H_
+
+#include <vector>
+
+#include "lang/program.h"
+#include "term/substitution.h"
+
+namespace lps {
+
+struct GroundOptions {
+  size_t max_instances = 1000000;   // total ground clauses produced
+  size_t max_body_atoms = 100000;   // per ground clause
+};
+
+/// Grounds one clause with `theta`, which must bind every free variable
+/// of the clause to a ground term. Returns the equivalent ground Horn
+/// clause (Lemma 4). If some quantifier range is empty the body is
+/// vacuously true and the result is the bare ground head. Builtin body
+/// literals are kept (they are evaluated, not stored).
+Result<Clause> GroundClause(TermStore* store, const Clause& clause,
+                            const Substitution& theta,
+                            const GroundOptions& options = {});
+
+/// Enumerates all ground instances of `clause` with free variables
+/// ranging over `atom_domain` / `set_domain` (by sort), appending the
+/// resulting Horn clauses to `out`.
+Status GroundClauseOverDomain(TermStore* store, const Clause& clause,
+                              const std::vector<TermId>& atom_domain,
+                              const std::vector<TermId>& set_domain,
+                              const GroundOptions& options,
+                              std::vector<Clause>* out);
+
+/// Grounds every clause of `program` over the given domain, returning a
+/// quantifier-free program with the same facts.
+Result<Program> GroundProgramOverDomain(const Program& program,
+                                        const std::vector<TermId>& atom_domain,
+                                        const std::vector<TermId>& set_domain,
+                                        const GroundOptions& options = {});
+
+/// Counts the ground body atoms Lemma 4 produces for `clause` under
+/// `theta` without materialising them: the product of the quantifier
+/// range cardinalities times the body length. Used by bench_grounding.
+Result<size_t> GroundBodySize(TermStore* store, const Clause& clause,
+                              const Substitution& theta);
+
+}  // namespace lps
+
+#endif  // LPS_GROUND_GROUNDER_H_

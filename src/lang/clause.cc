@@ -1,0 +1,128 @@
+#include "lang/clause.h"
+
+#include <algorithm>
+
+#include "term/printer.h"
+
+namespace lps {
+
+void CollectLiteralVariables(const TermStore& store, const Literal& lit,
+                             std::vector<TermId>* out) {
+  for (TermId t : lit.args) {
+    store.CollectVariables(t, out);
+  }
+}
+
+std::vector<TermId> ClauseVariables(const TermStore& store,
+                                    const Clause& clause) {
+  std::vector<TermId> vars;
+  CollectLiteralVariables(store, clause.head, &vars);
+  for (const Quantifier& q : clause.quantifiers) {
+    store.CollectVariables(q.var, &vars);
+    store.CollectVariables(q.range, &vars);
+  }
+  for (const Literal& lit : clause.body) {
+    CollectLiteralVariables(store, lit, &vars);
+  }
+  if (clause.grouping.has_value()) {
+    store.CollectVariables(clause.grouping->grouped_var, &vars);
+  }
+  return vars;
+}
+
+std::vector<TermId> ClauseFreeVariables(const TermStore& store,
+                                        const Clause& clause) {
+  std::vector<TermId> vars = ClauseVariables(store, clause);
+  auto is_bound = [&](TermId v) {
+    for (const Quantifier& q : clause.quantifiers) {
+      if (q.var == v) return true;
+    }
+    if (clause.grouping.has_value() &&
+        clause.grouping->grouped_var == v) {
+      return true;
+    }
+    return false;
+  };
+  vars.erase(std::remove_if(vars.begin(), vars.end(), is_bound),
+             vars.end());
+  return vars;
+}
+
+std::string LiteralToString(const TermStore& store, const Signature& sig,
+                            const Literal& lit) {
+  std::string out;
+  if (!lit.positive) out += "not ";
+  // Render builtins with infix syntax where the paper does.
+  if (lit.args.size() == 2 &&
+      (lit.pred == kPredEq || lit.pred == kPredNeq ||
+       lit.pred == kPredIn || lit.pred == kPredNotIn ||
+       lit.pred == kPredLt || lit.pred == kPredLe)) {
+    static const char* ops[] = {"=", "!=", "in", "notin", "<", "<="};
+    int idx;
+    switch (lit.pred) {
+      case kPredEq: idx = 0; break;
+      case kPredNeq: idx = 1; break;
+      case kPredIn: idx = 2; break;
+      case kPredNotIn: idx = 3; break;
+      case kPredLt: idx = 4; break;
+      default: idx = 5; break;
+    }
+    out += TermToString(store, lit.args[0]);
+    out += ' ';
+    out += ops[idx];
+    out += ' ';
+    out += TermToString(store, lit.args[1]);
+    return out;
+  }
+  out += sig.Name(lit.pred);
+  if (!lit.args.empty()) {
+    out += '(';
+    out += TermListToString(store, lit.args);
+    out += ')';
+  }
+  return out;
+}
+
+std::string ClauseToString(const TermStore& store, const Signature& sig,
+                           const Clause& clause) {
+  std::string out;
+  if (clause.grouping.has_value()) {
+    const GroupSpec& g = *clause.grouping;
+    out += sig.Name(clause.head.pred);
+    out += '(';
+    for (size_t i = 0; i < clause.head.args.size(); ++i) {
+      if (i > 0) out += ", ";
+      if (i == g.arg_index) {
+        out += '<';
+        out += TermToString(store, g.grouped_var);
+        out += '>';
+      } else {
+        out += TermToString(store, clause.head.args[i]);
+      }
+    }
+    out += ')';
+  } else {
+    out += LiteralToString(store, sig, clause.head);
+  }
+  if (clause.IsFact()) {
+    out += '.';
+    return out;
+  }
+  out += " :- ";
+  for (size_t i = 0; i < clause.quantifiers.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "forall ";
+    out += TermToString(store, clause.quantifiers[i].var);
+    out += " in ";
+    out += TermToString(store, clause.quantifiers[i].range);
+  }
+  if (!clause.quantifiers.empty()) out += " : ";
+  for (size_t i = 0; i < clause.body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += LiteralToString(store, sig, clause.body[i]);
+  }
+  out += '.';
+  return out;
+}
+
+}  // namespace lps

@@ -1,0 +1,158 @@
+#include "lang/formula.h"
+
+#include <algorithm>
+
+#include "term/printer.h"
+
+namespace lps {
+
+FormulaPtr Formula::Atomic(Literal lit) {
+  auto f = std::make_unique<Formula>();
+  f->kind = FormulaKind::kAtomic;
+  f->atom = std::move(lit);
+  return f;
+}
+
+FormulaPtr Formula::And(std::vector<FormulaPtr> children) {
+  auto f = std::make_unique<Formula>();
+  f->kind = FormulaKind::kAnd;
+  f->children = std::move(children);
+  return f;
+}
+
+FormulaPtr Formula::Or(std::vector<FormulaPtr> children) {
+  auto f = std::make_unique<Formula>();
+  f->kind = FormulaKind::kOr;
+  f->children = std::move(children);
+  return f;
+}
+
+FormulaPtr Formula::Exists(TermId var, TermId range, FormulaPtr child) {
+  auto f = std::make_unique<Formula>();
+  f->kind = FormulaKind::kExists;
+  f->var = var;
+  f->range = range;
+  f->children.push_back(std::move(child));
+  return f;
+}
+
+FormulaPtr Formula::Forall(TermId var, TermId range, FormulaPtr child) {
+  auto f = std::make_unique<Formula>();
+  f->kind = FormulaKind::kForall;
+  f->var = var;
+  f->range = range;
+  f->children.push_back(std::move(child));
+  return f;
+}
+
+FormulaPtr Formula::Clone() const {
+  auto f = std::make_unique<Formula>();
+  f->kind = kind;
+  f->atom = atom;
+  f->var = var;
+  f->range = range;
+  f->children.reserve(children.size());
+  for (const FormulaPtr& c : children) {
+    f->children.push_back(c->Clone());
+  }
+  return f;
+}
+
+namespace {
+// A conjunction of atoms (after stripping a forall prefix).
+bool IsAtomConjunction(const Formula& f) {
+  if (f.kind == FormulaKind::kAtomic) return true;
+  if (f.kind != FormulaKind::kAnd) return false;
+  return std::all_of(f.children.begin(), f.children.end(),
+                     [](const FormulaPtr& c) {
+                       return IsAtomConjunction(*c);
+                     });
+}
+}  // namespace
+
+bool Formula::IsClauseBody() const {
+  const Formula* f = this;
+  while (f->kind == FormulaKind::kForall) {
+    f = f->children[0].get();
+  }
+  return IsAtomConjunction(*f);
+}
+
+namespace {
+void CollectFreeVars(const TermStore& store, const Formula& f,
+                     std::vector<TermId>* bound,
+                     std::vector<TermId>* out) {
+  switch (f.kind) {
+    case FormulaKind::kAtomic: {
+      std::vector<TermId> vars;
+      CollectLiteralVariables(store, f.atom, &vars);
+      for (TermId v : vars) {
+        if (std::find(bound->begin(), bound->end(), v) == bound->end() &&
+            std::find(out->begin(), out->end(), v) == out->end()) {
+          out->push_back(v);
+        }
+      }
+      return;
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const FormulaPtr& c : f.children) {
+        CollectFreeVars(store, *c, bound, out);
+      }
+      return;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      // The range is free; the bound variable shadows.
+      if (store.IsVariable(f.range) &&
+          std::find(bound->begin(), bound->end(), f.range) ==
+              bound->end() &&
+          std::find(out->begin(), out->end(), f.range) == out->end()) {
+        out->push_back(f.range);
+      }
+      bound->push_back(f.var);
+      CollectFreeVars(store, *f.children[0], bound, out);
+      bound->pop_back();
+      return;
+    }
+  }
+}
+}  // namespace
+
+std::vector<TermId> Formula::FreeVariables(const TermStore& store) const {
+  std::vector<TermId> bound, out;
+  CollectFreeVars(store, *this, &bound, &out);
+  return out;
+}
+
+std::string FormulaToString(const TermStore& store, const Signature& sig,
+                            const Formula& f) {
+  switch (f.kind) {
+    case FormulaKind::kAtomic:
+      return LiteralToString(store, sig, f.atom);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::string sep = f.kind == FormulaKind::kAnd ? ", " : " ; ";
+      std::string out = "(";
+      for (size_t i = 0; i < f.children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += FormulaToString(store, sig, *f.children[i]);
+      }
+      out += ')';
+      return out;
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      std::string out =
+          f.kind == FormulaKind::kExists ? "exists " : "forall ";
+      out += TermToString(store, f.var);
+      out += " in ";
+      out += TermToString(store, f.range);
+      out += " : ";
+      out += FormulaToString(store, sig, *f.children[0]);
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace lps

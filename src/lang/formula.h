@@ -1,0 +1,83 @@
+// Positive formulas (Definition 12): the bodies the surface language
+// accepts before Theorem 6 lowers them to pure LPS clauses.
+//
+//   phi ::= B | phi & phi | phi ; phi
+//         | exists x in X : phi | forall x in X : phi | not B
+//
+// `not` is the Section 4.2 extension and is only permitted directly
+// around an atomic formula.
+#ifndef LPS_LANG_FORMULA_H_
+#define LPS_LANG_FORMULA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/clause.h"
+
+namespace lps {
+
+enum class FormulaKind : uint8_t {
+  kAtomic,  // a Literal (possibly negated)
+  kAnd,
+  kOr,
+  kExists,  // (exists var in range) child[0]
+  kForall,  // (forall var in range) child[0]
+};
+
+struct Formula;
+using FormulaPtr = std::unique_ptr<Formula>;
+
+struct Formula {
+  FormulaKind kind = FormulaKind::kAtomic;
+  Literal atom;                       // kAtomic
+  std::vector<FormulaPtr> children;   // kAnd / kOr: >=2; quantifiers: 1
+  TermId var = kInvalidTerm;          // quantifiers
+  TermId range = kInvalidTerm;        // quantifiers
+
+  static FormulaPtr Atomic(Literal lit);
+  static FormulaPtr And(std::vector<FormulaPtr> children);
+  static FormulaPtr Or(std::vector<FormulaPtr> children);
+  static FormulaPtr Exists(TermId var, TermId range, FormulaPtr child);
+  static FormulaPtr Forall(TermId var, TermId range, FormulaPtr child);
+
+  FormulaPtr Clone() const;
+
+  /// True if no kOr, no kExists, and every kForall is at the top of a
+  /// conjunction prefix - i.e. the formula is already in the Definition 5
+  /// clause-body shape.
+  bool IsClauseBody() const;
+
+  /// Distinct free variables (quantified ones excluded), first-occurrence
+  /// order.
+  std::vector<TermId> FreeVariables(const TermStore& store) const;
+};
+
+std::string FormulaToString(const TermStore& store, const Signature& sig,
+                            const Formula& f);
+
+/// A clause whose body is a general positive formula; produced by the
+/// parser, consumed by transform/positive_compiler.h.
+struct GeneralClause {
+  Literal head;
+  FormulaPtr body;  // null for facts
+  std::optional<GroupSpec> grouping;
+
+  GeneralClause() = default;
+  GeneralClause(const GeneralClause& o)
+      : head(o.head),
+        body(o.body ? o.body->Clone() : nullptr),
+        grouping(o.grouping) {}
+  GeneralClause& operator=(const GeneralClause& o) {
+    head = o.head;
+    body = o.body ? o.body->Clone() : nullptr;
+    grouping = o.grouping;
+    return *this;
+  }
+  GeneralClause(GeneralClause&&) = default;
+  GeneralClause& operator=(GeneralClause&&) = default;
+};
+
+}  // namespace lps
+
+#endif  // LPS_LANG_FORMULA_H_

@@ -1,0 +1,55 @@
+// A program (Definition 6): a finite set of clauses plus ground facts
+// (the EDB), over a shared term store.
+#ifndef LPS_LANG_PROGRAM_H_
+#define LPS_LANG_PROGRAM_H_
+
+#include <vector>
+
+#include "lang/clause.h"
+#include "lang/signature.h"
+
+namespace lps {
+
+class Program {
+ public:
+  explicit Program(TermStore* store)
+      : store_(store), signature_(&store->symbols()) {}
+
+  // Copyable: transforms take a Program and return a rewritten one
+  // sharing the same TermStore.
+  Program(const Program&) = default;
+  Program& operator=(const Program&) = default;
+
+  TermStore* store() const { return store_; }
+  Signature& signature() { return signature_; }
+  const Signature& signature() const { return signature_; }
+
+  void AddClause(Clause clause) {
+    clauses_.push_back(std::move(clause));
+  }
+
+  /// Adds a ground fact p(args). Errors if any arg is non-ground or the
+  /// predicate is special (facts must satisfy Definition 5 too).
+  Status AddFact(PredicateId pred, std::vector<TermId> args);
+
+  const std::vector<Clause>& clauses() const { return clauses_; }
+  std::vector<Clause>* mutable_clauses() { return &clauses_; }
+  const std::vector<Literal>& facts() const { return facts_; }
+
+  /// All predicates appearing in some clause head or fact (the IDB plus
+  /// EDB predicates with facts).
+  std::vector<PredicateId> DefinedPredicates() const;
+
+  /// Renders the whole program, one clause per line.
+  std::string ToString() const;
+
+ private:
+  TermStore* store_;
+  Signature signature_;
+  std::vector<Clause> clauses_;
+  std::vector<Literal> facts_;
+};
+
+}  // namespace lps
+
+#endif  // LPS_LANG_PROGRAM_H_

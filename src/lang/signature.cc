@@ -1,0 +1,102 @@
+#include "lang/signature.h"
+
+#include <algorithm>
+
+namespace lps {
+
+namespace {
+uint64_t IndexKey(Symbol name, size_t arity) {
+  return (static_cast<uint64_t>(name) << 16) | (arity & 0xFFFF);
+}
+
+const Sort A = Sort::kAtom;
+const Sort S = Sort::kSet;
+const Sort ANY = Sort::kAny;
+}  // namespace
+
+Signature::Signature(SymbolTable* symbols) : symbols_(symbols) {
+  // Order must match BuiltinPredicate.
+  Register("=", {ANY, ANY}, true);
+  Register("!=", {ANY, ANY}, true);
+  Register("in", {ANY, S}, true);
+  Register("notin", {ANY, S}, true);
+  Register("union", {S, S, S}, true);
+  Register("scons", {ANY, S, S}, true);
+  Register("schoose", {S, ANY, S}, true);
+  Register("add", {A, A, A}, true);
+  Register("sub", {A, A, A}, true);
+  Register("mul", {A, A, A}, true);
+  Register("div", {A, A, A}, true);
+  Register("lt", {A, A}, true);
+  Register("le", {A, A}, true);
+  Register("card", {S, A}, true);
+  Register("ssum", {S, A}, true);
+  Register("smin", {S, A}, true);
+  Register("smax", {S, A}, true);
+}
+
+PredicateId Signature::Register(std::string_view name,
+                                std::vector<Sort> sorts, bool builtin) {
+  Symbol sym = symbols_->Intern(name);
+  PredicateId id = static_cast<PredicateId>(preds_.size());
+  preds_.push_back({sym, std::move(sorts), builtin});
+  index_.emplace_back(IndexKey(sym, preds_.back().arity()), id);
+  return id;
+}
+
+Result<PredicateId> Signature::Declare(std::string_view name,
+                                       std::vector<Sort> arg_sorts) {
+  return Declare(symbols_->Intern(name), std::move(arg_sorts));
+}
+
+Result<PredicateId> Signature::Declare(Symbol name,
+                                       std::vector<Sort> arg_sorts) {
+  PredicateId existing = Lookup(name, arg_sorts.size());
+  if (existing != kInvalidPredicate) {
+    const PredicateInfo& info = preds_[existing];
+    if (info.builtin) {
+      return Status::InvalidArgument("cannot redeclare builtin predicate " +
+                                     symbols_->Name(name));
+    }
+    if (info.arg_sorts != arg_sorts) {
+      return Status::SortError("conflicting declaration for predicate " +
+                               symbols_->Name(name) + "/" +
+                               std::to_string(arg_sorts.size()));
+    }
+    return existing;
+  }
+  Symbol sym = name;
+  PredicateId id = static_cast<PredicateId>(preds_.size());
+  preds_.push_back({sym, std::move(arg_sorts), false});
+  index_.emplace_back(IndexKey(sym, preds_.back().arity()), id);
+  return id;
+}
+
+PredicateId Signature::DeclareFresh(std::string_view base,
+                                    std::vector<Sort> arg_sorts) {
+  Symbol sym = symbols_->Fresh(base);
+  PredicateId id = static_cast<PredicateId>(preds_.size());
+  preds_.push_back({sym, std::move(arg_sorts), false});
+  index_.emplace_back(IndexKey(sym, preds_.back().arity()), id);
+  return id;
+}
+
+PredicateId Signature::Lookup(std::string_view name, size_t arity) const {
+  Symbol sym = symbols_->Lookup(name);
+  if (sym == kInvalidSymbol) return kInvalidPredicate;
+  return Lookup(sym, arity);
+}
+
+PredicateId Signature::Lookup(Symbol name, size_t arity) const {
+  uint64_t key = IndexKey(name, arity);
+  for (const auto& [k, id] : index_) {
+    if (k == key) return id;
+  }
+  return kInvalidPredicate;
+}
+
+const std::string& Signature::Name(PredicateId id) const {
+  return symbols_->Name(preds_[id].name);
+}
+
+}  // namespace lps

@@ -1,0 +1,102 @@
+// Predicate signatures (Definition 1).
+//
+// An LPS language has user predicates p^{alpha} whose sort string alpha
+// fixes the sort of every argument position, plus "special" built-in
+// predicates: the two equalities =a / =s (merged here into one `=` with
+// a sort check), membership `in`, and - for the L+union / L+scons
+// languages of Definition 15 - `union` and `scons`. We additionally
+// provide the arithmetic the paper uses informally in Examples 5-6 and a
+// deterministic-choice builtin `schoose` (documented extension).
+#ifndef LPS_LANG_SIGNATURE_H_
+#define LPS_LANG_SIGNATURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "term/term.h"
+
+namespace lps {
+
+using PredicateId = uint32_t;
+inline constexpr PredicateId kInvalidPredicate = UINT32_MAX;
+
+/// The fixed built-in predicates. Their PredicateIds are stable and
+/// equal to these enum values in every Signature.
+enum BuiltinPredicate : PredicateId {
+  kPredEq = 0,   // =(t, t)        identity on both sorts (Def. 3.2b/c)
+  kPredNeq,      // !=(t, t)
+  kPredIn,       // in(x, X)       membership (Def. 3.2d)
+  kPredNotIn,    // notin(x, X)
+  kPredUnion,    // union(X, Y, Z) Z = X u Y    (Def. 15.1)
+  kPredScons,    // scons(x, Y, Z) Z = {x} u Y  (Def. 15.2)
+  kPredSchoose,  // schoose(Z, x, R): x = min(Z), R = Z \ {x}; extension
+  kPredAdd,      // add(m, n, k)   k = m + n
+  kPredSub,      // sub(m, n, k)   k = m - n
+  kPredMul,      // mul(m, n, k)   k = m * n
+  kPredDiv,      // div(m, n, k)   k = m / n (n != 0)
+  kPredLt,       // lt(m, n)
+  kPredLe,       // le(m, n)
+  kPredCard,     // card(X, n)     n = |X|; extension
+  kPredSSum,     // ssum(X, n)     n = sum of the integer set X; ext.
+  kPredSMin,     // smin(X, m)     m = min of the nonempty int set X
+  kPredSMax,     // smax(X, m)     m = max of the nonempty int set X
+  kNumBuiltinPredicates,
+};
+
+struct PredicateInfo {
+  Symbol name = kInvalidSymbol;
+  std::vector<Sort> arg_sorts;  // the sort string alpha
+  bool builtin = false;
+  size_t arity() const { return arg_sorts.size(); }
+};
+
+/// Registry of predicates. Predicates are identified by name + arity
+/// (so `p/2` and `p/3` are distinct, as in Prolog).
+class Signature {
+ public:
+  explicit Signature(SymbolTable* symbols);
+  Signature(const Signature&) = default;
+  Signature& operator=(const Signature&) = default;
+
+  /// Declares a user predicate; error if a different declaration for the
+  /// same name/arity exists. Re-declaring identically is a no-op.
+  Result<PredicateId> Declare(std::string_view name,
+                              std::vector<Sort> arg_sorts);
+  Result<PredicateId> Declare(Symbol name, std::vector<Sort> arg_sorts);
+
+  /// Declares a fresh predicate whose name starts with `base` (for the
+  /// auxiliary predicates of Theorem 6 and the Section 6 translations).
+  PredicateId DeclareFresh(std::string_view base,
+                           std::vector<Sort> arg_sorts);
+
+  /// Finds a predicate by name and arity; kInvalidPredicate if absent.
+  PredicateId Lookup(std::string_view name, size_t arity) const;
+  PredicateId Lookup(Symbol name, size_t arity) const;
+
+  const PredicateInfo& info(PredicateId id) const { return preds_[id]; }
+  const std::string& Name(PredicateId id) const;
+  size_t size() const { return preds_.size(); }
+
+  /// "Special" predicates may not appear in clause heads (Definition 5):
+  /// equality, membership, and - per Section 6's convention - union and
+  /// scons.
+  bool IsSpecial(PredicateId id) const { return preds_[id].builtin; }
+  bool IsBuiltin(PredicateId id) const { return preds_[id].builtin; }
+
+  SymbolTable* symbols() const { return symbols_; }
+
+ private:
+  PredicateId Register(std::string_view name, std::vector<Sort> sorts,
+                       bool builtin);
+
+  SymbolTable* symbols_;  // not owned
+  std::vector<PredicateInfo> preds_;
+  // (name symbol, arity) -> id
+  std::vector<std::pair<uint64_t, PredicateId>> index_;
+};
+
+}  // namespace lps
+
+#endif  // LPS_LANG_SIGNATURE_H_

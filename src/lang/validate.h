@@ -1,0 +1,44 @@
+// Structural validation of programs against the language definitions:
+//
+//  * Definition 5  - clause heads must be non-special atomic formulas;
+//  * Definitions 1-2 - sort discipline: argument sorts match predicate
+//    sort strings, function arguments are atoms, quantified variables
+//    are atom-sorted and ranges set-sorted;
+//  * LPS mode      - at most one level of set nesting (Section 2);
+//  * ELPS mode     - arbitrary nesting (Section 5);
+//  * LDL mode      - ELPS plus grouping heads (Definition 14, Section 6).
+//
+// Negated body literals are accepted in every mode (the Section 4.2
+// extension); use ProgramUsesNegation to detect them when minimal-model
+// semantics is required.
+#ifndef LPS_LANG_VALIDATE_H_
+#define LPS_LANG_VALIDATE_H_
+
+#include "lang/program.h"
+
+namespace lps {
+
+enum class LanguageMode {
+  kLPS,   // one level of set nesting
+  kELPS,  // arbitrary finite nesting
+  kLDL,   // ELPS + grouping clauses
+};
+
+const char* LanguageModeToString(LanguageMode mode);
+
+/// Validates a single clause. `mode` selects the language restrictions.
+Status ValidateClause(const TermStore& store, const Signature& sig,
+                      const Clause& clause, LanguageMode mode);
+
+/// Validates every clause and fact of the program.
+Status ValidateProgram(const Program& program, LanguageMode mode);
+
+/// True if any clause has a negated body literal.
+bool ProgramUsesNegation(const Program& program);
+
+/// True if any clause has a grouping head.
+bool ProgramUsesGrouping(const Program& program);
+
+}  // namespace lps
+
+#endif  // LPS_LANG_VALIDATE_H_

@@ -1,0 +1,170 @@
+#include "parse/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace lps {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kVariable: return "variable";
+    case TokenKind::kInteger: return "integer";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLAngle: return "'<'";
+    case TokenKind::kRAngle: return "'>'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kPeriod: return "'.'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kImplies: return "':-'";
+    case TokenKind::kQuery: return "'?-'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNeq: return "'!='";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kKwIn: return "'in'";
+    case TokenKind::kKwNotIn: return "'notin'";
+    case TokenKind::kKwNot: return "'not'";
+    case TokenKind::kKwForall: return "'forall'";
+    case TokenKind::kKwExists: return "'exists'";
+    case TokenKind::kKwPred: return "'pred'";
+    case TokenKind::kKwAtom: return "'atom'";
+    case TokenKind::kKwSet: return "'set'";
+    case TokenKind::kKwAny: return "'any'";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  static const std::unordered_map<std::string, TokenKind> kKeywords = {
+      {"in", TokenKind::kKwIn},         {"notin", TokenKind::kKwNotIn},
+      {"not", TokenKind::kKwNot},       {"forall", TokenKind::kKwForall},
+      {"exists", TokenKind::kKwExists}, {"pred", TokenKind::kKwPred},
+      {"atom", TokenKind::kKwAtom},     {"set", TokenKind::kKwSet},
+      {"any", TokenKind::kKwAny},
+  };
+
+  std::vector<Token> tokens;
+  int line = 1, column = 1;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, std::string text, int64_t value = 0) {
+    tokens.push_back(Token{kind, std::move(text), value, line, column});
+  };
+  auto err = [&](const std::string& msg) {
+    return Status::ParseError(msg + " at line " + std::to_string(line) +
+                              ", column " + std::to_string(column));
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++column;
+      ++i;
+      continue;
+    }
+    if (c == '%' || (c == '/' && i + 1 < source.size() &&
+                     source[i + 1] == '/')) {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < source.size() &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i]))) {
+        ++i;
+      }
+      std::string text = source.substr(start, i - start);
+      push(TokenKind::kInteger, text, std::stoll(text));
+      column += static_cast<int>(i - start);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) ||
+              source[i] == '_')) {
+        ++i;
+      }
+      std::string text = source.substr(start, i - start);
+      auto kw = kKeywords.find(text);
+      if (kw != kKeywords.end()) {
+        push(kw->second, text);
+      } else if (std::isupper(static_cast<unsigned char>(text[0])) ||
+                 text[0] == '_') {
+        push(TokenKind::kVariable, text);
+      } else {
+        push(TokenKind::kIdent, text);
+      }
+      column += static_cast<int>(i - start);
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokenKind::kLParen, "("); ++i; ++column; continue;
+      case ')': push(TokenKind::kRParen, ")"); ++i; ++column; continue;
+      case '{': push(TokenKind::kLBrace, "{"); ++i; ++column; continue;
+      case '}': push(TokenKind::kRBrace, "}"); ++i; ++column; continue;
+      case ',': push(TokenKind::kComma, ","); ++i; ++column; continue;
+      case '.': push(TokenKind::kPeriod, "."); ++i; ++column; continue;
+      case ';': push(TokenKind::kSemicolon, ";"); ++i; ++column; continue;
+      case '>': push(TokenKind::kRAngle, ">"); ++i; ++column; continue;
+      case '=': push(TokenKind::kEq, "="); ++i; ++column; continue;
+      case '<':
+        if (i + 1 < source.size() && source[i + 1] == '=') {
+          push(TokenKind::kLe, "<=");
+          i += 2;
+          column += 2;
+        } else {
+          push(TokenKind::kLAngle, "<");
+          ++i;
+          ++column;
+        }
+        continue;
+      case '!':
+        if (i + 1 < source.size() && source[i + 1] == '=') {
+          push(TokenKind::kNeq, "!=");
+          i += 2;
+          column += 2;
+          continue;
+        }
+        return err("unexpected '!'");
+      case ':':
+        if (i + 1 < source.size() && source[i + 1] == '-') {
+          push(TokenKind::kImplies, ":-");
+          i += 2;
+          column += 2;
+        } else {
+          push(TokenKind::kColon, ":");
+          ++i;
+          ++column;
+        }
+        continue;
+      case '?':
+        if (i + 1 < source.size() && source[i + 1] == '-') {
+          push(TokenKind::kQuery, "?-");
+          i += 2;
+          column += 2;
+          continue;
+        }
+        return err("unexpected '?'");
+      default:
+        return err(std::string("unexpected character '") + c + "'");
+    }
+  }
+  push(TokenKind::kEof, "");
+  return tokens;
+}
+
+}  // namespace lps

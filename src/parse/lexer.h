@@ -1,0 +1,63 @@
+// Lexer for the LPS surface syntax. Identifiers starting with a lower
+// case letter are constants / predicate / function names; identifiers
+// starting with an upper case letter or '_' are variables (Prolog
+// convention; the paper's lower-case x vs upper-case X distinction is
+// recovered by sort inference). '%' and '//' start line comments.
+#ifndef LPS_PARSE_LEXER_H_
+#define LPS_PARSE_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace lps {
+
+enum class TokenKind : uint8_t {
+  kIdent,     // lower-case identifier
+  kVariable,  // upper-case / underscore identifier
+  kInteger,
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLAngle,   // <  (grouping heads; also the lt comparison)
+  kRAngle,   // >
+  kComma,
+  kPeriod,
+  kSemicolon,
+  kColon,
+  kImplies,   // :-
+  kQuery,     // ?-
+  kEq,        // =
+  kNeq,       // !=
+  kLe,        // <=
+  kKwIn,
+  kKwNotIn,
+  kKwNot,
+  kKwForall,
+  kKwExists,
+  kKwPred,
+  kKwAtom,
+  kKwSet,
+  kKwAny,
+  kEof,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int64_t int_value = 0;
+  int line = 0;
+  int column = 0;
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+/// Tokenizes `source`; the final token is kEof.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace lps
+
+#endif  // LPS_PARSE_LEXER_H_

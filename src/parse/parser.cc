@@ -1,0 +1,324 @@
+#include "parse/parser.h"
+
+#include <algorithm>
+
+#include "parse/sort_infer.h"
+
+namespace lps {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedUnit> Parse() {
+    ParsedUnit unit;
+    while (!At(TokenKind::kEof)) {
+      if (At(TokenKind::kKwPred)) {
+        LPS_ASSIGN_OR_RETURN(PDecl d, ParseDecl());
+        unit.decls.push_back(std::move(d));
+      } else if (At(TokenKind::kQuery)) {
+        Advance();
+        LPS_ASSIGN_OR_RETURN(PLiteral q, ParseAtomOrComparison());
+        LPS_RETURN_IF_ERROR(Expect(TokenKind::kPeriod));
+        unit.queries.push_back(std::move(q));
+      } else {
+        LPS_ASSIGN_OR_RETURN(PClause c, ParseClause());
+        unit.clauses.push_back(std::move(c));
+      }
+    }
+    return unit;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  bool At(TokenKind k) const { return Cur().kind == k; }
+  void Advance() { ++pos_; }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " +
+                              std::to_string(Cur().line) + " (got " +
+                              TokenKindToString(Cur().kind) + ")");
+  }
+
+  Status Expect(TokenKind k) {
+    if (!At(k)) {
+      return Error(std::string("expected ") + TokenKindToString(k));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<PDecl> ParseDecl() {
+    PDecl d;
+    d.line = Cur().line;
+    LPS_RETURN_IF_ERROR(Expect(TokenKind::kKwPred));
+    if (!At(TokenKind::kIdent)) return Error("expected predicate name");
+    d.name = Cur().text;
+    Advance();
+    LPS_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    if (!At(TokenKind::kRParen)) {
+      for (;;) {
+        if (At(TokenKind::kKwAtom)) {
+          d.sorts.push_back(Sort::kAtom);
+        } else if (At(TokenKind::kKwSet)) {
+          d.sorts.push_back(Sort::kSet);
+        } else if (At(TokenKind::kKwAny)) {
+          d.sorts.push_back(Sort::kAny);
+        } else {
+          return Error("expected sort (atom/set/any)");
+        }
+        Advance();
+        if (!At(TokenKind::kComma)) break;
+        Advance();
+      }
+    }
+    LPS_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    LPS_RETURN_IF_ERROR(Expect(TokenKind::kPeriod));
+    return d;
+  }
+
+  Result<PClause> ParseClause() {
+    PClause c;
+    c.line = Cur().line;
+    if (!At(TokenKind::kIdent)) return Error("expected clause head");
+    c.pred = Cur().text;
+    Advance();
+    if (At(TokenKind::kLParen)) {
+      Advance();
+      for (;;) {
+        PHeadArg arg;
+        if (At(TokenKind::kLAngle)) {
+          Advance();
+          if (!At(TokenKind::kVariable)) {
+            return Error("expected variable in grouping head <Var>");
+          }
+          arg.grouped = true;
+          arg.term = PTerm{PTerm::Kind::kVar, Cur().text, 0, {},
+                           Cur().line};
+          Advance();
+          LPS_RETURN_IF_ERROR(Expect(TokenKind::kRAngle));
+        } else {
+          LPS_ASSIGN_OR_RETURN(arg.term, ParseTerm());
+        }
+        c.args.push_back(std::move(arg));
+        if (!At(TokenKind::kComma)) break;
+        Advance();
+      }
+      LPS_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    }
+    if (At(TokenKind::kImplies)) {
+      Advance();
+      LPS_ASSIGN_OR_RETURN(PFormula f, ParseFormula());
+      c.body = std::move(f);
+    }
+    LPS_RETURN_IF_ERROR(Expect(TokenKind::kPeriod));
+    return c;
+  }
+
+  Result<PFormula> ParseFormula() {
+    LPS_ASSIGN_OR_RETURN(PFormula first, ParseConj());
+    if (!At(TokenKind::kSemicolon)) return first;
+    PFormula out;
+    out.kind = FormulaKind::kOr;
+    out.line = first.line;
+    out.children.push_back(std::move(first));
+    while (At(TokenKind::kSemicolon)) {
+      Advance();
+      LPS_ASSIGN_OR_RETURN(PFormula next, ParseConj());
+      out.children.push_back(std::move(next));
+    }
+    return out;
+  }
+
+  Result<PFormula> ParseConj() {
+    LPS_ASSIGN_OR_RETURN(PFormula first, ParseUnit());
+    if (!At(TokenKind::kComma)) return first;
+    PFormula out;
+    out.kind = FormulaKind::kAnd;
+    out.line = first.line;
+    out.children.push_back(std::move(first));
+    while (At(TokenKind::kComma)) {
+      Advance();
+      LPS_ASSIGN_OR_RETURN(PFormula next, ParseUnit());
+      out.children.push_back(std::move(next));
+    }
+    return out;
+  }
+
+  Result<PFormula> ParseUnit() {
+    if (At(TokenKind::kLParen)) {
+      Advance();
+      LPS_ASSIGN_OR_RETURN(PFormula f, ParseFormula());
+      LPS_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return f;
+    }
+    if (At(TokenKind::kKwForall) || At(TokenKind::kKwExists)) {
+      return ParseQuantifier();
+    }
+    if (At(TokenKind::kKwNot)) {
+      Advance();
+      LPS_ASSIGN_OR_RETURN(PLiteral lit, ParseAtomOrComparison());
+      lit.positive = false;
+      PFormula f;
+      f.kind = FormulaKind::kAtomic;
+      f.line = lit.line;
+      f.atom = std::move(lit);
+      return f;
+    }
+    LPS_ASSIGN_OR_RETURN(PLiteral lit, ParseAtomOrComparison());
+    PFormula f;
+    f.kind = FormulaKind::kAtomic;
+    f.line = lit.line;
+    f.atom = std::move(lit);
+    return f;
+  }
+
+  // "forall V in T [, forall V2 in T2]* : unit" (and "exists" likewise;
+  // mixed chains are allowed).
+  Result<PFormula> ParseQuantifier() {
+    struct Q {
+      FormulaKind kind;
+      std::string var;
+      PTerm range;
+      int line;
+    };
+    std::vector<Q> prefix;
+    for (;;) {
+      FormulaKind kind = At(TokenKind::kKwForall) ? FormulaKind::kForall
+                                                  : FormulaKind::kExists;
+      int line = Cur().line;
+      Advance();
+      if (!At(TokenKind::kVariable)) {
+        return Error("expected quantified variable");
+      }
+      std::string var = Cur().text;
+      Advance();
+      LPS_RETURN_IF_ERROR(Expect(TokenKind::kKwIn));
+      LPS_ASSIGN_OR_RETURN(PTerm range, ParseTerm());
+      prefix.push_back(Q{kind, std::move(var), std::move(range), line});
+      if (At(TokenKind::kComma) &&
+          (tokens_[pos_ + 1].kind == TokenKind::kKwForall ||
+           tokens_[pos_ + 1].kind == TokenKind::kKwExists)) {
+        Advance();  // comma
+        continue;
+      }
+      break;
+    }
+    LPS_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+    LPS_ASSIGN_OR_RETURN(PFormula body, ParseUnit());
+    for (size_t i = prefix.size(); i-- > 0;) {
+      PFormula q;
+      q.kind = prefix[i].kind;
+      q.var = prefix[i].var;
+      q.range = prefix[i].range;
+      q.line = prefix[i].line;
+      q.children.push_back(std::move(body));
+      body = std::move(q);
+    }
+    return body;
+  }
+
+  Result<PLiteral> ParseAtomOrComparison() {
+    int line = Cur().line;
+    LPS_ASSIGN_OR_RETURN(PTerm left, ParseTerm());
+    std::string op;
+    if (At(TokenKind::kEq)) {
+      op = "=";
+    } else if (At(TokenKind::kNeq)) {
+      op = "!=";
+    } else if (At(TokenKind::kKwIn)) {
+      op = "in";
+    } else if (At(TokenKind::kKwNotIn)) {
+      op = "notin";
+    } else if (At(TokenKind::kLAngle)) {
+      op = "lt";
+    } else if (At(TokenKind::kLe)) {
+      op = "le";
+    }
+    if (!op.empty()) {
+      Advance();
+      LPS_ASSIGN_OR_RETURN(PTerm right, ParseTerm());
+      PLiteral lit;
+      lit.pred = op;
+      lit.line = line;
+      lit.args.push_back(std::move(left));
+      lit.args.push_back(std::move(right));
+      return lit;
+    }
+    // Not a comparison: the term must be a predicate atom.
+    if (left.kind != PTerm::Kind::kConst &&
+        left.kind != PTerm::Kind::kFunc) {
+      return Error("expected a predicate atom or comparison");
+    }
+    PLiteral lit;
+    lit.pred = left.name;
+    lit.line = line;
+    lit.args = std::move(left.args);
+    return lit;
+  }
+
+  Result<PTerm> ParseTerm() {
+    PTerm t;
+    t.line = Cur().line;
+    if (At(TokenKind::kVariable)) {
+      t.kind = PTerm::Kind::kVar;
+      t.name = Cur().text;
+      Advance();
+      return t;
+    }
+    if (At(TokenKind::kInteger)) {
+      t.kind = PTerm::Kind::kInt;
+      t.value = Cur().int_value;
+      Advance();
+      return t;
+    }
+    if (At(TokenKind::kLBrace)) {
+      Advance();
+      t.kind = PTerm::Kind::kSet;
+      if (!At(TokenKind::kRBrace)) {
+        for (;;) {
+          LPS_ASSIGN_OR_RETURN(PTerm e, ParseTerm());
+          t.args.push_back(std::move(e));
+          if (!At(TokenKind::kComma)) break;
+          Advance();
+        }
+      }
+      LPS_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+      return t;
+    }
+    if (At(TokenKind::kIdent)) {
+      t.name = Cur().text;
+      Advance();
+      if (At(TokenKind::kLParen)) {
+        Advance();
+        t.kind = PTerm::Kind::kFunc;
+        for (;;) {
+          LPS_ASSIGN_OR_RETURN(PTerm a, ParseTerm());
+          t.args.push_back(std::move(a));
+          if (!At(TokenKind::kComma)) break;
+          Advance();
+        }
+        LPS_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      } else {
+        t.kind = PTerm::Kind::kConst;
+      }
+      return t;
+    }
+    return Error("expected a term");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedUnit> ParseSource(const std::string& source) {
+  LPS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace lps

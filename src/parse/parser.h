@@ -1,0 +1,105 @@
+// Recursive-descent parser for the LPS surface language.
+//
+//   program     := item*
+//   item        := "pred" name "(" sort ("," sort)* ")" "."
+//                | "?-" atom "."
+//                | clause
+//   clause      := head [":-" formula] "."
+//   head        := name ["(" headarg ("," headarg)* ")"]
+//   headarg     := "<" VAR ">"          (LDL grouping, Definition 14)
+//                | term
+//   formula     := conj (";" conj)*                  (disjunction)
+//   conj        := unit ("," unit)*
+//   unit        := "(" formula ")"
+//                | "forall" VAR "in" term ["," "forall" ...] ":" unit
+//                | "exists" VAR "in" term ":" unit
+//                | "not" atom
+//                | atom | comparison
+//   comparison  := term ("=" | "!=" | "in" | "notin" | "<" | "<=") term
+//   term        := VAR | INTEGER | name ["(" term ("," term)* ")"]
+//                | "{" [term ("," term)*] "}"
+//
+// The parser produces a name-based AST; LowerParsedUnit (with sort
+// inference from sort_infer.h) turns it into interned GeneralClauses.
+#ifndef LPS_PARSE_PARSER_H_
+#define LPS_PARSE_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/formula.h"
+#include "lang/validate.h"
+#include "parse/lexer.h"
+
+namespace lps {
+
+struct PTerm {
+  enum class Kind : uint8_t { kVar, kConst, kInt, kFunc, kSet };
+  Kind kind = Kind::kConst;
+  std::string name;
+  int64_t value = 0;
+  std::vector<PTerm> args;
+  int line = 0;
+};
+
+struct PLiteral {
+  std::string pred;  // builtin comparisons use "=", "!=", "in", ...
+  std::vector<PTerm> args;
+  bool positive = true;
+  int line = 0;
+};
+
+struct PFormula {
+  FormulaKind kind = FormulaKind::kAtomic;
+  PLiteral atom;
+  std::vector<PFormula> children;
+  std::string var;  // quantifiers
+  PTerm range;
+  int line = 0;
+};
+
+struct PHeadArg {
+  bool grouped = false;
+  PTerm term;
+};
+
+struct PClause {
+  std::string pred;
+  std::vector<PHeadArg> args;
+  std::optional<PFormula> body;
+  int line = 0;
+};
+
+struct PDecl {
+  std::string name;
+  std::vector<Sort> sorts;
+  int line = 0;
+};
+
+struct ParsedUnit {
+  std::vector<PDecl> decls;
+  std::vector<PClause> clauses;
+  std::vector<PLiteral> queries;
+};
+
+/// Parses source text into the name-based AST.
+Result<ParsedUnit> ParseSource(const std::string& source);
+
+/// Lowered result: interned clauses ready for the Theorem 6 compiler.
+struct LoweredUnit {
+  std::vector<GeneralClause> clauses;  // non-ground or rule clauses
+  std::vector<Literal> facts;          // ground bodyless heads
+  std::vector<Literal> queries;
+};
+
+/// Lowers a parsed unit: declares predicates in `sig` (explicitly or by
+/// inference), infers variable sorts per clause (see sort_infer.h), and
+/// interns all terms in `store`.
+Result<LoweredUnit> LowerParsedUnit(const ParsedUnit& unit,
+                                    LanguageMode mode, TermStore* store,
+                                    Signature* sig);
+
+}  // namespace lps
+
+#endif  // LPS_PARSE_PARSER_H_

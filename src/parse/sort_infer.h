@@ -1,0 +1,34 @@
+// Sort inference for parsed clauses.
+//
+// The paper's convention (lower-case variables are atom-sorted,
+// upper-case are set-sorted) is replaced by inference: a variable's sort
+// is derived from where it occurs - quantifier positions, builtin
+// argument positions, declared predicate positions, and equality
+// propagation. In LPS mode a variable needing both sorts is an error;
+// in ELPS/LDL modes (untyped, Section 5) it becomes kAny.
+#ifndef LPS_PARSE_SORT_INFER_H_
+#define LPS_PARSE_SORT_INFER_H_
+
+#include <map>
+#include <string>
+
+#include "parse/parser.h"
+
+namespace lps {
+
+/// Sorts of the variables of one clause. Variables not mentioned get
+/// the mode default (kAtom for LPS, kAny otherwise).
+using VarSorts = std::map<std::string, Sort>;
+
+/// Infers variable sorts for a clause against the (possibly incomplete)
+/// signature. Unknown predicates contribute no constraints.
+Result<VarSorts> InferClauseSorts(const PClause& clause, LanguageMode mode,
+                                  const Signature& sig);
+
+/// Infers variable sorts for a standalone literal (queries).
+Result<VarSorts> InferLiteralSorts(const PLiteral& lit, LanguageMode mode,
+                                   const Signature& sig);
+
+}  // namespace lps
+
+#endif  // LPS_PARSE_SORT_INFER_H_

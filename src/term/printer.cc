@@ -1,0 +1,40 @@
+#include "term/printer.h"
+
+namespace lps {
+
+std::string TermToString(const TermStore& store, TermId id) {
+  const TermNode& n = store.node(id);
+  switch (n.kind) {
+    case TermKind::kConstant:
+    case TermKind::kVariable:
+      return store.symbols().Name(n.symbol);
+    case TermKind::kInt:
+      return std::to_string(n.int_value);
+    case TermKind::kFunction: {
+      std::string out = store.symbols().Name(n.symbol);
+      out += '(';
+      out += TermListToString(store, store.args(id));
+      out += ')';
+      return out;
+    }
+    case TermKind::kSet: {
+      std::string out = "{";
+      out += TermListToString(store, store.args(id));
+      out += '}';
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string TermListToString(const TermStore& store,
+                             std::span<const TermId> ids) {
+  std::string out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += TermToString(store, ids[i]);
+  }
+  return out;
+}
+
+}  // namespace lps

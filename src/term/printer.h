@@ -1,0 +1,21 @@
+// Rendering of terms in the paper's surface syntax:
+// constants `a`, integers `3`, variables `x` / `X`, functions `f(a,b)`,
+// sets `{a, b, c}` and `{}`.
+#ifndef LPS_TERM_PRINTER_H_
+#define LPS_TERM_PRINTER_H_
+
+#include <string>
+
+#include "term/term.h"
+
+namespace lps {
+
+std::string TermToString(const TermStore& store, TermId id);
+
+/// "t1, t2, ..., tn".
+std::string TermListToString(const TermStore& store,
+                             std::span<const TermId> ids);
+
+}  // namespace lps
+
+#endif  // LPS_TERM_PRINTER_H_

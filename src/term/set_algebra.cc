@@ -1,0 +1,111 @@
+#include "term/set_algebra.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lps {
+
+namespace {
+std::span<const TermId> Elems(const TermStore& store, TermId set) {
+  assert(store.kind(set) == TermKind::kSet);
+  return store.args(set);
+}
+}  // namespace
+
+bool SetContains(const TermStore& store, TermId set, TermId element) {
+  auto e = Elems(store, set);
+  return std::binary_search(e.begin(), e.end(), element);
+}
+
+bool SetIsSubset(const TermStore& store, TermId a, TermId b) {
+  auto ea = Elems(store, a);
+  auto eb = Elems(store, b);
+  return std::includes(eb.begin(), eb.end(), ea.begin(), ea.end());
+}
+
+bool SetIsDisjoint(const TermStore& store, TermId a, TermId b) {
+  auto ea = Elems(store, a);
+  auto eb = Elems(store, b);
+  size_t i = 0, j = 0;
+  while (i < ea.size() && j < eb.size()) {
+    if (ea[i] == eb[j]) return false;
+    if (ea[i] < eb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return true;
+}
+
+TermId SetUnion(TermStore* store, TermId a, TermId b) {
+  auto ea = Elems(*store, a);
+  auto eb = Elems(*store, b);
+  std::vector<TermId> merged;
+  merged.reserve(ea.size() + eb.size());
+  std::set_union(ea.begin(), ea.end(), eb.begin(), eb.end(),
+                 std::back_inserter(merged));
+  return store->MakeSet(std::move(merged));
+}
+
+TermId SetIntersect(TermStore* store, TermId a, TermId b) {
+  auto ea = Elems(*store, a);
+  auto eb = Elems(*store, b);
+  std::vector<TermId> merged;
+  std::set_intersection(ea.begin(), ea.end(), eb.begin(), eb.end(),
+                        std::back_inserter(merged));
+  return store->MakeSet(std::move(merged));
+}
+
+TermId SetDifference(TermStore* store, TermId a, TermId b) {
+  auto ea = Elems(*store, a);
+  auto eb = Elems(*store, b);
+  std::vector<TermId> merged;
+  std::set_difference(ea.begin(), ea.end(), eb.begin(), eb.end(),
+                      std::back_inserter(merged));
+  return store->MakeSet(std::move(merged));
+}
+
+TermId SetCons(TermStore* store, TermId element, TermId set) {
+  auto e = Elems(*store, set);
+  std::vector<TermId> elems(e.begin(), e.end());
+  elems.push_back(element);
+  return store->MakeSet(std::move(elems));
+}
+
+TermId SetRemove(TermStore* store, TermId set, TermId element) {
+  auto e = Elems(*store, set);
+  std::vector<TermId> elems;
+  elems.reserve(e.size());
+  for (TermId x : e) {
+    if (x != element) elems.push_back(x);
+  }
+  return store->MakeSet(std::move(elems));
+}
+
+size_t SetCardinality(const TermStore& store, TermId set) {
+  return Elems(store, set).size();
+}
+
+Status SetSubsets(TermStore* store, TermId set, size_t max_cardinality,
+                  std::vector<TermId>* out) {
+  auto e = Elems(*store, set);
+  if (e.size() > max_cardinality) {
+    return Status::ResourceExhausted(
+        "SetSubsets: cardinality " + std::to_string(e.size()) +
+        " exceeds limit " + std::to_string(max_cardinality));
+  }
+  std::vector<TermId> elems(e.begin(), e.end());
+  size_t n = elems.size();
+  out->reserve(out->size() + (size_t{1} << n));
+  for (size_t mask = 0; mask < (size_t{1} << n); ++mask) {
+    std::vector<TermId> subset;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (size_t{1} << i)) subset.push_back(elems[i]);
+    }
+    out->push_back(store->MakeSet(std::move(subset)));
+  }
+  return Status::OK();
+}
+
+}  // namespace lps

@@ -1,0 +1,53 @@
+// Set-theoretic operations on canonical (ground) set terms.
+//
+// Because TermStore keeps ground set elements as a sorted unique id
+// array, all operations here are linear merges over the element arrays,
+// and membership is a binary search. These implement the built-in
+// predicates of Definition 3 (membership, set equality) and the derived
+// predicates the paper uses (union, Definition 15's `union` and `scons`).
+#ifndef LPS_TERM_SET_ALGEBRA_H_
+#define LPS_TERM_SET_ALGEBRA_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "term/term.h"
+
+namespace lps {
+
+/// True if `element in set`. `set` must be a kSet term.
+bool SetContains(const TermStore& store, TermId set, TermId element);
+
+/// True if every element of `a` is an element of `b`.
+bool SetIsSubset(const TermStore& store, TermId a, TermId b);
+
+/// True if `a` and `b` have no common element.
+bool SetIsDisjoint(const TermStore& store, TermId a, TermId b);
+
+/// a ∪ b (Definition 15.1).
+TermId SetUnion(TermStore* store, TermId a, TermId b);
+
+/// a ∩ b.
+TermId SetIntersect(TermStore* store, TermId a, TermId b);
+
+/// a \ b.
+TermId SetDifference(TermStore* store, TermId a, TermId b);
+
+/// {element} ∪ set (Definition 15.2, the `scons` constructor).
+TermId SetCons(TermStore* store, TermId element, TermId set);
+
+/// set \ {element}.
+TermId SetRemove(TermStore* store, TermId set, TermId element);
+
+/// Number of elements.
+size_t SetCardinality(const TermStore& store, TermId set);
+
+/// Enumerates every subset of `set` in `out` (2^n of them); returns an
+/// error if the cardinality exceeds `max_cardinality`. Used by the
+/// bounded Herbrand enumeration and the disjoint-union examples.
+Status SetSubsets(TermStore* store, TermId set, size_t max_cardinality,
+                  std::vector<TermId>* out);
+
+}  // namespace lps
+
+#endif  // LPS_TERM_SET_ALGEBRA_H_

@@ -1,0 +1,55 @@
+#include "term/substitution.h"
+
+#include <vector>
+
+namespace lps {
+
+TermId Substitution::Apply(TermStore* store, TermId term) const {
+  const TermNode& n = store->node(term);
+  if (n.ground || map_.empty()) return term;
+  switch (n.kind) {
+    case TermKind::kConstant:
+    case TermKind::kInt:
+      return term;
+    case TermKind::kVariable: {
+      TermId bound = Lookup(term);
+      return bound == kInvalidTerm ? term : bound;
+    }
+    case TermKind::kFunction: {
+      auto args = store->args(term);
+      std::vector<TermId> new_args(args.begin(), args.end());
+      bool changed = false;
+      for (TermId& a : new_args) {
+        TermId b = Apply(store, a);
+        changed = changed || (b != a);
+        a = b;
+      }
+      if (!changed) return term;
+      return store->MakeFunction(n.symbol, std::move(new_args));
+    }
+    case TermKind::kSet: {
+      auto args = store->args(term);
+      std::vector<TermId> new_args(args.begin(), args.end());
+      bool changed = false;
+      for (TermId& a : new_args) {
+        TermId b = Apply(store, a);
+        changed = changed || (b != a);
+        a = b;
+      }
+      if (!changed) return term;
+      return store->MakeSet(std::move(new_args));
+    }
+  }
+  return term;
+}
+
+void Substitution::ComposeWith(TermStore* store, const Substitution& sigma) {
+  for (auto& [var, value] : map_) {
+    value = sigma.Apply(store, value);
+  }
+  for (const auto& [var, value] : sigma.bindings()) {
+    map_.try_emplace(var, value);
+  }
+}
+
+}  // namespace lps

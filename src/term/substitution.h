@@ -1,0 +1,54 @@
+// Substitutions: finite maps from variables to terms, applied
+// bottom-up through the hash-consed store (so applying a substitution
+// re-canonicalizes set terms, e.g. {x,y}{x/a, y/a} = {a}).
+#ifndef LPS_TERM_SUBSTITUTION_H_
+#define LPS_TERM_SUBSTITUTION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "term/term.h"
+
+namespace lps {
+
+/// A substitution theta = {v1/t1, ..., vn/tn}.
+class Substitution {
+ public:
+  Substitution() = default;
+
+  /// Binds `var` (a kVariable term) to `term`, overwriting any previous
+  /// binding for `var`.
+  void Bind(TermId var, TermId term) { map_[var] = term; }
+
+  /// The binding for `var`, or kInvalidTerm if unbound.
+  TermId Lookup(TermId var) const {
+    auto it = map_.find(var);
+    return it == map_.end() ? kInvalidTerm : it->second;
+  }
+
+  bool IsBound(TermId var) const { return map_.count(var) > 0; }
+  bool empty() const { return map_.empty(); }
+  size_t size() const { return map_.size(); }
+  void Clear() { map_.clear(); }
+  void Erase(TermId var) { map_.erase(var); }
+
+  const std::unordered_map<TermId, TermId>& bindings() const {
+    return map_;
+  }
+
+  /// Applies the substitution to `term`. Unbound variables are left in
+  /// place. Results are interned in `store`.
+  TermId Apply(TermStore* store, TermId term) const;
+
+  /// this := sigma ∘ this, i.e. first this, then sigma: applies sigma to
+  /// every binding value and adds sigma's bindings for vars this does
+  /// not bind.
+  void ComposeWith(TermStore* store, const Substitution& sigma);
+
+ private:
+  std::unordered_map<TermId, TermId> map_;
+};
+
+}  // namespace lps
+
+#endif  // LPS_TERM_SUBSTITUTION_H_

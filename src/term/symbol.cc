@@ -1,0 +1,29 @@
+#include "term/symbol.h"
+
+namespace lps {
+
+Symbol SymbolTable::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  Symbol id = static_cast<Symbol>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+Symbol SymbolTable::Lookup(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidSymbol : it->second;
+}
+
+Symbol SymbolTable::Fresh(std::string_view base) {
+  for (;;) {
+    std::string candidate =
+        std::string(base) + "#" + std::to_string(fresh_counter_++);
+    if (index_.find(candidate) == index_.end()) {
+      return Intern(candidate);
+    }
+  }
+}
+
+}  // namespace lps

@@ -1,0 +1,50 @@
+// String interning. Every predicate, function, constant and variable
+// name is interned once in a SymbolTable and referred to by a dense
+// 32-bit Symbol id thereafter.
+#ifndef LPS_TERM_SYMBOL_H_
+#define LPS_TERM_SYMBOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lps {
+
+using Symbol = uint32_t;
+
+inline constexpr Symbol kInvalidSymbol = UINT32_MAX;
+
+/// Interns strings to dense ids. Ids are stable for the table lifetime.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Returns the id for `name`, interning it on first use.
+  Symbol Intern(std::string_view name);
+
+  /// Returns the id for `name` or kInvalidSymbol if never interned.
+  Symbol Lookup(std::string_view name) const;
+
+  /// The string for an interned id. `id` must be valid.
+  const std::string& Name(Symbol id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+  /// Interns a name of the form `<base><counter>` that has not been
+  /// interned before. Used by transforms to create fresh predicate and
+  /// variable names (Theorem 6 auxiliary predicates etc.).
+  Symbol Fresh(std::string_view base);
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Symbol> index_;
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace lps
+
+#endif  // LPS_TERM_SYMBOL_H_

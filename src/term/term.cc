@@ -1,0 +1,153 @@
+#include "term/term.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "base/hash.h"
+
+namespace lps {
+
+const char* SortToString(Sort sort) {
+  switch (sort) {
+    case Sort::kAtom:
+      return "atom";
+    case Sort::kSet:
+      return "set";
+    case Sort::kAny:
+      return "any";
+  }
+  return "?";
+}
+
+size_t TermStore::KeyHash::operator()(const Key& k) const {
+  size_t seed = 0;
+  HashCombine(&seed, static_cast<size_t>(k.kind));
+  HashCombine(&seed, static_cast<size_t>(k.sort));
+  HashCombine(&seed, static_cast<size_t>(k.symbol));
+  HashCombine(&seed, std::hash<int64_t>{}(k.int_value));
+  HashCombine(&seed, HashRange(k.args));
+  return seed;
+}
+
+TermStore::TermStore() {
+  empty_set_ = MakeSet({});
+}
+
+TermId TermStore::Intern(Key key) {
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+
+  TermNode node;
+  node.kind = key.kind;
+  node.symbol = key.symbol;
+  node.int_value = key.int_value;
+  node.args_begin = static_cast<uint32_t>(args_.size());
+  args_.insert(args_.end(), key.args.begin(), key.args.end());
+  node.args_end = static_cast<uint32_t>(args_.size());
+
+  switch (key.kind) {
+    case TermKind::kConstant:
+    case TermKind::kInt:
+      node.sort = Sort::kAtom;
+      node.ground = true;
+      node.depth = 0;
+      break;
+    case TermKind::kVariable:
+      node.sort = key.sort;
+      node.ground = false;
+      node.depth = (key.sort == Sort::kSet) ? 1 : 0;
+      break;
+    case TermKind::kFunction: {
+      node.sort = Sort::kAtom;  // function ranges are atoms (Def. 1.2, §5)
+      node.ground = true;
+      node.depth = 0;
+      for (TermId a : key.args) {
+        node.ground = node.ground && nodes_[a].ground;
+      }
+      break;
+    }
+    case TermKind::kSet: {
+      node.sort = Sort::kSet;
+      node.ground = true;
+      uint16_t max_child = 0;
+      for (TermId a : key.args) {
+        node.ground = node.ground && nodes_[a].ground;
+        max_child = std::max(max_child, nodes_[a].depth);
+      }
+      node.depth = static_cast<uint16_t>(max_child + 1);
+      break;
+    }
+  }
+
+  TermId id = static_cast<TermId>(nodes_.size());
+  nodes_.push_back(node);
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+TermId TermStore::MakeConstant(Symbol name) {
+  return Intern({TermKind::kConstant, Sort::kAtom, name, 0, {}});
+}
+
+TermId TermStore::MakeConstant(std::string_view name) {
+  return MakeConstant(symbols_.Intern(name));
+}
+
+TermId TermStore::MakeInt(int64_t value) {
+  return Intern({TermKind::kInt, Sort::kAtom, kInvalidSymbol, value, {}});
+}
+
+TermId TermStore::MakeVariable(Symbol name, Sort sort) {
+  return Intern({TermKind::kVariable, sort, name, 0, {}});
+}
+
+TermId TermStore::MakeVariable(std::string_view name, Sort sort) {
+  return MakeVariable(symbols_.Intern(name), sort);
+}
+
+TermId TermStore::MakeFreshVariable(std::string_view base, Sort sort) {
+  return MakeVariable(symbols_.Fresh(base), sort);
+}
+
+TermId TermStore::MakeFunction(Symbol name, std::vector<TermId> args) {
+  return Intern(
+      {TermKind::kFunction, Sort::kAtom, name, 0, std::move(args)});
+}
+
+TermId TermStore::MakeFunction(std::string_view name,
+                               std::vector<TermId> args) {
+  return MakeFunction(symbols_.Intern(name), std::move(args));
+}
+
+TermId TermStore::MakeSet(std::vector<TermId> elements) {
+  std::sort(elements.begin(), elements.end());
+  elements.erase(std::unique(elements.begin(), elements.end()),
+                 elements.end());
+  return Intern(
+      {TermKind::kSet, Sort::kSet, kInvalidSymbol, 0, std::move(elements)});
+}
+
+void TermStore::CollectVariables(TermId id,
+                                 std::vector<TermId>* out) const {
+  const TermNode& n = nodes_[id];
+  if (n.ground) return;
+  if (n.kind == TermKind::kVariable) {
+    if (std::find(out->begin(), out->end(), id) == out->end()) {
+      out->push_back(id);
+    }
+    return;
+  }
+  for (TermId a : args(id)) CollectVariables(a, out);
+}
+
+bool TermStore::ContainsVariable(TermId id, TermId var) const {
+  if (id == var) return true;
+  const TermNode& n = nodes_[id];
+  if (n.ground) return false;
+  for (TermId a : args(id)) {
+    if (ContainsVariable(a, var)) return true;
+  }
+  return false;
+}
+
+}  // namespace lps

@@ -1,0 +1,139 @@
+// Hash-consed two-sorted terms (paper Definitions 1-3, Section 5).
+//
+// The store interns every term once, so term equality is TermId
+// equality, and ground set terms are kept in a canonical form (element
+// ids sorted, duplicates removed). This makes the special predicates of
+// Definition 3 trivial:
+//   =a  and  =s   are id comparison,
+//   u in U*       is binary search in the canonical element array.
+//
+// Terms are allowed to nest sets arbitrarily (the ELPS universe of
+// Definition 13); the LPS restriction to one level of nesting is
+// enforced separately by lang/validate.h, not by the store.
+#ifndef LPS_TERM_TERM_H_
+#define LPS_TERM_TERM_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "term/symbol.h"
+
+namespace lps {
+
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTerm = UINT32_MAX;
+
+enum class TermKind : uint8_t {
+  kConstant,  // c_i, sort a                      (Definition 1.3)
+  kInt,       // integer constant, sort a         (arithmetic substrate)
+  kVariable,  // x^beta_i, declared sort          (Definition 1.4)
+  kFunction,  // f(t1,...,tk), sort a             (Definition 2.3)
+  kSet,       // {t1,...,tn} = {_n(t1,...,tn), sort s
+};
+
+/// Sort of a term or variable (Definition 1). kAny is used only for
+/// ELPS variables, which are untyped (Section 5).
+enum class Sort : uint8_t { kAtom, kSet, kAny };
+
+const char* SortToString(Sort sort);
+
+/// One interned term node. Nodes are immutable once created.
+struct TermNode {
+  TermKind kind;
+  Sort sort;        // kAtom or kSet for non-variables
+  bool ground;      // contains no variables
+  uint16_t depth;   // set-nesting depth: atoms 0, {} is 1, {{}} is 2 ...
+  Symbol symbol;    // constant / variable / function name
+  int64_t int_value;
+  uint32_t args_begin;  // into TermStore::args_ (function args / elements)
+  uint32_t args_end;
+};
+
+/// Arena + interner for terms. Not thread-safe; one store per engine.
+class TermStore {
+ public:
+  TermStore();
+  TermStore(const TermStore&) = delete;
+  TermStore& operator=(const TermStore&) = delete;
+
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+
+  // ---- Construction (all hash-consed) -------------------------------
+
+  TermId MakeConstant(Symbol name);
+  TermId MakeConstant(std::string_view name);
+  TermId MakeInt(int64_t value);
+  TermId MakeVariable(Symbol name, Sort sort);
+  TermId MakeVariable(std::string_view name, Sort sort);
+  /// A variable with a globally fresh name.
+  TermId MakeFreshVariable(std::string_view base, Sort sort);
+  TermId MakeFunction(Symbol name, std::vector<TermId> args);
+  TermId MakeFunction(std::string_view name, std::vector<TermId> args);
+  /// {t1,...,tn}: sorts and dedups element ids (canonical for ground
+  /// sets; still semantically sound for non-ground ones since
+  /// {x,x} = {x} in every LPS model).
+  TermId MakeSet(std::vector<TermId> elements);
+  TermId EmptySet() const { return empty_set_; }
+
+  // ---- Accessors -----------------------------------------------------
+
+  const TermNode& node(TermId id) const { return nodes_[id]; }
+  TermKind kind(TermId id) const { return nodes_[id].kind; }
+  Sort sort(TermId id) const { return nodes_[id].sort; }
+  bool is_ground(TermId id) const { return nodes_[id].ground; }
+  uint16_t depth(TermId id) const { return nodes_[id].depth; }
+  Symbol symbol(TermId id) const { return nodes_[id].symbol; }
+  int64_t int_value(TermId id) const { return nodes_[id].int_value; }
+  bool IsVariable(TermId id) const {
+    return kind(id) == TermKind::kVariable;
+  }
+  bool IsSet(TermId id) const { return kind(id) == TermKind::kSet; }
+
+  /// Function arguments or canonical set elements.
+  std::span<const TermId> args(TermId id) const {
+    const TermNode& n = nodes_[id];
+    return {args_.data() + n.args_begin, args_.data() + n.args_end};
+  }
+
+  size_t size() const { return nodes_.size(); }
+
+  /// Collects the distinct variables occurring in `id` (first-occurrence
+  /// order) into `out`; duplicates are skipped.
+  void CollectVariables(TermId id, std::vector<TermId>* out) const;
+
+  /// True if the variable `var` occurs in `id`.
+  bool ContainsVariable(TermId id, TermId var) const;
+
+ private:
+  struct Key {
+    TermKind kind;
+    Sort sort;  // distinguishes variables of different sorts
+    Symbol symbol;
+    int64_t int_value;
+    std::vector<TermId> args;
+    bool operator==(const Key& o) const {
+      return kind == o.kind && sort == o.sort && symbol == o.symbol &&
+             int_value == o.int_value && args == o.args;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+
+  TermId Intern(Key key);
+
+  SymbolTable symbols_;
+  std::vector<TermNode> nodes_;
+  std::vector<TermId> args_;
+  std::unordered_map<Key, TermId, KeyHash> index_;
+  TermId empty_set_ = kInvalidTerm;
+};
+
+}  // namespace lps
+
+#endif  // LPS_TERM_TERM_H_

@@ -1,0 +1,114 @@
+#include "transform/builtin_elim.h"
+
+#include "transform/positive_compiler.h"
+
+namespace lps {
+
+namespace {
+
+Literal In(TermId x, TermId s) { return Literal{kPredIn, {x, s}, true}; }
+Literal Eq(TermId a, TermId b) { return Literal{kPredEq, {a, b}, true}; }
+
+// Declares and defines the replacement for `union` (Theorem 10.1).
+Result<PredicateId> DefineUnionPred(Program* out) {
+  TermStore* store = out->store();
+  PredicateId pred = out->signature().DeclareFresh(
+      "union_def", {Sort::kSet, Sort::kSet, Sort::kSet});
+
+  TermId x = store->MakeFreshVariable("Xu", Sort::kSet);
+  TermId y = store->MakeFreshVariable("Yu", Sort::kSet);
+  TermId z = store->MakeFreshVariable("Zu", Sort::kSet);
+  TermId w1 = store->MakeFreshVariable("wu", Sort::kAtom);
+  TermId w2 = store->MakeFreshVariable("wu", Sort::kAtom);
+  TermId w3 = store->MakeFreshVariable("wu", Sort::kAtom);
+
+  GeneralClause gc;
+  gc.head = Literal{pred, {x, y, z}, true};
+  std::vector<FormulaPtr> conj;
+  {
+    std::vector<FormulaPtr> alt;
+    alt.push_back(Formula::Atomic(In(w1, x)));
+    alt.push_back(Formula::Atomic(In(w1, y)));
+    conj.push_back(Formula::Forall(w1, z, Formula::Or(std::move(alt))));
+  }
+  conj.push_back(Formula::Forall(w2, x, Formula::Atomic(In(w2, z))));
+  conj.push_back(Formula::Forall(w3, y, Formula::Atomic(In(w3, z))));
+  gc.body = Formula::And(std::move(conj));
+
+  LPS_RETURN_IF_ERROR(AddGeneralClause(out, gc));
+  return pred;
+}
+
+// Declares and defines the replacement for `scons` (Theorem 10.2).
+Result<PredicateId> DefineSconsPred(Program* out) {
+  TermStore* store = out->store();
+  PredicateId pred = out->signature().DeclareFresh(
+      "scons_def", {Sort::kAtom, Sort::kSet, Sort::kSet});
+
+  TermId x = store->MakeFreshVariable("xs", Sort::kAtom);
+  TermId y = store->MakeFreshVariable("Ys", Sort::kSet);
+  TermId z = store->MakeFreshVariable("Zs", Sort::kSet);
+  TermId w1 = store->MakeFreshVariable("ws", Sort::kAtom);
+  TermId w2 = store->MakeFreshVariable("ws", Sort::kAtom);
+
+  GeneralClause gc;
+  gc.head = Literal{pred, {x, y, z}, true};
+  std::vector<FormulaPtr> conj;
+  conj.push_back(Formula::Atomic(In(x, z)));
+  conj.push_back(Formula::Forall(w1, y, Formula::Atomic(In(w1, z))));
+  {
+    std::vector<FormulaPtr> alt;
+    alt.push_back(Formula::Atomic(In(w2, y)));
+    alt.push_back(Formula::Atomic(Eq(w2, x)));
+    conj.push_back(Formula::Forall(w2, z, Formula::Or(std::move(alt))));
+  }
+  gc.body = Formula::And(std::move(conj));
+
+  LPS_RETURN_IF_ERROR(AddGeneralClause(out, gc));
+  return pred;
+}
+
+Result<Program> Eliminate(const Program& in, PredicateId builtin,
+                          const char* name) {
+  Program out = in;
+
+  bool used = false;
+  for (const Clause& c : in.clauses()) {
+    for (const Literal& l : c.body) {
+      if (l.pred == builtin) used = true;
+    }
+  }
+  if (!used) return out;
+
+  PredicateId replacement;
+  if (builtin == kPredUnion) {
+    LPS_ASSIGN_OR_RETURN(replacement, DefineUnionPred(&out));
+  } else {
+    LPS_ASSIGN_OR_RETURN(replacement, DefineSconsPred(&out));
+  }
+
+  for (Clause& c : *out.mutable_clauses()) {
+    for (Literal& l : c.body) {
+      if (l.pred != builtin) continue;
+      if (!l.positive) {
+        return Status::Unimplemented(
+            std::string("cannot eliminate negated ") + name +
+            " literal (Theorem 10 covers positive programs)");
+      }
+      l.pred = replacement;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Program> EliminateUnionBuiltin(const Program& in) {
+  return Eliminate(in, kPredUnion, "union");
+}
+
+Result<Program> EliminateSconsBuiltin(const Program& in) {
+  return Eliminate(in, kPredScons, "scons");
+}
+
+}  // namespace lps

@@ -1,0 +1,28 @@
+// Theorem 10 (1) and (2): Horn programs over L+union / L+scons convert
+// to ELPS programs over L. Each occurrence of the union (resp. scons)
+// builtin is replaced by a fresh user predicate defined by the paper's
+// positive formula (disjunction eliminated via the Theorem 6 compiler):
+//
+//   p(X,Y,Z) :- (forall w in Z)(w in X ; w in Y),
+//               (forall w in X)(w in Z),
+//               (forall w in Y)(w in Z).
+//
+//   r(x,Y,Z) :- x in Z,
+//               (forall w in Y)(w in Z),
+//               (forall w in Z)(w in Y ; w = x).
+#ifndef LPS_TRANSFORM_BUILTIN_ELIM_H_
+#define LPS_TRANSFORM_BUILTIN_ELIM_H_
+
+#include "lang/program.h"
+
+namespace lps {
+
+/// Replaces positive `union` literals by a defined predicate.
+Result<Program> EliminateUnionBuiltin(const Program& in);
+
+/// Replaces positive `scons` literals by a defined predicate.
+Result<Program> EliminateSconsBuiltin(const Program& in);
+
+}  // namespace lps
+
+#endif  // LPS_TRANSFORM_BUILTIN_ELIM_H_

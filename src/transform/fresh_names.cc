@@ -1,0 +1,17 @@
+#include "transform/fresh_names.h"
+
+namespace lps {
+
+std::vector<Sort> SortsOfVars(const TermStore& store,
+                              const std::vector<TermId>& vars) {
+  std::vector<Sort> sorts;
+  sorts.reserve(vars.size());
+  for (TermId v : vars) sorts.push_back(store.sort(v));
+  return sorts;
+}
+
+Literal ApplyPred(PredicateId pred, const std::vector<TermId>& vars) {
+  return Literal{pred, vars, true};
+}
+
+}  // namespace lps

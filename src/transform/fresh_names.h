@@ -1,0 +1,36 @@
+// Deterministic generation of readable auxiliary predicate names for
+// the Theorem 6 / Section 6 constructions ("aux_or#3", "all#0", ...).
+#ifndef LPS_TRANSFORM_FRESH_NAMES_H_
+#define LPS_TRANSFORM_FRESH_NAMES_H_
+
+#include <string>
+#include <vector>
+
+#include "lang/clause.h"
+#include "lang/signature.h"
+
+namespace lps {
+
+class FreshNames {
+ public:
+  explicit FreshNames(Signature* sig) : sig_(sig) {}
+
+  /// Declares a fresh predicate named `<base>#<n>` with the given sorts.
+  PredicateId Declare(const std::string& base, std::vector<Sort> sorts) {
+    return sig_->DeclareFresh(base, std::move(sorts));
+  }
+
+ private:
+  Signature* sig_;
+};
+
+/// Argument sorts for a vector of variables.
+std::vector<Sort> SortsOfVars(const TermStore& store,
+                              const std::vector<TermId>& vars);
+
+/// A positive literal applying `pred` to `vars`.
+Literal ApplyPred(PredicateId pred, const std::vector<TermId>& vars);
+
+}  // namespace lps
+
+#endif  // LPS_TRANSFORM_FRESH_NAMES_H_

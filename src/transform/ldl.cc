@@ -1,0 +1,189 @@
+#include "transform/ldl.h"
+
+#include <algorithm>
+
+#include "transform/fresh_names.h"
+#include "transform/positive_compiler.h"
+
+namespace lps {
+
+namespace {
+
+Literal In(TermId x, TermId s) { return Literal{kPredIn, {x, s}, true}; }
+
+// q(Y, Z): Y is a proper subset of Z. Shared by all grouping clauses of
+// one program.
+Result<PredicateId> DefineProperSubset(Program* out) {
+  TermStore* store = out->store();
+  PredicateId pred = out->signature().DeclareFresh(
+      "psub", {Sort::kSet, Sort::kSet});
+  TermId y = store->MakeFreshVariable("Yq", Sort::kSet);
+  TermId z = store->MakeFreshVariable("Zq", Sort::kSet);
+  TermId w = store->MakeFreshVariable("wq", Sort::kAtom);
+  TermId w2 = store->MakeFreshVariable("wq", Sort::kAtom);
+
+  GeneralClause gc;
+  gc.head = Literal{pred, {y, z}, true};
+  std::vector<FormulaPtr> conj;
+  conj.push_back(Formula::Forall(w, y, Formula::Atomic(In(w, z))));
+  conj.push_back(Formula::Exists(
+      w2, z, Formula::Atomic(Literal{kPredNotIn, {w2, y}, true})));
+  gc.body = Formula::And(std::move(conj));
+  LPS_RETURN_IF_ERROR(AddGeneralClause(out, gc));
+  return pred;
+}
+
+// The grouping clause's own body as a formula: its quantifier prefix
+// re-nested over the conjunction of its literals.
+FormulaPtr BodyFormula(const Clause& clause) {
+  FormulaPtr body;
+  if (clause.body.size() == 1) {
+    body = Formula::Atomic(clause.body[0]);
+  } else {
+    std::vector<FormulaPtr> conj;
+    for (const Literal& l : clause.body) {
+      conj.push_back(Formula::Atomic(l));
+    }
+    body = Formula::And(std::move(conj));
+  }
+  for (size_t i = clause.quantifiers.size(); i-- > 0;) {
+    body = Formula::Forall(clause.quantifiers[i].var,
+                           clause.quantifiers[i].range, std::move(body));
+  }
+  return body;
+}
+
+Status EliminateOneGrouping(Program* out, const Clause& clause,
+                            PredicateId psub) {
+  TermStore* store = out->store();
+  const GroupSpec& g = *clause.grouping;
+  if (clause.body.empty()) {
+    return Status::InvalidArgument(
+        "grouping clause with empty body has no witnesses to group");
+  }
+
+  // vbar: free variables of the clause (the grouped variable and the
+  // quantified ones are excluded by ClauseFreeVariables).
+  std::vector<TermId> vbar = ClauseFreeVariables(*store, clause);
+  vbar.erase(std::remove(vbar.begin(), vbar.end(), g.grouped_var),
+             vbar.end());
+
+  TermId y_set = store->MakeFreshVariable("Ygrp", Sort::kSet);
+  TermId z_set = store->MakeFreshVariable("Zgrp", Sort::kSet);
+
+  // p(vbar, Y) :- psub(Y, Z), (forall y in Z) Body.
+  // Built as a general positive formula so that psub stays outside the
+  // quantifier scope (Definition 5 would otherwise make the body
+  // vacuously true for Z = {}).
+  std::vector<Sort> p_sorts = SortsOfVars(*store, vbar);
+  p_sorts.push_back(Sort::kSet);
+  PredicateId p_pred = out->signature().DeclareFresh("psup", p_sorts);
+  {
+    GeneralClause gc;
+    std::vector<TermId> args = vbar;
+    args.push_back(y_set);
+    gc.head = Literal{p_pred, std::move(args), true};
+    std::vector<FormulaPtr> conj;
+    conj.push_back(
+        Formula::Atomic(Literal{psub, {y_set, z_set}, true}));
+    conj.push_back(
+        Formula::Forall(g.grouped_var, z_set, BodyFormula(clause)));
+    gc.body = Formula::And(std::move(conj));
+    LPS_RETURN_IF_ERROR(AddGeneralClause(out, gc));
+  }
+  // A(xbar, Y) :- (forall y in Y) Body, not p(vbar, Y).
+  {
+    GeneralClause gc;
+    gc.head = clause.head;
+    gc.head.args[g.arg_index] = y_set;
+    std::vector<FormulaPtr> conj;
+    conj.push_back(
+        Formula::Forall(g.grouped_var, y_set, BodyFormula(clause)));
+    std::vector<TermId> args = vbar;
+    args.push_back(y_set);
+    conj.push_back(Formula::Atomic(Literal{p_pred, std::move(args), false}));
+    gc.body = Formula::And(std::move(conj));
+    LPS_RETURN_IF_ERROR(AddGeneralClause(out, gc));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Program> EliminateGrouping(const Program& in) {
+  Program out = in;
+  out.mutable_clauses()->clear();
+
+  bool any = std::any_of(
+      in.clauses().begin(), in.clauses().end(),
+      [](const Clause& c) { return c.grouping.has_value(); });
+  PredicateId psub = kInvalidPredicate;
+  if (any) {
+    LPS_ASSIGN_OR_RETURN(psub, DefineProperSubset(&out));
+  }
+
+  for (const Clause& c : in.clauses()) {
+    if (!c.grouping.has_value()) {
+      out.AddClause(c);
+      continue;
+    }
+    LPS_RETURN_IF_ERROR(EliminateOneGrouping(&out, c, psub));
+  }
+  return out;
+}
+
+Result<Program> UnionToGrouping(const Program& in) {
+  Program out = in;
+
+  bool used = false;
+  for (const Clause& c : in.clauses()) {
+    for (const Literal& l : c.body) {
+      if (l.pred == kPredUnion && l.positive) used = true;
+      if (l.pred == kPredUnion && !l.positive) {
+        return Status::Unimplemented(
+            "cannot rewrite negated union literal to grouping");
+      }
+    }
+  }
+  if (!used) return out;
+
+  TermStore* store = out.store();
+  PredicateId pm = out.signature().DeclareFresh(
+      "pm", {Sort::kSet, Sort::kSet, Sort::kAtom});
+  PredicateId q = out.signature().DeclareFresh(
+      "union_grp", {Sort::kSet, Sort::kSet, Sort::kSet});
+
+  TermId x = store->MakeFreshVariable("Xg", Sort::kSet);
+  TermId y = store->MakeFreshVariable("Yg", Sort::kSet);
+  TermId z = store->MakeFreshVariable("zg", Sort::kAtom);
+  // pm(X, Y, z) :- z in X.    pm(X, Y, z) :- z in Y.
+  {
+    Clause c;
+    c.head = Literal{pm, {x, y, z}, true};
+    c.body.push_back(In(z, x));
+    out.AddClause(std::move(c));
+  }
+  {
+    Clause c;
+    c.head = Literal{pm, {x, y, z}, true};
+    c.body.push_back(In(z, y));
+    out.AddClause(std::move(c));
+  }
+  // q(X, Y, <z>) :- pm(X, Y, z).
+  {
+    Clause c;
+    c.head = Literal{q, {x, y, z}, true};
+    c.grouping = GroupSpec{2, z};
+    c.body.push_back(Literal{pm, {x, y, z}, true});
+    out.AddClause(std::move(c));
+  }
+
+  for (Clause& c : *out.mutable_clauses()) {
+    for (Literal& l : c.body) {
+      if (l.pred == kPredUnion && l.positive) l.pred = q;
+    }
+  }
+  return out;
+}
+
+}  // namespace lps

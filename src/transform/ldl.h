@@ -1,0 +1,42 @@
+// Theorem 11 / Section 6: translations between LDL grouping programs
+// and ELPS programs with (stratified) negation.
+//
+// Grouping -> ELPS + negation (the set-construction technique of
+// Section 4.2): a grouping clause  A(xbar, <y>) :- Body  becomes
+//
+//   q(Y, Z)    :- (forall w in Y)(w in Z), exists w' in Z : w' notin Y.
+//   p(vbar, Y) :- q(Y, Z), (forall y in Z) Body.
+//   A(xbar, Y) :- (forall y in Y) Body, not p(vbar, Y).
+//
+// q is proper subset; p(vbar, Y) says some proper superset of Y has all
+// its elements satisfying Body; the final clause selects the maximal
+// such set - exactly { y | Body }.
+//
+// union -> grouping (Theorem 11 step 4's inverse direction):
+//
+//   pm(X, Y, z)   :- z in X.
+//   pm(X, Y, z)   :- z in Y.
+//   q(X, Y, <z>)  :- pm(X, Y, z).
+//
+// NOTE: under the engine's active-domain semantics the candidate sets Y
+// and Z range over sets present in the database; the witness set
+// { y | Body } must be registered (see Database::RegisterTerm) for the
+// grouping elimination to find it. Tests seed domains with
+// SetSubsets(...) where needed.
+#ifndef LPS_TRANSFORM_LDL_H_
+#define LPS_TRANSFORM_LDL_H_
+
+#include "lang/program.h"
+
+namespace lps {
+
+/// Rewrites every grouping clause into ELPS clauses with stratified
+/// negation.
+Result<Program> EliminateGrouping(const Program& in);
+
+/// Replaces positive `union` literals by an LDL grouping definition.
+Result<Program> UnionToGrouping(const Program& in);
+
+}  // namespace lps
+
+#endif  // LPS_TRANSFORM_LDL_H_

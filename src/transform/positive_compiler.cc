@@ -1,0 +1,179 @@
+#include "transform/positive_compiler.h"
+
+#include <algorithm>
+
+#include "transform/fresh_names.h"
+
+namespace lps {
+
+namespace {
+
+class Compiler {
+ public:
+  Compiler(TermStore* store, Signature* sig, std::vector<Clause>* out,
+           CompileStats* stats)
+      : store_(store), sig_(sig), out_(out), stats_(stats) {}
+
+  Status Compile(const GeneralClause& gc) {
+    if (gc.body == nullptr) {
+      Emit(Clause{gc.head, {}, {}, gc.grouping});
+      return Status::OK();
+    }
+    if (gc.grouping.has_value() && !gc.body->IsClauseBody()) {
+      // Grouping must stay on a single clause: splitting a disjunctive
+      // grouping body would group each disjunct separately. Funnel the
+      // body through one auxiliary predicate first.
+      std::vector<TermId> fv = gc.body->FreeVariables(*store_);
+      PredicateId aux = Fresh("aux_group", fv);
+      LPS_RETURN_IF_ERROR(CompileInto(ApplyPred(aux, fv), *gc.body));
+      Clause main;
+      main.head = gc.head;
+      main.grouping = gc.grouping;
+      main.body.push_back(ApplyPred(aux, fv));
+      Emit(std::move(main));
+      return Status::OK();
+    }
+    return CompileInto(gc.head, *gc.body, gc.grouping);
+  }
+
+ private:
+  void Emit(Clause c) {
+    out_->push_back(std::move(c));
+    if (stats_ != nullptr) ++stats_->clauses_emitted;
+  }
+
+  PredicateId Fresh(const std::string& base,
+                    const std::vector<TermId>& vars) {
+    if (stats_ != nullptr) ++stats_->aux_predicates;
+    FreshNames names(sig_);
+    return names.Declare(base, SortsOfVars(*store_, vars));
+  }
+
+  // Flattens a conjunction of atoms into literals. Pre: IsClauseBody
+  // shape below the forall prefix.
+  void FlattenAtoms(const Formula& f, std::vector<Literal>* lits) {
+    if (f.kind == FormulaKind::kAtomic) {
+      lits->push_back(f.atom);
+      return;
+    }
+    for (const FormulaPtr& c : f.children) FlattenAtoms(*c, lits);
+  }
+
+  // f(A :- B), the five cases of the Theorem 6 proof.
+  Status CompileInto(const Literal& head, const Formula& body,
+                     std::optional<GroupSpec> grouping = std::nullopt) {
+    // Fast path: already Definition 5 shaped.
+    if (body.IsClauseBody()) {
+      Clause c;
+      c.head = head;
+      c.grouping = grouping;
+      const Formula* f = &body;
+      while (f->kind == FormulaKind::kForall) {
+        c.quantifiers.push_back(Quantifier{f->var, f->range});
+        f = f->children[0].get();
+      }
+      FlattenAtoms(*f, &c.body);
+      Emit(std::move(c));
+      return Status::OK();
+    }
+
+    switch (body.kind) {
+      case FormulaKind::kAtomic:
+        // Covered by the fast path.
+        return Status::Internal("unreachable: atomic body");
+
+      case FormulaKind::kAnd: {
+        // Case 2: A :- N1(x1..) & ... & Nk(..), one aux per non-atomic
+        // conjunct (atomic conjuncts stay in place).
+        Clause main;
+        main.head = head;
+        main.grouping = grouping;
+        for (const FormulaPtr& child : body.children) {
+          if (child->kind == FormulaKind::kAtomic) {
+            main.body.push_back(child->atom);
+            continue;
+          }
+          std::vector<TermId> fv = child->FreeVariables(*store_);
+          PredicateId aux = Fresh("aux_and", fv);
+          LPS_RETURN_IF_ERROR(CompileInto(ApplyPred(aux, fv), *child));
+          main.body.push_back(ApplyPred(aux, fv));
+        }
+        Emit(std::move(main));
+        return Status::OK();
+      }
+
+      case FormulaKind::kOr: {
+        // Case 3: one clause per disjunct (equivalent to the paper's
+        // N1 / N2 construction with the trivial aux inlined).
+        for (const FormulaPtr& child : body.children) {
+          LPS_RETURN_IF_ERROR(CompileInto(head, *child, grouping));
+        }
+        return Status::OK();
+      }
+
+      case FormulaKind::kExists: {
+        // Case 4: A :- N(x1..xn, x) & x in X.
+        const Formula& child = *body.children[0];
+        std::vector<TermId> fv = child.FreeVariables(*store_);
+        if (std::find(fv.begin(), fv.end(), body.var) == fv.end()) {
+          fv.push_back(body.var);  // N carries the witness variable
+        }
+        PredicateId aux = Fresh("aux_ex", fv);
+        LPS_RETURN_IF_ERROR(CompileInto(ApplyPred(aux, fv), child));
+        Clause main;
+        main.head = head;
+        main.grouping = grouping;
+        main.body.push_back(ApplyPred(aux, fv));
+        main.body.push_back(
+            Literal{kPredIn, {body.var, body.range}, true});
+        Emit(std::move(main));
+        return Status::OK();
+      }
+
+      case FormulaKind::kForall: {
+        // Case 5: A :- (forall x in X) N(x1..xn, x).
+        const Formula& child = *body.children[0];
+        std::vector<TermId> fv = child.FreeVariables(*store_);
+        if (std::find(fv.begin(), fv.end(), body.var) == fv.end()) {
+          fv.push_back(body.var);
+        }
+        PredicateId aux = Fresh("aux_all", fv);
+        LPS_RETURN_IF_ERROR(CompileInto(ApplyPred(aux, fv), child));
+        Clause main;
+        main.head = head;
+        main.grouping = grouping;
+        main.quantifiers.push_back(Quantifier{body.var, body.range});
+        main.body.push_back(ApplyPred(aux, fv));
+        Emit(std::move(main));
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unknown formula kind");
+  }
+
+  TermStore* store_;
+  Signature* sig_;
+  std::vector<Clause>* out_;
+  CompileStats* stats_;
+};
+
+}  // namespace
+
+Status CompileGeneralClause(TermStore* store, Signature* sig,
+                            const GeneralClause& gc,
+                            std::vector<Clause>* out,
+                            CompileStats* stats) {
+  Compiler compiler(store, sig, out, stats);
+  return compiler.Compile(gc);
+}
+
+Status AddGeneralClause(Program* program, const GeneralClause& gc,
+                        CompileStats* stats) {
+  std::vector<Clause> clauses;
+  LPS_RETURN_IF_ERROR(CompileGeneralClause(
+      program->store(), &program->signature(), gc, &clauses, stats));
+  for (Clause& c : clauses) program->AddClause(std::move(c));
+  return Status::OK();
+}
+
+}  // namespace lps

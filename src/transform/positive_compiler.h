@@ -1,0 +1,39 @@
+// Theorem 6: clauses whose bodies are arbitrary *positive formulas*
+// (Definition 12: atoms, conjunction, disjunction, restricted exists /
+// forall anywhere) compile into an equivalent set of pure LPS clauses
+// over an extended language with fresh auxiliary predicates. Every
+// formula over the original language is a consequence of the compiled
+// program iff it is a consequence of the original clause.
+//
+// The construction follows the proof's five cases, with the fast path
+// that bodies already in Definition 5 shape (a forall-prefix over a
+// conjunction of atoms) lower directly without auxiliaries.
+#ifndef LPS_TRANSFORM_POSITIVE_COMPILER_H_
+#define LPS_TRANSFORM_POSITIVE_COMPILER_H_
+
+#include <vector>
+
+#include "lang/formula.h"
+#include "lang/program.h"
+
+namespace lps {
+
+struct CompileStats {
+  size_t aux_predicates = 0;
+  size_t clauses_emitted = 0;
+};
+
+/// Compiles one general clause into core clauses appended to `out`.
+/// Fresh auxiliary predicates are declared in `sig`.
+Status CompileGeneralClause(TermStore* store, Signature* sig,
+                            const GeneralClause& gc,
+                            std::vector<Clause>* out,
+                            CompileStats* stats = nullptr);
+
+/// Convenience: compiles and adds to `program`.
+Status AddGeneralClause(Program* program, const GeneralClause& gc,
+                        CompileStats* stats = nullptr);
+
+}  // namespace lps
+
+#endif  // LPS_TRANSFORM_POSITIVE_COMPILER_H_

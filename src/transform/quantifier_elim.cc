@@ -1,0 +1,100 @@
+#include "transform/quantifier_elim.h"
+
+#include "transform/fresh_names.h"
+
+namespace lps {
+
+namespace {
+
+// Peels the clause's first quantifier; recurses on the inner clause.
+Status PeelClause(Program* out, const Clause& clause, SetPrimitive prim) {
+  if (clause.quantifiers.empty()) {
+    out->AddClause(clause);
+    return Status::OK();
+  }
+  if (clause.grouping.has_value()) {
+    return Status::Unimplemented(
+        "quantifier elimination is defined for LPS/ELPS clauses, not "
+        "grouping clauses");
+  }
+  TermStore* store = out->store();
+  Signature* sig = &out->signature();
+
+  const Quantifier q = clause.quantifiers.front();
+  std::vector<TermId> vbar = ClauseFreeVariables(*store, clause);
+
+  // all(vbar, S) and inner(x, vbar).
+  std::vector<Sort> all_sorts = SortsOfVars(*store, vbar);
+  all_sorts.push_back(Sort::kSet);
+  PredicateId all_pred = sig->DeclareFresh("all", all_sorts);
+
+  std::vector<TermId> inner_vars;
+  inner_vars.push_back(q.var);
+  for (TermId v : vbar) inner_vars.push_back(v);
+  PredicateId inner_pred =
+      sig->DeclareFresh("inner", SortsOfVars(*store, inner_vars));
+
+  // A :- all(vbar, Y).
+  {
+    Clause c;
+    c.head = clause.head;
+    std::vector<TermId> args = vbar;
+    args.push_back(q.range);
+    c.body.push_back(Literal{all_pred, std::move(args), true});
+    out->AddClause(std::move(c));
+  }
+  // all(vbar, {}).   (vacuous truth; vbar ranges over the active domain)
+  {
+    Clause c;
+    std::vector<TermId> args = vbar;
+    args.push_back(store->EmptySet());
+    c.head = Literal{all_pred, std::move(args), true};
+    out->AddClause(std::move(c));
+  }
+  // all(vbar, Z) :- <prim>(x, S, Z), inner(x, vbar), all(vbar, S).
+  {
+    TermId z = store->MakeFreshVariable("Z_all", Sort::kSet);
+    TermId s = store->MakeFreshVariable("S_all", Sort::kSet);
+    TermId x = store->MakeFreshVariable("x_all", store->sort(q.var));
+    Clause c;
+    std::vector<TermId> head_args = vbar;
+    head_args.push_back(z);
+    c.head = Literal{all_pred, std::move(head_args), true};
+    if (prim == SetPrimitive::kScons) {
+      c.body.push_back(Literal{kPredScons, {x, s, z}, true});
+    } else {
+      TermId singleton = store->MakeSet({x});
+      c.body.push_back(Literal{kPredUnion, {singleton, s, z}, true});
+    }
+    std::vector<TermId> inner_args;
+    inner_args.push_back(x);
+    for (TermId v : vbar) inner_args.push_back(v);
+    c.body.push_back(Literal{inner_pred, std::move(inner_args), true});
+    std::vector<TermId> rec_args = vbar;
+    rec_args.push_back(s);
+    c.body.push_back(Literal{all_pred, std::move(rec_args), true});
+    out->AddClause(std::move(c));
+  }
+  // inner(x, vbar) :- <rest of the original clause>, recursively peeled.
+  {
+    Clause inner;
+    inner.head = Literal{inner_pred, inner_vars, true};
+    inner.quantifiers.assign(clause.quantifiers.begin() + 1,
+                             clause.quantifiers.end());
+    inner.body = clause.body;
+    return PeelClause(out, inner, prim);
+  }
+}
+
+}  // namespace
+
+Result<Program> EliminateQuantifiers(const Program& in, SetPrimitive prim) {
+  Program out = in;
+  out.mutable_clauses()->clear();
+  for (const Clause& c : in.clauses()) {
+    LPS_RETURN_IF_ERROR(PeelClause(&out, c, prim));
+  }
+  return out;
+}
+
+}  // namespace lps

@@ -1,0 +1,33 @@
+// Theorem 10 (3) and (4): every ELPS clause is equivalent to a set of
+// Horn clauses over L+union / L+scons. The restricted universal
+// quantifier is replaced by structural recursion on the set argument:
+//
+//   A :- (forall x in Y)(B1 & ... & Bk)
+// becomes
+//   A            :- all(vbar, Y).
+//   all(vbar, {}).
+//   all(vbar, Z) :- scons(x, S, Z), inner(x, vbar), all(vbar, S).
+//   inner(x, vbar) :- B1 & ... & Bk          (remaining quantifiers
+//                                             peeled recursively)
+//
+// where vbar are the free variables of the original clause. The
+// L+union variant uses union({x}, S, Z) in place of scons(x, S, Z).
+// The base clause all(vbar, {}) keeps Definition 4's vacuous truth.
+#ifndef LPS_TRANSFORM_QUANTIFIER_ELIM_H_
+#define LPS_TRANSFORM_QUANTIFIER_ELIM_H_
+
+#include "lang/program.h"
+
+namespace lps {
+
+enum class SetPrimitive { kScons, kUnion };
+
+/// Rewrites every quantified clause of `in` into Horn clauses over the
+/// chosen primitive; quantifier-free clauses pass through unchanged.
+/// The result shares `in`'s term store and extends its signature with
+/// fresh predicates.
+Result<Program> EliminateQuantifiers(const Program& in, SetPrimitive prim);
+
+}  // namespace lps
+
+#endif  // LPS_TRANSFORM_QUANTIFIER_ELIM_H_

@@ -1,0 +1,51 @@
+#include "transform/stratify.h"
+
+#include <algorithm>
+
+namespace lps {
+
+Result<Stratification> Stratify(const Program& program) {
+  const Signature& sig = program.signature();
+  size_t n = sig.size();
+  Stratification out;
+  out.pred_stratum.assign(n, 0);
+
+  // Iterative stratum assignment: stratum(head) >= stratum(positive body
+  // predicate) and > stratum(negated / grouped-over body predicate).
+  // Converges within n steps iff the program is stratified.
+  bool changed = true;
+  size_t rounds = 0;
+  while (changed) {
+    changed = false;
+    if (++rounds > n + 2) {
+      return Status::StratificationError(
+          "negation/grouping through recursion: no stratification exists");
+    }
+    for (const Clause& c : program.clauses()) {
+      size_t& h = out.pred_stratum[c.head.pred];
+      for (const Literal& lit : c.body) {
+        if (sig.IsBuiltin(lit.pred)) continue;
+        size_t b = out.pred_stratum[lit.pred];
+        // Grouping heads depend on completed bodies, like negation.
+        size_t need =
+            (!lit.positive || c.grouping.has_value()) ? b + 1 : b;
+        if (h < need) {
+          h = need;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  size_t max_stratum = 0;
+  for (size_t s : out.pred_stratum) max_stratum = std::max(max_stratum, s);
+  out.num_strata = max_stratum + 1;
+  out.strata_clauses.assign(out.num_strata, {});
+  for (size_t i = 0; i < program.clauses().size(); ++i) {
+    size_t s = out.pred_stratum[program.clauses()[i].head.pred];
+    out.strata_clauses[s].push_back(i);
+  }
+  return out;
+}
+
+}  // namespace lps

@@ -1,0 +1,30 @@
+// Stratification (Section 4.2 / Section 6.2, following [ABW86]).
+//
+// Negated body literals and LDL grouping bodies (which behave like
+// negation: the group is only correct once its body predicates are
+// complete) must depend on strictly lower strata. A program is
+// stratified iff the classic iterative stratum assignment converges.
+#ifndef LPS_TRANSFORM_STRATIFY_H_
+#define LPS_TRANSFORM_STRATIFY_H_
+
+#include <vector>
+
+#include "lang/program.h"
+
+namespace lps {
+
+struct Stratification {
+  /// stratum[i] = stratum of predicate id i (0-based; builtins get 0).
+  std::vector<size_t> pred_stratum;
+  /// Clause indices grouped by stratum, ascending.
+  std::vector<std::vector<size_t>> strata_clauses;
+  size_t num_strata = 0;
+};
+
+/// Computes a stratification, or StratificationError if the program has
+/// negation (or grouping) through recursion.
+Result<Stratification> Stratify(const Program& program);
+
+}  // namespace lps
+
+#endif  // LPS_TRANSFORM_STRATIFY_H_

@@ -1,0 +1,231 @@
+#include "unify/unify.h"
+
+#include <algorithm>
+#include <variant>
+
+namespace lps {
+
+bool SortAllowsBinding(const TermStore& store, TermId var, TermId term) {
+  Sort vs = store.sort(var);
+  if (vs == Sort::kAny) return true;
+  Sort ts = store.sort(term);
+  if (ts == Sort::kAny) return true;  // untyped variable on the other side
+  return vs == ts;
+}
+
+namespace {
+
+struct PairGoal {
+  TermId a, b;
+};
+struct SetGoal {
+  std::vector<TermId> la, lb;
+};
+using WorkItem = std::variant<PairGoal, SetGoal>;
+
+// Canonical fingerprint of a substitution restricted to `vars`, for
+// deduplication of enumerated unifiers.
+std::vector<std::pair<TermId, TermId>> Fingerprint(
+    TermStore* store, const Substitution& subst,
+    const std::vector<TermId>& vars) {
+  std::vector<std::pair<TermId, TermId>> fp;
+  for (TermId v : vars) {
+    TermId t = subst.Apply(store, v);
+    if (t != v) fp.emplace_back(v, t);
+  }
+  std::sort(fp.begin(), fp.end());
+  return fp;
+}
+
+}  // namespace
+
+struct Unifier::Frame {
+  Substitution subst;
+  std::vector<WorkItem> stack;
+};
+
+Status Unifier::Enumerate(TermId a, TermId b,
+                          std::vector<Substitution>* out) {
+  return EnumerateTuples(std::span<const TermId>(&a, 1),
+                         std::span<const TermId>(&b, 1), out);
+}
+
+std::optional<Substitution> Unifier::First(TermId a, TermId b) {
+  std::vector<Substitution> all;
+  Status st = Enumerate(a, b, &all);
+  if (!st.ok() || all.empty()) return std::nullopt;
+  return all.front();
+}
+
+Status Unifier::EnumerateTuples(std::span<const TermId> a,
+                                std::span<const TermId> b,
+                                std::vector<Substitution>* out) {
+  if (a.size() != b.size()) return Status::OK();  // no unifier
+  branches_ = 0;
+
+  std::vector<TermId> vars;
+  for (TermId t : a) store_->CollectVariables(t, &vars);
+  for (TermId t : b) store_->CollectVariables(t, &vars);
+
+  // Iterative depth-first search over an explicit frame stack.
+  std::vector<Frame> frames;
+  {
+    Frame init;
+    // Push pairs in reverse so the first pair is processed first.
+    for (size_t i = a.size(); i-- > 0;) {
+      init.stack.push_back(PairGoal{a[i], b[i]});
+    }
+    frames.push_back(std::move(init));
+  }
+
+  std::vector<std::vector<std::pair<TermId, TermId>>> seen;
+  size_t emitted_before = out->size();
+
+  while (!frames.empty()) {
+    if (++branches_ > options_.max_branches) {
+      return Status::ResourceExhausted(
+          "set unification exceeded branch limit");
+    }
+    Frame frame = std::move(frames.back());
+    frames.pop_back();
+
+    if (frame.stack.empty()) {
+      auto fp = Fingerprint(store_, frame.subst, vars);
+      if (std::find(seen.begin(), seen.end(), fp) != seen.end()) continue;
+      seen.push_back(std::move(fp));
+      // Restrict the emitted substitution to the original variables.
+      Substitution restricted;
+      for (TermId v : vars) {
+        TermId t = frame.subst.Apply(store_, v);
+        if (t != v) restricted.Bind(v, t);
+      }
+      out->push_back(std::move(restricted));
+      if (out->size() - emitted_before > options_.max_unifiers) {
+        return Status::ResourceExhausted(
+            "set unification exceeded unifier limit");
+      }
+      continue;
+    }
+
+    WorkItem item = std::move(frame.stack.back());
+    frame.stack.pop_back();
+
+    if (std::holds_alternative<PairGoal>(item)) {
+      PairGoal g = std::get<PairGoal>(item);
+      TermId ta = frame.subst.Apply(store_, g.a);
+      TermId tb = frame.subst.Apply(store_, g.b);
+      if (ta == tb) {
+        frames.push_back(std::move(frame));
+        continue;
+      }
+      const TermNode& na = store_->node(ta);
+      const TermNode& nb = store_->node(tb);
+      if (na.kind == TermKind::kVariable ||
+          nb.kind == TermKind::kVariable) {
+        // Orient: bind a variable to the other side.
+        TermId var = (na.kind == TermKind::kVariable) ? ta : tb;
+        TermId val = (na.kind == TermKind::kVariable) ? tb : ta;
+        if (!SortAllowsBinding(*store_, var, val)) continue;  // fail
+        if (store_->ContainsVariable(val, var)) continue;     // occurs
+        frame.subst.Bind(var, val);
+        frames.push_back(std::move(frame));
+        continue;
+      }
+      if (na.kind != nb.kind) continue;  // fail
+      switch (na.kind) {
+        case TermKind::kConstant:
+        case TermKind::kInt:
+          // Hash-consing: equal ground atoms have equal ids, and
+          // ta != tb here.
+          continue;
+        case TermKind::kFunction: {
+          auto args_a = store_->args(ta);
+          auto args_b = store_->args(tb);
+          if (na.symbol != nb.symbol || args_a.size() != args_b.size()) {
+            continue;  // clash
+          }
+          for (size_t i = args_a.size(); i-- > 0;) {
+            frame.stack.push_back(PairGoal{args_a[i], args_b[i]});
+          }
+          frames.push_back(std::move(frame));
+          continue;
+        }
+        case TermKind::kSet: {
+          auto ea = store_->args(ta);
+          auto eb = store_->args(tb);
+          SetGoal sg;
+          sg.la.assign(ea.begin(), ea.end());
+          sg.lb.assign(eb.begin(), eb.end());
+          frame.stack.push_back(std::move(sg));
+          frames.push_back(std::move(frame));
+          continue;
+        }
+        case TermKind::kVariable:
+          continue;  // unreachable
+      }
+      continue;
+    }
+
+    // Set goal: unify element lists as sets (three-way branching rule).
+    SetGoal sg = std::get<SetGoal>(item);
+    // Re-apply the substitution and re-canonicalize both sides.
+    auto canon = [&](std::vector<TermId>* l) {
+      for (TermId& t : *l) t = frame.subst.Apply(store_, t);
+      std::sort(l->begin(), l->end());
+      l->erase(std::unique(l->begin(), l->end()), l->end());
+    };
+    canon(&sg.la);
+    canon(&sg.lb);
+    if (sg.la == sg.lb) {
+      frames.push_back(std::move(frame));
+      continue;
+    }
+    if (sg.la.empty() || sg.lb.empty()) continue;  // {} vs nonempty: fail
+    // Pick the first element of the left list and try to pair it with
+    // every element of the right list. Three continuation branches per
+    // pairing (Dovier et al.'s rule, specialised to bounded set terms):
+    //   A: t and u are both fully matched by each other;
+    //   B: u may additionally absorb further left elements;
+    //   C: t may additionally absorb further right elements.
+    TermId t = sg.la.front();
+    std::vector<TermId> la_rest(sg.la.begin() + 1, sg.la.end());
+    for (size_t j = 0; j < sg.lb.size(); ++j) {
+      TermId u = sg.lb[j];
+      std::vector<TermId> lb_rest;
+      lb_rest.reserve(sg.lb.size() - 1);
+      for (size_t k = 0; k < sg.lb.size(); ++k) {
+        if (k != j) lb_rest.push_back(sg.lb[k]);
+      }
+      // Branch A.
+      {
+        Frame f;
+        f.subst = frame.subst;
+        f.stack = frame.stack;
+        f.stack.push_back(SetGoal{la_rest, lb_rest});
+        f.stack.push_back(PairGoal{t, u});
+        frames.push_back(std::move(f));
+      }
+      // Branch B: keep u available for the remaining left elements.
+      if (!la_rest.empty()) {
+        Frame f;
+        f.subst = frame.subst;
+        f.stack = frame.stack;
+        f.stack.push_back(SetGoal{la_rest, sg.lb});
+        f.stack.push_back(PairGoal{t, u});
+        frames.push_back(std::move(f));
+      }
+      // Branch C: keep t available for the remaining right elements.
+      if (!lb_rest.empty()) {
+        Frame f;
+        f.subst = frame.subst;
+        f.stack = frame.stack;
+        f.stack.push_back(SetGoal{sg.la, lb_rest});
+        f.stack.push_back(PairGoal{t, u});
+        frames.push_back(std::move(f));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lps

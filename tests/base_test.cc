@@ -1,0 +1,109 @@
+// Tests for the Status/Result error-handling substrate and string
+// helpers.
+#include "base/status.h"
+
+#include <gtest/gtest.h>
+
+#include "base/hash.h"
+#include "base/strings.h"
+
+namespace lps {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorsCarryCodeAndMessage) {
+  Status st = Status::SortError("boom");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kSortError);
+  EXPECT_EQ(st.message(), "boom");
+  EXPECT_EQ(st.ToString(), "SortError: boom");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kStratificationError);
+       ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)),
+                 "Unknown");
+  }
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+}
+
+TEST(ResultTest, ValueAndStatusAccess) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.ValueOr(0), 42);
+
+  Result<int> err = Status::NotFound("nope");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Result<int> DoubleIfPositive(int x) {
+  LPS_RETURN_IF_ERROR(FailIfNegative(x));
+  return 2 * x;
+}
+
+Result<int> ChainThrough(int x) {
+  LPS_ASSIGN_OR_RETURN(int doubled, DoubleIfPositive(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, MacrosPropagate) {
+  auto good = ChainThrough(3);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+  auto bad = ChainThrough(-3);
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, " | "), "a | b | c");
+}
+
+TEST(StringsTest, IntegerLiteral) {
+  EXPECT_TRUE(IsIntegerLiteral("0"));
+  EXPECT_TRUE(IsIntegerLiteral("-42"));
+  EXPECT_TRUE(IsIntegerLiteral("123456"));
+  EXPECT_FALSE(IsIntegerLiteral(""));
+  EXPECT_FALSE(IsIntegerLiteral("-"));
+  EXPECT_FALSE(IsIntegerLiteral("12a"));
+  EXPECT_FALSE(IsIntegerLiteral("a12"));
+}
+
+TEST(HashTest, RangeHashingIsOrderSensitive) {
+  std::vector<uint32_t> a = {1, 2, 3};
+  std::vector<uint32_t> b = {3, 2, 1};
+  std::vector<uint32_t> c = {1, 2, 3};
+  EXPECT_EQ(HashRange(a), HashRange(c));
+  EXPECT_NE(HashRange(a), HashRange(b));  // overwhelmingly likely
+}
+
+}  // namespace
+}  // namespace lps

@@ -1,0 +1,237 @@
+// Tests for builtin predicate evaluation and instantiation modes
+// (Definitions 3 and 15; arithmetic; schoose/card extensions).
+#include "eval/builtins.h"
+
+#include <gtest/gtest.h>
+
+#include "term/set_algebra.h"
+
+namespace lps {
+namespace {
+
+class BuiltinsTest : public ::testing::Test {
+ protected:
+  TermId C(const std::string& n) { return store_.MakeConstant(n); }
+  TermId I(int64_t v) { return store_.MakeInt(v); }
+  TermId V(const std::string& n, Sort s = Sort::kAtom) {
+    return store_.MakeVariable(n, s);
+  }
+  TermId S(std::vector<TermId> e) { return store_.MakeSet(std::move(e)); }
+
+  // Collects all solutions as instantiated argument tuples.
+  std::vector<std::vector<TermId>> Eval(PredicateId pred,
+                                        std::vector<TermId> args) {
+    std::vector<std::vector<TermId>> out;
+    Status st = EvalBuiltin(&store_, pred, args, options_,
+                            [&](const Substitution& s) {
+                              std::vector<TermId> inst;
+                              for (TermId a : args) {
+                                inst.push_back(s.Apply(&store_, a));
+                              }
+                              out.push_back(std::move(inst));
+                              return Status::OK();
+                            });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return out;
+  }
+
+  bool Check(PredicateId pred, std::vector<TermId> args) {
+    auto r = CheckBuiltin(&store_, pred, args, options_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() && *r;
+  }
+
+  TermStore store_;
+  BuiltinOptions options_;
+};
+
+TEST_F(BuiltinsTest, EqualityIsIdOnBothSorts) {
+  EXPECT_TRUE(Check(kPredEq, {C("a"), C("a")}));
+  EXPECT_FALSE(Check(kPredEq, {C("a"), C("b")}));
+  EXPECT_TRUE(Check(kPredEq, {S({C("a"), C("b")}), S({C("b"), C("a")})}));
+  EXPECT_TRUE(Check(kPredNeq, {C("a"), C("b")}));
+  EXPECT_FALSE(Check(kPredNeq, {C("a"), C("a")}));
+}
+
+TEST_F(BuiltinsTest, EqualityBindsVariables) {
+  TermId x = V("X");
+  auto sols = Eval(kPredEq, {x, C("a")});
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(sols[0][0], C("a"));
+}
+
+TEST_F(BuiltinsTest, MembershipChecksAndEnumerates) {
+  TermId s = S({C("a"), C("b")});
+  EXPECT_TRUE(Check(kPredIn, {C("a"), s}));
+  EXPECT_FALSE(Check(kPredIn, {C("c"), s}));
+  EXPECT_TRUE(Check(kPredNotIn, {C("c"), s}));
+  auto sols = Eval(kPredIn, {V("X"), s});
+  EXPECT_EQ(sols.size(), 2u);
+  EXPECT_TRUE(Eval(kPredIn, {V("X"), store_.EmptySet()}).empty());
+}
+
+TEST_F(BuiltinsTest, UnionForwardMode) {
+  auto sols =
+      Eval(kPredUnion, {S({C("a")}), S({C("b")}), V("Z", Sort::kSet)});
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(sols[0][2], S({C("a"), C("b")}));
+  EXPECT_TRUE(Check(kPredUnion, {S({C("a")}), S({C("b")}),
+                                 S({C("a"), C("b")})}));
+  EXPECT_FALSE(Check(kPredUnion, {S({C("a")}), S({C("b")}), S({C("a")})}));
+}
+
+TEST_F(BuiltinsTest, UnionDecomposesAllPairs) {
+  // union(X, Y, {a,b}): 3^2 = 9 element placements.
+  auto sols = Eval(kPredUnion, {V("X", Sort::kSet), V("Y", Sort::kSet),
+                                S({C("a"), C("b")})});
+  EXPECT_EQ(sols.size(), 9u);
+  for (const auto& sol : sols) {
+    EXPECT_EQ(SetUnion(&store_, sol[0], sol[1]), S({C("a"), C("b")}));
+  }
+}
+
+TEST_F(BuiltinsTest, UnionOneBoundDecomposition) {
+  // union({a}, Y, {a,b}): Y must contain b, may contain a.
+  auto sols = Eval(kPredUnion,
+                   {S({C("a")}), V("Y", Sort::kSet), S({C("a"), C("b")})});
+  EXPECT_EQ(sols.size(), 2u);
+  // X not a subset of Z: no solutions.
+  EXPECT_TRUE(
+      Eval(kPredUnion, {S({C("q")}), V("Y", Sort::kSet), S({C("a")})})
+          .empty());
+}
+
+TEST_F(BuiltinsTest, SconsForwardAndBackward) {
+  auto fwd = Eval(kPredScons,
+                  {C("a"), S({C("b")}), V("Z", Sort::kSet)});
+  ASSERT_EQ(fwd.size(), 1u);
+  EXPECT_EQ(fwd[0][2], S({C("a"), C("b")}));
+  // Backward: Z = {a,b} decomposes as (a, {b}), (a, {a,b}),
+  // (b, {a}), (b, {a,b}).
+  auto bwd = Eval(kPredScons, {V("X"), V("Y", Sort::kSet),
+                               S({C("a"), C("b")})});
+  EXPECT_EQ(bwd.size(), 4u);
+  for (const auto& sol : bwd) {
+    EXPECT_EQ(SetCons(&store_, sol[0], sol[1]), S({C("a"), C("b")}));
+  }
+}
+
+TEST_F(BuiltinsTest, SchooseIsDeterministic) {
+  TermId s = S({C("a"), C("b"), C("c")});
+  auto sols = Eval(kPredSchoose, {s, V("X"), V("R", Sort::kSet)});
+  ASSERT_EQ(sols.size(), 1u);
+  // Chosen element + rest reconstruct the set and the choice is minimal.
+  EXPECT_EQ(SetCons(&store_, sols[0][1], sols[0][2]), s);
+  EXPECT_FALSE(SetContains(store_, sols[0][2], sols[0][1]));
+  // Empty set: no choice.
+  EXPECT_TRUE(
+      Eval(kPredSchoose, {store_.EmptySet(), V("X"), V("R", Sort::kSet)})
+          .empty());
+}
+
+TEST_F(BuiltinsTest, SchooseInverseMode) {
+  TermId s = S({C("a"), C("b"), C("c")});
+  auto fwd = Eval(kPredSchoose, {s, V("X"), V("R", Sort::kSet)});
+  ASSERT_EQ(fwd.size(), 1u);
+  // Rebuilding with the same (x, rest) must give back s.
+  auto inv = Eval(kPredSchoose, {V("Z", Sort::kSet), fwd[0][1], fwd[0][2]});
+  ASSERT_EQ(inv.size(), 1u);
+  EXPECT_EQ(inv[0][0], s);
+  // A non-minimal element cannot be "chosen".
+  TermId not_min = *store_.args(s).rbegin();
+  TermId rest = SetRemove(&store_, s, not_min);
+  EXPECT_TRUE(
+      Eval(kPredSchoose, {V("Z", Sort::kSet), not_min, rest}).empty());
+}
+
+TEST_F(BuiltinsTest, CardComputes) {
+  auto sols = Eval(kPredCard, {S({C("a"), C("b")}), V("N")});
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(sols[0][1], I(2));
+  EXPECT_TRUE(Check(kPredCard, {store_.EmptySet(), I(0)}));
+  EXPECT_FALSE(Check(kPredCard, {store_.EmptySet(), I(1)}));
+}
+
+TEST_F(BuiltinsTest, ArithmeticAllModes) {
+  EXPECT_TRUE(Check(kPredAdd, {I(2), I(3), I(5)}));
+  EXPECT_FALSE(Check(kPredAdd, {I(2), I(3), I(6)}));
+  auto k = Eval(kPredAdd, {I(2), I(3), V("K")});
+  ASSERT_EQ(k.size(), 1u);
+  EXPECT_EQ(k[0][2], I(5));
+  auto n = Eval(kPredAdd, {I(2), V("N"), I(5)});
+  ASSERT_EQ(n.size(), 1u);
+  EXPECT_EQ(n[0][1], I(3));
+  auto m = Eval(kPredAdd, {V("M"), I(3), I(5)});
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0][0], I(2));
+  EXPECT_TRUE(Check(kPredSub, {I(5), I(3), I(2)}));
+  EXPECT_TRUE(Check(kPredMul, {I(4), I(3), I(12)}));
+  EXPECT_TRUE(Check(kPredDiv, {I(12), I(3), I(4)}));
+}
+
+TEST_F(BuiltinsTest, MulInverseRespectsDivisibility) {
+  EXPECT_TRUE(Eval(kPredMul, {I(2), V("N"), I(7)}).empty());
+  auto n = Eval(kPredMul, {I(2), V("N"), I(8)});
+  ASSERT_EQ(n.size(), 1u);
+  EXPECT_EQ(n[0][1], I(4));
+  // Division by zero fails rather than erroring.
+  EXPECT_TRUE(Eval(kPredDiv, {I(5), I(0), V("K")}).empty());
+}
+
+TEST_F(BuiltinsTest, ArithmeticOnNonIntegersFails) {
+  EXPECT_FALSE(Check(kPredAdd, {C("a"), I(1), I(2)}));
+  EXPECT_FALSE(Check(kPredLt, {C("a"), I(1)}));
+}
+
+TEST_F(BuiltinsTest, Comparisons) {
+  EXPECT_TRUE(Check(kPredLt, {I(1), I(2)}));
+  EXPECT_FALSE(Check(kPredLt, {I(2), I(2)}));
+  EXPECT_TRUE(Check(kPredLe, {I(2), I(2)}));
+}
+
+TEST_F(BuiltinsTest, InsufficientInstantiationIsSafetyError) {
+  TermId x = V("X"), y = V("Y", Sort::kSet);
+  Status st = EvalBuiltin(&store_, kPredIn, std::vector<TermId>{x, y},
+                          options_,
+                          [](const Substitution&) { return Status::OK(); });
+  EXPECT_EQ(st.code(), StatusCode::kSafetyError);
+  st = EvalBuiltin(&store_, kPredAdd, std::vector<TermId>{x, x, x},
+                   options_,
+                   [](const Substitution&) { return Status::OK(); });
+  EXPECT_EQ(st.code(), StatusCode::kSafetyError);
+}
+
+TEST_F(BuiltinsTest, ModeTableMatchesEvaluator) {
+  EXPECT_TRUE(BuiltinModeSupported(kPredIn, {false, true}));
+  EXPECT_FALSE(BuiltinModeSupported(kPredIn, {true, false}));
+  EXPECT_TRUE(BuiltinModeSupported(kPredUnion, {true, true, false}));
+  EXPECT_TRUE(BuiltinModeSupported(kPredUnion, {false, false, true}));
+  EXPECT_FALSE(BuiltinModeSupported(kPredUnion, {true, false, false}));
+  EXPECT_TRUE(BuiltinModeSupported(kPredEq, {true, false}));
+  EXPECT_FALSE(BuiltinModeSupported(kPredNeq, {true, false}));
+  EXPECT_TRUE(BuiltinModeSupported(kPredAdd, {true, false, true}));
+  EXPECT_FALSE(BuiltinModeSupported(kPredAdd, {true, false, false}));
+}
+
+TEST_F(BuiltinsTest, PatternArgumentsUnifyAgainstResults) {
+  // union({a}, {b}, {X, b}) should bind X to a.
+  TermId x = V("X");
+  auto sols =
+      Eval(kPredUnion, {S({C("a")}), S({C("b")}), S({x, C("b")})});
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(sols[0][2], S({C("a"), C("b")}));
+}
+
+TEST_F(BuiltinsTest, DecompositionLimitGuard) {
+  BuiltinOptions tight;
+  tight.max_decompose_cardinality = 2;
+  std::vector<TermId> big = {C("a"), C("b"), C("c")};
+  Status st = EvalBuiltin(
+      &store_, kPredUnion,
+      std::vector<TermId>{V("X", Sort::kSet), V("Y", Sort::kSet), S(big)},
+      tight, [](const Substitution&) { return Status::OK(); });
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace lps

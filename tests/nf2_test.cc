@@ -1,0 +1,158 @@
+// Tests for the non-1NF relation substrate [JS82] and its bridge to
+// LPS programs (Example 4).
+#include "nf2/nested_relation.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/engine.h"
+
+namespace lps {
+namespace {
+
+#define ASSERT_OK(expr)                        \
+  do {                                         \
+    ::lps::Status _st = (expr);                \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();   \
+  } while (0)
+
+class Nf2Test : public ::testing::Test {
+ protected:
+  TermId C(const std::string& n) { return store_.MakeConstant(n); }
+  TermId S(std::vector<TermId> e) { return store_.MakeSet(std::move(e)); }
+  TermStore store_;
+};
+
+TEST_F(Nf2Test, SchemaEnforced) {
+  NestedRelation rel({"obj", "parts"}, {Sort::kAtom, Sort::kSet});
+  EXPECT_TRUE(rel.AddRow(store_, {C("p1"), S({C("a")})}).ok());
+  EXPECT_FALSE(rel.AddRow(store_, {C("p1")}).ok());          // arity
+  EXPECT_FALSE(rel.AddRow(store_, {C("p1"), C("a")}).ok());  // sort
+  EXPECT_FALSE(
+      rel.AddRow(store_, {store_.MakeVariable("X", Sort::kAtom),
+                          S({})})
+          .ok());  // ground
+  EXPECT_EQ(rel.size(), 1u);
+}
+
+TEST_F(Nf2Test, DuplicateRowsCollapse) {
+  NestedRelation rel({"obj", "parts"}, {Sort::kAtom, Sort::kSet});
+  ASSERT_OK(rel.AddRow(store_, {C("p1"), S({C("a"), C("b")})}));
+  ASSERT_OK(rel.AddRow(store_, {C("p1"), S({C("b"), C("a")})}));
+  EXPECT_EQ(rel.size(), 1u);  // canonical sets make these identical
+}
+
+TEST_F(Nf2Test, UnnestExample4) {
+  NestedRelation rel({"obj", "parts"}, {Sort::kAtom, Sort::kSet});
+  ASSERT_OK(rel.AddRow(store_, {C("p1"), S({C("a"), C("b")})}));
+  ASSERT_OK(rel.AddRow(store_, {C("p2"), S({C("c")})}));
+  ASSERT_OK(rel.AddRow(store_, {C("p3"), S({})}));  // vanishes
+  auto flat = rel.Unnest(store_, 1);
+  ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+  EXPECT_EQ(flat->size(), 3u);  // (p1,a) (p1,b) (p2,c)
+}
+
+TEST_F(Nf2Test, NestInvertsUnnestOnPartitionedData) {
+  NestedRelation rel({"obj", "parts"}, {Sort::kAtom, Sort::kSet});
+  ASSERT_OK(rel.AddRow(store_, {C("p1"), S({C("a"), C("b")})}));
+  ASSERT_OK(rel.AddRow(store_, {C("p2"), S({C("c")})}));
+  auto flat = rel.Unnest(store_, 1);
+  ASSERT_TRUE(flat.ok());
+  auto back = flat->Nest(&store_, 1);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->SameRows(rel));
+}
+
+TEST_F(Nf2Test, UnnestThenNestLosesEmptySets) {
+  // Classic [JS82] caveat: rows with empty sets do not survive the
+  // round trip (nest only sees witnesses).
+  NestedRelation rel({"obj", "parts"}, {Sort::kAtom, Sort::kSet});
+  ASSERT_OK(rel.AddRow(store_, {C("p1"), S({C("a")})}));
+  ASSERT_OK(rel.AddRow(store_, {C("p3"), S({})}));
+  auto flat = rel.Unnest(store_, 1);
+  ASSERT_TRUE(flat.ok());
+  auto back = flat->Nest(&store_, 1);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back->SameRows(rel));
+  EXPECT_EQ(back->size(), 1u);
+}
+
+TEST_F(Nf2Test, NestGroupsByRemainingColumns) {
+  NestedRelation flat({"dept", "emp"}, {Sort::kAtom, Sort::kAtom});
+  ASSERT_OK(flat.AddRow(store_, {C("sales"), C("ann")}));
+  ASSERT_OK(flat.AddRow(store_, {C("sales"), C("bob")}));
+  ASSERT_OK(flat.AddRow(store_, {C("dev"), C("carol")}));
+  auto nested = flat.Nest(&store_, 1);
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(nested->size(), 2u);
+  bool found = false;
+  for (const Tuple& row : nested->rows()) {
+    if (row[0] == C("sales")) {
+      EXPECT_EQ(row[1], S({C("ann"), C("bob")}));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(Nf2Test, ExportFactsIntoProgram) {
+  NestedRelation rel({"obj", "parts"}, {Sort::kAtom, Sort::kSet});
+  ASSERT_OK(rel.AddRow(store_, {C("p1"), S({C("a"), C("b")})}));
+
+  Program program(&store_);
+  ASSERT_OK(rel.ExportFacts(&program, "parts"));
+  EXPECT_EQ(program.facts().size(), 1u);
+  PredicateId parts = program.signature().Lookup("parts", 2);
+  ASSERT_NE(parts, kInvalidPredicate);
+  EXPECT_EQ(program.signature().info(parts).arg_sorts[1], Sort::kSet);
+}
+
+TEST_F(Nf2Test, RoundTripThroughEngine) {
+  // Full bridge: nested relation -> LPS unnest rule -> relation again.
+  Engine engine(LanguageMode::kLPS);
+  NestedRelation rel({"obj", "parts"}, {Sort::kAtom, Sort::kSet});
+  TermStore* store = engine.store();
+  ASSERT_OK(rel.AddRow(*store,
+                       {store->MakeConstant("p1"),
+                        store->MakeSet({store->MakeConstant("a"),
+                                        store->MakeConstant("b")})}));
+  ASSERT_OK(rel.ExportFacts(engine.program(), "parts"));
+  ASSERT_OK(engine.LoadString(
+      "flat(X, E) :- parts(X, Y), E in Y."));
+  ASSERT_OK(engine.Evaluate());
+  PredicateId flat_pred = engine.signature()->Lookup("flat", 2);
+  const Relation* r = engine.database()->FindRelation(flat_pred);
+  ASSERT_NE(r, nullptr);
+  auto imported = NestedRelation::FromRelation(
+      *store, *r, {"obj", "part"}, {Sort::kAtom, Sort::kAtom});
+  ASSERT_TRUE(imported.ok());
+  EXPECT_EQ(imported->size(), 2u);
+  // And the LPS-level unnest agrees with the algebraic one.
+  auto algebraic = rel.Unnest(*store, 1);
+  ASSERT_TRUE(algebraic.ok());
+  EXPECT_TRUE(imported->SameRows(*algebraic));
+}
+
+TEST_F(Nf2Test, ElpsNestedColumns) {
+  // Sets of sets as column values (Section 5).
+  NestedRelation rel({"owner", "bundles"}, {Sort::kAtom, Sort::kSet});
+  TermId bundle = S({S({C("pen"), C("ink")}), S({C("book")})});
+  ASSERT_OK(rel.AddRow(store_, {C("ann"), bundle}));
+  auto flat = rel.Unnest(store_, 1);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->size(), 2u);
+  // Elements are sets; the unnested column is now set-valued.
+  for (const Tuple& row : flat->rows()) {
+    EXPECT_EQ(store_.sort(row[1]), Sort::kSet);
+  }
+}
+
+TEST_F(Nf2Test, ToStringRendersTable) {
+  NestedRelation rel({"obj", "parts"}, {Sort::kAtom, Sort::kSet});
+  ASSERT_OK(rel.AddRow(store_, {C("p1"), S({C("a")})}));
+  std::string s = rel.ToString(store_);
+  EXPECT_NE(s.find("obj | parts"), std::string::npos);
+  EXPECT_NE(s.find("p1 | {a}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lps

@@ -1,0 +1,274 @@
+// Tests for the lexer, parser, and sort inference.
+#include "parse/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "parse/sort_infer.h"
+
+namespace lps {
+namespace {
+
+TEST(LexerTest, TokenizesPunctuationAndKeywords) {
+  auto toks = Tokenize("p(X, {a, 1}) :- X in Ys, not q ; r. ?- z.");
+  ASSERT_TRUE(toks.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *toks) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds.front(), TokenKind::kIdent);
+  EXPECT_EQ(kinds.back(), TokenKind::kEof);
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokenKind::kQuery),
+            kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokenKind::kKwNot),
+            kinds.end());
+}
+
+TEST(LexerTest, CommentsAndNegativeNumbers) {
+  auto toks = Tokenize("p(-3). % comment\n// another\nq(4).");
+  ASSERT_TRUE(toks.ok());
+  int ints = 0;
+  for (const Token& t : *toks) {
+    if (t.kind == TokenKind::kInteger) {
+      ++ints;
+      EXPECT_TRUE(t.int_value == -3 || t.int_value == 4);
+    }
+  }
+  EXPECT_EQ(ints, 2);
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  auto toks = Tokenize("p.\nq.\nr.");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].line, 1);
+  EXPECT_EQ((*toks)[2].line, 2);
+  EXPECT_EQ((*toks)[4].line, 3);
+}
+
+TEST(LexerTest, RejectsStrayCharacters) {
+  EXPECT_FALSE(Tokenize("p(a) @ q.").ok());
+  EXPECT_FALSE(Tokenize("p :- q!").ok());
+}
+
+TEST(ParserTest, ParsesFactsRulesQueriesDecls) {
+  auto unit = ParseSource(R"(
+    pred parts(atom, set).
+    parts(p1, {a, b}).
+    big(X) :- parts(X, Ys), card(Ys, N), 2 <= N.
+    ?- big(p1).
+  )");
+  ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+  EXPECT_EQ(unit->decls.size(), 1u);
+  EXPECT_EQ(unit->clauses.size(), 2u);
+  EXPECT_EQ(unit->queries.size(), 1u);
+  EXPECT_EQ(unit->decls[0].sorts,
+            (std::vector<Sort>{Sort::kAtom, Sort::kSet}));
+}
+
+TEST(ParserTest, QuantifierChains) {
+  auto unit = ParseSource(
+      "disj(X, Y) :- forall A in X, forall B in Y : A != B.");
+  ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+  const PFormula& body = *unit->clauses[0].body;
+  ASSERT_EQ(body.kind, FormulaKind::kForall);
+  ASSERT_EQ(body.children[0].kind, FormulaKind::kForall);
+  EXPECT_EQ(body.children[0].children[0].kind, FormulaKind::kAtomic);
+  EXPECT_EQ(body.var, "A");
+  EXPECT_EQ(body.children[0].var, "B");
+}
+
+TEST(ParserTest, QuantifierScopeIsOneUnit) {
+  // forall applies to the next unit only; the trailing conjunct is
+  // outside its scope.
+  auto unit = ParseSource("p(X) :- forall A in X : q(A), r(X).");
+  ASSERT_TRUE(unit.ok());
+  const PFormula& body = *unit->clauses[0].body;
+  ASSERT_EQ(body.kind, FormulaKind::kAnd);
+  EXPECT_EQ(body.children[0].kind, FormulaKind::kForall);
+  EXPECT_EQ(body.children[1].kind, FormulaKind::kAtomic);
+}
+
+TEST(ParserTest, DisjunctionPrecedence) {
+  // "a, b ; c" parses as (a, b) ; c - comma binds tighter.
+  auto unit = ParseSource("p :- q, r ; s.");
+  ASSERT_TRUE(unit.ok());
+  const PFormula& body = *unit->clauses[0].body;
+  ASSERT_EQ(body.kind, FormulaKind::kOr);
+  EXPECT_EQ(body.children[0].kind, FormulaKind::kAnd);
+  EXPECT_EQ(body.children[1].kind, FormulaKind::kAtomic);
+}
+
+TEST(ParserTest, GroupingHeads) {
+  auto unit = ParseSource("g(X, <Y>) :- q(X, Y).");
+  ASSERT_TRUE(unit.ok());
+  const PClause& c = unit->clauses[0];
+  ASSERT_EQ(c.args.size(), 2u);
+  EXPECT_FALSE(c.args[0].grouped);
+  EXPECT_TRUE(c.args[1].grouped);
+  EXPECT_EQ(c.args[1].term.name, "Y");
+}
+
+TEST(ParserTest, ComparisonsAndExists) {
+  auto unit = ParseSource(
+      "p(X) :- exists A in X : (A < 3 ; A = 7), X != {}.");
+  ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+  const PFormula& body = *unit->clauses[0].body;
+  ASSERT_EQ(body.kind, FormulaKind::kAnd);
+  EXPECT_EQ(body.children[0].kind, FormulaKind::kExists);
+}
+
+TEST(ParserTest, FunctionTermsAndNestedSets) {
+  auto unit = ParseSource("p(f(a, g(X)), {{a}, {}}).");
+  ASSERT_TRUE(unit.ok());
+  const PClause& c = unit->clauses[0];
+  EXPECT_EQ(c.args[0].term.kind, PTerm::Kind::kFunc);
+  EXPECT_EQ(c.args[0].term.args[1].kind, PTerm::Kind::kFunc);
+  EXPECT_EQ(c.args[1].term.kind, PTerm::Kind::kSet);
+  EXPECT_EQ(c.args[1].term.args.size(), 2u);
+}
+
+TEST(ParserTest, ErrorsCarryLineInfo) {
+  auto bad = ParseSource("p(a) :- q(b)\nr(c).");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line"), std::string::npos);
+  EXPECT_FALSE(ParseSource("p() .").ok());
+  EXPECT_FALSE(ParseSource(":- q.").ok());
+  EXPECT_FALSE(ParseSource("p :- forall x in X : q(x).").ok())
+      << "lower-case quantified variable should fail (x is a constant)";
+}
+
+class SortInferTest : public ::testing::Test {
+ protected:
+  // Infers sorts for the single clause of `src`.
+  VarSorts Infer(const std::string& src,
+                 LanguageMode mode = LanguageMode::kLPS) {
+    auto unit = ParseSource(src);
+    EXPECT_TRUE(unit.ok()) << unit.status().ToString();
+    SymbolTable syms;
+    Signature sig(&syms);
+    auto sorts = InferClauseSorts(unit->clauses[0], mode, sig);
+    EXPECT_TRUE(sorts.ok()) << sorts.status().ToString();
+    return sorts.ok() ? *sorts : VarSorts{};
+  }
+};
+
+TEST_F(SortInferTest, QuantifierMakesRangeSetAndVarAtom) {
+  VarSorts s = Infer("p(X) :- forall A in X : q(A).");
+  EXPECT_EQ(s["X"], Sort::kSet);
+  EXPECT_EQ(s["A"], Sort::kAtom);
+}
+
+TEST_F(SortInferTest, BuiltinPositionsConstrain) {
+  VarSorts s = Infer("p(X, Y, Z, N) :- union(X, Y, Z), card(Z, N).");
+  EXPECT_EQ(s["X"], Sort::kSet);
+  EXPECT_EQ(s["Y"], Sort::kSet);
+  EXPECT_EQ(s["Z"], Sort::kSet);
+  EXPECT_EQ(s["N"], Sort::kAtom);
+}
+
+TEST_F(SortInferTest, MembershipSplitsSorts) {
+  VarSorts s = Infer("p(A, X) :- A in X.");
+  EXPECT_EQ(s["A"], Sort::kAtom);
+  EXPECT_EQ(s["X"], Sort::kSet);
+}
+
+TEST_F(SortInferTest, EqualityPropagates) {
+  VarSorts s = Infer("p(X) :- X = Y, Y = {a}.");
+  EXPECT_EQ(s["X"], Sort::kSet);
+  EXPECT_EQ(s["Y"], Sort::kSet);
+}
+
+TEST_F(SortInferTest, DefaultsAtomInLps) {
+  VarSorts s = Infer("p(X, Y) :- q(X, Y).");
+  EXPECT_EQ(s["X"], Sort::kAtom);
+  EXPECT_EQ(s["Y"], Sort::kAtom);
+}
+
+TEST_F(SortInferTest, ConflictIsErrorInLps) {
+  auto unit = ParseSource("p(X) :- X in Y, forall A in X : q(A).");
+  ASSERT_TRUE(unit.ok());
+  SymbolTable syms;
+  Signature sig(&syms);
+  // X is a member (atom in LPS) and a quantifier range (set): LPS error.
+  auto lps = InferClauseSorts(unit->clauses[0], LanguageMode::kLPS, sig);
+  EXPECT_FALSE(lps.ok());
+  // ELPS: membership left side is untyped (sets can contain sets), so X
+  // is simply a set.
+  auto elps =
+      InferClauseSorts(unit->clauses[0], LanguageMode::kELPS, sig);
+  ASSERT_TRUE(elps.ok());
+  EXPECT_EQ((*elps)["X"], Sort::kSet);
+}
+
+TEST_F(SortInferTest, HardConflictWidensToAnyInElps) {
+  // Arithmetic forces atom in every mode; the quantifier range forces
+  // set: ELPS widens to kAny, LPS rejects.
+  auto unit =
+      ParseSource("p(X) :- add(X, 1, K), forall A in X : q(A).");
+  ASSERT_TRUE(unit.ok());
+  SymbolTable syms;
+  Signature sig(&syms);
+  EXPECT_FALSE(
+      InferClauseSorts(unit->clauses[0], LanguageMode::kLPS, sig).ok());
+  auto elps =
+      InferClauseSorts(unit->clauses[0], LanguageMode::kELPS, sig);
+  ASSERT_TRUE(elps.ok());
+  EXPECT_EQ((*elps)["X"], Sort::kAny);
+}
+
+TEST_F(SortInferTest, DeclaredPredicatesDriveInference) {
+  auto unit = ParseSource(R"(
+    pred parts(atom, set).
+    q(P, Y) :- parts(P, Y).
+  )");
+  ASSERT_TRUE(unit.ok());
+  SymbolTable syms;
+  Signature sig(&syms);
+  ASSERT_TRUE(sig.Declare("parts", {Sort::kAtom, Sort::kSet}).ok());
+  auto sorts =
+      InferClauseSorts(unit->clauses[0], LanguageMode::kLPS, sig);
+  ASSERT_TRUE(sorts.ok());
+  EXPECT_EQ((*sorts)["P"], Sort::kAtom);
+  EXPECT_EQ((*sorts)["Y"], Sort::kSet);
+}
+
+TEST(LowerTest, InfersDeclarationsFromUsage) {
+  auto unit = ParseSource(R"(
+    r(p1, {a}).
+    s(X, E) :- r(X, Y), E in Y.
+  )");
+  ASSERT_TRUE(unit.ok());
+  TermStore store;
+  Signature sig(&store.symbols());
+  auto lowered =
+      LowerParsedUnit(*unit, LanguageMode::kLPS, &store, &sig);
+  ASSERT_TRUE(lowered.ok()) << lowered.status().ToString();
+  PredicateId r = sig.Lookup("r", 2);
+  ASSERT_NE(r, kInvalidPredicate);
+  EXPECT_EQ(sig.info(r).arg_sorts[0], Sort::kAtom);
+  EXPECT_EQ(sig.info(r).arg_sorts[1], Sort::kSet);
+  EXPECT_EQ(lowered->facts.size(), 1u);
+  EXPECT_EQ(lowered->clauses.size(), 1u);
+}
+
+TEST(LowerTest, UnknownQueryPredicateFails) {
+  auto unit = ParseSource("?- nosuch(a).");
+  ASSERT_TRUE(unit.ok());
+  TermStore store;
+  Signature sig(&store.symbols());
+  auto lowered =
+      LowerParsedUnit(*unit, LanguageMode::kLPS, &store, &sig);
+  EXPECT_FALSE(lowered.ok());
+}
+
+TEST(LowerTest, NonGroundBodylessHeadIsClauseNotFact) {
+  auto unit = ParseSource("p(X).");
+  ASSERT_TRUE(unit.ok());
+  TermStore store;
+  Signature sig(&store.symbols());
+  auto lowered =
+      LowerParsedUnit(*unit, LanguageMode::kLPS, &store, &sig);
+  ASSERT_TRUE(lowered.ok());
+  EXPECT_EQ(lowered->facts.size(), 0u);
+  EXPECT_EQ(lowered->clauses.size(), 1u);
+}
+
+}  // namespace
+}  // namespace lps

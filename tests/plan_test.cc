@@ -1,0 +1,165 @@
+// Tests for join planning: literal ordering, builtin-mode awareness,
+// enumeration fallbacks, and the quantifier-specific plan parts.
+#include "eval/plan.h"
+
+#include <gtest/gtest.h>
+
+namespace lps {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  PlanTest() : program_(&store_) {
+    Signature& sig = program_.signature();
+    p1_ = *sig.Declare("p1", {Sort::kAtom});
+    p2_ = *sig.Declare("p2", {Sort::kAtom, Sort::kAtom});
+    ps_ = *sig.Declare("ps", {Sort::kSet});
+    x_ = store_.MakeVariable("X", Sort::kAtom);
+    y_ = store_.MakeVariable("Y", Sort::kAtom);
+    z_ = store_.MakeVariable("Z", Sort::kAtom);
+    xs_ = store_.MakeVariable("Xs", Sort::kSet);
+  }
+
+  TermStore store_;
+  Program program_;
+  PredicateId p1_, p2_, ps_;
+  TermId x_, y_, z_, xs_;
+};
+
+TEST_F(PlanTest, BuiltinsWaitForTheirModes) {
+  // h(K) :- p2(X, Y), add(X, Y, K): the scan must precede the builtin.
+  Clause c;
+  c.head = Literal{p1_, {z_}, true};
+  c.body.push_back(Literal{kPredAdd, {x_, y_, z_}, true});
+  c.body.push_back(Literal{p2_, {x_, y_}, true});
+  auto plan = BuildRulePlan(store_, program_.signature(), c);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const auto& steps = plan->free_plan.steps;
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_EQ(steps[0].kind, StepKind::kScan);
+  EXPECT_EQ(steps[0].literal_index, 1u);
+  EXPECT_EQ(steps[1].kind, StepKind::kBuiltin);
+}
+
+TEST_F(PlanTest, NegationLast) {
+  Clause c;
+  c.head = Literal{p1_, {x_}, true};
+  c.body.push_back(Literal{p1_, {x_}, false});  // not p1(X)
+  c.body.push_back(Literal{p2_, {x_, y_}, true});
+  auto plan = BuildRulePlan(store_, program_.signature(), c);
+  ASSERT_TRUE(plan.ok());
+  const auto& steps = plan->free_plan.steps;
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_EQ(steps[0].kind, StepKind::kScan);
+  EXPECT_EQ(steps[1].kind, StepKind::kNegated);
+}
+
+TEST_F(PlanTest, UnboundHeadVarGetsEnumerationStep) {
+  // p1(X) :- p1(a): X never bound by the body.
+  Clause c;
+  c.head = Literal{p1_, {x_}, true};
+  c.body.push_back(Literal{p1_, {store_.MakeConstant("a")}, true});
+  auto plan = BuildRulePlan(store_, program_.signature(), c);
+  ASSERT_TRUE(plan.ok());
+  bool has_enum = false;
+  for (const PlanStep& s : plan->free_plan.steps) {
+    if (s.kind == StepKind::kEnumAtom && s.var == x_) has_enum = true;
+  }
+  EXPECT_TRUE(has_enum);
+}
+
+TEST_F(PlanTest, QuantifiedLiteralsClassified) {
+  // ps(Xs) :- (forall x in Xs) p2(x, Y) & p1(Y):
+  // p2 is quantified (contains x), p1 is free.
+  Clause c;
+  c.head = Literal{ps_, {xs_}, true};
+  c.quantifiers.push_back(Quantifier{x_, xs_});
+  c.body.push_back(Literal{p2_, {x_, y_}, true});
+  c.body.push_back(Literal{p1_, {y_}, true});
+  auto plan = BuildRulePlan(store_, program_.signature(), c);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->quantified_literals, (std::vector<size_t>{0}));
+  EXPECT_EQ(plan->free_literals, (std::vector<size_t>{1}));
+  EXPECT_TRUE(plan->has_quantifiers);
+  EXPECT_EQ(plan->range_vars_needed, (std::vector<TermId>{xs_}));
+  // Y is bound by the free literal, so no seeding needed.
+  EXPECT_TRUE(plan->seed_vars.empty());
+}
+
+TEST_F(PlanTest, SeedVarsForDivision) {
+  // ps(Xs) :- (forall x in Xs) p2(x, Y): Y occurs only under the
+  // quantifier -> division seeding.
+  Clause c;
+  c.head = Literal{ps_, {xs_}, true};
+  c.quantifiers.push_back(Quantifier{x_, xs_});
+  c.body.push_back(Literal{p2_, {x_, y_}, true});
+  auto plan = BuildRulePlan(store_, program_.signature(), c);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->seed_vars, (std::vector<TermId>{y_}));
+  ASSERT_FALSE(plan->seed_plan.steps.empty());
+  EXPECT_EQ(plan->seed_plan.steps[0].kind, StepKind::kScan);
+}
+
+TEST_F(PlanTest, EmptyBranchBindsRangeAndHeadVars) {
+  Clause c;
+  c.head = Literal{ps_, {xs_}, true};
+  c.quantifiers.push_back(Quantifier{x_, xs_});
+  c.body.push_back(Literal{p1_, {x_}, true});
+  auto plan = BuildRulePlan(store_, program_.signature(), c);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->empty_branch_plan.steps.size(), 1u);
+  EXPECT_EQ(plan->empty_branch_plan.steps[0].kind, StepKind::kEnumSet);
+  EXPECT_EQ(plan->empty_branch_plan.steps[0].var, xs_);
+}
+
+TEST_F(PlanTest, QuantifiedVarInHeadRejected) {
+  // Definition 5 scopes quantified variables to the body.
+  Clause c;
+  c.head = Literal{p1_, {x_}, true};
+  c.quantifiers.push_back(Quantifier{x_, xs_});
+  c.body.push_back(Literal{p1_, {x_}, true});
+  auto plan = BuildRulePlan(store_, program_.signature(), c);
+  EXPECT_EQ(plan.status().code(), StatusCode::kSafetyError);
+}
+
+TEST_F(PlanTest, QuantifierRangeUsingQuantifiedVarRejected) {
+  TermId ys = store_.MakeVariable("Ys", Sort::kSet);
+  TermId e = store_.MakeVariable("E", Sort::kAny);
+  Clause c;
+  c.head = Literal{ps_, {xs_}, true};
+  c.quantifiers.push_back(Quantifier{e, xs_});
+  c.quantifiers.push_back(Quantifier{y_, e});  // range = quantified var
+  c.body.push_back(Literal{p1_, {y_}, true});
+  (void)ys;
+  auto plan = BuildRulePlan(store_, program_.signature(), c);
+  EXPECT_EQ(plan.status().code(), StatusCode::kSafetyError);
+}
+
+TEST_F(PlanTest, MostBoundLiteralScansFirst) {
+  // p1(X) :- p2(X, Y), p2(a, X): the literal with the constant should
+  // be scanned first (more bound positions).
+  Clause c;
+  c.head = Literal{p1_, {x_}, true};
+  c.body.push_back(Literal{p2_, {x_, y_}, true});
+  c.body.push_back(Literal{p2_, {store_.MakeConstant("a"), x_}, true});
+  auto plan = BuildRulePlan(store_, program_.signature(), c);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->free_plan.steps[0].literal_index, 1u);
+}
+
+TEST_F(PlanTest, BlockedBuiltinsForceEnumeration) {
+  // p1(X) :- lt(X, Y): neither bound; the plan must enumerate.
+  Clause c;
+  c.head = Literal{p1_, {x_}, true};
+  c.body.push_back(Literal{kPredLt, {x_, y_}, true});
+  auto plan = BuildRulePlan(store_, program_.signature(), c);
+  ASSERT_TRUE(plan.ok());
+  size_t enums = 0;
+  for (const PlanStep& s : plan->free_plan.steps) {
+    if (s.kind == StepKind::kEnumAtom) ++enums;
+  }
+  EXPECT_EQ(enums, 2u);  // both X and Y
+}
+
+}  // namespace
+}  // namespace lps

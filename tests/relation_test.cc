@@ -1,0 +1,118 @@
+// Tests for tuple storage, indexes, and the active-domain database.
+#include "eval/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/database.h"
+
+namespace lps {
+namespace {
+
+TEST(RelationTest, InsertDedupsAndKeepsOrder) {
+  Relation rel(2);
+  EXPECT_TRUE(rel.Insert({1, 2}));
+  EXPECT_TRUE(rel.Insert({3, 4}));
+  EXPECT_FALSE(rel.Insert({1, 2}));
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_EQ(rel.tuple(0), (Tuple{1, 2}));
+  EXPECT_EQ(rel.tuple(1), (Tuple{3, 4}));
+  EXPECT_TRUE(rel.Contains({3, 4}));
+  EXPECT_FALSE(rel.Contains({4, 3}));
+}
+
+TEST(RelationTest, IndexLookupByMask) {
+  Relation rel(2);
+  rel.Insert({1, 10});
+  rel.Insert({1, 20});
+  rel.Insert({2, 10});
+  // Mask 0b01: first column bound.
+  const auto& ones = rel.Lookup(0b01, {1, 0});
+  EXPECT_EQ(ones.size(), 2u);
+  // Mask 0b10: second column bound.
+  const auto& tens = rel.Lookup(0b10, {0, 10});
+  EXPECT_EQ(tens.size(), 2u);
+  // Full mask.
+  EXPECT_EQ(rel.Lookup(0b11, {2, 10}).size(), 1u);
+  EXPECT_TRUE(rel.Lookup(0b11, {2, 20}).empty());
+}
+
+TEST(RelationTest, IndexCatchesUpAfterInserts) {
+  Relation rel(1);
+  rel.Insert({7});
+  EXPECT_EQ(rel.Lookup(0b1, {7}).size(), 1u);
+  rel.Insert({7});  // duplicate: no change
+  rel.Insert({8});
+  EXPECT_EQ(rel.Lookup(0b1, {8}).size(), 1u);
+  EXPECT_EQ(rel.Lookup(0b1, {7}).size(), 1u);
+}
+
+TEST(RelationTest, EmptyMaskScansEverything) {
+  Relation rel(2);
+  rel.Insert({1, 2});
+  rel.Insert({3, 4});
+  EXPECT_EQ(rel.Lookup(0, {0, 0}).size(), 2u);
+  std::vector<uint32_t> all;
+  rel.AllIndices(&all);
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST(RelationTest, ZeroArityRelation) {
+  Relation rel(0);
+  EXPECT_TRUE(rel.Insert({}));
+  EXPECT_FALSE(rel.Insert({}));
+  EXPECT_EQ(rel.Lookup(0, {}).size(), 1u);
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  DatabaseTest() : sig_(&store_.symbols()), db_(&store_, &sig_) {}
+  TermStore store_;
+  Signature sig_;
+  Database db_;
+};
+
+TEST_F(DatabaseTest, EmptySetAlwaysActive) {
+  ASSERT_EQ(db_.set_domain().size(), 1u);
+  EXPECT_EQ(db_.set_domain()[0], store_.EmptySet());
+}
+
+TEST_F(DatabaseTest, AddTupleRegistersTermsRecursively) {
+  PredicateId p = *sig_.Declare("p", {Sort::kSet});
+  TermId a = store_.MakeConstant("a");
+  TermId b = store_.MakeConstant("b");
+  TermId inner = store_.MakeSet({a});
+  TermId outer = store_.MakeSet({inner, b});
+  EXPECT_TRUE(db_.AddTuple(p, {outer}));
+  // outer and inner are sets; a and b are atoms.
+  EXPECT_EQ(db_.set_domain().size(), 3u);  // {}, inner, outer
+  EXPECT_EQ(db_.atom_domain().size(), 2u);
+  EXPECT_FALSE(db_.AddTuple(p, {outer}));  // duplicate
+  EXPECT_EQ(db_.TupleCount(), 1u);
+}
+
+TEST_F(DatabaseTest, VersionBumpsOnNovelty) {
+  PredicateId p = *sig_.Declare("p", {Sort::kAtom});
+  uint64_t v0 = db_.version();
+  db_.AddTuple(p, {store_.MakeConstant("a")});
+  uint64_t v1 = db_.version();
+  EXPECT_GT(v1, v0);
+  db_.AddTuple(p, {store_.MakeConstant("a")});
+  EXPECT_EQ(db_.version(), v1);  // duplicate: no bump
+}
+
+TEST_F(DatabaseTest, RegisterTermSkipsNonGround) {
+  size_t atoms = db_.atom_domain().size();
+  db_.RegisterTerm(store_.MakeVariable("X", Sort::kAtom));
+  EXPECT_EQ(db_.atom_domain().size(), atoms);
+}
+
+TEST_F(DatabaseTest, ToStringDeterministic) {
+  PredicateId p = *sig_.Declare("p", {Sort::kAtom});
+  PredicateId q = *sig_.Declare("q", {Sort::kAtom});
+  db_.AddTuple(q, {store_.MakeConstant("b")});
+  db_.AddTuple(p, {store_.MakeConstant("a")});
+  EXPECT_EQ(db_.ToString(sig_), "p(a).\nq(b).\n");
+}
+
+}  // namespace
+}  // namespace lps

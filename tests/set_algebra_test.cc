@@ -1,0 +1,141 @@
+// Tests for canonical set algebra (the built-in set operations of
+// Definitions 3 and 15).
+#include "term/set_algebra.h"
+
+#include <gtest/gtest.h>
+
+namespace lps {
+namespace {
+
+class SetAlgebraTest : public ::testing::Test {
+ protected:
+  TermId C(const std::string& name) { return store_.MakeConstant(name); }
+  TermId S(std::vector<TermId> elems) {
+    return store_.MakeSet(std::move(elems));
+  }
+
+  TermStore store_;
+};
+
+TEST_F(SetAlgebraTest, Contains) {
+  TermId s = S({C("a"), C("b")});
+  EXPECT_TRUE(SetContains(store_, s, C("a")));
+  EXPECT_TRUE(SetContains(store_, s, C("b")));
+  EXPECT_FALSE(SetContains(store_, s, C("c")));
+  EXPECT_FALSE(SetContains(store_, store_.EmptySet(), C("a")));
+}
+
+TEST_F(SetAlgebraTest, Subset) {
+  TermId ab = S({C("a"), C("b")});
+  TermId abc = S({C("a"), C("b"), C("c")});
+  EXPECT_TRUE(SetIsSubset(store_, ab, abc));
+  EXPECT_FALSE(SetIsSubset(store_, abc, ab));
+  EXPECT_TRUE(SetIsSubset(store_, ab, ab));
+  EXPECT_TRUE(SetIsSubset(store_, store_.EmptySet(), ab));
+  EXPECT_TRUE(SetIsSubset(store_, store_.EmptySet(), store_.EmptySet()));
+}
+
+TEST_F(SetAlgebraTest, Disjoint) {
+  EXPECT_TRUE(SetIsDisjoint(store_, S({C("a")}), S({C("b")})));
+  EXPECT_FALSE(SetIsDisjoint(store_, S({C("a"), C("b")}), S({C("b")})));
+  // The empty set is disjoint from everything (Example 1's disj).
+  EXPECT_TRUE(SetIsDisjoint(store_, store_.EmptySet(), S({C("a")})));
+  EXPECT_TRUE(
+      SetIsDisjoint(store_, store_.EmptySet(), store_.EmptySet()));
+}
+
+TEST_F(SetAlgebraTest, UnionIntersectDifference) {
+  TermId ab = S({C("a"), C("b")});
+  TermId bc = S({C("b"), C("c")});
+  EXPECT_EQ(SetUnion(&store_, ab, bc), S({C("a"), C("b"), C("c")}));
+  EXPECT_EQ(SetIntersect(&store_, ab, bc), S({C("b")}));
+  EXPECT_EQ(SetDifference(&store_, ab, bc), S({C("a")}));
+  EXPECT_EQ(SetDifference(&store_, bc, ab), S({C("c")}));
+  EXPECT_EQ(SetUnion(&store_, ab, store_.EmptySet()), ab);
+  EXPECT_EQ(SetIntersect(&store_, ab, store_.EmptySet()),
+            store_.EmptySet());
+}
+
+TEST_F(SetAlgebraTest, ConsAndRemove) {
+  TermId a = C("a");
+  TermId b = C("b");
+  TermId sa = S({a});
+  EXPECT_EQ(SetCons(&store_, a, store_.EmptySet()), sa);
+  EXPECT_EQ(SetCons(&store_, a, sa), sa);  // idempotent
+  EXPECT_EQ(SetCons(&store_, b, sa), S({a, b}));
+  EXPECT_EQ(SetRemove(&store_, S({a, b}), a), S({b}));
+  EXPECT_EQ(SetRemove(&store_, sa, b), sa);  // absent element: no-op
+}
+
+TEST_F(SetAlgebraTest, Cardinality) {
+  EXPECT_EQ(SetCardinality(store_, store_.EmptySet()), 0u);
+  EXPECT_EQ(SetCardinality(store_, S({C("a"), C("b"), C("a")})), 2u);
+}
+
+TEST_F(SetAlgebraTest, SubsetsEnumeration) {
+  TermId s = S({C("a"), C("b"), C("c")});
+  std::vector<TermId> subsets;
+  ASSERT_TRUE(SetSubsets(&store_, s, 10, &subsets).ok());
+  EXPECT_EQ(subsets.size(), 8u);
+  for (TermId sub : subsets) {
+    EXPECT_TRUE(SetIsSubset(store_, sub, s));
+  }
+  // All distinct.
+  std::sort(subsets.begin(), subsets.end());
+  EXPECT_EQ(std::unique(subsets.begin(), subsets.end()), subsets.end());
+}
+
+TEST_F(SetAlgebraTest, SubsetsRespectsLimit) {
+  std::vector<TermId> elems;
+  for (int i = 0; i < 20; ++i) elems.push_back(C("e" + std::to_string(i)));
+  std::vector<TermId> subsets;
+  Status st = SetSubsets(&store_, S(elems), 10, &subsets);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(SetAlgebraTest, NestedSetsCompareById) {
+  // ELPS: sets of sets still get O(1) equality via interning.
+  TermId s1 = S({S({C("a")}), S({C("b")})});
+  TermId s2 = S({S({C("b")}), S({C("a")})});
+  EXPECT_EQ(s1, s2);
+  EXPECT_TRUE(SetContains(store_, s1, S({C("a")})));
+}
+
+// Property-based sweep: algebraic laws over generated sets.
+class SetLawsTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  TermStore store_;
+  TermId MakeRange(int lo, int hi) {  // {lo..hi-1} as integer atoms
+    std::vector<TermId> e;
+    for (int i = lo; i < hi; ++i) e.push_back(store_.MakeInt(i));
+    return store_.MakeSet(std::move(e));
+  }
+};
+
+TEST_P(SetLawsTest, UnionLaws) {
+  auto [n, m] = GetParam();
+  TermId a = MakeRange(0, n);
+  TermId b = MakeRange(n / 2, m);
+  TermId u = SetUnion(&store_, a, b);
+  // Commutativity, absorption, subset laws.
+  EXPECT_EQ(u, SetUnion(&store_, b, a));
+  EXPECT_TRUE(SetIsSubset(store_, a, u));
+  EXPECT_TRUE(SetIsSubset(store_, b, u));
+  EXPECT_EQ(SetUnion(&store_, u, a), u);
+  // |A u B| = |A| + |B| - |A n B|.
+  EXPECT_EQ(SetCardinality(store_, u),
+            SetCardinality(store_, a) + SetCardinality(store_, b) -
+                SetCardinality(store_, SetIntersect(&store_, a, b)));
+  // A \ B and B are disjoint and union back to A u B.
+  TermId diff = SetDifference(&store_, a, b);
+  EXPECT_TRUE(SetIsDisjoint(store_, diff, b));
+  EXPECT_EQ(SetUnion(&store_, diff, b), u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SetLawsTest,
+    ::testing::Combine(::testing::Values(0, 1, 3, 8, 16),
+                       ::testing::Values(1, 4, 9, 20)));
+
+}  // namespace
+}  // namespace lps

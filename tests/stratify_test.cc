@@ -1,0 +1,120 @@
+// Tests for stratification (Section 4.2 / 6.2, [ABW86]).
+#include "transform/stratify.h"
+
+#include <gtest/gtest.h>
+
+namespace lps {
+namespace {
+
+class StratifyTest : public ::testing::Test {
+ protected:
+  StratifyTest() : program_(&store_) {
+    p_ = *program_.signature().Declare("p", {Sort::kAtom});
+    q_ = *program_.signature().Declare("q", {Sort::kAtom});
+    r_ = *program_.signature().Declare("r", {Sort::kAtom});
+    x_ = store_.MakeVariable("X", Sort::kAtom);
+  }
+
+  void AddRule(PredicateId head, std::vector<std::pair<PredicateId, bool>>
+                                     body,
+               bool grouping = false) {
+    Clause c;
+    c.head = Literal{head, {x_}, true};
+    for (auto [pred, positive] : body) {
+      c.body.push_back(Literal{pred, {x_}, positive});
+    }
+    if (grouping) {
+      // Shape is irrelevant for stratification; flag the clause.
+      c.grouping = GroupSpec{0, x_};
+    }
+    program_.AddClause(std::move(c));
+  }
+
+  TermStore store_;
+  Program program_;
+  PredicateId p_, q_, r_;
+  TermId x_;
+};
+
+TEST_F(StratifyTest, PositiveRecursionIsOneStratum) {
+  AddRule(p_, {{q_, true}});
+  AddRule(q_, {{p_, true}});
+  auto s = Stratify(program_);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_strata, 1u);
+  EXPECT_EQ(s->pred_stratum[p_], s->pred_stratum[q_]);
+}
+
+TEST_F(StratifyTest, NegationSeparatesStrata) {
+  AddRule(q_, {});
+  AddRule(p_, {{q_, false}});
+  auto s = Stratify(program_);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_strata, 2u);
+  EXPECT_LT(s->pred_stratum[q_], s->pred_stratum[p_]);
+}
+
+TEST_F(StratifyTest, NegativeCycleRejected) {
+  AddRule(p_, {{q_, false}});
+  AddRule(q_, {{p_, false}});
+  auto s = Stratify(program_);
+  EXPECT_EQ(s.status().code(), StatusCode::kStratificationError);
+}
+
+TEST_F(StratifyTest, SelfNegationRejected) {
+  AddRule(p_, {{p_, false}});
+  EXPECT_FALSE(Stratify(program_).ok());
+}
+
+TEST_F(StratifyTest, GroupingActsLikeNegation) {
+  AddRule(q_, {});
+  AddRule(p_, {{q_, true}}, /*grouping=*/true);
+  auto s = Stratify(program_);
+  ASSERT_TRUE(s.ok());
+  EXPECT_LT(s->pred_stratum[q_], s->pred_stratum[p_]);
+
+  // Grouping through recursion is rejected.
+  AddRule(q_, {{p_, true}});
+  EXPECT_FALSE(Stratify(program_).ok());
+}
+
+TEST_F(StratifyTest, ChainsAccumulate) {
+  AddRule(q_, {});
+  AddRule(p_, {{q_, false}});
+  AddRule(r_, {{p_, false}});
+  auto s = Stratify(program_);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_strata, 3u);
+  EXPECT_EQ(s->pred_stratum[q_], 0u);
+  EXPECT_EQ(s->pred_stratum[p_], 1u);
+  EXPECT_EQ(s->pred_stratum[r_], 2u);
+  // Clauses land in their head predicate's stratum, in order.
+  EXPECT_EQ(s->strata_clauses[0].size(), 1u);
+  EXPECT_EQ(s->strata_clauses[1].size(), 1u);
+  EXPECT_EQ(s->strata_clauses[2].size(), 1u);
+}
+
+TEST_F(StratifyTest, BuiltinsDoNotConstrain) {
+  Clause c;
+  c.head = Literal{p_, {x_}, true};
+  c.body.push_back(Literal{q_, {x_}, true});
+  c.body.push_back(
+      Literal{kPredNeq, {x_, store_.MakeConstant("a")}, true});
+  program_.AddClause(std::move(c));
+  auto s = Stratify(program_);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_strata, 1u);
+}
+
+TEST_F(StratifyTest, MixedPositiveNegativeOnSamePredicate) {
+  // p depends on q positively AND negatively: still needs q strictly
+  // lower.
+  AddRule(q_, {});
+  AddRule(p_, {{q_, true}, {q_, false}});
+  auto s = Stratify(program_);
+  ASSERT_TRUE(s.ok());
+  EXPECT_LT(s->pred_stratum[q_], s->pred_stratum[p_]);
+}
+
+}  // namespace
+}  // namespace lps

@@ -1,0 +1,106 @@
+// Tests for substitutions, including re-canonicalization of set terms
+// under instantiation.
+#include "term/substitution.h"
+
+#include <gtest/gtest.h>
+
+namespace lps {
+namespace {
+
+class SubstitutionTest : public ::testing::Test {
+ protected:
+  TermStore store_;
+};
+
+TEST_F(SubstitutionTest, BindAndLookup) {
+  TermId x = store_.MakeVariable("X", Sort::kAtom);
+  TermId a = store_.MakeConstant("a");
+  Substitution s;
+  EXPECT_FALSE(s.IsBound(x));
+  s.Bind(x, a);
+  EXPECT_TRUE(s.IsBound(x));
+  EXPECT_EQ(s.Lookup(x), a);
+  EXPECT_EQ(s.Apply(&store_, x), a);
+}
+
+TEST_F(SubstitutionTest, ApplyLeavesUnboundVariables) {
+  TermId x = store_.MakeVariable("X", Sort::kAtom);
+  TermId y = store_.MakeVariable("Y", Sort::kAtom);
+  TermId a = store_.MakeConstant("a");
+  Substitution s;
+  s.Bind(x, a);
+  TermId f = store_.MakeFunction("f", {x, y});
+  TermId expected = store_.MakeFunction("f", {a, y});
+  EXPECT_EQ(s.Apply(&store_, f), expected);
+}
+
+TEST_F(SubstitutionTest, SetTermsRecanonicalize) {
+  // {X, Y}{X/a, Y/a} = {a}: substitution can shrink a set term.
+  TermId x = store_.MakeVariable("X", Sort::kAtom);
+  TermId y = store_.MakeVariable("Y", Sort::kAtom);
+  TermId a = store_.MakeConstant("a");
+  TermId set = store_.MakeSet({x, y});
+  Substitution s;
+  s.Bind(x, a);
+  s.Bind(y, a);
+  EXPECT_EQ(s.Apply(&store_, set), store_.MakeSet({a}));
+  EXPECT_EQ(store_.args(s.Apply(&store_, set)).size(), 1u);
+}
+
+TEST_F(SubstitutionTest, GroundTermsUntouched) {
+  TermId a = store_.MakeConstant("a");
+  TermId set = store_.MakeSet({a});
+  Substitution s;
+  s.Bind(store_.MakeVariable("X", Sort::kAtom), a);
+  EXPECT_EQ(s.Apply(&store_, set), set);
+}
+
+TEST_F(SubstitutionTest, SetSortedVariableBinding) {
+  TermId xs = store_.MakeVariable("Xs", Sort::kSet);
+  TermId ab =
+      store_.MakeSet({store_.MakeConstant("a"), store_.MakeConstant("b")});
+  Substitution s;
+  s.Bind(xs, ab);
+  TermId nested = store_.MakeSet({xs});  // variable inside a set (ELPS)
+  EXPECT_EQ(s.Apply(&store_, nested), store_.MakeSet({ab}));
+}
+
+TEST_F(SubstitutionTest, ComposeWithAppliesThenExtends) {
+  TermId x = store_.MakeVariable("X", Sort::kAtom);
+  TermId y = store_.MakeVariable("Y", Sort::kAtom);
+  TermId a = store_.MakeConstant("a");
+  // theta = {X/f(Y)}; sigma = {Y/a}. theta o sigma = {X/f(a), Y/a}.
+  Substitution theta;
+  theta.Bind(x, store_.MakeFunction("f", {y}));
+  Substitution sigma;
+  sigma.Bind(y, a);
+  theta.ComposeWith(&store_, sigma);
+  EXPECT_EQ(theta.Apply(&store_, x), store_.MakeFunction("f", {a}));
+  EXPECT_EQ(theta.Apply(&store_, y), a);
+}
+
+TEST_F(SubstitutionTest, ComposePreservesExistingBindings) {
+  TermId x = store_.MakeVariable("X", Sort::kAtom);
+  TermId a = store_.MakeConstant("a");
+  TermId b = store_.MakeConstant("b");
+  Substitution theta;
+  theta.Bind(x, a);
+  Substitution sigma;
+  sigma.Bind(x, b);  // must NOT override theta's binding
+  theta.ComposeWith(&store_, sigma);
+  EXPECT_EQ(theta.Apply(&store_, x), a);
+}
+
+TEST_F(SubstitutionTest, EraseAndClear) {
+  TermId x = store_.MakeVariable("X", Sort::kAtom);
+  Substitution s;
+  s.Bind(x, store_.MakeConstant("a"));
+  s.Erase(x);
+  EXPECT_FALSE(s.IsBound(x));
+  s.Bind(x, store_.MakeConstant("b"));
+  s.Clear();
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace lps

@@ -1,0 +1,177 @@
+// Tests for the hash-consed two-sorted term store (Definitions 1-3).
+#include "term/term.h"
+
+#include <gtest/gtest.h>
+
+#include "term/printer.h"
+
+namespace lps {
+namespace {
+
+class TermTest : public ::testing::Test {
+ protected:
+  TermStore store_;
+};
+
+TEST_F(TermTest, ConstantsAreInterned) {
+  TermId a1 = store_.MakeConstant("a");
+  TermId a2 = store_.MakeConstant("a");
+  TermId b = store_.MakeConstant("b");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(store_.kind(a1), TermKind::kConstant);
+  EXPECT_EQ(store_.sort(a1), Sort::kAtom);
+  EXPECT_TRUE(store_.is_ground(a1));
+  EXPECT_EQ(store_.depth(a1), 0);
+}
+
+TEST_F(TermTest, IntegersAreInterned) {
+  TermId i1 = store_.MakeInt(42);
+  TermId i2 = store_.MakeInt(42);
+  TermId i3 = store_.MakeInt(-7);
+  EXPECT_EQ(i1, i2);
+  EXPECT_NE(i1, i3);
+  EXPECT_EQ(store_.int_value(i3), -7);
+  EXPECT_EQ(store_.sort(i1), Sort::kAtom);
+}
+
+TEST_F(TermTest, VariablesDistinguishedBySort) {
+  TermId xa = store_.MakeVariable("X", Sort::kAtom);
+  TermId xs = store_.MakeVariable("X", Sort::kSet);
+  TermId xa2 = store_.MakeVariable("X", Sort::kAtom);
+  EXPECT_EQ(xa, xa2);
+  EXPECT_NE(xa, xs);
+  EXPECT_FALSE(store_.is_ground(xa));
+  EXPECT_EQ(store_.sort(xs), Sort::kSet);
+}
+
+TEST_F(TermTest, FreshVariablesAreDistinct) {
+  TermId v1 = store_.MakeFreshVariable("V", Sort::kAtom);
+  TermId v2 = store_.MakeFreshVariable("V", Sort::kAtom);
+  EXPECT_NE(v1, v2);
+}
+
+TEST_F(TermTest, FunctionTermsHashCons) {
+  TermId a = store_.MakeConstant("a");
+  TermId b = store_.MakeConstant("b");
+  TermId f1 = store_.MakeFunction("f", {a, b});
+  TermId f2 = store_.MakeFunction("f", {a, b});
+  TermId f3 = store_.MakeFunction("f", {b, a});
+  EXPECT_EQ(f1, f2);
+  EXPECT_NE(f1, f3);  // argument order matters for functions
+  EXPECT_EQ(store_.sort(f1), Sort::kAtom);  // ranges are atoms (Def 1.2)
+  EXPECT_EQ(store_.args(f1).size(), 2u);
+}
+
+TEST_F(TermTest, GroundSetsAreCanonical) {
+  TermId a = store_.MakeConstant("a");
+  TermId b = store_.MakeConstant("b");
+  // {a, b} == {b, a} == {a, b, a}: order and multiplicity collapse.
+  TermId s1 = store_.MakeSet({a, b});
+  TermId s2 = store_.MakeSet({b, a});
+  TermId s3 = store_.MakeSet({a, b, a});
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1, s3);
+  EXPECT_EQ(store_.args(s1).size(), 2u);
+  EXPECT_EQ(store_.sort(s1), Sort::kSet);
+  EXPECT_EQ(store_.depth(s1), 1);
+}
+
+TEST_F(TermTest, EmptySetSingleton) {
+  EXPECT_EQ(store_.EmptySet(), store_.MakeSet({}));
+  EXPECT_EQ(store_.depth(store_.EmptySet()), 1);
+  EXPECT_TRUE(store_.is_ground(store_.EmptySet()));
+}
+
+TEST_F(TermTest, NestedSetsTrackDepth) {
+  TermId a = store_.MakeConstant("a");
+  TermId s = store_.MakeSet({a});
+  TermId ss = store_.MakeSet({s});
+  TermId mixed = store_.MakeSet({a, ss});
+  EXPECT_EQ(store_.depth(s), 1);
+  EXPECT_EQ(store_.depth(ss), 2);
+  EXPECT_EQ(store_.depth(mixed), 3);
+}
+
+TEST_F(TermTest, SetCollapsesVariableDuplicates) {
+  TermId x = store_.MakeVariable("X", Sort::kAtom);
+  // {x, x} = {x} holds in every LPS model, so the store collapses it.
+  TermId s1 = store_.MakeSet({x, x});
+  TermId s2 = store_.MakeSet({x});
+  EXPECT_EQ(s1, s2);
+  EXPECT_FALSE(store_.is_ground(s1));
+}
+
+TEST_F(TermTest, GroundnessPropagates) {
+  TermId x = store_.MakeVariable("X", Sort::kAtom);
+  TermId a = store_.MakeConstant("a");
+  TermId f = store_.MakeFunction("f", {x});
+  TermId g = store_.MakeFunction("g", {a});
+  EXPECT_FALSE(store_.is_ground(f));
+  EXPECT_TRUE(store_.is_ground(g));
+  EXPECT_FALSE(store_.is_ground(store_.MakeSet({a, x})));
+}
+
+TEST_F(TermTest, CollectVariables) {
+  TermId x = store_.MakeVariable("X", Sort::kAtom);
+  TermId y = store_.MakeVariable("Y", Sort::kAtom);
+  TermId a = store_.MakeConstant("a");
+  TermId t = store_.MakeSet({store_.MakeFunction("f", {x, y}), a, x});
+  std::vector<TermId> vars;
+  store_.CollectVariables(t, &vars);
+  EXPECT_EQ(vars.size(), 2u);
+  EXPECT_TRUE(store_.ContainsVariable(t, x));
+  EXPECT_TRUE(store_.ContainsVariable(t, y));
+  EXPECT_FALSE(store_.ContainsVariable(a, x));
+}
+
+TEST_F(TermTest, PrinterRendersPaperSyntax) {
+  TermId a = store_.MakeConstant("a");
+  TermId b = store_.MakeConstant("b");
+  TermId x = store_.MakeVariable("X", Sort::kAtom);
+  EXPECT_EQ(TermToString(store_, a), "a");
+  EXPECT_EQ(TermToString(store_, store_.MakeInt(3)), "3");
+  EXPECT_EQ(TermToString(store_, store_.MakeFunction("f", {a, x})),
+            "f(a, X)");
+  EXPECT_EQ(TermToString(store_, store_.EmptySet()), "{}");
+  // Canonical order is by term id: a was interned before b.
+  EXPECT_EQ(TermToString(store_, store_.MakeSet({b, a})), "{a, b}");
+}
+
+// Property: interning the same structure twice never grows the store.
+TEST_F(TermTest, InterningIsIdempotent) {
+  TermId a = store_.MakeConstant("a");
+  for (int round = 0; round < 3; ++round) {
+    size_t before = store_.size();
+    TermId s = store_.MakeSet({a, store_.MakeFunction("f", {a})});
+    (void)s;
+    if (round > 0) {
+      EXPECT_EQ(store_.size(), before);
+    }
+  }
+}
+
+// Parameterized sweep: canonicalization invariants for arbitrary element
+// multisets.
+class SetCanonTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SetCanonTest, SortedUniqueElements) {
+  TermStore store;
+  int n = GetParam();
+  std::vector<TermId> elems;
+  for (int i = 0; i < n; ++i) {
+    elems.push_back(store.MakeConstant("c" + std::to_string(i % 3)));
+  }
+  TermId s = store.MakeSet(elems);
+  auto args = store.args(s);
+  EXPECT_LE(args.size(), 3u);
+  for (size_t i = 1; i < args.size(); ++i) {
+    EXPECT_LT(args[i - 1], args[i]);  // strictly sorted = no duplicates
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, SetCanonTest,
+                         ::testing::Values(0, 1, 2, 3, 5, 9, 17));
+
+}  // namespace
+}  // namespace lps

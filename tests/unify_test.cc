@@ -1,0 +1,265 @@
+// Tests for two-sorted unification with complete set-unifier
+// enumeration (Section 3.2: "we have to use arbitrary unifiers, rather
+// than the most specific one").
+#include "unify/unify.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lps {
+namespace {
+
+class UnifyTest : public ::testing::Test {
+ protected:
+  TermId C(const std::string& n) { return store_.MakeConstant(n); }
+  TermId V(const std::string& n, Sort s = Sort::kAtom) {
+    return store_.MakeVariable(n, s);
+  }
+  TermId S(std::vector<TermId> e) { return store_.MakeSet(std::move(e)); }
+
+  std::vector<Substitution> All(TermId a, TermId b) {
+    Unifier u(&store_);
+    std::vector<Substitution> out;
+    Status st = u.Enumerate(a, b, &out);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return out;
+  }
+
+  // Every returned unifier must actually unify (soundness).
+  void CheckSound(TermId a, TermId b,
+                  const std::vector<Substitution>& unifiers) {
+    for (const Substitution& s : unifiers) {
+      TermId ta = s.Apply(&store_, a);
+      TermId tb = s.Apply(&store_, b);
+      EXPECT_EQ(ta, tb) << "unsound unifier";
+    }
+  }
+
+  TermStore store_;
+};
+
+TEST_F(UnifyTest, IdenticalTermsUnifyEmptily) {
+  TermId a = C("a");
+  auto u = All(a, a);
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_TRUE(u[0].empty());
+}
+
+TEST_F(UnifyTest, DistinctConstantsClash) {
+  EXPECT_TRUE(All(C("a"), C("b")).empty());
+  EXPECT_TRUE(All(C("a"), store_.MakeInt(1)).empty());
+}
+
+TEST_F(UnifyTest, VariableBindsTerm) {
+  TermId x = V("X");
+  auto u = All(x, C("a"));
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_EQ(u[0].Lookup(x), C("a"));
+  CheckSound(x, C("a"), u);
+}
+
+TEST_F(UnifyTest, SortsBlockIllTypedBindings) {
+  // An atom variable cannot take a set value (two-sorted logic, Def. 1).
+  EXPECT_TRUE(All(V("X", Sort::kAtom), S({C("a")})).empty());
+  EXPECT_TRUE(All(V("X", Sort::kSet), C("a")).empty());
+  // Untyped (ELPS) variables take both.
+  EXPECT_EQ(All(V("U", Sort::kAny), S({C("a")})).size(), 1u);
+  EXPECT_EQ(All(V("U", Sort::kAny), C("a")).size(), 1u);
+}
+
+TEST_F(UnifyTest, OccursCheck) {
+  TermId x = V("X");
+  EXPECT_TRUE(All(x, store_.MakeFunction("f", {x})).empty());
+}
+
+TEST_F(UnifyTest, FunctionUnification) {
+  TermId x = V("X");
+  TermId y = V("Y");
+  TermId t1 = store_.MakeFunction("f", {x, C("b")});
+  TermId t2 = store_.MakeFunction("f", {C("a"), y});
+  auto u = All(t1, t2);
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_EQ(u[0].Lookup(x), C("a"));
+  EXPECT_EQ(u[0].Lookup(y), C("b"));
+  CheckSound(t1, t2, u);
+  EXPECT_TRUE(All(t1, store_.MakeFunction("g", {C("a"), C("b")})).empty());
+}
+
+TEST_F(UnifyTest, GroundSetsUnifyIffEqual) {
+  EXPECT_EQ(All(S({C("a"), C("b")}), S({C("b"), C("a")})).size(), 1u);
+  EXPECT_TRUE(All(S({C("a")}), S({C("b")})).empty());
+  EXPECT_TRUE(All(store_.EmptySet(), S({C("a")})).empty());
+}
+
+TEST_F(UnifyTest, SetVariableElementTwoUnifiers) {
+  // {X, a} = {a, b} has exactly the unifiers X/b and X/a... no: X/a
+  // gives {a} != {a, b}. Only X/b works.
+  TermId x = V("X");
+  TermId lhs = S({x, C("a")});
+  TermId rhs = S({C("a"), C("b")});
+  auto u = All(lhs, rhs);
+  CheckSound(lhs, rhs, u);
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_EQ(u[0].Lookup(x), C("b"));
+}
+
+TEST_F(UnifyTest, CollapsingUnifier) {
+  // {X, Y} = {a}: both variables must collapse to a (no mgu pair
+  // ordering issues - a single unifier).
+  TermId x = V("X");
+  TermId y = V("Y");
+  TermId lhs = S({x, y});
+  TermId rhs = S({C("a")});
+  auto u = All(lhs, rhs);
+  CheckSound(lhs, rhs, u);
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_EQ(u[0].Lookup(x), C("a"));
+  EXPECT_EQ(u[0].Lookup(y), C("a"));
+}
+
+TEST_F(UnifyTest, MultipleIncomparableUnifiers) {
+  // {X, Y} = {a, b}: X/a,Y/b; X/b,Y/a; and no collapsing variants
+  // (collapse would drop an element of the right side).
+  TermId x = V("X");
+  TermId y = V("Y");
+  TermId lhs = S({x, y});
+  TermId rhs = S({C("a"), C("b")});
+  auto u = All(lhs, rhs);
+  CheckSound(lhs, rhs, u);
+  EXPECT_EQ(u.size(), 2u);
+}
+
+TEST_F(UnifyTest, PartialOverlapBranches) {
+  // {X, a} = {a, b} inside a function context stays correct.
+  TermId x = V("X");
+  TermId t1 = store_.MakeFunction("f", {S({x, C("a")})});
+  TermId t2 = store_.MakeFunction("f", {S({C("a"), C("b")})});
+  auto u = All(t1, t2);
+  CheckSound(t1, t2, u);
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_EQ(u[0].Lookup(x), C("b"));
+}
+
+TEST_F(UnifyTest, SetVsSetVariable) {
+  TermId xs = V("Xs", Sort::kSet);
+  TermId rhs = S({C("a")});
+  auto u = All(xs, rhs);
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_EQ(u[0].Lookup(xs), rhs);
+}
+
+TEST_F(UnifyTest, NestedSetUnification) {
+  // ELPS: {{X}, {a,b}} = {{c}, {a,b}} -> X/c.
+  TermId x = V("X");
+  TermId lhs = S({S({x}), S({C("a"), C("b")})});
+  TermId rhs = S({S({C("c")}), S({C("a"), C("b")})});
+  auto u = All(lhs, rhs);
+  CheckSound(lhs, rhs, u);
+  // X/c is the intended solution; {X} = {a,b} is impossible (cardinality)
+  // so every unifier must map X to c.
+  ASSERT_FALSE(u.empty());
+  for (const Substitution& s : u) {
+    EXPECT_EQ(s.Lookup(x), C("c"));
+  }
+}
+
+TEST_F(UnifyTest, TupleUnification) {
+  TermId x = V("X");
+  TermId y = V("Y", Sort::kSet);
+  std::vector<TermId> a = {x, S({C("p")})};
+  std::vector<TermId> b = {C("q"), y};
+  Unifier u(&store_);
+  std::vector<Substitution> out;
+  ASSERT_TRUE(u.EnumerateTuples(a, b, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].Lookup(x), C("q"));
+  EXPECT_EQ(out[0].Lookup(y), S({C("p")}));
+}
+
+TEST_F(UnifyTest, ArityMismatchNoUnifier) {
+  std::vector<TermId> a = {C("a")};
+  std::vector<TermId> b = {C("a"), C("b")};
+  Unifier u(&store_);
+  std::vector<Substitution> out;
+  ASSERT_TRUE(u.EnumerateTuples(a, b, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(UnifyTest, FirstReturnsSomeUnifier) {
+  TermId x = V("X");
+  Unifier u(&store_);
+  auto first = u.First(x, C("a"));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->Lookup(x), C("a"));
+  EXPECT_FALSE(u.First(C("a"), C("b")).has_value());
+}
+
+// Completeness check against brute force: for variable sets over a small
+// universe, every assignment that equalizes the sets must be covered by
+// some enumerated unifier.
+class UnifyCompletenessTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(UnifyCompletenessTest, MatchesBruteForce) {
+  auto [nvars, nconsts] = GetParam();
+  TermStore store;
+  std::vector<TermId> vars, consts;
+  for (int i = 0; i < nvars; ++i) {
+    vars.push_back(store.MakeVariable("V" + std::to_string(i),
+                                      Sort::kAtom));
+  }
+  for (int i = 0; i < nconsts; ++i) {
+    consts.push_back(store.MakeConstant("k" + std::to_string(i)));
+  }
+  // lhs = {V0..Vn-1, k0}; rhs = {k0..km-1}.
+  std::vector<TermId> lhs_elems = vars;
+  lhs_elems.push_back(consts[0]);
+  TermId lhs = store.MakeSet(lhs_elems);
+  TermId rhs = store.MakeSet(consts);
+
+  Unifier u(&store);
+  std::vector<Substitution> enumerated;
+  ASSERT_TRUE(u.Enumerate(lhs, rhs, &enumerated).ok());
+
+  // Brute force all assignments vars -> consts.
+  size_t total = 1;
+  for (int i = 0; i < nvars; ++i) total *= nconsts;
+  size_t solutions = 0;
+  for (size_t code = 0; code < total; ++code) {
+    Substitution s;
+    size_t c = code;
+    for (int i = 0; i < nvars; ++i) {
+      s.Bind(vars[i], consts[c % nconsts]);
+      c /= nconsts;
+    }
+    if (s.Apply(&store, lhs) == s.Apply(&store, rhs)) {
+      ++solutions;
+      // Some enumerated unifier must generalize this assignment; since
+      // our unifiers here are ground, check for equality of effect.
+      bool covered = false;
+      for (const Substitution& e : enumerated) {
+        bool same = true;
+        for (TermId v : vars) {
+          if (e.Apply(&store, v) != s.Apply(&store, v)) same = false;
+        }
+        if (same) covered = true;
+      }
+      EXPECT_TRUE(covered) << "missing unifier for assignment " << code;
+    }
+  }
+  // And soundness: every enumerated (ground) unifier is a solution.
+  for (const Substitution& e : enumerated) {
+    EXPECT_EQ(e.Apply(&store, lhs), e.Apply(&store, rhs));
+  }
+  // Solutions exist iff the variables can cover the residual constants.
+  if (nconsts <= nvars + 1) EXPECT_GT(solutions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallUniverses, UnifyCompletenessTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace lps
