@@ -18,7 +18,7 @@ void RunTc(benchmark::State& state, const std::string& facts,
     state.PauseTiming();
     auto engine = MustLoad(source, LanguageMode::kLPS);
     state.ResumeTiming();
-    EvalOptions opts;
+    Options opts;
     opts.semi_naive = semi_naive;
     opts.max_tuples = 10000000;
     opts.max_iterations = 1000000;
@@ -68,7 +68,7 @@ void RunAllq(benchmark::State& state, bool semi_naive) {
     state.PauseTiming();
     auto engine = MustLoad(source, LanguageMode::kLPS);
     state.ResumeTiming();
-    EvalOptions opts;
+    Options opts;
     opts.semi_naive = semi_naive;
     EvalStats stats = MustEvaluate(engine.get(), opts);
     combos = stats.combos_checked;

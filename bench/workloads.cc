@@ -83,26 +83,37 @@ TermId MakeRandomSet(TermStore* store, int cardinality, int universe,
   return store->MakeSet(std::move(elems));
 }
 
-std::unique_ptr<Engine> MustLoad(const std::string& source,
-                                 LanguageMode mode) {
-  auto engine = std::make_unique<Engine>(mode);
-  Status st = engine->LoadString(source);
+std::unique_ptr<Session> MustLoad(const std::string& source,
+                                  LanguageMode mode) {
+  auto session = std::make_unique<Session>(mode);
+  Status st = session->Load(source);
+  if (st.ok()) st = session->Compile();
   if (!st.ok()) {
     std::fprintf(stderr, "bench workload failed to load: %s\n",
                  st.ToString().c_str());
     std::abort();
   }
-  return engine;
+  return session;
 }
 
-EvalStats MustEvaluate(Engine* engine, EvalOptions options) {
-  Status st = engine->Evaluate(options);
+EvalStats MustEvaluate(Session* session, Options options) {
+  Status st = session->Evaluate(options);
   if (!st.ok()) {
     std::fprintf(stderr, "bench evaluation failed: %s\n",
                  st.ToString().c_str());
     std::abort();
   }
-  return engine->eval_stats();
+  return session->eval_stats();
+}
+
+PreparedQuery MustPrepare(Session* session, const std::string& goal) {
+  auto q = session->Prepare(goal);
+  if (!q.ok()) {
+    std::fprintf(stderr, "bench goal failed to prepare: %s\n",
+                 q.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(q);
 }
 
 }  // namespace lps::bench

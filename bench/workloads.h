@@ -56,13 +56,16 @@ TermId MakeIntRangeSet(TermStore* store, int n);
 TermId MakeRandomSet(TermStore* store, int cardinality, int universe,
                      Rng* rng);
 
-/// Builds an engine, loads `source`, and aborts on error (benchmarks
-/// should not silently measure failures).
-std::unique_ptr<Engine> MustLoad(const std::string& source,
-                                 LanguageMode mode = LanguageMode::kLDL);
+/// Opens a session, loads and compiles `source`, and aborts on error
+/// (benchmarks should not silently measure failures).
+std::unique_ptr<Session> MustLoad(const std::string& source,
+                                  LanguageMode mode = LanguageMode::kLDL);
 
 /// Evaluates and aborts on error; returns the stats.
-EvalStats MustEvaluate(Engine* engine, EvalOptions options = {});
+EvalStats MustEvaluate(Session* session, Options options = {});
+
+/// Prepares a goal and aborts on error.
+PreparedQuery MustPrepare(Session* session, const std::string& goal);
 
 }  // namespace lps::bench
 

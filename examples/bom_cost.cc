@@ -1,6 +1,9 @@
 // Example 6 of the paper: bill-of-materials cost rollup over a non-1NF
 // parts relation, solved with the top-down engine (structural recursion
-// over component sets via schoose).
+// over component sets via schoose). The per-object goal is prepared
+// once with a free object variable and re-executed with a different
+// parameter binding per object - the server pattern the Session API is
+// built for.
 //
 //   build/examples/bom_cost
 #include <cstdio>
@@ -8,9 +11,9 @@
 #include "lps/lps.h"
 
 int main() {
-  lps::Engine engine(lps::LanguageMode::kLPS);
+  lps::Session session(lps::LanguageMode::kLPS);
 
-  lps::Status st = engine.LoadString(R"(
+  lps::Status st = session.Load(R"(
     pred parts(atom, set).
     pred cost(atom, atom).
 
@@ -40,30 +43,47 @@ int main() {
     return 1;
   }
 
+  // One goal, parsed and planned once; each object is a parameter.
+  auto query = session.Prepare("obj_cost(X, N)");
+  if (!query.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
   for (const char* obj : {"bike", "ebike", "tandem"}) {
-    std::string goal = std::string("obj_cost(") + obj + ", N)";
-    auto rows = engine.SolveTopDown(goal);
-    if (!rows.ok()) {
-      std::fprintf(stderr, "query failed: %s\n",
-                   rows.status().ToString().c_str());
+    st = query->Bind("X", session.store()->MakeConstant(obj));
+    if (!st.ok()) {
+      std::fprintf(stderr, "bind failed: %s\n", st.ToString().c_str());
       return 1;
     }
-    for (const lps::Tuple& t : *rows) {
+    auto cursor = query->SolveTopDown();
+    if (!cursor.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   cursor.status().ToString().c_str());
+      return 1;
+    }
+    for (const lps::Tuple& t : *cursor) {
       std::printf("cost(%-7s) = %s\n", obj,
-                  lps::TermToString(*engine.store(), t[1]).c_str());
+                  lps::TermToString(*session.store(), t[1]).c_str());
     }
   }
 
   std::printf("\naffordable objects:\n");
-  auto rows = engine.SolveTopDown("affordable(X)");
-  if (!rows.ok()) {
-    std::fprintf(stderr, "query failed: %s\n",
-                 rows.status().ToString().c_str());
+  auto affordable = session.Prepare("affordable(X)");
+  if (!affordable.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n",
+                 affordable.status().ToString().c_str());
     return 1;
   }
-  for (const lps::Tuple& t : *rows) {
+  auto cursor = affordable->SolveTopDown();
+  if (!cursor.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 cursor.status().ToString().c_str());
+    return 1;
+  }
+  for (const lps::Tuple& t : *cursor) {
     std::printf("  %s\n",
-                lps::TermToString(*engine.store(), t[0]).c_str());
+                lps::TermToString(*session.store(), t[0]).c_str());
   }
   return 0;
 }

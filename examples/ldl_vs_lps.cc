@@ -15,18 +15,24 @@ const char* kEdb = R"(
   emp(sales, ann). emp(sales, bob). emp(dev, carol).
 )";
 
-void Show(lps::Engine* engine, const char* pred, const char* label) {
+void Show(lps::Session* session, const char* pred, const char* label) {
   std::printf("%s\n", label);
-  auto rows = engine->Query(std::string(pred) + "(D, T)");
-  if (!rows.ok()) {
-    std::fprintf(stderr, "  query failed: %s\n",
-                 rows.status().ToString().c_str());
+  auto query = session->Prepare(std::string(pred) + "(D, T)");
+  if (!query.ok()) {
+    std::fprintf(stderr, "  prepare failed: %s\n",
+                 query.status().ToString().c_str());
     return;
   }
-  for (const lps::Tuple& t : *rows) {
+  auto cursor = query->Execute();
+  if (!cursor.ok()) {
+    std::fprintf(stderr, "  query failed: %s\n",
+                 cursor.status().ToString().c_str());
+    return;
+  }
+  for (const lps::Tuple& t : *cursor) {
     std::printf("  %s -> %s\n",
-                lps::TermToString(*engine->store(), t[0]).c_str(),
-                lps::TermToString(*engine->store(), t[1]).c_str());
+                lps::TermToString(*session->store(), t[0]).c_str(),
+                lps::TermToString(*session->store(), t[1]).c_str());
   }
 }
 
@@ -35,21 +41,21 @@ void Show(lps::Engine* engine, const char* pred, const char* label) {
 int main() {
   // (1) Native grouping.
   {
-    lps::Engine engine(lps::LanguageMode::kLDL);
-    if (!engine.LoadString(kEdb).ok()) return 1;
-    if (!engine.LoadString("team(D, <E>) :- emp(D, E).").ok()) return 1;
-    if (!engine.Evaluate().ok()) return 1;
-    Show(&engine, "team", "(1) LDL grouping  team(D, <E>) :- emp(D, E):");
+    lps::Session session(lps::LanguageMode::kLDL);
+    if (!session.Load(kEdb).ok()) return 1;
+    if (!session.Load("team(D, <E>) :- emp(D, E).").ok()) return 1;
+    if (!session.Evaluate().ok()) return 1;
+    Show(&session, "team", "(1) LDL grouping  team(D, <E>) :- emp(D, E):");
   }
 
   // (2) Theorem 11: the same program with grouping mechanically
   // eliminated in favour of stratified negation. The candidate sets
   // must be in the active domain (dom facts).
   {
-    lps::Engine engine(lps::LanguageMode::kLDL);
-    if (!engine.LoadString(kEdb).ok()) return 1;
-    if (!engine
-             .LoadString(R"(
+    lps::Session session(lps::LanguageMode::kLDL);
+    if (!session.Load(kEdb).ok()) return 1;
+    if (!session
+             .Load(R"(
       dom({ann}). dom({bob}). dom({carol}). dom({ann, bob}).
       dom({ann, carol}). dom({bob, carol}). dom({ann, bob, carol}).
       team(D, <E>) :- emp(D, E).
@@ -57,13 +63,14 @@ int main() {
              .ok()) {
       return 1;
     }
-    auto translated = lps::EliminateGrouping(*engine.program());
+    if (!session.Compile().ok()) return 1;
+    auto translated = lps::EliminateGrouping(*session.program());
     if (!translated.ok()) {
       std::fprintf(stderr, "translation failed: %s\n",
                    translated.status().ToString().c_str());
       return 1;
     }
-    lps::Database db(engine.store(), &translated->signature());
+    lps::Database db(session.store(), &translated->signature());
     auto stats = lps::EvaluateProgram(*translated, &db);
     if (!stats.ok()) return 1;
     std::printf(
@@ -73,10 +80,10 @@ int main() {
     const lps::Relation* rel = db.FindRelation(team);
     if (rel != nullptr) {
       for (const lps::Tuple& t : rel->tuples()) {
-        if (lps::SetCardinality(*engine.store(), t[1]) == 0) continue;
+        if (lps::SetCardinality(*session.store(), t[1]) == 0) continue;
         std::printf("  %s -> %s\n",
-                    lps::TermToString(*engine.store(), t[0]).c_str(),
-                    lps::TermToString(*engine.store(), t[1]).c_str());
+                    lps::TermToString(*session.store(), t[0]).c_str(),
+                    lps::TermToString(*session.store(), t[1]).c_str());
       }
     }
   }
@@ -86,18 +93,18 @@ int main() {
   // a maximality check would again need negation - the crux of
   // Theorems 8 and 11.
   {
-    lps::Engine engine(lps::LanguageMode::kLPS);
-    if (!engine.LoadString(kEdb).ok()) return 1;
-    if (!engine
-             .LoadString(R"(
+    lps::Session session(lps::LanguageMode::kLPS);
+    if (!session.Load(kEdb).ok()) return 1;
+    if (!session
+             .Load(R"(
       team_upto(D, {}) :- emp(D, E).
       team_upto(D, T2) :- team_upto(D, T), emp(D, E), scons(E, T, T2).
     )")
              .ok()) {
       return 1;
     }
-    if (!engine.Evaluate().ok()) return 1;
-    Show(&engine, "team_upto",
+    if (!session.Evaluate().ok()) return 1;
+    Show(&session, "team_upto",
          "\n(3) Horn + scons: all partial teams (monotone closure):");
   }
   return 0;

@@ -1,6 +1,9 @@
 // lpsi: a small LPS interpreter. Loads a program file, evaluates it
-// bottom-up, answers its "?- goal." queries, then reads further goals
-// from stdin (one per line, no trailing dot required).
+// bottom-up, answers its "?- goal." queries through prepared query
+// handles (the embedded queries are already lowered, so preparing
+// them involves no re-parse), then reads further goals from stdin
+// (one per line, no trailing dot required; each line is prepared
+// fresh).
 //
 //   build/examples/lpsi program.lps
 //   echo "path(a, X)" | build/examples/lpsi program.lps
@@ -14,18 +17,21 @@
 
 namespace {
 
-void Answer(lps::Engine* engine, const std::string& goal) {
-  auto rows = engine->Query(goal);
-  if (!rows.ok()) {
-    std::printf("error: %s\n", rows.status().ToString().c_str());
+void Answer(lps::Session* session, lps::PreparedQuery* query) {
+  auto cursor = query->Execute();
+  if (!cursor.ok()) {
+    std::printf("error: %s\n", cursor.status().ToString().c_str());
     return;
   }
-  if (rows->empty()) {
+  bool any = false;
+  for (const lps::Tuple& t : *cursor) {
+    any = true;
+    std::printf("%s\n", session->TupleToString(t).c_str());
+  }
+  if (!cursor->status().ok()) {
+    std::printf("error: %s\n", cursor->status().ToString().c_str());
+  } else if (!any) {
     std::printf("false.\n");
-    return;
-  }
-  for (const lps::Tuple& t : *rows) {
-    std::printf("%s\n", engine->TupleToString(t).c_str());
   }
 }
 
@@ -44,27 +50,31 @@ int main(int argc, char** argv) {
   std::stringstream buffer;
   buffer << in.rdbuf();
 
-  lps::Engine engine(lps::LanguageMode::kLDL);
-  lps::Status st = engine.LoadString(buffer.str());
+  lps::Session session(lps::LanguageMode::kLDL);
+  lps::Status st = session.Load(buffer.str());
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  st = engine.Evaluate();
+  st = session.Evaluate();
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  const lps::EvalStats& stats = engine.eval_stats();
+  const lps::EvalStats& stats = session.eval_stats();
   std::fprintf(stderr, "%% %zu tuples, %zu iterations, %zu strata\n",
                stats.tuples_derived, stats.iterations, stats.strata);
 
-  // Queries embedded in the file.
-  for (const lps::Literal& q : engine.pending_queries()) {
-    std::string text = lps::LiteralToString(
-        *engine.store(), *engine.signature(), q);
-    std::printf("?- %s\n", text.c_str());
-    Answer(&engine, text);
+  // Queries embedded in the file: already lowered by Compile(), so
+  // preparing them costs a plan but no parse.
+  for (const lps::Literal& q : session.pending_queries()) {
+    auto prepared = session.Prepare(q);
+    if (!prepared.ok()) {
+      std::printf("error: %s\n", prepared.status().ToString().c_str());
+      continue;
+    }
+    std::printf("?- %s\n", prepared->ToString().c_str());
+    Answer(&session, &*prepared);
   }
 
   // Interactive goals.
@@ -72,7 +82,12 @@ int main(int argc, char** argv) {
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
     if (line.back() == '.') line.pop_back();
-    Answer(&engine, line);
+    auto prepared = session.Prepare(line);
+    if (!prepared.ok()) {
+      std::printf("error: %s\n", prepared.status().ToString().c_str());
+      continue;
+    }
+    Answer(&session, &*prepared);
   }
   return 0;
 }

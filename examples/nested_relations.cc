@@ -12,8 +12,8 @@ using lps::Sort;
 using lps::TermId;
 
 int main() {
-  lps::Engine engine(lps::LanguageMode::kLDL);
-  lps::TermStore* store = engine.store();
+  lps::Session session(lps::LanguageMode::kLDL);
+  lps::TermStore* store = session.store();
 
   auto c = [&](const char* name) { return store->MakeConstant(name); };
 
@@ -41,10 +41,10 @@ int main() {
   // Bridge into LPS and compute with rules: people in more than one
   // department, via the same unnest expressed logically, then re-nest
   // with an LDL grouping head.
-  if (!departments.ExportFacts(engine.program(), "departments").ok()) {
+  if (!departments.ExportFacts(session.program(), "departments").ok()) {
     std::abort();
   }
-  lps::Status st = engine.LoadString(R"(
+  lps::Status st = session.Load(R"(
     member_of(P, D) :- departments(D, Ms), P in Ms.
     moonlights(P) :- member_of(P, D1), member_of(P, D2), D1 != D2.
     depts_of(P, <D>) :- member_of(P, D).
@@ -53,22 +53,25 @@ int main() {
     std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  st = engine.Evaluate();
+  st = session.Evaluate();
   if (!st.ok()) {
     std::fprintf(stderr, "eval failed: %s\n", st.ToString().c_str());
     return 1;
   }
 
-  auto rows = engine.Query("moonlights(P)");
+  auto moonlights = session.Prepare("moonlights(P)");
+  if (!moonlights.ok()) return 1;
+  auto cursor = moonlights->Execute();
+  if (!cursor.ok()) return 1;
   std::printf("people in more than one department:\n");
-  for (const lps::Tuple& t : *rows) {
+  for (const lps::Tuple& t : *cursor) {
     std::printf("  %s\n", lps::TermToString(*store, t[0]).c_str());
   }
 
   // Pull the grouped relation back out as a nested relation: the
   // logical nest of the unnested data.
-  lps::PredicateId depts_of = engine.signature()->Lookup("depts_of", 2);
-  const lps::Relation* rel = engine.database()->FindRelation(depts_of);
+  lps::PredicateId depts_of = session.signature()->Lookup("depts_of", 2);
+  const lps::Relation* rel = session.database()->FindRelation(depts_of);
   if (rel == nullptr) return 1;
   auto nested = NestedRelation::FromRelation(
       *store, *rel, {"person", "depts"}, {Sort::kAtom, Sort::kSet});

@@ -1,5 +1,7 @@
 // Quickstart: the paper's introductory predicates (Examples 1-3) in a
-// dozen lines of LPS, evaluated bottom-up and queried.
+// dozen lines of LPS, evaluated bottom-up through the staged Session
+// lifecycle (Load -> Compile -> Evaluate) and queried via prepared
+// goals and streaming answer cursors.
 //
 //   build/examples/quickstart
 #include <cstdio>
@@ -7,11 +9,11 @@
 #include "lps/lps.h"
 
 int main() {
-  lps::Engine engine(lps::LanguageMode::kLPS);
+  lps::Session session(lps::LanguageMode::kLPS);
 
   // Examples 1-3: disj, subset, and union with a disjunctive body
   // (compiled into pure LPS clauses by the Theorem 6 transformation).
-  lps::Status st = engine.LoadString(R"(
+  lps::Status st = session.Load(R"(
     s({}). s({1}). s({2}). s({1, 2}). s({2, 3}). s({1, 2, 3}).
 
     disj(X, Y)  :- s(X), s(Y), forall A in X, forall B in Y : A != B.
@@ -23,13 +25,13 @@ int main() {
     std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  st = engine.Evaluate();
+  st = session.Evaluate();
   if (!st.ok()) {
     std::fprintf(stderr, "eval failed: %s\n", st.ToString().c_str());
     return 1;
   }
 
-  const lps::EvalStats& stats = engine.eval_stats();
+  const lps::EvalStats& stats = session.eval_stats();
   std::printf("evaluated: %zu tuples in %zu iterations\n\n",
               stats.tuples_derived, stats.iterations);
 
@@ -43,7 +45,7 @@ int main() {
            "u({1,2}, {2,3}, {1,2,3})",
            "u({1}, {2}, {1,2,3})",
        }) {
-    auto holds = engine.HoldsText(goal);
+    auto holds = session.Holds(goal);
     if (!holds.ok()) {
       std::fprintf(stderr, "query failed: %s\n",
                    holds.status().ToString().c_str());
@@ -52,12 +54,17 @@ int main() {
     std::printf("%-28s %s\n", goal, *holds ? "true" : "false");
   }
 
-  // Open queries return bindings.
-  auto rows = engine.Query("u({1}, {2}, Z)");
-  if (rows.ok()) {
-    std::printf("\n{1} u {2} = ");
-    for (const lps::Tuple& t : *rows) {
-      std::printf("%s\n", lps::TermToString(*engine.store(), t[2]).c_str());
+  // Open queries are prepared once - parsed, validated and planned -
+  // and then stream bindings through an AnswerCursor.
+  auto query = session.Prepare("u({1}, {2}, Z)");
+  if (query.ok()) {
+    auto cursor = query->Execute();
+    if (cursor.ok()) {
+      std::printf("\n{1} u {2} = ");
+      for (const lps::Tuple& t : *cursor) {
+        std::printf("%s\n",
+                    lps::TermToString(*session.store(), t[2]).c_str());
+      }
     }
   }
   return 0;

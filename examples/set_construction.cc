@@ -8,19 +8,25 @@
 
 namespace {
 
-void Show(lps::Engine* engine, const char* label) {
+void Show(lps::Session* session, const char* label) {
   std::printf("%s\n", label);
-  auto rows = engine->Query("b(X)");
-  if (!rows.ok()) {
+  auto cursor = [&] {
+    auto query = session->Prepare("b(X)");
+    if (!query.ok()) return lps::Result<lps::AnswerCursor>(query.status());
+    return query->Execute();
+  }();
+  if (!cursor.ok()) {
     std::fprintf(stderr, "  query failed: %s\n",
-                 rows.status().ToString().c_str());
+                 cursor.status().ToString().c_str());
     return;
   }
-  for (const lps::Tuple& t : *rows) {
+  bool any = false;
+  for (const lps::Tuple& t : *cursor) {
+    any = true;
     std::printf("  b(%s)\n",
-                lps::TermToString(*engine->store(), t[0]).c_str());
+                lps::TermToString(*session->store(), t[0]).c_str());
   }
-  if (rows->empty()) std::printf("  (none)\n");
+  if (!any) std::printf("  (none)\n");
 }
 
 }  // namespace
@@ -33,14 +39,14 @@ int main() {
   // Attempt 1 (positive): B(X) :- (forall x in X) A(x).
   // Accepts every subset of { x | A(x) } - Theorem 8's failure mode.
   {
-    lps::Engine engine(lps::LanguageMode::kLPS);
-    lps::Status st = engine.LoadString(kCandidates);
-    st = engine.LoadString(R"(
+    lps::Session session(lps::LanguageMode::kLPS);
+    lps::Status st = session.Load(kCandidates);
+    st = session.Load(R"(
       a(c1). a(c2).
       b(X) :- dom(X), forall E in X : a(E).
     )");
-    if (!st.ok() || !engine.Evaluate().ok()) return 1;
-    Show(&engine,
+    if (!st.ok() || !session.Evaluate().ok()) return 1;
+    Show(&session,
          "positive attempt  b(X) :- forall E in X : a(E)   -- "
          "over-approximates:");
   }
@@ -48,16 +54,16 @@ int main() {
   // Attempt 2 (stratified, Section 4.2): reject X when a strictly
   // larger all-A set exists.
   {
-    lps::Engine engine(lps::LanguageMode::kLPS);
-    lps::Status st = engine.LoadString(kCandidates);
-    st = engine.LoadString(R"(
+    lps::Session session(lps::LanguageMode::kLPS);
+    lps::Status st = session.Load(kCandidates);
+    st = session.Load(R"(
       a(c1). a(c2).
       c(X) :- dom(X), dom(Y), (forall E in Y : a(E)),
               (forall E in X : E in Y), (exists W in Y : W notin X).
       b(X) :- dom(X), (forall E in X : a(E)), not c(X).
     )");
-    if (!st.ok() || !engine.Evaluate().ok()) return 1;
-    Show(&engine,
+    if (!st.ok() || !session.Evaluate().ok()) return 1;
+    Show(&session,
          "\nstratified repair (Section 4.2)                   -- exact:");
   }
 

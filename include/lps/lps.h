@@ -4,11 +4,15 @@
 #ifndef LPS_LPS_H_
 #define LPS_LPS_H_
 
+#include "api/answer_cursor.h"    // streaming answer iteration
+#include "api/options.h"          // unified evaluation options
+#include "api/query.h"            // prepared, re-executable goals
+#include "api/session.h"          // compile-once/execute-many entry point
 #include "base/status.h"          // Status / Result error handling
 #include "eval/bottomup.h"        // fixpoint evaluation (Theorem 5)
 #include "eval/builtins.h"        // =, in, union, scons, arithmetic
 #include "eval/database.h"        // relations + active domains
-#include "eval/engine.h"          // parse/evaluate/query facade
+#include "eval/engine.h"          // legacy string-per-call facade
 #include "eval/topdown.h"         // SLD with set unification (Sec. 3.2)
 #include "ground/grounder.h"      // Lemma 4 grounding
 #include "ground/herbrand.h"      // bounded Herbrand universes

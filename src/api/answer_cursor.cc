@@ -1,0 +1,68 @@
+#include "api/answer_cursor.h"
+
+namespace lps {
+
+namespace {
+
+class MaterializedSource final : public AnswerSource {
+ public:
+  explicit MaterializedSource(std::vector<Tuple> rows)
+      : rows_(std::move(rows)) {}
+
+  Result<bool> Next(Tuple* out) override {
+    if (pos_ >= rows_.size()) return false;
+    *out = rows_[pos_++];
+    return true;
+  }
+
+  void Rewind() override { pos_ = 0; }
+
+ private:
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+AnswerCursor AnswerCursor::FromTuples(std::vector<Tuple> rows) {
+  return AnswerCursor(std::make_unique<MaterializedSource>(std::move(rows)));
+}
+
+bool AnswerCursor::Next(Tuple* out) {
+  if (exhausted_ || !status_.ok() || source_ == nullptr) return false;
+  Result<bool> more = source_->Next(out);
+  if (!more.ok()) {
+    status_ = more.status();
+    exhausted_ = true;
+    return false;
+  }
+  if (!*more) {
+    exhausted_ = true;
+    return false;
+  }
+  return true;
+}
+
+void AnswerCursor::Rewind() {
+  if (source_ != nullptr) source_->Rewind();
+  status_ = Status::OK();
+  exhausted_ = false;
+}
+
+Result<std::vector<Tuple>> AnswerCursor::ToVector() {
+  std::vector<Tuple> rows;
+  Tuple t;
+  while (Next(&t)) rows.push_back(std::move(t));
+  if (!status_.ok()) return status_;
+  return rows;
+}
+
+Result<size_t> AnswerCursor::Count() {
+  size_t n = 0;
+  Tuple t;
+  while (Next(&t)) ++n;
+  if (!status_.ok()) return status_;
+  return n;
+}
+
+}  // namespace lps

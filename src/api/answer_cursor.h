@@ -1,0 +1,121 @@
+// AnswerCursor: pull-based streaming iteration over the answers of a
+// query. Answers are materialized only on demand - an indexable
+// relation scan produces its tuples one Next() at a time, so a point
+// lookup over a large result set stops paying as soon as the caller
+// stops pulling. Sources that are inherently exhaustive (builtins with
+// enumeration, top-down SLD solving) buffer their answers once at
+// Execute() time and stream from the buffer.
+//
+// Cursors support re-iteration via Rewind() and C++ range-for:
+//
+//   auto cursor = query.Execute();
+//   for (const Tuple& t : *cursor) { ... }
+//   if (!cursor->status().ok()) { ... }
+//
+// A cursor reads from the database it was executed against: it is
+// invalidated by Session::ResetDatabase() and by further Evaluate()
+// calls (re-Execute() the prepared query instead - that is what
+// prepared queries are for).
+#ifndef LPS_API_ANSWER_CURSOR_H_
+#define LPS_API_ANSWER_CURSOR_H_
+
+#include <cstddef>
+#include <iterator>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "eval/relation.h"
+
+namespace lps {
+
+/// Internal producer interface behind an AnswerCursor. Implementations
+/// live next to their executors (api/query.cc); user code only sees
+/// AnswerCursor.
+class AnswerSource {
+ public:
+  virtual ~AnswerSource() = default;
+  /// Produces the next answer into *out; false when exhausted.
+  virtual Result<bool> Next(Tuple* out) = 0;
+  /// Restarts the stream from the first answer.
+  virtual void Rewind() = 0;
+};
+
+class AnswerCursor {
+ public:
+  /// An already-exhausted cursor.
+  AnswerCursor() = default;
+  explicit AnswerCursor(std::unique_ptr<AnswerSource> source)
+      : source_(std::move(source)) {}
+  /// A cursor streaming from pre-materialized rows.
+  static AnswerCursor FromTuples(std::vector<Tuple> rows);
+
+  AnswerCursor(AnswerCursor&&) = default;
+  AnswerCursor& operator=(AnswerCursor&&) = default;
+  AnswerCursor(const AnswerCursor&) = delete;
+  AnswerCursor& operator=(const AnswerCursor&) = delete;
+
+  /// Pulls the next answer into *out. Returns false when the stream is
+  /// exhausted or an error occurred; inspect status() to distinguish.
+  bool Next(Tuple* out);
+
+  /// OK while streaming; the first error sticks and ends the stream.
+  const Status& status() const { return status_; }
+
+  /// True once Next() has returned false.
+  bool exhausted() const { return exhausted_; }
+
+  /// Restarts from the first answer. Cheap: no re-parsing and no
+  /// re-planning, just a source reset.
+  void Rewind();
+
+  /// Drains the remaining answers into a vector.
+  Result<std::vector<Tuple>> ToVector();
+
+  /// Drains the remaining answers, returning how many there were.
+  Result<size_t> Count();
+
+  // ---- Range support: for (const Tuple& t : cursor) ------------------
+
+  class iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = Tuple;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Tuple*;
+    using reference = const Tuple&;
+
+    iterator() = default;
+    explicit iterator(AnswerCursor* cursor) : cursor_(cursor) { ++*this; }
+
+    reference operator*() const { return current_; }
+    pointer operator->() const { return &current_; }
+    iterator& operator++() {
+      if (cursor_ != nullptr && !cursor_->Next(&current_)) {
+        cursor_ = nullptr;
+      }
+      return *this;
+    }
+    bool operator==(const iterator& o) const {
+      return cursor_ == o.cursor_;
+    }
+    bool operator!=(const iterator& o) const { return !(*this == o); }
+
+   private:
+    AnswerCursor* cursor_ = nullptr;
+    Tuple current_;
+  };
+
+  iterator begin() { return iterator(this); }
+  iterator end() { return iterator(); }
+
+ private:
+  std::unique_ptr<AnswerSource> source_;
+  Status status_;
+  bool exhausted_ = false;
+};
+
+}  // namespace lps
+
+#endif  // LPS_API_ANSWER_CURSOR_H_

@@ -1,0 +1,71 @@
+// Unified execution options for the Session API (api/session.h): one
+// struct carries the bottom-up fixpoint limits (EvalOptions), the SLD
+// solver limits (TopDownOptions) and the shared builtin-evaluation
+// controls, so a Session drives both evaluators from a single
+// configuration instead of two per-call option structs.
+#ifndef LPS_API_OPTIONS_H_
+#define LPS_API_OPTIONS_H_
+
+#include "eval/bottomup.h"
+#include "eval/topdown.h"
+
+namespace lps {
+
+struct Options {
+  // ---- Bottom-up fixpoint evaluation (eval/bottomup.h) ---------------
+  bool semi_naive = true;
+  size_t max_iterations = 100000;
+  size_t max_tuples = 2000000;
+
+  // ---- Top-down SLD solving (eval/topdown.h) -------------------------
+  size_t max_depth = 256;
+  size_t max_subgoals = 5000000;
+  size_t max_answers_per_goal = 100000;
+
+  // ---- Shared builtin evaluation -------------------------------------
+  BuiltinOptions builtins;
+
+  // The conversions below mirror every field by hand; a field added to
+  // EvalOptions or TopDownOptions must be added here and in both
+  // directions, or Engine-shim callers silently lose it.
+
+  EvalOptions eval() const {
+    EvalOptions o;
+    o.semi_naive = semi_naive;
+    o.max_iterations = max_iterations;
+    o.max_tuples = max_tuples;
+    o.builtins = builtins;
+    return o;
+  }
+
+  TopDownOptions topdown() const {
+    TopDownOptions o;
+    o.max_depth = max_depth;
+    o.max_subgoals = max_subgoals;
+    o.max_answers_per_goal = max_answers_per_goal;
+    o.builtins = builtins;
+    return o;
+  }
+
+  static Options FromEval(const EvalOptions& e) {
+    Options o;
+    o.semi_naive = e.semi_naive;
+    o.max_iterations = e.max_iterations;
+    o.max_tuples = e.max_tuples;
+    o.builtins = e.builtins;
+    return o;
+  }
+
+  static Options FromTopDown(const TopDownOptions& t) {
+    Options o;
+    o.max_depth = t.max_depth;
+    o.max_subgoals = t.max_subgoals;
+    o.max_answers_per_goal = t.max_answers_per_goal;
+    o.builtins = t.builtins;
+    return o;
+  }
+};
+
+}  // namespace lps
+
+#endif  // LPS_API_OPTIONS_H_

@@ -1,0 +1,89 @@
+// PreparedQuery: a goal parsed, mode-validated and planned exactly
+// once, re-executable against the session's *current* database any
+// number of times - the compile-once/execute-many half of the Session
+// API. Repeated executions never touch the parser (see
+// Session::parse_count()); a plain relation lookup streams its answers
+// lazily through an AnswerCursor, using the relation's hash indexes on
+// whatever goal positions are ground.
+//
+//   Session session(LanguageMode::kLPS);
+//   session.Load("edge(a, b). path(X, Y) :- ...");
+//   session.Evaluate();
+//   auto q = session.Prepare("path(X, Y)");
+//   q->Bind("X", session.store()->MakeConstant("a"));
+//   for (const Tuple& t : *q->Execute()) { ... }
+//
+// A PreparedQuery holds interned term ids and a predicate id, both of
+// which are stable under further Load()/Evaluate()/ResetDatabase()
+// calls, so one handle serves the whole session lifetime.
+#ifndef LPS_API_QUERY_H_
+#define LPS_API_QUERY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/answer_cursor.h"
+#include "api/options.h"
+#include "eval/plan.h"
+#include "lang/clause.h"
+#include "term/substitution.h"
+
+namespace lps {
+
+class Session;
+
+class PreparedQuery {
+ public:
+  /// An empty handle; executing it is an error. Assign from
+  /// Session::Prepare().
+  PreparedQuery() = default;
+
+  const Literal& goal() const { return goal_; }
+  /// Distinct goal variables in first-occurrence order - the bindable
+  /// parameters.
+  const std::vector<TermId>& variables() const { return vars_; }
+  /// The execution plan built once at Prepare() time (eval/plan.h).
+  const BodyPlan& plan() const { return plan_; }
+  /// Renders the goal in surface syntax.
+  std::string ToString() const;
+
+  /// Binds the goal variable named `var` (e.g. "X") to a ground term
+  /// for subsequent executions. Errors if the goal has no such
+  /// variable, the value is non-ground, or the sorts conflict.
+  Status Bind(std::string_view var, TermId value);
+  /// Parses `term` (one parser invocation) and binds it to `var`.
+  Status BindText(std::string_view var, const std::string& term);
+  /// Removes all parameter bindings.
+  void ClearBindings();
+  const Substitution& bindings() const { return bindings_; }
+
+  /// Answers from the session's current database (use after
+  /// Evaluate()). Relation scans stream lazily; builtin goals run their
+  /// plan eagerly into the cursor.
+  Result<AnswerCursor> Execute();
+
+  /// True if Execute() would yield at least one answer. On the lazy
+  /// relation-scan path this stops at the first match; builtin goals
+  /// run their plan to completion first (see Execute()).
+  Result<bool> Holds();
+
+  /// Solves the goal top-down (SLD with set unification) against the
+  /// program; no prior Evaluate() required.
+  Result<AnswerCursor> SolveTopDown();
+  Result<AnswerCursor> SolveTopDown(const Options& options);
+
+ private:
+  friend class Session;
+  PreparedQuery(Session* session, Literal goal, BodyPlan plan);
+
+  Session* session_ = nullptr;
+  Literal goal_;
+  std::vector<TermId> vars_;
+  BodyPlan plan_;
+  Substitution bindings_;
+};
+
+}  // namespace lps
+
+#endif  // LPS_API_QUERY_H_

@@ -1,0 +1,150 @@
+#include "api/session.h"
+
+#include "eval/bottomup.h"
+#include "term/printer.h"
+#include "transform/positive_compiler.h"
+
+namespace lps {
+
+Session::Session(LanguageMode mode, Options options)
+    : mode_(mode),
+      options_(options),
+      store_(std::make_unique<TermStore>()),
+      program_(std::make_unique<Program>(store_.get())),
+      db_(std::make_unique<Database>(store_.get(),
+                                     &program_->signature())) {}
+
+Status Session::Load(const std::string& source) {
+  ++parse_count_;
+  LPS_ASSIGN_OR_RETURN(ParsedUnit unit, ParseSource(source));
+  staged_.push_back(std::move(unit));
+  return Status::OK();
+}
+
+Status Session::Compile() {
+  if (staged_.empty()) return Status::OK();
+  // Transactional per call: lower every staged unit into one candidate
+  // copy of the program (sharing the term store) and commit only if
+  // the whole batch validates. A rejected batch leaves no trace, so
+  // the session stays consistent and usable after an error.
+  std::vector<ParsedUnit> units = std::move(staged_);
+  staged_.clear();
+  Program candidate = *program_;
+  size_t old_clauses = candidate.clauses().size();
+  size_t old_facts = candidate.facts().size();
+  std::vector<Literal> new_queries;
+  for (const ParsedUnit& unit : units) {
+    LPS_ASSIGN_OR_RETURN(
+        LoweredUnit lowered,
+        LowerParsedUnit(unit, mode_, store_.get(),
+                        &candidate.signature()));
+    for (const GeneralClause& gc : lowered.clauses) {
+      LPS_RETURN_IF_ERROR(AddGeneralClause(&candidate, gc));
+    }
+    for (Literal& f : lowered.facts) {
+      LPS_RETURN_IF_ERROR(candidate.AddFact(f.pred, std::move(f.args)));
+    }
+    for (Literal& q : lowered.queries) {
+      new_queries.push_back(std::move(q));
+    }
+  }
+  // Validate only what this batch added; earlier batches validated
+  // when they were committed.
+  for (size_t i = old_clauses; i < candidate.clauses().size(); ++i) {
+    LPS_RETURN_IF_ERROR(ValidateClause(*store_, candidate.signature(),
+                                       candidate.clauses()[i], mode_));
+  }
+  for (size_t i = old_facts; i < candidate.facts().size(); ++i) {
+    LPS_RETURN_IF_ERROR(ValidateGoal(*store_, candidate.signature(),
+                                     candidate.facts()[i], mode_));
+  }
+  // Commit in place: db_ points at program_'s signature member, so
+  // assignment (not reallocation) keeps that pointer valid.
+  *program_ = candidate;
+  for (Literal& q : new_queries) queries_.push_back(std::move(q));
+  return Status::OK();
+}
+
+Status Session::Evaluate() { return Evaluate(options_); }
+
+Status Session::Evaluate(const Options& options) {
+  LPS_RETURN_IF_ERROR(Compile());
+  BottomUpEvaluator eval(program_.get(), db_.get(), options.eval());
+  LPS_RETURN_IF_ERROR(eval.Evaluate());
+  eval_stats_ = eval.stats();
+  return Status::OK();
+}
+
+Status Session::AddFact(const std::string& pred, std::vector<TermId> args) {
+  PredicateId id = program_->signature().Lookup(pred, args.size());
+  if (id == kInvalidPredicate) {
+    std::vector<Sort> sorts;
+    sorts.reserve(args.size());
+    for (TermId a : args) sorts.push_back(store_->sort(a));
+    LPS_ASSIGN_OR_RETURN(
+        id, program_->signature().Declare(pred, std::move(sorts)));
+  }
+  return program_->AddFact(id, std::move(args));
+}
+
+Result<PreparedQuery> Session::Prepare(const std::string& goal) {
+  LPS_RETURN_IF_ERROR(Compile());
+  ++parse_count_;
+  LPS_ASSIGN_OR_RETURN(
+      Literal lit,
+      ParseGoalText(goal, mode_, store_.get(), &program_->signature()));
+  return Prepare(lit);
+}
+
+Result<PreparedQuery> Session::Prepare(Literal goal) {
+  LPS_RETURN_IF_ERROR(Compile());
+  LPS_RETURN_IF_ERROR(
+      ValidateGoal(*store_, program_->signature(), goal, mode_));
+  BodyPlan plan = BuildGoalPlan(*store_, program_->signature(), goal);
+  return PreparedQuery(this, std::move(goal), std::move(plan));
+}
+
+Result<std::vector<Tuple>> Session::Query(const std::string& goal) {
+  LPS_ASSIGN_OR_RETURN(PreparedQuery q, Prepare(goal));
+  LPS_ASSIGN_OR_RETURN(AnswerCursor cursor, q.Execute());
+  return cursor.ToVector();
+}
+
+Result<bool> Session::Holds(const std::string& goal) {
+  LPS_ASSIGN_OR_RETURN(PreparedQuery q, Prepare(goal));
+  return q.Holds();
+}
+
+Result<std::vector<Tuple>> Session::SolveTopDown(const std::string& goal) {
+  return SolveTopDown(goal, options_);
+}
+
+Result<std::vector<Tuple>> Session::SolveTopDown(const std::string& goal,
+                                                 const Options& options) {
+  LPS_ASSIGN_OR_RETURN(PreparedQuery q, Prepare(goal));
+  LPS_ASSIGN_OR_RETURN(AnswerCursor cursor, q.SolveTopDown(options));
+  return cursor.ToVector();
+}
+
+Result<TermId> Session::ParseTerm(const std::string& text) {
+  LPS_RETURN_IF_ERROR(Compile());
+  ++parse_count_;
+  // Parse as the left side of a trivial goal.
+  LPS_ASSIGN_OR_RETURN(
+      Literal lit, ParseGoalText(text + " = " + text, mode_, store_.get(),
+                                 &program_->signature()));
+  return lit.args[0];
+}
+
+std::string Session::TupleToString(const Tuple& tuple) const {
+  std::string out = "(";
+  out += TermListToString(*store_, tuple);
+  out += ")";
+  return out;
+}
+
+void Session::ResetDatabase() {
+  db_ = std::make_unique<Database>(store_.get(), &program_->signature());
+}
+
+}  // namespace lps

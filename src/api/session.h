@@ -1,0 +1,135 @@
+// Session: the compile-once / execute-many entry point to the LPS
+// engine. A Session owns the term store, program and database and
+// moves through a staged lifecycle:
+//
+//   Load      parse source text and stage it (parse errors surface
+//             here; nothing is committed to the program yet);
+//   Compile   lower staged units - sort inference, Theorem 6
+//             compilation of positive bodies, validation against the
+//             session's language mode - and collect "?- goal." items;
+//   Evaluate  run the bottom-up evaluator to fixpoint (implies
+//             Compile() of anything still staged);
+//   Prepare   turn goal text into a PreparedQuery handle - parsed,
+//             validated and planned exactly once, then re-executable
+//             against the current database with bound parameters.
+//
+// Answers stream through AnswerCursor (api/answer_cursor.h). The
+// legacy string-per-call facade (eval/engine.h) is a thin shim over
+// this class. See README.md for a tour and the Engine -> Session
+// migration table.
+#ifndef LPS_API_SESSION_H_
+#define LPS_API_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/answer_cursor.h"
+#include "api/options.h"
+#include "api/query.h"
+#include "eval/database.h"
+#include "lang/program.h"
+#include "lang/validate.h"
+#include "parse/parser.h"
+
+namespace lps {
+
+class Session {
+ public:
+  explicit Session(LanguageMode mode = LanguageMode::kLDL,
+                   Options options = {});
+
+  // Not copyable or movable: PreparedQuery handles point back at their
+  // session.
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  TermStore* store() { return store_.get(); }
+  Program* program() { return program_.get(); }
+  Database* database() { return db_.get(); }
+  Signature* signature() { return &program_->signature(); }
+  LanguageMode mode() const { return mode_; }
+  const Options& options() const { return options_; }
+  void set_options(const Options& options) { options_ = options; }
+
+  // ---- Staged lifecycle: Load -> Compile -> Evaluate -----------------
+
+  /// Parses `source` and stages it; may be called repeatedly. Only
+  /// parse errors surface here - sort and validation errors surface
+  /// from Compile().
+  Status Load(const std::string& source);
+
+  /// Lowers everything staged since the last Compile() into the
+  /// program (sort inference, Theorem 6 compilation, validation) and
+  /// collects its "?- goal." queries. No-op when nothing is staged.
+  Status Compile();
+
+  /// Brings the database to fixpoint bottom-up, compiling first if
+  /// needed. Repeatable: already-derived tuples are kept.
+  Status Evaluate();
+  Status Evaluate(const Options& options);
+  const EvalStats& eval_stats() const { return eval_stats_; }
+
+  /// Adds a ground fact programmatically, declaring the predicate by
+  /// inference if unknown.
+  Status AddFact(const std::string& pred, std::vector<TermId> args);
+
+  // ---- Prepared queries ----------------------------------------------
+
+  /// Parses, validates and plans `goal` once; the returned handle
+  /// executes against the current database without re-parsing.
+  Result<PreparedQuery> Prepare(const std::string& goal);
+
+  /// Same, for an already-lowered goal literal (e.g. one of
+  /// pending_queries()); involves no parsing at all. Taken by value:
+  /// Compile() runs first and may grow pending_queries(), so a
+  /// reference into that vector would not survive.
+  Result<PreparedQuery> Prepare(Literal goal);
+
+  /// Queries collected from "?- goal." items in compiled sources.
+  const std::vector<Literal>& pending_queries() const { return queries_; }
+
+  // ---- One-shot conveniences (one parse per call) --------------------
+
+  Result<std::vector<Tuple>> Query(const std::string& goal);
+  Result<bool> Holds(const std::string& goal);
+  Result<std::vector<Tuple>> SolveTopDown(const std::string& goal);
+  Result<std::vector<Tuple>> SolveTopDown(const std::string& goal,
+                                          const Options& options);
+
+  /// Parses a single ground or non-ground term, e.g. "{a, b}".
+  Result<TermId> ParseTerm(const std::string& text);
+
+  /// Renders a tuple for display.
+  std::string TupleToString(const Tuple& tuple) const;
+
+  /// Discards all stored tuples and active domains (keeps the program,
+  /// its facts and every PreparedQuery handle). Outstanding
+  /// AnswerCursors are invalidated; prepared queries re-executed
+  /// afterwards see the fresh database.
+  void ResetDatabase();
+
+  // ---- Instrumentation -----------------------------------------------
+
+  /// Parser invocations so far (Load / Prepare / ParseTerm / one-shot
+  /// string queries). Executing a PreparedQuery never bumps this -
+  /// that is the point of preparing.
+  size_t parse_count() const { return parse_count_; }
+
+ private:
+  friend class PreparedQuery;
+
+  LanguageMode mode_;
+  Options options_;
+  std::unique_ptr<TermStore> store_;
+  std::unique_ptr<Program> program_;
+  std::unique_ptr<Database> db_;
+  std::vector<ParsedUnit> staged_;
+  std::vector<Literal> queries_;
+  EvalStats eval_stats_;
+  size_t parse_count_ = 0;
+};
+
+}  // namespace lps
+
+#endif  // LPS_API_SESSION_H_

@@ -1,136 +1,43 @@
 #include "eval/engine.h"
 
-#include "term/printer.h"
-#include "transform/positive_compiler.h"
-#include "unify/unify.h"
-
 namespace lps {
 
-Engine::Engine(LanguageMode mode)
-    : mode_(mode),
-      store_(std::make_unique<TermStore>()),
-      program_(std::make_unique<Program>(store_.get())),
-      db_(std::make_unique<Database>(store_.get(),
-                                     &program_->signature())) {}
+Engine::Engine(LanguageMode mode) : session_(mode) {}
 
 Status Engine::LoadString(const std::string& source) {
-  LPS_ASSIGN_OR_RETURN(ParsedUnit unit, ParseSource(source));
-  LPS_ASSIGN_OR_RETURN(
-      LoweredUnit lowered,
-      LowerParsedUnit(unit, mode_, store_.get(), &program_->signature()));
-  for (const GeneralClause& gc : lowered.clauses) {
-    LPS_RETURN_IF_ERROR(AddGeneralClause(program_.get(), gc));
-  }
-  for (Literal& f : lowered.facts) {
-    LPS_RETURN_IF_ERROR(program_->AddFact(f.pred, std::move(f.args)));
-  }
-  for (Literal& q : lowered.queries) {
-    queries_.push_back(std::move(q));
-  }
-  return ValidateProgram(*program_, mode_);
+  LPS_RETURN_IF_ERROR(session_.Load(source));
+  return session_.Compile();
 }
 
 Status Engine::AddFact(const std::string& pred, std::vector<TermId> args) {
-  PredicateId id = program_->signature().Lookup(pred, args.size());
-  if (id == kInvalidPredicate) {
-    std::vector<Sort> sorts;
-    sorts.reserve(args.size());
-    for (TermId a : args) sorts.push_back(store_->sort(a));
-    LPS_ASSIGN_OR_RETURN(id, program_->signature().Declare(
-                                  pred, std::move(sorts)));
-  }
-  return program_->AddFact(id, std::move(args));
+  return session_.AddFact(pred, std::move(args));
 }
 
 Status Engine::Evaluate(EvalOptions options) {
-  BottomUpEvaluator eval(program_.get(), db_.get(), options);
-  LPS_RETURN_IF_ERROR(eval.Evaluate());
-  eval_stats_ = eval.stats();
-  return Status::OK();
-}
-
-Result<Literal> Engine::ParseGoal(const std::string& goal) {
-  std::string src = "?- " + goal;
-  if (src.empty() || src.back() != '.') src += '.';
-  LPS_ASSIGN_OR_RETURN(ParsedUnit unit, ParseSource(src));
-  if (unit.queries.size() != 1) {
-    return Status::ParseError("expected exactly one goal: " + goal);
-  }
-  LPS_ASSIGN_OR_RETURN(
-      LoweredUnit lowered,
-      LowerParsedUnit(unit, mode_, store_.get(), &program_->signature()));
-  if (lowered.queries.size() != 1) {
-    return Status::ParseError("expected exactly one goal: " + goal);
-  }
-  return lowered.queries[0];
+  return session_.Evaluate(Options::FromEval(options));
 }
 
 Result<std::vector<Tuple>> Engine::Query(const std::string& goal) {
-  LPS_ASSIGN_OR_RETURN(Literal lit, ParseGoal(goal));
-  std::vector<Tuple> out;
-
-  if (program_->signature().IsBuiltin(lit.pred)) {
-    BuiltinOptions bopts;
-    LPS_RETURN_IF_ERROR(EvalBuiltin(
-        store_.get(), lit.pred, lit.args, bopts,
-        [&](const Substitution& s) {
-          Tuple t;
-          for (TermId a : lit.args) {
-            t.push_back(s.Apply(store_.get(), a));
-          }
-          out.push_back(std::move(t));
-          return Status::OK();
-        }));
-    return out;
-  }
-
-  const Relation* rel = db_->FindRelation(lit.pred);
-  if (rel == nullptr) return out;
-  Unifier unifier(store_.get());
-  for (const Tuple& t : rel->tuples()) {
-    std::vector<Substitution> unifiers;
-    LPS_RETURN_IF_ERROR(unifier.EnumerateTuples(
-        lit.args, std::span<const TermId>(t.data(), t.size()),
-        &unifiers));
-    if (!unifiers.empty()) out.push_back(t);
-  }
-  return out;
+  return session_.Query(goal);
 }
 
 Result<bool> Engine::HoldsText(const std::string& goal) {
-  LPS_ASSIGN_OR_RETURN(std::vector<Tuple> rows, Query(goal));
-  return !rows.empty();
+  return session_.Holds(goal);
 }
 
 Result<std::vector<Tuple>> Engine::SolveTopDown(const std::string& goal,
                                                 TopDownOptions options) {
-  LPS_ASSIGN_OR_RETURN(Literal lit, ParseGoal(goal));
-  TopDownSolver solver(program_.get(), db_.get(), options);
-  std::vector<Substitution> answers;
-  LPS_RETURN_IF_ERROR(solver.Solve(lit, &answers));
-  std::vector<Tuple> out;
-  out.reserve(answers.size());
-  for (const Substitution& s : answers) {
-    Tuple t;
-    t.reserve(lit.args.size());
-    for (TermId a : lit.args) t.push_back(s.Apply(store_.get(), a));
-    out.push_back(std::move(t));
-  }
-  return out;
+  return session_.SolveTopDown(goal, Options::FromTopDown(options));
 }
 
 Result<TermId> Engine::ParseTerm(const std::string& text) {
-  // Parse as the left side of a trivial goal.
-  LPS_ASSIGN_OR_RETURN(Literal lit, ParseGoal(text + " = " + text));
-  return lit.args[0];
+  return session_.ParseTerm(text);
 }
 
 std::string Engine::TupleToString(const Tuple& tuple) const {
-  return "(" + TermListToString(*store_, tuple) + ")";
+  return session_.TupleToString(tuple);
 }
 
-void Engine::ResetDatabase() {
-  db_ = std::make_unique<Database>(store_.get(), &program_->signature());
-}
+void Engine::ResetDatabase() { session_.ResetDatabase(); }
 
 }  // namespace lps

@@ -1,7 +1,10 @@
-// The public facade: parse LPS source, compile positive bodies
-// (Theorem 6), validate, evaluate bottom-up, and answer queries.
+// The legacy string-per-call facade, kept as a thin shim over the
+// Session API (api/session.h). Each Query/HoldsText/SolveTopDown call
+// re-parses its goal text; code that issues a goal more than once
+// should migrate to Session::Prepare and execute the PreparedQuery
+// instead (see README.md for the migration table).
 //
-// Typical use (see examples/quickstart.cc):
+// Typical use (see tests/engine_test.cc):
 //
 //   Engine engine(LanguageMode::kLPS);
 //   engine.LoadString(R"(
@@ -14,13 +17,10 @@
 #ifndef LPS_EVAL_ENGINE_H_
 #define LPS_EVAL_ENGINE_H_
 
-#include <memory>
 #include <string>
+#include <vector>
 
-#include "eval/bottomup.h"
-#include "eval/topdown.h"
-#include "lang/validate.h"
-#include "parse/parser.h"
+#include "api/session.h"
 
 namespace lps {
 
@@ -28,11 +28,14 @@ class Engine {
  public:
   explicit Engine(LanguageMode mode = LanguageMode::kLDL);
 
-  TermStore* store() { return store_.get(); }
-  Program* program() { return program_.get(); }
-  Database* database() { return db_.get(); }
-  Signature* signature() { return &program_->signature(); }
-  LanguageMode mode() const { return mode_; }
+  TermStore* store() { return session_.store(); }
+  Program* program() { return session_.program(); }
+  Database* database() { return session_.database(); }
+  Signature* signature() { return session_.signature(); }
+  LanguageMode mode() const { return session_.mode(); }
+
+  /// The underlying session, for incremental migration to the new API.
+  Session& session() { return session_; }
 
   /// Parses and adds clauses/facts; may be called repeatedly before
   /// Evaluate(). Positive bodies are compiled per Theorem 6; the
@@ -44,11 +47,11 @@ class Engine {
 
   /// Runs the bottom-up evaluator to fixpoint.
   Status Evaluate(EvalOptions options = {});
-  const EvalStats& eval_stats() const { return eval_stats_; }
+  const EvalStats& eval_stats() const { return session_.eval_stats(); }
 
   /// Queries evaluated against the current database. `goal` is an atom
   /// or comparison, e.g. "pair(X, {3})"; each answer is one tuple of
-  /// the goal's arguments.
+  /// the goal's arguments. Parses `goal` on every call.
   Result<std::vector<Tuple>> Query(const std::string& goal);
 
   /// True if the ground goal holds in the current database.
@@ -63,7 +66,9 @@ class Engine {
   Result<TermId> ParseTerm(const std::string& text);
 
   /// Queries collected from "?- goal." items in loaded sources.
-  const std::vector<Literal>& pending_queries() const { return queries_; }
+  const std::vector<Literal>& pending_queries() const {
+    return session_.pending_queries();
+  }
 
   /// Renders a tuple for display.
   std::string TupleToString(const Tuple& tuple) const;
@@ -72,14 +77,7 @@ class Engine {
   void ResetDatabase();
 
  private:
-  Result<Literal> ParseGoal(const std::string& goal);
-
-  LanguageMode mode_;
-  std::unique_ptr<TermStore> store_;
-  std::unique_ptr<Program> program_;
-  std::unique_ptr<Database> db_;
-  std::vector<Literal> queries_;
-  EvalStats eval_stats_;
+  Session session_;
 };
 
 }  // namespace lps

@@ -145,6 +145,14 @@ BodyPlan BuildBodyPlan(const TermStore& store, const Signature& sig,
   return plan;
 }
 
+BodyPlan BuildGoalPlan(const TermStore& store, const Signature& sig,
+                       const Literal& goal) {
+  Clause synthetic;
+  synthetic.head = goal;
+  synthetic.body.push_back(goal);
+  return BuildBodyPlan(store, sig, synthetic, {0}, {}, {}, true);
+}
+
 Result<RulePlan> BuildRulePlan(const TermStore& store, const Signature& sig,
                                const Clause& clause) {
   RulePlan plan;

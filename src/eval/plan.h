@@ -51,6 +51,15 @@ BodyPlan BuildBodyPlan(const TermStore& store, const Signature& sig,
                        const std::vector<TermId>& must_bind,
                        bool bind_all_literal_vars);
 
+/// Plans a single query goal as a one-literal body. The result is one
+/// kScan / kBuiltin step, preceded by active-domain enumeration steps
+/// when a builtin's instantiation mode cannot be satisfied from the
+/// goal's ground arguments alone. Built once per PreparedQuery
+/// (api/query.h); parameters bound later are handled by the executor
+/// skipping enumeration steps whose variable is already bound.
+BodyPlan BuildGoalPlan(const TermStore& store, const Signature& sig,
+                       const Literal& goal);
+
 /// Full rule plan for the bottom-up evaluator.
 struct RulePlan {
   std::vector<size_t> free_literals;        // no quantified variables

@@ -47,6 +47,14 @@ TopDownSolver::GoalKey TopDownSolver::Canonicalize(const Literal& goal) {
 
 Status TopDownSolver::Solve(const Literal& goal,
                             std::vector<Substitution>* answers) {
+  return Solve(goal, [&](const Substitution& restricted) {
+    answers->push_back(restricted);
+    return Status::OK();
+  });
+}
+
+Status TopDownSolver::Solve(const Literal& goal,
+                            const AnswerCallback& on_answer) {
   TermStore* store = program_->store();
   std::vector<TermId> goal_vars;
   for (TermId a : goal.args) store->CollectVariables(a, &goal_vars);
@@ -65,8 +73,7 @@ Status TopDownSolver::Solve(const Literal& goal,
     for (size_t i = 0; i < goal_vars.size(); ++i) {
       if (fp[i] != goal_vars[i]) restricted.Bind(goal_vars[i], fp[i]);
     }
-    answers->push_back(std::move(restricted));
-    return Status::OK();
+    return on_answer(restricted);
   });
 }
 

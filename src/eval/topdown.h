@@ -43,9 +43,15 @@ class TopDownSolver {
   TopDownSolver(const Program* program, const Database* db = nullptr,
                 TopDownOptions options = {});
 
+  using AnswerCallback = std::function<Status(const Substitution&)>;
+
   /// Enumerates solutions of `goal`: one substitution per answer,
   /// restricted to the goal's variables (deduplicated).
   Status Solve(const Literal& goal, std::vector<Substitution>* answers);
+
+  /// Streaming form: calls `on_answer` once per deduplicated answer
+  /// instead of materializing a vector. Used by the AnswerCursor path.
+  Status Solve(const Literal& goal, const AnswerCallback& on_answer);
 
   /// True if the (possibly non-ground) goal has at least one solution.
   Result<bool> Provable(const Literal& goal);

@@ -164,6 +164,14 @@ Status ValidateProgram(const Program& program, LanguageMode mode) {
   return Status::OK();
 }
 
+Status ValidateGoal(const TermStore& store, const Signature& sig,
+                    const Literal& goal, LanguageMode mode) {
+  if (!goal.positive) {
+    return Status::InvalidArgument("query goals must be positive");
+  }
+  return CheckLiteral(store, sig, goal, mode);
+}
+
 bool ProgramUsesNegation(const Program& program) {
   for (const Clause& c : program.clauses()) {
     for (const Literal& lit : c.body) {

@@ -33,6 +33,13 @@ Status ValidateClause(const TermStore& store, const Signature& sig,
 /// Validates every clause and fact of the program.
 Status ValidateProgram(const Program& program, LanguageMode mode);
 
+/// Validates a single (possibly non-ground) query goal: arity and
+/// argument sorts must match the predicate's declaration and set
+/// nesting must respect the language mode. Goals may name special
+/// predicates (unlike clause heads).
+Status ValidateGoal(const TermStore& store, const Signature& sig,
+                    const Literal& goal, LanguageMode mode);
+
 /// True if any clause has a negated body literal.
 bool ProgramUsesNegation(const Program& program);
 

@@ -321,4 +321,21 @@ Result<ParsedUnit> ParseSource(const std::string& source) {
   return parser.Parse();
 }
 
+Result<Literal> ParseGoalText(const std::string& text, LanguageMode mode,
+                              TermStore* store, Signature* sig) {
+  std::string src = "?- " + text;
+  if (src.back() != '.') src += '.';
+  LPS_ASSIGN_OR_RETURN(ParsedUnit unit, ParseSource(src));
+  if (unit.queries.size() != 1 || !unit.clauses.empty() ||
+      !unit.decls.empty()) {
+    return Status::ParseError("expected exactly one goal: " + text);
+  }
+  LPS_ASSIGN_OR_RETURN(LoweredUnit lowered,
+                       LowerParsedUnit(unit, mode, store, sig));
+  if (lowered.queries.size() != 1) {
+    return Status::ParseError("expected exactly one goal: " + text);
+  }
+  return lowered.queries[0];
+}
+
 }  // namespace lps

@@ -100,6 +100,14 @@ Result<LoweredUnit> LowerParsedUnit(const ParsedUnit& unit,
                                     LanguageMode mode, TermStore* store,
                                     Signature* sig);
 
+/// Parses and lowers a single goal - an atom or comparison such as
+/// "path(a, X)" - against an existing store/signature; the "?-" prefix
+/// and trailing "." are implied. This is the one entry point for ad-hoc
+/// goal text: Session::Prepare calls it exactly once per goal, after
+/// which execution never touches the parser again.
+Result<Literal> ParseGoalText(const std::string& text, LanguageMode mode,
+                              TermStore* store, Signature* sig);
+
 }  // namespace lps
 
 #endif  // LPS_PARSE_PARSER_H_

@@ -116,7 +116,6 @@ TEST(Theorem8Test, PositiveBOverApproximatesUnderGrowth) {
   EXPECT_TRUE(*p2.HoldsText("b({c1})")) << "monotonicity violated?!";
   // Machine-check the monotonicity claim itself.
   PredicateId b1 = p1.signature()->Lookup("b", 1);
-  PredicateId b2 = p2.signature()->Lookup("b", 1);
   const Relation* r1 = p1.database()->FindRelation(b1);
   ASSERT_NE(r1, nullptr);
   for (const Tuple& t : r1->tuples()) {

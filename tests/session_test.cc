@@ -1,0 +1,404 @@
+// Tests for the Session / PreparedQuery / AnswerCursor API: the staged
+// lifecycle, prepared-query reuse (including across ResetDatabase()),
+// cursor streaming semantics, parameter binding, error surfacing
+// through Status, and equivalence with the legacy Engine facade.
+#include "api/session.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "eval/engine.h"
+
+namespace lps {
+namespace {
+
+#define ASSERT_OK(expr)                        \
+  do {                                         \
+    ::lps::Status _st = (expr);                \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();   \
+  } while (0)
+
+constexpr const char* kGraph = R"(
+  edge(a, b). edge(b, c). edge(c, d).
+  path(X, Y) :- edge(X, Y).
+  path(X, Z) :- path(X, Y), edge(Y, Z).
+)";
+
+TEST(SessionTest, StagedLifecycle) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(kGraph));
+  // Load only parses; nothing is committed to the program yet.
+  EXPECT_TRUE(session.program()->clauses().empty());
+  EXPECT_TRUE(session.program()->facts().empty());
+
+  ASSERT_OK(session.Compile());
+  EXPECT_EQ(session.program()->clauses().size(), 2u);
+  EXPECT_EQ(session.program()->facts().size(), 3u);
+
+  ASSERT_OK(session.Evaluate());
+  EXPECT_GT(session.eval_stats().tuples_derived, 3u);
+}
+
+TEST(SessionTest, EvaluateImpliesCompile) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(kGraph));
+  ASSERT_OK(session.Evaluate());  // no explicit Compile()
+  auto holds = session.Holds("path(a, d)");
+  ASSERT_TRUE(holds.ok()) << holds.status().ToString();
+  EXPECT_TRUE(*holds);
+}
+
+TEST(SessionTest, PreparedQueryExecutesWithoutReparsing) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(kGraph));
+  ASSERT_OK(session.Evaluate());
+
+  auto query = session.Prepare("path(a, X)");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  size_t parses_after_prepare = session.parse_count();
+
+  // Re-executing the prepared goal must never re-invoke the parser -
+  // that is the acceptance criterion of the compile-once design.
+  for (int i = 0; i < 100; ++i) {
+    auto cursor = query->Execute();
+    ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+    auto count = cursor->Count();
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*count, 3u);  // b, c, d
+  }
+  EXPECT_EQ(session.parse_count(), parses_after_prepare);
+
+  // The string path parses once per call.
+  ASSERT_TRUE(session.Query("path(a, X)").ok());
+  EXPECT_EQ(session.parse_count(), parses_after_prepare + 1);
+}
+
+TEST(SessionTest, PreparedQueryReuseAfterResetDatabase) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(kGraph));
+  ASSERT_OK(session.Evaluate());
+
+  auto query = session.Prepare("path(a, X)");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(*query->Execute()->Count(), 3u);
+
+  // Dropping the database empties the answer set but keeps the handle
+  // valid; re-evaluating brings the answers back - same plan, no parse.
+  session.ResetDatabase();
+  size_t parses = session.parse_count();
+  EXPECT_EQ(*query->Execute()->Count(), 0u);
+  ASSERT_OK(session.Evaluate());
+  EXPECT_EQ(*query->Execute()->Count(), 3u);
+  EXPECT_EQ(session.parse_count(), parses);
+}
+
+TEST(SessionTest, PreparedQuerySeesLaterLoads) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load("edge(a, b)."));
+  ASSERT_OK(session.Evaluate());
+  auto query = session.Prepare("edge(X, Y)");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(*query->Execute()->Count(), 1u);
+
+  ASSERT_OK(session.Load("edge(b, c). edge(c, d)."));
+  ASSERT_OK(session.Evaluate());
+  EXPECT_EQ(*query->Execute()->Count(), 3u);
+}
+
+TEST(AnswerCursorTest, ExhaustionAndReiteration) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(kGraph));
+  ASSERT_OK(session.Evaluate());
+
+  auto query = session.Prepare("path(a, X)");
+  ASSERT_TRUE(query.ok());
+  auto cursor = query->Execute();
+  ASSERT_TRUE(cursor.ok());
+
+  Tuple t;
+  size_t n = 0;
+  while (cursor->Next(&t)) ++n;
+  EXPECT_EQ(n, 3u);
+  EXPECT_TRUE(cursor->exhausted());
+  EXPECT_TRUE(cursor->status().ok());
+  // Further pulls stay exhausted.
+  EXPECT_FALSE(cursor->Next(&t));
+
+  // Rewind restarts the stream without re-planning.
+  cursor->Rewind();
+  EXPECT_FALSE(cursor->exhausted());
+  auto rows = cursor->ToVector();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST(AnswerCursorTest, RangeForSupport) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(kGraph));
+  ASSERT_OK(session.Evaluate());
+
+  auto cursor = session.Prepare("edge(X, Y)")->Execute();
+  ASSERT_TRUE(cursor.ok());
+  size_t n = 0;
+  for (const Tuple& row : *cursor) {
+    EXPECT_EQ(row.size(), 2u);
+    ++n;
+  }
+  EXPECT_EQ(n, 3u);
+  EXPECT_TRUE(cursor->status().ok());
+}
+
+TEST(AnswerCursorTest, LazyScanStopsEarly) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(kGraph));
+  ASSERT_OK(session.Evaluate());
+
+  auto query = session.Prepare("path(X, Y)");
+  ASSERT_TRUE(query.ok());
+  auto cursor = query->Execute();
+  ASSERT_TRUE(cursor.ok());
+  Tuple first;
+  EXPECT_TRUE(cursor->Next(&first));
+  EXPECT_FALSE(cursor->exhausted());  // five more answers never pulled
+}
+
+TEST(AnswerCursorTest, BuiltinGoalStreams) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load("s({1,2,3})."));
+  ASSERT_OK(session.Evaluate());
+
+  auto query = session.Prepare("X in {1, 2, 3}");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(*query->Execute()->Count(), 3u);
+  // Prepared builtin goals are as re-executable as scans.
+  EXPECT_EQ(*query->Execute()->Count(), 3u);
+}
+
+TEST(PreparedQueryTest, BindParameters) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(kGraph));
+  ASSERT_OK(session.Evaluate());
+
+  auto query = session.Prepare("path(X, Y)");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->variables().size(), 2u);
+  EXPECT_EQ(*query->Execute()->Count(), 6u);
+
+  ASSERT_OK(query->Bind("X", session.store()->MakeConstant("a")));
+  EXPECT_EQ(*query->Execute()->Count(), 3u);
+
+  ASSERT_OK(query->Bind("Y", session.store()->MakeConstant("d")));
+  EXPECT_EQ(*query->Execute()->Count(), 1u);
+
+  query->ClearBindings();
+  EXPECT_EQ(*query->Execute()->Count(), 6u);
+
+  // Unknown parameter names and non-ground values are errors.
+  EXPECT_EQ(query->Bind("Z", session.store()->MakeConstant("a")).code(),
+            StatusCode::kNotFound);
+  TermId var = session.store()->MakeVariable("V", Sort::kAtom);
+  EXPECT_EQ(query->Bind("X", var).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PreparedQueryTest, BindTextAndSortMismatch) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load("s({1, 2}). has(X, E) :- s(X), E in X."));
+  ASSERT_OK(session.Evaluate());
+
+  auto query = session.Prepare("has(X, E)");
+  ASSERT_TRUE(query.ok());
+  ASSERT_OK(query->BindText("X", "{1, 2}"));
+  EXPECT_EQ(*query->Execute()->Count(), 2u);
+
+  // X is set-sorted; an atom value must be rejected.
+  EXPECT_EQ(query->Bind("X", session.store()->MakeInt(7)).code(),
+            StatusCode::kSortError);
+}
+
+TEST(PreparedQueryTest, TopDownSolvesWithoutEvaluate) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(R"(
+    edge(a, b). edge(b, c).
+    hop(X, Z) :- edge(X, Y), edge(Y, Z).
+  )"));
+  auto query = session.Prepare("hop(a, X)");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  auto cursor = query->SolveTopDown();
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  auto rows = cursor->ToVector();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  // The same handle serves bottom-up execution after an Evaluate().
+  ASSERT_OK(session.Evaluate());
+  EXPECT_EQ(*query->Execute()->Count(), 1u);
+}
+
+TEST(PreparedQueryTest, PendingQueriesRouteThroughPrepare) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(R"(
+    p(a). p(b).
+    ?- p(X).
+  )"));
+  ASSERT_OK(session.Evaluate());
+  ASSERT_EQ(session.pending_queries().size(), 1u);
+  // Already-lowered literals prepare with no parser involvement.
+  size_t parses = session.parse_count();
+  auto query = session.Prepare(session.pending_queries()[0]);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(session.parse_count(), parses);
+  EXPECT_EQ(*query->Execute()->Count(), 2u);
+}
+
+TEST(PreparedQueryTest, PreparePendingQueryWhileUnitsStaged) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load("p(a). ?- p(X)."));
+  ASSERT_OK(session.Evaluate());
+  // Staging another unit means Prepare()'s implicit Compile() grows
+  // pending_queries() mid-call; the goal is taken by value so the
+  // reallocation cannot invalidate it.
+  ASSERT_OK(session.Load("q(b). ?- q(X)."));
+  auto query = session.Prepare(session.pending_queries()[0]);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(session.pending_queries().size(), 2u);
+  ASSERT_OK(session.Evaluate());
+  EXPECT_EQ(*query->Execute()->Count(), 1u);  // p(a)
+}
+
+TEST(SessionErrorTest, ParseErrorsSurfaceFromLoad) {
+  Session session(LanguageMode::kLPS);
+  Status st = session.Load("p(a) :- q(.");
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("line"), std::string::npos);
+}
+
+TEST(SessionErrorTest, SortErrorsSurfaceFromCompile) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load("p({{a}})."));  // nested set: parses fine
+  Status st = session.Compile();
+  EXPECT_EQ(st.code(), StatusCode::kSortError);
+
+  Session elps(LanguageMode::kELPS);
+  ASSERT_OK(elps.Load("p({{a}})."));
+  ASSERT_OK(elps.Compile());
+}
+
+TEST(SessionErrorTest, FailedCompileIsTransactional) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load("p(a)."));
+  ASSERT_OK(session.Evaluate());
+
+  // Grouping heads need LDL mode: the unit is rejected at Compile()
+  // and must leave no trace - neither the offending clause nor the
+  // facts that rode along in the same unit.
+  ASSERT_OK(session.Load("q(a, b). team(D, <E>) :- q(D, E)."));
+  EXPECT_FALSE(session.Compile().ok());
+  EXPECT_TRUE(session.program()->clauses().empty());
+  EXPECT_EQ(session.program()->facts().size(), 1u);  // just p(a)
+
+  // The session keeps working after the rejection.
+  ASSERT_OK(session.Load("r(c)."));
+  ASSERT_OK(session.Evaluate());
+  EXPECT_TRUE(*session.Holds("r(c)"));
+  EXPECT_TRUE(*session.Holds("p(a)"));
+}
+
+TEST(SessionErrorTest, PrepareRejectsBadGoals) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load("p(a)."));
+  ASSERT_OK(session.Evaluate());
+
+  EXPECT_EQ(session.Prepare("p(").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(session.Prepare("p(a). q(b)").status().code(),
+            StatusCode::kParseError);
+  // Arity mismatches are validation errors, not crashes.
+  Status st = session.Prepare("p(a, b)").status();
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(SessionErrorTest, EmptyPreparedQueryIsAnError) {
+  PreparedQuery query;
+  EXPECT_EQ(query.Execute().status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(query.SolveTopDown().status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SessionErrorTest, UnstratifiableProgramRejectedAtEvaluate) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(R"(
+    p(a) :- not q(a).
+    q(a) :- not p(a).
+  )"));
+  EXPECT_EQ(session.Evaluate().code(), StatusCode::kStratificationError);
+}
+
+// The Engine facade must behave exactly like the session it wraps.
+TEST(EngineShimTest, MatchesSessionAnswers) {
+  Engine engine(LanguageMode::kLPS);
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(engine.LoadString(kGraph));
+  ASSERT_OK(session.Load(kGraph));
+  ASSERT_OK(engine.Evaluate());
+  ASSERT_OK(session.Evaluate());
+
+  for (const char* goal :
+       {"path(a, X)", "path(X, Y)", "path(a, d)", "path(d, a)",
+        "edge(X, b)", "X in {1, 2, 3}"}) {
+    auto via_engine = engine.Query(goal);
+    auto via_session = session.Query(goal);
+    ASSERT_TRUE(via_engine.ok()) << goal;
+    ASSERT_TRUE(via_session.ok()) << goal;
+    EXPECT_EQ(*via_engine, *via_session) << goal;
+  }
+  EXPECT_EQ(*engine.HoldsText("path(a, c)"),
+            *session.Holds("path(a, c)"));
+  EXPECT_EQ(*engine.SolveTopDown("edge(a, X)"),
+            *session.SolveTopDown("edge(a, X)"));
+}
+
+TEST(EngineShimTest, SessionAccessorMigrationPath) {
+  Engine engine(LanguageMode::kLPS);
+  ASSERT_OK(engine.LoadString("p(a)."));
+  // Engine exposes its session so call sites can migrate piecemeal.
+  auto query = engine.session().Prepare("p(X)");
+  ASSERT_TRUE(query.ok());
+  ASSERT_OK(engine.Evaluate());
+  EXPECT_EQ(*query->Execute()->Count(), 1u);
+}
+
+TEST(OptionsTest, RoundTripsBothEvaluators) {
+  Options o;
+  o.semi_naive = false;
+  o.max_iterations = 7;
+  o.max_tuples = 9;
+  o.max_depth = 11;
+  o.max_subgoals = 13;
+  o.max_answers_per_goal = 17;
+
+  EvalOptions e = o.eval();
+  EXPECT_FALSE(e.semi_naive);
+  EXPECT_EQ(e.max_iterations, 7u);
+  EXPECT_EQ(e.max_tuples, 9u);
+
+  TopDownOptions t = o.topdown();
+  EXPECT_EQ(t.max_depth, 11u);
+  EXPECT_EQ(t.max_subgoals, 13u);
+  EXPECT_EQ(t.max_answers_per_goal, 17u);
+
+  Options back = Options::FromEval(e);
+  EXPECT_FALSE(back.semi_naive);
+  EXPECT_EQ(Options::FromTopDown(t).max_depth, 11u);
+}
+
+TEST(OptionsTest, LimitsFlowThroughSession) {
+  Options tight;
+  tight.max_tuples = 2;
+  Session session(LanguageMode::kLPS, tight);
+  ASSERT_OK(session.Load(kGraph));
+  EXPECT_EQ(session.Evaluate().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace lps

@@ -253,7 +253,9 @@ TEST_P(UnifyCompletenessTest, MatchesBruteForce) {
     EXPECT_EQ(e.Apply(&store, lhs), e.Apply(&store, rhs));
   }
   // Solutions exist iff the variables can cover the residual constants.
-  if (nconsts <= nvars + 1) EXPECT_GT(solutions, 0u);
+  if (nconsts <= nvars + 1) {
+    EXPECT_GT(solutions, 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
