@@ -90,6 +90,78 @@ BENCHMARK(BM_QuantifiedSemiNaive)
     ->Args({1024, 8})
     ->Args({256, 32});
 
+// Thread scaling: the same semi-naive fixpoint with the delta joins
+// sharded across N worker lanes (eval/bottomup.cc, DESIGN.md sec. 11).
+// Expected shape: wall clock drops roughly linearly with lanes until
+// the per-iteration merge barrier dominates; the acceptance target is
+// >= 2x at 4 lanes on these workloads.
+void RunScaling(benchmark::State& state, const std::string& source) {
+  size_t tuples = 0, tasks = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = MustLoad(source, LanguageMode::kLPS);
+    state.ResumeTiming();
+    Options opts;
+    opts.threads = static_cast<size_t>(state.range(0));
+    opts.max_tuples = 10000000;
+    opts.max_iterations = 1000000;
+    EvalStats stats = MustEvaluate(engine.get(), opts);
+    tuples = stats.tuples_derived;
+    tasks = stats.parallel_tasks;
+  }
+  state.counters["tuples"] = static_cast<double>(tuples);
+  state.counters["parallel_tasks"] = static_cast<double>(tasks);
+}
+
+// Dense random graph: large per-iteration deltas, the best case for
+// sharding.
+void BM_TcRandomThreads(benchmark::State& state) {
+  RunScaling(state,
+             RandomGraph(192, 3 * 192, 99) + TransitiveClosureRules());
+}
+BENCHMARK(BM_TcRandomThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Long chain: many iterations with medium deltas, stressing the
+// per-iteration fork/join barrier.
+void BM_TcChainThreads(benchmark::State& state) {
+  RunScaling(state, ChainGraph(384) + TransitiveClosureRules());
+}
+BENCHMARK(BM_TcChainThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// BOM-flavored sharding: part/descendant reachability over a forest of
+// component links (flat Horn recursion like the bill-of-materials
+// rollup's part graph, without the set-arithmetic builtins that pin
+// rules to the coordinator).
+void BM_BomReachThreads(benchmark::State& state) {
+  Rng rng(1234);
+  std::string src;
+  constexpr int kParts = 2500;
+  for (int i = 1; i < kParts; ++i) {
+    src += "component(p" + std::to_string(rng.Below(i)) + ", p" +
+           std::to_string(i) + ").\n";
+  }
+  src += "uses(X, Y) :- component(X, Y).\n";
+  src += "uses(X, Z) :- uses(X, Y), component(Y, Z).\n";
+  RunScaling(state, src);
+}
+BENCHMARK(BM_BomReachThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace lps::bench
 

@@ -16,6 +16,10 @@ struct Options {
   bool semi_naive = true;
   size_t max_iterations = 100000;
   size_t max_tuples = 2000000;
+  /// Worker lanes for the parallel fixpoint: 1 = sequential (exact
+  /// legacy behavior), 0 = hardware concurrency, N > 1 = that many
+  /// lanes (see eval/bottomup.h and DESIGN.md section 11).
+  size_t threads = 1;
 
   // ---- Top-down SLD solving (eval/topdown.h) -------------------------
   size_t max_depth = 256;
@@ -34,6 +38,7 @@ struct Options {
     o.semi_naive = semi_naive;
     o.max_iterations = max_iterations;
     o.max_tuples = max_tuples;
+    o.threads = threads;
     o.builtins = builtins;
     return o;
   }
@@ -52,6 +57,7 @@ struct Options {
     o.semi_naive = e.semi_naive;
     o.max_iterations = e.max_iterations;
     o.max_tuples = e.max_tuples;
+    o.threads = e.threads;
     o.builtins = e.builtins;
     return o;
   }

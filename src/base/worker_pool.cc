@@ -1,0 +1,64 @@
+#include "base/worker_pool.h"
+
+namespace lps {
+
+WorkerPool::WorkerPool(size_t lanes) {
+  if (lanes < 1) lanes = 1;
+  threads_.reserve(lanes - 1);
+  for (size_t i = 1; i < lanes; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::Run(const std::function<void(size_t)>& job) {
+  if (threads_.empty()) {
+    job(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    running_ = threads_.size();
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  job(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return running_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::WorkerLoop(size_t index) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_;
+      job = job_;
+    }
+    (*job)(index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+size_t WorkerPool::HardwareConcurrency() {
+  size_t n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace lps

@@ -1,0 +1,60 @@
+// A reusable fixed-size pool of worker threads for fork-join
+// parallelism. The bottom-up evaluator uses it to shard delta joins
+// across cores (eval/bottomup.cc); it is deliberately generic so other
+// subsystems (e.g. concurrent query serving in api::Session) can reuse
+// it.
+//
+// Model: Run(job) invokes job(worker_index) once per lane, for
+// worker_index in [0, size()); job(0) runs on the calling thread and
+// the remaining lanes on the pool's persistent threads. Run blocks
+// until every invocation returns, which gives callers a happens-before
+// edge from everything the workers wrote to the code after Run. Jobs
+// must not throw and must not call Run on the same pool re-entrantly.
+#ifndef LPS_BASE_WORKER_POOL_H_
+#define LPS_BASE_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lps {
+
+class WorkerPool {
+ public:
+  /// A pool with `lanes` parallel lanes (clamped to >= 1). `lanes - 1`
+  /// threads are spawned; the caller of Run is always lane 0.
+  explicit WorkerPool(size_t lanes);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Total lanes, including the calling thread.
+  size_t size() const { return threads_.size() + 1; }
+
+  /// Runs job(i) for every lane i concurrently; returns when all done.
+  void Run(const std::function<void(size_t)>& job);
+
+  /// std::thread::hardware_concurrency, but never 0.
+  static size_t HardwareConcurrency();
+
+ private:
+  void WorkerLoop(size_t index);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t)>* job_ = nullptr;  // guarded by mu_
+  uint64_t epoch_ = 0;                                // guarded by mu_
+  size_t running_ = 0;                                // guarded by mu_
+  bool shutdown_ = false;                             // guarded by mu_
+};
+
+}  // namespace lps
+
+#endif  // LPS_BASE_WORKER_POOL_H_

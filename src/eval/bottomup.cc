@@ -1,13 +1,29 @@
 #include "eval/bottomup.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <unordered_set>
 
 #include "lang/validate.h"
 #include "term/printer.h"
 #include "term/set_algebra.h"
 
 namespace lps {
+
+namespace {
+
+// A positive user-predicate body literal on a same-stratum predicate:
+// the literals that carry semi-naive deltas. Shared by the pool gate in
+// Evaluate() and the per-stratum setup in EvaluateStratum() so the two
+// sites cannot drift.
+bool IsInStratumDeltaLiteral(const Literal& lit, const Signature& sig,
+                             const Stratification& strat, size_t stratum) {
+  return lit.positive && !sig.IsBuiltin(lit.pred) &&
+         strat.pred_stratum[lit.pred] == stratum;
+}
+
+}  // namespace
 
 BottomUpEvaluator::BottomUpEvaluator(const Program* program, Database* db,
                                      EvalOptions options)
@@ -41,6 +57,35 @@ Status BottomUpEvaluator::Evaluate() {
     }
     r.horn_simple = !r.plan.has_quantifiers &&
                     !r.clause->grouping.has_value() && !has_enum;
+    AnalyzeRuleForParallel(&r);
+  }
+
+  // Resolve the lane count; only semi-naive iterations shard work and
+  // only parallel-safe rules with an in-stratum (delta) literal ever
+  // generate tasks, so anything else never pays for a pool (and
+  // threads_used stays 0, truthfully).
+  size_t lanes = options_.threads == 0 ? WorkerPool::HardwareConcurrency()
+                                       : options_.threads;
+  bool any_sharded_rule = false;
+  for (const CompiledRule& r : rules_) {
+    if (!r.parallel_safe) continue;
+    size_t head_stratum = strat.pred_stratum[r.clause->head.pred];
+    for (size_t li : r.plan.free_literals) {
+      if (IsInStratumDeltaLiteral(r.clause->body[li], sig, strat,
+                                  head_stratum)) {
+        any_sharded_rule = true;
+        break;
+      }
+    }
+    if (any_sharded_rule) break;
+  }
+  if (lanes > 1 && options_.semi_naive && any_sharded_rule) {
+    if (pool_ == nullptr || pool_->size() != lanes) {
+      pool_ = std::make_unique<WorkerPool>(lanes);
+    }
+    stats_.threads_used = lanes;
+  } else {
+    pool_.reset();
   }
 
   for (size_t s = 0; s < strat.num_strata; ++s) {
@@ -60,9 +105,8 @@ Status BottomUpEvaluator::EvaluateStratum(
     r.in_stratum_literals.clear();
     r.last_version = UINT64_MAX;
     for (size_t li : r.plan.free_literals) {
-      const Literal& lit = r.clause->body[li];
-      if (lit.positive && !sig.IsBuiltin(lit.pred) &&
-          strat.pred_stratum[lit.pred] == stratum) {
+      if (IsInStratumDeltaLiteral(r.clause->body[li], sig, strat,
+                                  stratum)) {
         r.in_stratum_literals.push_back(li);
       }
     }
@@ -101,6 +145,16 @@ Status BottomUpEvaluator::EvaluateStratum(
     }
     for (auto& [p, range] : delta) mark[p] = range.second;
 
+    // Phase A (parallel mode only): shard every parallel-safe rule's
+    // delta joins across the pool against the frozen pre-iteration
+    // database, then merge. Iteration 0 (the full first pass) and all
+    // other rules run sequentially below, exactly as in single-thread
+    // mode.
+    const bool parallel = pool_ != nullptr;
+    if (parallel && iteration > 0) {
+      LPS_RETURN_IF_ERROR(RunParallelDeltaPhase(clause_indices, delta));
+    }
+
     for (size_t ci : clause_indices) {
       CompiledRule& r = rules_[ci];
       if (r.clause->grouping.has_value()) continue;  // ran above
@@ -109,7 +163,7 @@ Status BottomUpEvaluator::EvaluateStratum(
         if (iteration == 0) {
           ++stats_.rule_runs;
           LPS_RETURN_IF_ERROR(RunRule(&r, nullptr));
-        } else {
+        } else if (!parallel || !r.parallel_safe) {
           for (size_t li : r.in_stratum_literals) {
             PredicateId p = r.clause->body[li].pred;
             auto range = delta[p];
@@ -240,6 +294,278 @@ Status BottomUpEvaluator::RunEmptyBranch(CompiledRule* rule) {
       });
 }
 
+void BottomUpEvaluator::AnalyzeRuleForParallel(CompiledRule* rule) const {
+  const TermStore& store = *program_->store();
+  const Signature& sig = program_->signature();
+  const std::vector<PlanStep>& steps = rule->plan.free_plan.steps;
+  rule->scan_masks.assign(steps.size(), 0);
+  rule->parallel_safe = false;
+  if (!rule->horn_simple) return;
+
+  // Flat arguments (ground terms or plain variables) are the ones
+  // Substitution::Apply resolves without interning anything new.
+  auto flat = [&](const std::vector<TermId>& args) {
+    for (TermId a : args) {
+      if (!store.is_ground(a) && !store.IsVariable(a)) return false;
+    }
+    return true;
+  };
+
+  std::unordered_set<TermId> bound;
+  for (size_t si = 0; si < steps.size(); ++si) {
+    const PlanStep& step = steps[si];
+    switch (step.kind) {
+      case StepKind::kScan: {
+        const Literal& lit = rule->clause->body[step.literal_index];
+        if (!flat(lit.args)) return;
+        // Boundness at a fixed plan position depends only on the plan,
+        // so the scan's probe mask is static.
+        uint32_t mask = 0;
+        for (size_t i = 0; i < lit.args.size(); ++i) {
+          if (store.is_ground(lit.args[i]) || bound.count(lit.args[i])) {
+            mask |= (1u << i);
+          }
+        }
+        rule->scan_masks[si] = mask;
+        for (TermId a : lit.args) {
+          if (store.IsVariable(a)) bound.insert(a);
+        }
+        break;
+      }
+      case StepKind::kNegated: {
+        const Literal& lit = rule->clause->body[step.literal_index];
+        // Negated builtins route through CheckBuiltin, which may intern
+        // terms (set operations); only frozen user relations are safe.
+        if (sig.IsBuiltin(lit.pred)) return;
+        if (!flat(lit.args)) return;
+        break;
+      }
+      default:
+        // Builtin evaluation can intern new terms (arithmetic, set
+        // construction); enumeration steps never reach horn_simple.
+        return;
+    }
+  }
+  if (!flat(rule->clause->head.args)) return;
+  rule->parallel_safe = true;
+}
+
+Status BottomUpEvaluator::RunParallelDeltaPhase(
+    const std::vector<size_t>& clause_indices,
+    const std::unordered_map<PredicateId, std::pair<size_t, size_t>>&
+        delta) {
+  // Freeze the read paths: catch every index the workers will probe up
+  // to the current size, so LookupSnapshot never has to build one.
+  for (size_t ci : clause_indices) {
+    const CompiledRule& r = rules_[ci];
+    if (!r.parallel_safe) continue;
+    const std::vector<PlanStep>& steps = r.plan.free_plan.steps;
+    for (size_t si = 0; si < steps.size(); ++si) {
+      if (steps[si].kind != StepKind::kScan) continue;
+      if (r.scan_masks[si] == 0) continue;  // full scans need no index
+      db_->relation(r.clause->body[steps[si].literal_index].pred)
+          .EnsureIndex(r.scan_masks[si]);
+    }
+  }
+
+  // Shard each (rule, delta literal) job into chunks. Task enumeration
+  // is deterministic, and splitting a delta range into chunks that are
+  // merged back in range order reproduces the unsplit derivation
+  // sequence, so the merged database is identical for every lane count.
+  constexpr size_t kMinChunkTuples = 16;
+  std::vector<ParallelTask> tasks;
+  for (size_t ci : clause_indices) {
+    const CompiledRule& r = rules_[ci];
+    if (!r.parallel_safe) continue;
+    for (size_t li : r.in_stratum_literals) {
+      auto it = delta.find(r.clause->body[li].pred);
+      if (it == delta.end()) continue;
+      auto [begin, end] = it->second;
+      if (begin >= end) continue;  // empty delta
+      ++stats_.rule_runs;
+      size_t len = end - begin;
+      size_t chunks = std::max<size_t>(len / kMinChunkTuples, 1);
+      chunks = std::min(chunks, pool_->size() * 4);
+      size_t base = len / chunks, rem = len % chunks;
+      size_t at = begin;
+      for (size_t c = 0; c < chunks; ++c) {
+        size_t sz = base + (c < rem ? 1 : 0);
+        if (sz == 0) continue;
+        tasks.push_back(ParallelTask{&r, DeltaSpec{li, at, at + sz}});
+        at += sz;
+      }
+    }
+  }
+  if (tasks.empty()) return Status::OK();
+
+  // Dynamic scheduling: workers claim tasks off a shared counter and
+  // write only their own result slots; the pool's join barrier
+  // publishes the slots back to this thread.
+  std::vector<FlatResult> results(tasks.size());
+  std::atomic<size_t> next{0};
+  pool_->Run([&](size_t) {
+    for (;;) {
+      size_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= tasks.size()) break;
+      FlatCtx ctx;
+      ctx.result = &results[t];
+      ctx.scratch.resize(tasks[t].rule->plan.free_plan.steps.size());
+      Substitution theta;
+      results[t].status =
+          ExecFlatSteps(*tasks[t].rule, 0, &theta, tasks[t].spec, &ctx);
+    }
+  });
+
+  // Merge in task order (not completion order): deterministic.
+  for (FlatResult& res : results) {
+    LPS_RETURN_IF_ERROR(res.status);
+    ++stats_.parallel_tasks;
+    stats_.parallel_tuples += res.derived.size();
+    stats_.snapshot_fallbacks += res.snapshot_fallbacks;
+    for (auto& [pred, tup] : res.derived) {
+      if (db_->AddTuple(pred, std::move(tup))) {
+        if (++stats_.tuples_derived > options_.max_tuples) {
+          return Status::ResourceExhausted("tuple limit exceeded");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// LOCK-STEP INVARIANT: this is the worker-side twin of ExecSteps /
+// EmitHead restricted to the flat fragment (kScan + kNegated-on-user,
+// ground-or-variable args). Any change to scan matching, negation, or
+// head-emission semantics there must be mirrored here, or threaded
+// runs diverge from sequential ones — ParallelEvalTest's equivalence
+// tests are the tripwire.
+Status BottomUpEvaluator::ExecFlatSteps(const CompiledRule& rule,
+                                        size_t idx, Substitution* theta,
+                                        const DeltaSpec& delta,
+                                        FlatCtx* ctx) const {
+  const std::vector<PlanStep>& steps = rule.plan.free_plan.steps;
+  TermStore* store = program_->store();
+
+  if (idx == steps.size()) {
+    // Emit into the task-local buffer. Apply is pure on flat args, and
+    // Contains reads the frozen snapshot; real dedup happens when the
+    // coordinator merges.
+    Tuple out;
+    out.reserve(rule.clause->head.args.size());
+    for (TermId a : rule.clause->head.args) {
+      TermId t = theta->Apply(store, a);
+      if (!store->is_ground(t)) {
+        return Status::SafetyError(
+            "head variable not bound by the body in clause for " +
+            program_->signature().Name(rule.clause->head.pred) +
+            " (unsafe clause)");
+      }
+      out.push_back(t);
+    }
+    if (db_->Contains(rule.clause->head.pred, out)) return Status::OK();
+    if (!ctx->emitted.insert(out).second) return Status::OK();
+    if (ctx->result->derived.size() >= options_.max_tuples) {
+      return Status::ResourceExhausted("tuple limit exceeded");
+    }
+    ctx->result->derived.emplace_back(rule.clause->head.pred,
+                                      std::move(out));
+    return Status::OK();
+  }
+
+  const PlanStep& step = steps[idx];
+  if (step.kind == StepKind::kNegated) {
+    // Stratification puts negated predicates in strictly lower strata,
+    // so their relations are final; Contains is a pure read.
+    const Literal& lit = rule.clause->body[step.literal_index];
+    Tuple args(lit.args.size(), kInvalidTerm);
+    for (size_t i = 0; i < lit.args.size(); ++i) {
+      args[i] = theta->Apply(store, lit.args[i]);
+      if (!store->is_ground(args[i])) {
+        return Status::SafetyError(
+            "literal " + program_->signature().Name(lit.pred) +
+            " is not ground where a ground check is required (unsafe "
+            "clause?)");
+      }
+    }
+    if (!db_->Contains(lit.pred, args)) {
+      return ExecFlatSteps(rule, idx + 1, theta, delta, ctx);
+    }
+    return Status::OK();
+  }
+  if (step.kind != StepKind::kScan) {
+    return Status::Internal("non-flat plan step in parallel executor");
+  }
+
+  const Literal& lit = rule.clause->body[step.literal_index];
+  uint32_t mask = rule.scan_masks[idx];
+  std::vector<TermId> patterns(lit.args.size());
+  Tuple key(lit.args.size(), kInvalidTerm);
+  for (size_t i = 0; i < lit.args.size(); ++i) {
+    patterns[i] = theta->Apply(store, lit.args[i]);
+    if (mask & (1u << i)) key[i] = patterns[i];
+  }
+  const Relation* rel = db_->FindRelation(lit.pred);
+  if (rel == nullptr) return Status::OK();
+
+  auto try_row = [&](uint32_t ti) -> Status {
+    const Tuple& row = rel->tuple(ti);  // no copy: frozen for the phase
+    Substitution ext = *theta;
+    bool ok = true;
+    for (size_t i = 0; i < patterns.size() && ok; ++i) {
+      if (mask & (1u << i)) {
+        ok = (row[i] == key[i]);
+        continue;
+      }
+      TermId p = ext.Apply(store, patterns[i]);
+      if (store->is_ground(p)) {
+        ok = (p == row[i]);
+      } else {  // a variable: flat rules have nothing else unbound
+        if (!SortAllowsBinding(*store, p, row[i])) {
+          ok = false;
+        } else {
+          ext.Bind(p, row[i]);
+        }
+      }
+    }
+    if (!ok) return Status::OK();
+    return ExecFlatSteps(rule, idx + 1, &ext, delta, ctx);
+  };
+
+  if (delta.literal_index == step.literal_index) {
+    // The sharded delta literal. With no bound columns, iterate this
+    // task's chunk directly; otherwise probe the index and clip the
+    // (ascending) posting list to the chunk, like the sequential path.
+    if (mask == 0) {
+      for (size_t ti = delta.begin; ti < delta.end; ++ti) {
+        LPS_RETURN_IF_ERROR(try_row(static_cast<uint32_t>(ti)));
+      }
+      return Status::OK();
+    }
+    std::vector<uint32_t>& hits = ctx->scratch[idx];
+    if (!rel->LookupSnapshot(mask, key, rel->size(), &hits)) {
+      ++ctx->result->snapshot_fallbacks;
+    }
+    auto first = std::lower_bound(hits.begin(), hits.end(),
+                                  static_cast<uint32_t>(delta.begin));
+    for (auto it = first; it != hits.end(); ++it) {
+      if (*it >= delta.end) break;
+      LPS_RETURN_IF_ERROR(try_row(*it));
+    }
+    return Status::OK();
+  }
+  std::vector<uint32_t>& hits = ctx->scratch[idx];
+  if (!rel->LookupSnapshot(mask, key, rel->size(), &hits)) {
+    ++ctx->result->snapshot_fallbacks;
+  }
+  for (uint32_t ti : hits) {
+    LPS_RETURN_IF_ERROR(try_row(ti));
+  }
+  return Status::OK();
+}
+
+// LOCK-STEP INVARIANT: the kScan and kNegated semantics here have a
+// worker-side twin in ExecFlatSteps (flat fragment only); keep them in
+// sync — see the note on ExecFlatSteps.
 Status BottomUpEvaluator::ExecSteps(
     const CompiledRule& rule, const std::vector<PlanStep>& steps,
     size_t idx, Substitution* theta, const DeltaSpec* delta,

@@ -16,8 +16,10 @@
 #ifndef LPS_EVAL_BOTTOMUP_H_
 #define LPS_EVAL_BOTTOMUP_H_
 
+#include <memory>
 #include <unordered_map>
 
+#include "base/worker_pool.h"
 #include "eval/builtins.h"
 #include "eval/database.h"
 #include "eval/plan.h"
@@ -30,6 +32,11 @@ struct EvalOptions {
   bool semi_naive = true;
   size_t max_iterations = 100000;
   size_t max_tuples = 2000000;
+  /// Worker lanes for the sharded delta joins: 1 = the exact
+  /// sequential path (bit-identical results and stats), 0 = hardware
+  /// concurrency, N > 1 = that many lanes. Only semi-naive iterations
+  /// parallelize; naive mode always runs sequentially.
+  size_t threads = 1;
   BuiltinOptions builtins;
 };
 
@@ -41,6 +48,11 @@ struct EvalStats {
   size_t combos_checked = 0;   // quantifier verification work
   size_t seed_joins = 0;       // division seedings performed
   size_t empty_branch_runs = 0;
+  // ---- Parallel-phase counters (all 0 on the sequential path) --------
+  size_t threads_used = 0;      // resolved lane count when parallel ran
+  size_t parallel_tasks = 0;    // sharded delta chunks executed
+  size_t parallel_tuples = 0;   // tuples buffered by workers (pre-merge)
+  size_t snapshot_fallbacks = 0;  // probes that missed a prebuilt index
 };
 
 class BottomUpEvaluator {
@@ -60,6 +72,16 @@ class BottomUpEvaluator {
     const Clause* clause = nullptr;
     RulePlan plan;
     bool horn_simple = false;   // eligible for delta joins
+    // Flat fragment: only kScan / kNegated-on-user-predicate steps and
+    // every literal and head argument is ground or a plain variable.
+    // Executing such a rule provably never interns new terms or touches
+    // the database's mutable state, so its delta joins can be sharded
+    // across worker threads against a frozen snapshot.
+    bool parallel_safe = false;
+    // For parallel_safe rules: the bound-column mask of each free_plan
+    // step (meaningful for kScan steps only). Static because boundness
+    // at any plan position is determined by the plan alone.
+    std::vector<uint32_t> scan_masks;
     std::vector<size_t> in_stratum_literals;  // positive user literals on
                                               // same-stratum predicates
     uint64_t last_version = UINT64_MAX;       // for complex-rule gating
@@ -72,11 +94,52 @@ class BottomUpEvaluator {
     size_t end;
   };
 
+  // One sharded unit of parallel work: a chunk of a rule's delta range.
+  struct ParallelTask {
+    const CompiledRule* rule;
+    DeltaSpec spec;
+  };
+
+  // Per-task worker state: derived tuples buffered for the merge, a
+  // per-depth scratch pool for snapshot probes, and local counters.
+  struct FlatResult {
+    std::vector<std::pair<PredicateId, Tuple>> derived;
+    Status status;
+    size_t snapshot_fallbacks = 0;
+  };
+  struct FlatCtx {
+    FlatResult* result;
+    std::vector<std::vector<uint32_t>> scratch;  // one per plan depth
+    // Task-local dedup (a task derives for exactly one head predicate):
+    // keeps `derived` and the max_tuples check counting distinct
+    // tuples, not join multiplicity.
+    std::unordered_set<Tuple, TupleHash> emitted;
+  };
+
   Status EvaluateStratum(const std::vector<size_t>& clause_indices,
                          const Stratification& strat, size_t stratum);
   Status RunRule(CompiledRule* rule, const DeltaSpec* delta);
   Status RunGroupingRule(CompiledRule* rule);
   Status RunEmptyBranch(CompiledRule* rule);
+
+  /// Decides parallel-safety and precomputes static scan masks.
+  void AnalyzeRuleForParallel(CompiledRule* rule) const;
+
+  /// Phase A of a parallel iteration: shards every parallel-safe rule's
+  /// delta range across the pool, runs the chunks against the frozen
+  /// database, then merges the buffered derivations in deterministic
+  /// task order.
+  Status RunParallelDeltaPhase(
+      const std::vector<size_t>& clause_indices,
+      const std::unordered_map<PredicateId, std::pair<size_t, size_t>>&
+          delta);
+
+  /// Read-only flat-rule interpreter used by workers. Must not touch
+  /// the term store, database, stats_, or any other shared mutable
+  /// state (the database is frozen for the duration of the phase).
+  Status ExecFlatSteps(const CompiledRule& rule, size_t idx,
+                       Substitution* theta, const DeltaSpec& delta,
+                       FlatCtx* ctx) const;
 
   // Executes plan steps [idx..) extending theta; calls cont on success.
   Status ExecSteps(const CompiledRule& rule,
@@ -96,6 +159,10 @@ class BottomUpEvaluator {
   Database* db_;
   EvalOptions options_;
   EvalStats stats_;
+
+  // Non-null iff the resolved thread count is > 1 and semi-naive mode
+  // is on; reused across iterations and strata.
+  std::unique_ptr<WorkerPool> pool_;
 
   std::vector<CompiledRule> rules_;
   // Group accumulator for the grouping rule being run.

@@ -20,8 +20,7 @@ Tuple Relation::ProjectKey(uint32_t mask, const Tuple& t) const {
   return key;
 }
 
-const std::vector<uint32_t>& Relation::Lookup(uint32_t mask,
-                                              const Tuple& key) {
+Relation::Index* Relation::GetIndex(uint32_t mask) {
   Index* index = nullptr;
   for (Index& ix : indexes_) {
     if (ix.mask == mask) {
@@ -39,9 +38,53 @@ const std::vector<uint32_t>& Relation::Lookup(uint32_t mask,
         static_cast<uint32_t>(i));
   }
   index->built_up_to = tuples_.size();
+  return index;
+}
 
+const std::vector<uint32_t>& Relation::Lookup(uint32_t mask,
+                                              const Tuple& key) {
+  Index* index = GetIndex(mask);
   auto it = index->buckets.find(ProjectKey(mask, key));
   return it == index->buckets.end() ? kEmpty : it->second;
+}
+
+void Relation::EnsureIndex(uint32_t mask) { GetIndex(mask); }
+
+bool Relation::LookupSnapshot(uint32_t mask, const Tuple& key,
+                              size_t watermark,
+                              std::vector<uint32_t>* out) const {
+  out->clear();
+  if (watermark > tuples_.size()) watermark = tuples_.size();
+  if (mask == 0) {
+    out->reserve(watermark);
+    for (size_t i = 0; i < watermark; ++i) {
+      out->push_back(static_cast<uint32_t>(i));
+    }
+    return true;
+  }
+  for (const Index& ix : indexes_) {
+    if (ix.mask != mask || ix.built_up_to < watermark) continue;
+    auto it = ix.buckets.find(ProjectKey(mask, key));
+    if (it != ix.buckets.end()) {
+      // Posting lists are ascending, so the prefix below the watermark
+      // is a clean cut.
+      for (uint32_t ti : it->second) {
+        if (ti >= watermark) break;
+        out->push_back(ti);
+      }
+    }
+    return true;
+  }
+  // No index built up to the watermark: scan the prefix.
+  for (size_t i = 0; i < watermark; ++i) {
+    const Tuple& t = tuples_[i];
+    bool match = true;
+    for (size_t c = 0; c < arity_ && match; ++c) {
+      if ((mask & (1u << c)) && t[c] != key[c]) match = false;
+    }
+    if (match) out->push_back(static_cast<uint32_t>(i));
+  }
+  return false;
 }
 
 void Relation::AllIndices(std::vector<uint32_t>* out) const {

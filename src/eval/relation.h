@@ -43,6 +43,21 @@ class Relation {
   /// use and maintains it incrementally afterwards.
   const std::vector<uint32_t>& Lookup(uint32_t mask, const Tuple& key);
 
+  /// Builds (or catches up) the index for `mask` over all tuples
+  /// currently stored. Call before a parallel phase so concurrent
+  /// LookupSnapshot probes hit a fully built index.
+  void EnsureIndex(uint32_t mask);
+
+  /// Snapshot probe for concurrent readers: fills `out` with the
+  /// indices (ascending) of tuples among the first `watermark` whose
+  /// masked columns equal `key`. Never builds or extends an index, so
+  /// any number of threads may call it while no inserts are running.
+  /// Returns true when a prebuilt index covered the probe, false when
+  /// it had to fall back to scanning the watermark prefix (the result
+  /// is correct either way).
+  bool LookupSnapshot(uint32_t mask, const Tuple& key, size_t watermark,
+                      std::vector<uint32_t>* out) const;
+
   /// All tuple indices (identity scan).
   void AllIndices(std::vector<uint32_t>* out) const;
 
@@ -52,6 +67,10 @@ class Relation {
     std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> buckets;
     size_t built_up_to = 0;  // tuples_ prefix already indexed
   };
+
+  /// Finds or creates the index for `mask` and catches it up with all
+  /// stored tuples.
+  Index* GetIndex(uint32_t mask);
 
   Tuple ProjectKey(uint32_t mask, const Tuple& t) const;
 

@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "base/hash.h"
 #include "base/strings.h"
+#include "base/worker_pool.h"
 
 namespace lps {
 namespace {
@@ -105,5 +108,61 @@ TEST(HashTest, RangeHashingIsOrderSensitive) {
   EXPECT_NE(HashRange(a), HashRange(b));  // overwhelmingly likely
 }
 
+
+// ---- WorkerPool ------------------------------------------------------
+
+TEST(WorkerPoolTest, RunsEveryLaneExactlyOnce) {
+  WorkerPool pool(4);
+  ASSERT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  pool.Run([&](size_t lane) { hits[lane].fetch_add(1); });
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(WorkerPoolTest, ReusableAcrossManyRuns) {
+  WorkerPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.Run([&](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(WorkerPoolTest, SingleLanePoolRunsInline) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.Run([&](size_t lane) {
+    EXPECT_EQ(lane, 0u);
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(WorkerPoolTest, ZeroLanesClampsToOne) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(WorkerPoolTest, SharedCounterWorkClaiming) {
+  // The evaluator's scheduling pattern: lanes drain a task counter.
+  WorkerPool pool(4);
+  constexpr size_t kTasks = 1000;
+  std::atomic<size_t> next{0};
+  std::vector<std::atomic<int>> done(kTasks);
+  pool.Run([&](size_t) {
+    for (;;) {
+      size_t t = next.fetch_add(1);
+      if (t >= kTasks) break;
+      done[t].fetch_add(1);
+    }
+  });
+  for (size_t i = 0; i < kTasks; ++i) ASSERT_EQ(done[i].load(), 1);
+}
+
+TEST(WorkerPoolTest, HardwareConcurrencyNeverZero) {
+  EXPECT_GE(WorkerPool::HardwareConcurrency(), 1u);
+}
 }  // namespace
 }  // namespace lps

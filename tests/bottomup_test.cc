@@ -235,5 +235,223 @@ TEST(BottomUpTest, EmptySetAlwaysInDomain) {
   EXPECT_TRUE(*e->HoldsText("hasempty({})"));
 }
 
+
+// ---- Parallel evaluation: sharded delta joins (DESIGN.md sec. 11) ----
+
+// A transitive-closure workload with enough delta tuples per iteration
+// to shard: a chain with periodic skip edges.
+std::string TcProgram(int n) {
+  std::string src;
+  for (int i = 0; i < n; ++i) {
+    src += "edge(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+           ").\n";
+  }
+  for (int i = 0; i + 3 < n; i += 3) {
+    src += "edge(n" + std::to_string(i) + ", n" + std::to_string(i + 3) +
+           ").\n";
+  }
+  src += "path(X, Y) :- edge(X, Y).\n";
+  src += "path(X, Z) :- path(X, Y), edge(Y, Z).\n";
+  return src;
+}
+
+// Every tuple of `pred` in `a` is in `b` and vice versa.
+void ExpectSameRelation(Engine* a, Engine* b, const std::string& pred,
+                        int arity) {
+  PredicateId pa = a->signature()->Lookup(pred, arity);
+  PredicateId pb = b->signature()->Lookup(pred, arity);
+  ASSERT_NE(pa, kInvalidPredicate);
+  ASSERT_NE(pb, kInvalidPredicate);
+  const Relation* ra = a->database()->FindRelation(pa);
+  const Relation* rb = b->database()->FindRelation(pb);
+  ASSERT_NE(ra, nullptr);
+  ASSERT_NE(rb, nullptr);
+  EXPECT_EQ(ra->size(), rb->size()) << pred;
+  for (const Tuple& t : ra->tuples()) {
+    EXPECT_TRUE(rb->Contains(t)) << pred;
+  }
+}
+
+TEST(ParallelEvalTest, FourThreadsReachSameFixpoint) {
+  std::string src = TcProgram(40);
+  auto seq = RunProgram(src);
+  EvalOptions par;
+  par.threads = 4;
+  auto p4 = RunProgram(src, LanguageMode::kLDL, par);
+  EXPECT_EQ(p4->eval_stats().threads_used, 4u);
+  EXPECT_GT(p4->eval_stats().parallel_tasks, 0u);
+  EXPECT_GT(p4->eval_stats().parallel_tuples, 0u);
+  ExpectSameRelation(seq.get(), p4.get(), "path", 2);
+}
+
+TEST(ParallelEvalTest, LaneCountDoesNotChangeInsertionOrder) {
+  // The merge happens in deterministic task order and chunking only
+  // splits a range that is concatenated back in order, so any lane
+  // count >= 2 produces a byte-identical database.
+  std::string src = TcProgram(40);
+  EvalOptions two;
+  two.threads = 2;
+  auto p2 = RunProgram(src, LanguageMode::kLDL, two);
+  EvalOptions four;
+  four.threads = 4;
+  auto p4 = RunProgram(src, LanguageMode::kLDL, four);
+  EXPECT_EQ(p2->database()->ToString(*p2->signature()),
+            p4->database()->ToString(*p4->signature()));
+  EXPECT_EQ(p2->eval_stats().tuples_derived,
+            p4->eval_stats().tuples_derived);
+  EXPECT_EQ(p2->eval_stats().iterations, p4->eval_stats().iterations);
+}
+
+TEST(ParallelEvalTest, ThreadsOneBitIdenticalToDefault) {
+  std::string src = TcProgram(24);
+  auto def = RunProgram(src);
+  EvalOptions one;
+  one.threads = 1;
+  auto t1 = RunProgram(src, LanguageMode::kLDL, one);
+  const EvalStats& a = def->eval_stats();
+  const EvalStats& b = t1->eval_stats();
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.rule_runs, b.rule_runs);
+  EXPECT_EQ(a.tuples_derived, b.tuples_derived);
+  EXPECT_EQ(b.threads_used, 0u);
+  EXPECT_EQ(b.parallel_tasks, 0u);
+  EXPECT_EQ(b.parallel_tuples, 0u);
+  EXPECT_EQ(def->database()->ToString(*def->signature()),
+            t1->database()->ToString(*t1->signature()));
+}
+
+TEST(ParallelEvalTest, ZeroThreadsResolvesToHardwareConcurrency) {
+  EvalOptions opts;
+  opts.threads = 0;
+  auto e = RunProgram(TcProgram(12), LanguageMode::kLDL, opts);
+  size_t hw = WorkerPool::HardwareConcurrency();
+  EXPECT_EQ(e->eval_stats().threads_used, hw > 1 ? hw : 0u);
+}
+
+TEST(ParallelEvalTest, MixedSafeAndUnsafeRulesAgree) {
+  // The builtin rule (add / lt) is not parallel-safe and must keep
+  // running on the coordinator while the TC rule is sharded.
+  std::string src = TcProgram(20);
+  src += "num(0).\n";
+  src += "num(Y) :- num(X), lt(X, 15), add(X, 1, Y).\n";
+  auto seq = RunProgram(src);
+  EvalOptions par;
+  par.threads = 4;
+  auto p4 = RunProgram(src, LanguageMode::kLDL, par);
+  ExpectSameRelation(seq.get(), p4.get(), "path", 2);
+  ExpectSameRelation(seq.get(), p4.get(), "num", 1);
+  EXPECT_TRUE(*p4->HoldsText("num(15)"));
+  EXPECT_FALSE(*p4->HoldsText("num(16)"));
+}
+
+TEST(ParallelEvalTest, StratifiedNegationInShardedRule) {
+  // The recursive rule carries a negated check against a lower-stratum
+  // predicate, which workers evaluate against the frozen relation.
+  std::string src;
+  for (int i = 0; i < 24; ++i) {
+    src += "edge(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+           ").\n";
+  }
+  src += "blocked(n7). blocked(n15).\n";
+  src += "reach(X, Y) :- edge(X, Y).\n";
+  src +=
+      "reach(X, Z) :- reach(X, Y), edge(Y, Z), not blocked(Z).\n";
+  auto seq = RunProgram(src, LanguageMode::kLPS);
+  EvalOptions par;
+  par.threads = 4;
+  auto p4 = RunProgram(src, LanguageMode::kLPS, par);
+  ExpectSameRelation(seq.get(), p4.get(), "reach", 2);
+  EXPECT_TRUE(*p4->HoldsText("reach(n0, n6)"));
+  // The walk may not enter a blocked node, so nothing past n7 is
+  // reachable from n0 (except the single base edge into n7).
+  EXPECT_FALSE(*p4->HoldsText("reach(n0, n7)"));
+  EXPECT_FALSE(*p4->HoldsText("reach(n0, n9)"));
+  EXPECT_TRUE(*p4->HoldsText("reach(n8, n14)"));
+  EXPECT_FALSE(*p4->HoldsText("reach(n8, n15)"));
+}
+
+TEST(ParallelEvalTest, QuantifiedAndGroupingRulesRideAlong) {
+  // Quantified division, grouping, and set-valued EDB facts are not
+  // parallel-safe; with threads=4 they must run on the coordinator and
+  // still agree with sequential evaluation while the TC rules shard.
+  std::string src = TcProgram(20);
+  src += R"(
+    s({a, b}). s({b}). s({}).
+    q(a). q(b).
+    allq(X) :- s(X), forall E in X : q(E).
+    emp(sales, ann). emp(sales, bob). emp(dev, carol).
+    team(D, <E>) :- emp(D, E).
+  )";
+  auto seq = RunProgram(src);
+  EvalOptions par;
+  par.threads = 4;
+  auto p4 = RunProgram(src, LanguageMode::kLDL, par);
+  ExpectSameRelation(seq.get(), p4.get(), "path", 2);
+  ExpectSameRelation(seq.get(), p4.get(), "allq", 1);
+  ExpectSameRelation(seq.get(), p4.get(), "team", 2);
+  EXPECT_TRUE(*p4->HoldsText("allq({a, b})"));
+  EXPECT_TRUE(*p4->HoldsText("team(sales, {ann, bob})"));
+}
+
+TEST(ParallelEvalTest, DuplicateDerivationsDoNotTripMaxTuples) {
+  // On a complete graph every path tuple is derivable through many
+  // intermediate nodes; the per-task buffers must count distinct
+  // tuples (like the sequential AddTuple path), not join multiplicity.
+  std::string src;
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      if (i == j) continue;
+      src += "edge(n" + std::to_string(i) + ", n" + std::to_string(j) +
+             ").\n";
+    }
+  }
+  src += "path(X, Y) :- edge(X, Y).\n";
+  src += "path(X, Z) :- path(X, Y), edge(Y, Z).\n";
+  EvalOptions opts;
+  opts.threads = 4;
+  opts.max_tuples = 150;  // 56 edges + 64 paths = 120 distinct tuples
+  auto par = RunProgram(src, LanguageMode::kLDL, opts);
+  EvalOptions seq;
+  seq.max_tuples = 150;
+  auto ref = RunProgram(src, LanguageMode::kLDL, seq);
+  EXPECT_EQ(par->eval_stats().tuples_derived,
+            ref->eval_stats().tuples_derived);
+  ExpectSameRelation(ref.get(), par.get(), "path", 2);
+}
+
+TEST(ParallelEvalTest, NoPoolWhenNothingIsParallelSafe) {
+  // Builtin-only recursion has no parallel-safe rule: no pool should
+  // be spun up and the stats must not claim parallelism.
+  std::string src = "num(0).\n";
+  src += "num(Y) :- num(X), lt(X, 10), add(X, 1, Y).\n";
+  EvalOptions opts;
+  opts.threads = 4;
+  auto e = RunProgram(src, LanguageMode::kLDL, opts);
+  EXPECT_EQ(e->eval_stats().threads_used, 0u);
+  EXPECT_EQ(e->eval_stats().parallel_tasks, 0u);
+  EXPECT_TRUE(*e->HoldsText("num(10)"));
+
+  // Likewise when the only flat rule reads strictly lower strata:
+  // there is no in-stratum delta literal to shard.
+  auto e2 = RunProgram(R"(
+    p(a). p(b). q(b).
+    r(X) :- p(X), not q(X).
+  )",
+                       LanguageMode::kLPS, opts);
+  EXPECT_EQ(e2->eval_stats().threads_used, 0u);
+  EXPECT_TRUE(*e2->HoldsText("r(a)"));
+  EXPECT_FALSE(*e2->HoldsText("r(b)"));
+}
+
+TEST(ParallelEvalTest, ParallelRespectsMaxTuples) {
+  Engine engine(LanguageMode::kLDL);
+  ASSERT_TRUE(engine.LoadString(TcProgram(60)).ok());
+  EvalOptions opts;
+  opts.threads = 4;
+  opts.max_tuples = 50;
+  Status st = engine.Evaluate(opts);
+  EXPECT_FALSE(st.ok());
+}
+
 }  // namespace
 }  // namespace lps

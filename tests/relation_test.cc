@@ -63,6 +63,87 @@ TEST(RelationTest, ZeroArityRelation) {
   EXPECT_EQ(rel.Lookup(0, {}).size(), 1u);
 }
 
+// ---- Index maintenance and snapshot reads (parallel evaluator) -------
+
+TEST(RelationTest, LookupSeesTuplesInsertedAfterIndexBuild) {
+  Relation rel(2);
+  rel.Insert({1, 10});
+  // Build the first-column index, then keep growing the relation.
+  EXPECT_EQ(rel.Lookup(0b01, {1, 0}).size(), 1u);
+  rel.Insert({1, 20});
+  rel.Insert({2, 30});
+  rel.Insert({1, 40});
+  // The index catches up incrementally and in insertion order.
+  const auto& hits = rel.Lookup(0b01, {1, 0});
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0], 0u);
+  EXPECT_EQ(hits[1], 1u);
+  EXPECT_EQ(hits[2], 3u);
+  // A second mask built late still sees everything.
+  EXPECT_EQ(rel.Lookup(0b10, {0, 20}).size(), 1u);
+  EXPECT_EQ(rel.Lookup(0b11, {1, 40}).size(), 1u);
+}
+
+TEST(RelationTest, EnsureIndexCoversSnapshotProbes) {
+  Relation rel(2);
+  rel.Insert({1, 10});
+  rel.Insert({2, 20});
+  rel.EnsureIndex(0b01);
+  std::vector<uint32_t> out;
+  // Fully built index: the probe reports an index hit.
+  EXPECT_TRUE(rel.LookupSnapshot(0b01, {1, 0}, rel.size(), &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0u);
+}
+
+TEST(RelationTest, SnapshotReadsDuringGrowthStayAtWatermark) {
+  Relation rel(2);
+  rel.Insert({1, 10});
+  rel.Insert({1, 20});
+  rel.EnsureIndex(0b01);
+  size_t watermark = rel.size();
+  // The relation grows past the watermark without the index catching
+  // up - exactly the state between two parallel iterations.
+  rel.Insert({1, 30});
+  rel.Insert({1, 40});
+  std::vector<uint32_t> out;
+  // Probing at the old watermark still hits the prebuilt index and
+  // must not surface post-watermark tuples.
+  EXPECT_TRUE(rel.LookupSnapshot(0b01, {1, 0}, watermark, &out));
+  EXPECT_EQ(out, (std::vector<uint32_t>{0, 1}));
+  // Probing the full size falls back to a scan (the index is stale)
+  // but remains correct.
+  EXPECT_FALSE(rel.LookupSnapshot(0b01, {1, 0}, rel.size(), &out));
+  EXPECT_EQ(out, (std::vector<uint32_t>{0, 1, 2, 3}));
+  // After EnsureIndex catches up, the same probe is indexed again.
+  rel.EnsureIndex(0b01);
+  EXPECT_TRUE(rel.LookupSnapshot(0b01, {1, 0}, rel.size(), &out));
+  EXPECT_EQ(out, (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(RelationTest, SnapshotWithoutIndexFallsBackToScan) {
+  Relation rel(2);
+  rel.Insert({1, 10});
+  rel.Insert({2, 20});
+  rel.Insert({1, 30});
+  std::vector<uint32_t> out;
+  EXPECT_FALSE(rel.LookupSnapshot(0b01, {1, 0}, rel.size(), &out));
+  EXPECT_EQ(out, (std::vector<uint32_t>{0, 2}));
+  // Watermark below size() truncates the scan too.
+  EXPECT_FALSE(rel.LookupSnapshot(0b01, {1, 0}, 1, &out));
+  EXPECT_EQ(out, (std::vector<uint32_t>{0}));
+}
+
+TEST(RelationTest, SnapshotEmptyMaskEnumeratesWatermarkPrefix) {
+  Relation rel(1);
+  rel.Insert({5});
+  rel.Insert({6});
+  rel.Insert({7});
+  std::vector<uint32_t> out;
+  EXPECT_TRUE(rel.LookupSnapshot(0, {0}, 2, &out));
+  EXPECT_EQ(out, (std::vector<uint32_t>{0, 1}));
+}
+
 class DatabaseTest : public ::testing::Test {
  protected:
   DatabaseTest() : sig_(&store_.symbols()), db_(&store_, &sig_) {}

@@ -373,6 +373,7 @@ TEST(OptionsTest, RoundTripsBothEvaluators) {
   o.semi_naive = false;
   o.max_iterations = 7;
   o.max_tuples = 9;
+  o.threads = 4;
   o.max_depth = 11;
   o.max_subgoals = 13;
   o.max_answers_per_goal = 17;
@@ -381,6 +382,7 @@ TEST(OptionsTest, RoundTripsBothEvaluators) {
   EXPECT_FALSE(e.semi_naive);
   EXPECT_EQ(e.max_iterations, 7u);
   EXPECT_EQ(e.max_tuples, 9u);
+  EXPECT_EQ(e.threads, 4u);
 
   TopDownOptions t = o.topdown();
   EXPECT_EQ(t.max_depth, 11u);
@@ -389,6 +391,7 @@ TEST(OptionsTest, RoundTripsBothEvaluators) {
 
   Options back = Options::FromEval(e);
   EXPECT_FALSE(back.semi_naive);
+  EXPECT_EQ(back.threads, 4u);
   EXPECT_EQ(Options::FromTopDown(t).max_depth, 11u);
 }
 
@@ -400,5 +403,38 @@ TEST(OptionsTest, LimitsFlowThroughSession) {
   EXPECT_EQ(session.Evaluate().code(), StatusCode::kResourceExhausted);
 }
 
+
+TEST(OptionsTest, ThreadsFlowThroughSession) {
+  // The same program evaluated sequentially and with four lanes must
+  // agree; the stats witness that the parallel path actually ran.
+  std::string src;
+  for (int i = 0; i < 32; ++i) {
+    src += "edge(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+           ").\n";
+  }
+  src += "path(X, Y) :- edge(X, Y).\n";
+  src += "path(X, Z) :- path(X, Y), edge(Y, Z).\n";
+
+  Session seq(LanguageMode::kLPS);
+  ASSERT_OK(seq.Load(src));
+  ASSERT_OK(seq.Evaluate());
+  EXPECT_EQ(seq.eval_stats().threads_used, 0u);
+
+  Options par;
+  par.threads = 4;
+  Session p4(LanguageMode::kLPS, par);
+  ASSERT_OK(p4.Load(src));
+  ASSERT_OK(p4.Evaluate());
+  EXPECT_EQ(p4.eval_stats().threads_used, 4u);
+  EXPECT_GT(p4.eval_stats().parallel_tasks, 0u);
+  EXPECT_EQ(p4.eval_stats().tuples_derived,
+            seq.eval_stats().tuples_derived);
+
+  auto a = seq.Query("path(n0, X)");
+  auto b = p4.Query("path(n0, X)");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->size(), b->size());
+}
 }  // namespace
 }  // namespace lps
