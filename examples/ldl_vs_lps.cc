@@ -79,7 +79,7 @@ int main() {
     lps::PredicateId team = translated->signature().Lookup("team", 2);
     const lps::Relation* rel = db.FindRelation(team);
     if (rel != nullptr) {
-      for (const lps::Tuple& t : rel->tuples()) {
+      for (lps::TupleRef t : rel->rows()) {
         if (lps::SetCardinality(*session.store(), t[1]) == 0) continue;
         std::printf("  %s -> %s\n",
                     lps::TermToString(*session.store(), t[0]).c_str(),

@@ -3,7 +3,9 @@
 // handles (the embedded queries are already lowered, so preparing
 // them involves no re-parse), then reads further goals from stdin
 // (one per line, no trailing dot required; each line is prepared
-// fresh).
+// fresh). The REPL also understands dot-commands:
+//
+//   .stats    evaluation + storage-engine statistics (EvalStats)
 //
 //   build/examples/lpsi program.lps
 //   echo "path(a, X)" | build/examples/lpsi program.lps
@@ -16,6 +18,27 @@
 #include "lps/lps.h"
 
 namespace {
+
+void PrintStats(const lps::EvalStats& s) {
+  std::printf("evaluation:\n");
+  std::printf("  strata            %zu\n", s.strata);
+  std::printf("  iterations        %zu\n", s.iterations);
+  std::printf("  rule_runs         %zu\n", s.rule_runs);
+  std::printf("  tuples_derived    %zu\n", s.tuples_derived);
+  std::printf("  combos_checked    %zu\n", s.combos_checked);
+  std::printf("  seed_joins        %zu\n", s.seed_joins);
+  std::printf("  empty_branch_runs %zu\n", s.empty_branch_runs);
+  std::printf("parallel:\n");
+  std::printf("  threads_used       %zu\n", s.threads_used);
+  std::printf("  parallel_tasks     %zu\n", s.parallel_tasks);
+  std::printf("  parallel_tuples    %zu\n", s.parallel_tuples);
+  std::printf("  snapshot_fallbacks %zu\n", s.snapshot_fallbacks);
+  std::printf("storage:\n");
+  std::printf("  arena_bytes  %zu\n", s.arena_bytes);
+  std::printf("  index_bytes  %zu\n", s.index_bytes);
+  std::printf("  dedup_probes %llu\n",
+              static_cast<unsigned long long>(s.dedup_probes));
+}
 
 void Answer(lps::Session* session, lps::PreparedQuery* query) {
   auto cursor = query->Execute();
@@ -77,10 +100,14 @@ int main(int argc, char** argv) {
     Answer(&session, &*prepared);
   }
 
-  // Interactive goals.
+  // Interactive goals and dot-commands.
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
+    if (line == ".stats" || line == ".stats.") {
+      PrintStats(session.eval_stats());
+      continue;
+    }
     if (line.back() == '.') line.pop_back();
     auto prepared = session.Prepare(line);
     if (!prepared.ok()) {

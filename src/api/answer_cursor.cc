@@ -9,9 +9,9 @@ class MaterializedSource final : public AnswerSource {
   explicit MaterializedSource(std::vector<Tuple> rows)
       : rows_(std::move(rows)) {}
 
-  Result<bool> Next(Tuple* out) override {
+  Result<bool> Next(TupleRef* out) override {
     if (pos_ >= rows_.size()) return false;
-    *out = rows_[pos_++];
+    *out = TupleRef(rows_[pos_++]);
     return true;
   }
 
@@ -28,7 +28,7 @@ AnswerCursor AnswerCursor::FromTuples(std::vector<Tuple> rows) {
   return AnswerCursor(std::make_unique<MaterializedSource>(std::move(rows)));
 }
 
-bool AnswerCursor::Next(Tuple* out) {
+bool AnswerCursor::NextRef(TupleRef* out) {
   if (exhausted_ || !status_.ok() || source_ == nullptr) return false;
   Result<bool> more = source_->Next(out);
   if (!more.ok()) {
@@ -43,6 +43,13 @@ bool AnswerCursor::Next(Tuple* out) {
   return true;
 }
 
+bool AnswerCursor::Next(Tuple* out) {
+  TupleRef view;
+  if (!NextRef(&view)) return false;
+  out->assign(view.begin(), view.end());
+  return true;
+}
+
 void AnswerCursor::Rewind() {
   if (source_ != nullptr) source_->Rewind();
   status_ = Status::OK();
@@ -51,16 +58,16 @@ void AnswerCursor::Rewind() {
 
 Result<std::vector<Tuple>> AnswerCursor::ToVector() {
   std::vector<Tuple> rows;
-  Tuple t;
-  while (Next(&t)) rows.push_back(std::move(t));
+  TupleRef view;
+  while (NextRef(&view)) rows.emplace_back(view.begin(), view.end());
   if (!status_.ok()) return status_;
   return rows;
 }
 
 Result<size_t> AnswerCursor::Count() {
   size_t n = 0;
-  Tuple t;
-  while (Next(&t)) ++n;
+  TupleRef view;
+  while (NextRef(&view)) ++n;
   if (!status_.ok()) return status_;
   return n;
 }

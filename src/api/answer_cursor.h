@@ -1,10 +1,13 @@
 // AnswerCursor: pull-based streaming iteration over the answers of a
-// query. Answers are materialized only on demand - an indexable
-// relation scan produces its tuples one Next() at a time, so a point
-// lookup over a large result set stops paying as soon as the caller
-// stops pulling. Sources that are inherently exhaustive (builtins with
-// enumeration, top-down SLD solving) buffer their answers once at
-// Execute() time and stream from the buffer.
+// query. Answers are produced only on demand - an indexable relation
+// scan yields zero-copy TupleRef views straight over the relation's
+// row arena, one NextRef() at a time, so a point lookup over a large
+// result set stops paying as soon as the caller stops pulling and
+// never copies a row it does yield. Owned Tuples are materialized only
+// at the Next(Tuple*) / ToVector() boundary. Sources that are
+// inherently exhaustive (builtins with enumeration, top-down SLD
+// solving) buffer their answers once at Execute() time and stream
+// views from the buffer.
 //
 // Cursors support re-iteration via Rewind() and C++ range-for:
 //
@@ -33,11 +36,17 @@ namespace lps {
 /// Internal producer interface behind an AnswerCursor. Implementations
 /// live next to their executors (api/query.cc); user code only sees
 /// AnswerCursor.
+///
+/// Sources yield zero-copy TupleRef views: a view must stay valid
+/// until the next Next()/Rewind() call on the same source (relation
+/// scans point straight into the row arena, which is frozen while a
+/// cursor streams; buffered sources point into their own buffer).
 class AnswerSource {
  public:
   virtual ~AnswerSource() = default;
-  /// Produces the next answer into *out; false when exhausted.
-  virtual Result<bool> Next(Tuple* out) = 0;
+  /// Produces a view of the next answer into *out; false when
+  /// exhausted.
+  virtual Result<bool> Next(TupleRef* out) = 0;
   /// Restarts the stream from the first answer.
   virtual void Rewind() = 0;
 };
@@ -56,8 +65,16 @@ class AnswerCursor {
   AnswerCursor(const AnswerCursor&) = delete;
   AnswerCursor& operator=(const AnswerCursor&) = delete;
 
-  /// Pulls the next answer into *out. Returns false when the stream is
-  /// exhausted or an error occurred; inspect status() to distinguish.
+  /// Pulls a zero-copy view of the next answer into *out. The view is
+  /// valid until the next NextRef/Next/Rewind call (relation-backed
+  /// cursors stream straight over the row arena). Returns false when
+  /// the stream is exhausted or an error occurred; inspect status() to
+  /// distinguish.
+  bool NextRef(TupleRef* out);
+
+  /// Pulls the next answer into the caller-owned *out (one copy).
+  /// Returns false when the stream is exhausted or an error occurred;
+  /// inspect status() to distinguish.
   bool Next(Tuple* out);
 
   /// OK while streaming; the first error sticks and ends the stream.

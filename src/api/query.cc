@@ -10,11 +10,13 @@ namespace lps {
 
 namespace {
 
-// Lazily streams the tuples of one relation that match the (partially
+// Lazily streams the rows of one relation that match the (partially
 // ground) goal argument patterns, using the relation's hash index on
 // the ground positions. This is the Execute() fast path: answers are
-// produced one Next() at a time, so callers that stop pulling stop
-// paying.
+// produced one Next() at a time as zero-copy views straight into the
+// relation's row arena (the database is frozen while a cursor streams
+// - Evaluate()/ResetDatabase() invalidate cursors), so callers that
+// stop pulling stop paying and matched rows are never copied.
 //
 // The row-matching algorithm mirrors the kScan step of
 // BottomUpEvaluator::ExecSteps (eval/bottomup.cc) but needs only
@@ -31,7 +33,7 @@ class RelationScanSource final : public AnswerSource {
     Tuple key(patterns_.size(), kInvalidTerm);
     for (size_t i = 0; i < patterns_.size(); ++i) {
       if (store_->is_ground(patterns_[i])) {
-        mask_ |= (1u << i);
+        mask_ |= ColumnBit(i);
         key[i] = patterns_[i];
       }
     }
@@ -39,15 +41,15 @@ class RelationScanSource final : public AnswerSource {
       if (mask_ == 0) {
         rel_->AllIndices(&indices_);
       } else {
-        // Copy: Lookup's reference is invalidated by later inserts.
+        // Copy: Lookup's reference is invalidated by later Lookups.
         indices_ = rel_->Lookup(mask_, key);
       }
     }
   }
 
-  Result<bool> Next(Tuple* out) override {
+  Result<bool> Next(TupleRef* out) override {
     while (pos_ < indices_.size()) {
-      const Tuple& row = rel_->tuple(indices_[pos_++]);
+      TupleRef row = rel_->row(indices_[pos_++]);
       LPS_ASSIGN_OR_RETURN(bool match, Matches(row));
       if (match) {
         *out = row;
@@ -63,11 +65,11 @@ class RelationScanSource final : public AnswerSource {
   // One row matches when the non-indexed positions can be consistently
   // bound: repeated variables must agree, complex patterns (set or
   // function terms containing variables) go through set unification.
-  Result<bool> Matches(const Tuple& row) {
+  Result<bool> Matches(TupleRef row) {
     Substitution ext;
     std::vector<size_t> complex_positions;
     for (size_t i = 0; i < patterns_.size(); ++i) {
-      if (mask_ & (1u << i)) continue;  // index guaranteed equality
+      if (MaskHasColumn(mask_, i)) continue;  // index-guaranteed equal
       TermId p = ext.Apply(store_, patterns_[i]);
       if (store_->is_ground(p)) {
         if (p != row[i]) return false;

@@ -24,6 +24,20 @@ size_t HashRange(const Container& ids) {
   return seed;
 }
 
+/// Murmur3-style finalizer. Power-of-two open-addressed tables MUST
+/// pass their hash through this before masking: HashCombine output is
+/// low-bit-correlated for sequential ids (interned TermIds usually
+/// are), and linear probing over correlated slots degrades to O(n)
+/// cluster walks on misses.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
 }  // namespace lps
 
 #endif  // LPS_BASE_HASH_H_

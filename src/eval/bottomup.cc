@@ -23,6 +23,32 @@ bool IsInStratumDeltaLiteral(const Literal& lit, const Signature& sig,
          strat.pred_stratum[lit.pred] == stratum;
 }
 
+// RAII lease of a recycled buffer from a pool: cleared on acquire,
+// returned with its capacity intact on destruction, so steady-state
+// join loops allocate nothing per scan step. A pool (rather than a
+// fixed per-depth slot) is required for correctness: seed plans and
+// empty-branch plans restart at depth 0 while outer free-plan frames
+// still hold their buffers.
+template <typename Buf>
+class Lease {
+ public:
+  explicit Lease(std::vector<Buf>* pool) : pool_(pool) {
+    if (!pool->empty()) {
+      buf_ = std::move(pool->back());
+      pool->pop_back();
+      buf_.clear();
+    }
+  }
+  ~Lease() { pool_->push_back(std::move(buf_)); }
+  Lease(const Lease&) = delete;
+  Lease& operator=(const Lease&) = delete;
+  Buf& operator*() { return buf_; }
+
+ private:
+  std::vector<Buf>* pool_;
+  Buf buf_;
+};
+
 }  // namespace
 
 BottomUpEvaluator::BottomUpEvaluator(const Program* program, Database* db,
@@ -91,6 +117,11 @@ Status BottomUpEvaluator::Evaluate() {
   for (size_t s = 0; s < strat.num_strata; ++s) {
     LPS_RETURN_IF_ERROR(EvaluateStratum(strat.strata_clauses[s], strat, s));
   }
+
+  Database::StorageStats storage = db_->storage_stats();
+  stats_.arena_bytes = storage.arena_bytes;
+  stats_.index_bytes = storage.index_bytes;
+  stats_.dedup_probes = storage.dedup_probes;
   return Status::OK();
 }
 
@@ -256,7 +287,7 @@ Status BottomUpEvaluator::RunGroupingRule(CompiledRule* rule) {
         out.push_back(key[k++]);
       }
     }
-    if (db_->AddTuple(clause.head.pred, std::move(out))) {
+    if (db_->AddTuple(clause.head.pred, out)) {
       if (++stats_.tuples_derived > options_.max_tuples) {
         return Status::ResourceExhausted("tuple limit exceeded");
       }
@@ -323,7 +354,7 @@ void BottomUpEvaluator::AnalyzeRuleForParallel(CompiledRule* rule) const {
         uint32_t mask = 0;
         for (size_t i = 0; i < lit.args.size(); ++i) {
           if (store.is_ground(lit.args[i]) || bound.count(lit.args[i])) {
-            mask |= (1u << i);
+            mask |= ColumnBit(i);
           }
         }
         rule->scan_masks[si] = mask;
@@ -423,7 +454,7 @@ Status BottomUpEvaluator::RunParallelDeltaPhase(
     stats_.parallel_tuples += res.derived.size();
     stats_.snapshot_fallbacks += res.snapshot_fallbacks;
     for (auto& [pred, tup] : res.derived) {
-      if (db_->AddTuple(pred, std::move(tup))) {
+      if (db_->AddTuple(pred, tup)) {
         if (++stats_.tuples_derived > options_.max_tuples) {
           return Status::ResourceExhausted("tuple limit exceeded");
         }
@@ -502,17 +533,17 @@ Status BottomUpEvaluator::ExecFlatSteps(const CompiledRule& rule,
   Tuple key(lit.args.size(), kInvalidTerm);
   for (size_t i = 0; i < lit.args.size(); ++i) {
     patterns[i] = theta->Apply(store, lit.args[i]);
-    if (mask & (1u << i)) key[i] = patterns[i];
+    if (MaskHasColumn(mask, i)) key[i] = patterns[i];
   }
   const Relation* rel = db_->FindRelation(lit.pred);
   if (rel == nullptr) return Status::OK();
 
-  auto try_row = [&](uint32_t ti) -> Status {
-    const Tuple& row = rel->tuple(ti);  // no copy: frozen for the phase
+  auto try_row = [&](RowId ti) -> Status {
+    TupleRef row = rel->row(ti);  // no copy: frozen for the phase
     Substitution ext = *theta;
     bool ok = true;
     for (size_t i = 0; i < patterns.size() && ok; ++i) {
-      if (mask & (1u << i)) {
+      if (MaskHasColumn(mask, i)) {
         ok = (row[i] == key[i]);
         continue;
       }
@@ -578,30 +609,46 @@ Status BottomUpEvaluator::ExecSteps(
   switch (step.kind) {
     case StepKind::kScan: {
       const Literal& lit = rule.clause->body[step.literal_index];
-      std::vector<TermId> patterns(lit.args.size());
+      Lease<Tuple> patterns_lease(&tuple_pool_);
+      Tuple& patterns = *patterns_lease;
+      patterns.resize(lit.args.size());
+      Lease<Tuple> key_lease(&tuple_pool_);
+      Tuple& key = *key_lease;
+      key.assign(lit.args.size(), kInvalidTerm);
       uint32_t mask = 0;
-      Tuple key(lit.args.size(), kInvalidTerm);
       for (size_t i = 0; i < lit.args.size(); ++i) {
         patterns[i] = theta->Apply(store, lit.args[i]);
         if (store->is_ground(patterns[i])) {
-          mask |= (1u << i);
+          mask |= ColumnBit(i);
           key[i] = patterns[i];
         }
       }
       Relation& rel = db_->relation(lit.pred);
-      // Copy: Lookup's reference is invalidated by later inserts.
-      std::vector<uint32_t> indices = rel.Lookup(mask, key);
+      // Copy: Lookup's reference is invalidated by later inserts (and
+      // by recursive Lookups on the same relation).
+      Lease<std::vector<RowId>> indices_lease(&rowid_pool_);
+      std::vector<RowId>& indices = *indices_lease;
+      {
+        const std::vector<RowId>& hits = rel.Lookup(mask, key);
+        indices.assign(hits.begin(), hits.end());
+      }
       bool is_delta =
           delta != nullptr && delta->literal_index == step.literal_index;
-      for (uint32_t ti : indices) {
+      Lease<Tuple> row_lease(&tuple_pool_);
+      Tuple& row = *row_lease;
+      for (RowId ti : indices) {
         if (is_delta && (ti < delta->begin || ti >= delta->end)) continue;
-        const Tuple row = rel.tuple(ti);  // copy; rel may grow
+        {
+          // Copy: the arena may grow (and reallocate) during recursion.
+          TupleRef r = rel.row(ti);
+          row.assign(r.begin(), r.end());
+        }
         // Bind the non-ground positions.
         Substitution ext = *theta;
         bool ok = true;
         std::vector<size_t> complex;
         for (size_t i = 0; i < patterns.size() && ok; ++i) {
-          if (mask & (1u << i)) continue;
+          if (MaskHasColumn(mask, i)) continue;
           TermId p = ext.Apply(store, patterns[i]);
           if (store->is_ground(p)) {
             ok = (p == row[i]);
@@ -696,7 +743,9 @@ Result<bool> BottomUpEvaluator::LiteralHolds(const Literal& lit,
                                              const Substitution& theta) {
   TermStore* store = program_->store();
   const Signature& sig = program_->signature();
-  std::vector<TermId> args(lit.args.size());
+  Lease<Tuple> args_lease(&tuple_pool_);
+  Tuple& args = *args_lease;
+  args.resize(lit.args.size());
   for (size_t i = 0; i < args.size(); ++i) {
     args[i] = theta.Apply(store, lit.args[i]);
     if (!store->is_ground(args[i])) {
@@ -811,7 +860,8 @@ Status BottomUpEvaluator::EmitHead(const CompiledRule& rule,
     return Status::Internal("EmitHead called for grouping rule");
   }
   TermStore* store = program_->store();
-  Tuple out;
+  Lease<Tuple> out_lease(&tuple_pool_);
+  Tuple& out = *out_lease;
   out.reserve(rule.clause->head.args.size());
   for (TermId a : rule.clause->head.args) {
     TermId t = theta->Apply(store, a);
@@ -823,7 +873,7 @@ Status BottomUpEvaluator::EmitHead(const CompiledRule& rule,
     }
     out.push_back(t);
   }
-  if (db_->AddTuple(rule.clause->head.pred, std::move(out))) {
+  if (db_->AddTuple(rule.clause->head.pred, out)) {
     if (++stats_.tuples_derived > options_.max_tuples) {
       return Status::ResourceExhausted("tuple limit exceeded");
     }

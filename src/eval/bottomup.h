@@ -53,6 +53,10 @@ struct EvalStats {
   size_t parallel_tasks = 0;    // sharded delta chunks executed
   size_t parallel_tuples = 0;   // tuples buffered by workers (pre-merge)
   size_t snapshot_fallbacks = 0;  // probes that missed a prebuilt index
+  // ---- Storage-engine footprint at fixpoint (eval/relation.h) --------
+  size_t arena_bytes = 0;       // row arenas across all relations
+  size_t index_bytes = 0;       // dedup tables + per-mask indexes
+  uint64_t dedup_probes = 0;    // insert-side open-addressing probes
 };
 
 class BottomUpEvaluator {
@@ -159,6 +163,12 @@ class BottomUpEvaluator {
   Database* db_;
   EvalOptions options_;
   EvalStats stats_;
+
+  // Recycled scratch buffers for the sequential join loop: ExecSteps
+  // frames lease a buffer on entry and return it on exit, so steady-
+  // state scans allocate nothing per row (see Lease in bottomup.cc).
+  std::vector<Tuple> tuple_pool_;
+  std::vector<std::vector<RowId>> rowid_pool_;
 
   // Non-null iff the resolved thread count is > 1 and semi-naive mode
   // is on; reused across iterations and strata.

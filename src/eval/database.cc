@@ -24,14 +24,14 @@ const Relation* Database::FindRelation(PredicateId pred) const {
   return it == relations_.end() ? nullptr : &it->second;
 }
 
-bool Database::AddTuple(PredicateId pred, Tuple t) {
+bool Database::AddTuple(PredicateId pred, TupleRef t) {
   for (TermId term : t) RegisterTerm(term);
-  bool added = relation(pred).Insert(std::move(t));
+  bool added = relation(pred).Insert(t);
   if (added) ++version_;
   return added;
 }
 
-bool Database::Contains(PredicateId pred, const Tuple& t) const {
+bool Database::Contains(PredicateId pred, TupleRef t) const {
   const Relation* rel = FindRelation(pred);
   return rel != nullptr && rel->Contains(t);
 }
@@ -61,15 +61,26 @@ size_t Database::RelationSize(PredicateId pred) const {
   return rel == nullptr ? 0 : rel->size();
 }
 
+Database::StorageStats Database::storage_stats() const {
+  StorageStats s;
+  for (const auto& [pred, rel] : relations_) {
+    s.arena_bytes += rel.ArenaBytes();
+    s.index_bytes += rel.IndexBytes();
+    s.dedup_probes += rel.dedup_probes();
+  }
+  return s;
+}
+
 std::string Database::ToString(const Signature& sig) const {
-  // Deterministic order: by predicate id.
+  // relations_ is an unordered_map, so sort by predicate id: dump order
+  // must not vary run to run (locked in by DatabaseTest).
   std::vector<PredicateId> preds;
   for (const auto& [pred, rel] : relations_) preds.push_back(pred);
   std::sort(preds.begin(), preds.end());
   std::string out;
   for (PredicateId p : preds) {
     const Relation& rel = *FindRelation(p);
-    for (const Tuple& t : rel.tuples()) {
+    for (TupleRef t : rel.rows()) {
       out += sig.Name(p);
       out += '(';
       out += TermListToString(*store_, t);

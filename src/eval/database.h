@@ -28,10 +28,18 @@ class Database {
   const Relation* FindRelation(PredicateId pred) const;
 
   /// Inserts a ground tuple; returns true if new. Registers the tuple's
-  /// terms (and, recursively, set elements) in the active domains.
-  bool AddTuple(PredicateId pred, Tuple t);
+  /// terms (and, recursively, set elements) in the active domains. The
+  /// TermIds are copied into the relation's row arena; `t` need not
+  /// outlive the call.
+  bool AddTuple(PredicateId pred, TupleRef t);
+  bool AddTuple(PredicateId pred, std::initializer_list<TermId> t) {
+    return AddTuple(pred, TupleRef(t.begin(), t.size()));
+  }
 
-  bool Contains(PredicateId pred, const Tuple& t) const;
+  bool Contains(PredicateId pred, TupleRef t) const;
+  bool Contains(PredicateId pred, std::initializer_list<TermId> t) const {
+    return Contains(pred, TupleRef(t.begin(), t.size()));
+  }
 
   /// Ground atoms of sort a seen so far.
   const std::vector<TermId>& atom_domain() const { return atom_domain_; }
@@ -55,6 +63,17 @@ class Database {
   /// detect novelty for specific predicates.
   size_t RelationSize(PredicateId pred) const;
 
+  /// Aggregate storage-engine footprint across all relations (see
+  /// Relation::ArenaBytes / IndexBytes / dedup_probes).
+  struct StorageStats {
+    size_t arena_bytes = 0;
+    size_t index_bytes = 0;
+    uint64_t dedup_probes = 0;
+  };
+  StorageStats storage_stats() const;
+
+  /// Deterministic dump: relations ordered by PredicateId, rows in
+  /// insertion order.
   std::string ToString(const Signature& sig) const;
 
  private:

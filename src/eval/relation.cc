@@ -1,23 +1,89 @@
 #include "eval/relation.h"
 
+#include <algorithm>
+#include <bit>
+
 namespace lps {
 
-const std::vector<uint32_t> Relation::kEmpty;
+const std::vector<RowId> Relation::kEmpty;
 
-bool Relation::Insert(Tuple t) {
-  auto [it, inserted] = dedup_.insert(t);
-  if (!inserted) return false;
-  tuples_.push_back(std::move(t));
+namespace {
+
+constexpr size_t kInitialSlots = 16;
+
+bool RowsEqual(TupleRef a, TupleRef b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+// Home slot for a hash: Mix64 first (see base/hash.h - unmixed
+// HashCombine output clusters sequential TermIds under a power-of-two
+// mask, which makes linear-probe misses quadratic).
+size_t Slot(size_t hash, size_t cap_mask) {
+  return static_cast<size_t>(Mix64(hash)) & cap_mask;
+}
+
+}  // namespace
+
+size_t Relation::HashMasked(TupleRef t, uint32_t mask) {
+  size_t seed = 0x51ULL;
+  // Iterate set bits only: mask bits are guaranteed < 32 by ColumnBit,
+  // so this never reads past column 31.
+  for (uint32_t m = mask; m != 0; m &= m - 1) {
+    size_t i = static_cast<size_t>(std::countr_zero(m));
+    HashCombine(&seed, std::hash<uint64_t>{}(t[i]));
+  }
+  return seed;
+}
+
+bool Relation::MaskedEquals(TupleRef a, TupleRef b, uint32_t mask) {
+  for (uint32_t m = mask; m != 0; m &= m - 1) {
+    size_t i = static_cast<size_t>(std::countr_zero(m));
+    if (a[i] != b[i]) return false;
+  }
   return true;
 }
 
-Tuple Relation::ProjectKey(uint32_t mask, const Tuple& t) const {
-  Tuple key;
-  key.reserve(arity_);
-  for (size_t i = 0; i < arity_; ++i) {
-    if (mask & (1u << i)) key.push_back(t[i]);
+bool Relation::Insert(TupleRef t) {
+  if (dedup_slots_.empty()) dedup_slots_.assign(kInitialSlots, 0);
+  if ((num_rows_ + 1) * 4 > dedup_slots_.size() * 3) GrowDedup();
+  const size_t cap_mask = dedup_slots_.size() - 1;
+  size_t slot = Slot(HashRange(t), cap_mask);
+  for (;;) {
+    ++dedup_probes_;
+    uint32_t entry = dedup_slots_[slot];
+    if (entry == 0) break;
+    if (RowsEqual(row(entry - 1), t)) return false;
+    slot = (slot + 1) & cap_mask;
   }
-  return key;
+  dedup_slots_[slot] = static_cast<uint32_t>(num_rows_) + 1;
+  arena_.insert(arena_.end(), t.begin(), t.end());
+  ++num_rows_;
+  return true;
+}
+
+void Relation::GrowDedup() {
+  const size_t cap = dedup_slots_.size() * 2;
+  std::vector<uint32_t> fresh(cap, 0);
+  const size_t cap_mask = cap - 1;
+  for (uint32_t entry : dedup_slots_) {
+    if (entry == 0) continue;
+    size_t slot = Slot(HashRange(row(entry - 1)), cap_mask);
+    while (fresh[slot] != 0) slot = (slot + 1) & cap_mask;
+    fresh[slot] = entry;
+  }
+  dedup_slots_.swap(fresh);
+}
+
+bool Relation::Contains(TupleRef t) const {
+  if (dedup_slots_.empty()) return false;
+  const size_t cap_mask = dedup_slots_.size() - 1;
+  size_t slot = Slot(HashRange(t), cap_mask);
+  for (;;) {
+    uint32_t entry = dedup_slots_[slot];
+    if (entry == 0) return false;
+    if (RowsEqual(row(entry - 1), t)) return true;
+    slot = (slot + 1) & cap_mask;
+  }
 }
 
 Relation::Index* Relation::GetIndex(uint32_t mask) {
@@ -29,46 +95,98 @@ Relation::Index* Relation::GetIndex(uint32_t mask) {
     }
   }
   if (index == nullptr) {
-    indexes_.push_back(Index{mask, {}, 0});
+    indexes_.push_back(Index{mask, 0, {}, {}});
     index = &indexes_.back();
+    index->slots.assign(kInitialSlots, 0);
   }
-  // Catch up with newly inserted tuples.
-  for (size_t i = index->built_up_to; i < tuples_.size(); ++i) {
-    index->buckets[ProjectKey(mask, tuples_[i])].push_back(
-        static_cast<uint32_t>(i));
+  // Catch up with newly inserted rows, in insertion order so posting
+  // lists stay ascending.
+  for (size_t i = index->built_up_to; i < num_rows_; ++i) {
+    IndexInsert(index, static_cast<RowId>(i));
   }
-  index->built_up_to = tuples_.size();
+  index->built_up_to = num_rows_;
   return index;
 }
 
-const std::vector<uint32_t>& Relation::Lookup(uint32_t mask,
-                                              const Tuple& key) {
+void Relation::IndexInsert(Index* ix, RowId r) {
+  if ((ix->postings.size() + 1) * 4 > ix->slots.size() * 3) {
+    GrowIndex(ix, *this);
+  }
+  TupleRef t = row(r);
+  const size_t cap_mask = ix->slots.size() - 1;
+  size_t slot = Slot(HashMasked(t, ix->mask), cap_mask);
+  for (;;) {
+    uint32_t entry = ix->slots[slot];
+    if (entry == 0) {
+      ix->slots[slot] = static_cast<uint32_t>(ix->postings.size()) + 1;
+      ix->postings.emplace_back(1, r);
+      return;
+    }
+    std::vector<RowId>& bucket = ix->postings[entry - 1];
+    if (MaskedEquals(row(bucket.front()), t, ix->mask)) {
+      bucket.push_back(r);
+      return;
+    }
+    slot = (slot + 1) & cap_mask;
+  }
+}
+
+void Relation::GrowIndex(Index* ix, const Relation& rel) {
+  const size_t cap = ix->slots.size() * 2;
+  std::vector<uint32_t> fresh(cap, 0);
+  const size_t cap_mask = cap - 1;
+  for (uint32_t entry : ix->slots) {
+    if (entry == 0) continue;
+    size_t slot = Slot(
+        HashMasked(rel.row(ix->postings[entry - 1].front()), ix->mask),
+        cap_mask);
+    while (fresh[slot] != 0) slot = (slot + 1) & cap_mask;
+    fresh[slot] = entry;
+  }
+  ix->slots.swap(fresh);
+}
+
+const std::vector<RowId>* Relation::ProbeIndex(const Index& ix,
+                                               TupleRef key) const {
+  if (ix.slots.empty()) return nullptr;
+  const size_t cap_mask = ix.slots.size() - 1;
+  size_t slot = Slot(HashMasked(key, ix.mask), cap_mask);
+  for (;;) {
+    uint32_t entry = ix.slots[slot];
+    if (entry == 0) return nullptr;
+    const std::vector<RowId>& bucket = ix.postings[entry - 1];
+    if (MaskedEquals(row(bucket.front()), key, ix.mask)) return &bucket;
+    slot = (slot + 1) & cap_mask;
+  }
+}
+
+const std::vector<RowId>& Relation::Lookup(uint32_t mask, TupleRef key) {
   Index* index = GetIndex(mask);
-  auto it = index->buckets.find(ProjectKey(mask, key));
-  return it == index->buckets.end() ? kEmpty : it->second;
+  const std::vector<RowId>* bucket = ProbeIndex(*index, key);
+  return bucket == nullptr ? kEmpty : *bucket;
 }
 
 void Relation::EnsureIndex(uint32_t mask) { GetIndex(mask); }
 
-bool Relation::LookupSnapshot(uint32_t mask, const Tuple& key,
+bool Relation::LookupSnapshot(uint32_t mask, TupleRef key,
                               size_t watermark,
-                              std::vector<uint32_t>* out) const {
+                              std::vector<RowId>* out) const {
   out->clear();
-  if (watermark > tuples_.size()) watermark = tuples_.size();
+  if (watermark > num_rows_) watermark = num_rows_;
   if (mask == 0) {
     out->reserve(watermark);
     for (size_t i = 0; i < watermark; ++i) {
-      out->push_back(static_cast<uint32_t>(i));
+      out->push_back(static_cast<RowId>(i));
     }
     return true;
   }
   for (const Index& ix : indexes_) {
     if (ix.mask != mask || ix.built_up_to < watermark) continue;
-    auto it = ix.buckets.find(ProjectKey(mask, key));
-    if (it != ix.buckets.end()) {
+    const std::vector<RowId>* bucket = ProbeIndex(ix, key);
+    if (bucket != nullptr) {
       // Posting lists are ascending, so the prefix below the watermark
       // is a clean cut.
-      for (uint32_t ti : it->second) {
+      for (RowId ti : *bucket) {
         if (ti >= watermark) break;
         out->push_back(ti);
       }
@@ -77,21 +195,37 @@ bool Relation::LookupSnapshot(uint32_t mask, const Tuple& key,
   }
   // No index built up to the watermark: scan the prefix.
   for (size_t i = 0; i < watermark; ++i) {
-    const Tuple& t = tuples_[i];
+    TupleRef t = row(static_cast<RowId>(i));
     bool match = true;
     for (size_t c = 0; c < arity_ && match; ++c) {
-      if ((mask & (1u << c)) && t[c] != key[c]) match = false;
+      if (MaskHasColumn(mask, c) && t[c] != key[c]) match = false;
     }
-    if (match) out->push_back(static_cast<uint32_t>(i));
+    if (match) out->push_back(static_cast<RowId>(i));
   }
   return false;
 }
 
-void Relation::AllIndices(std::vector<uint32_t>* out) const {
-  out->resize(tuples_.size());
-  for (size_t i = 0; i < tuples_.size(); ++i) {
-    (*out)[i] = static_cast<uint32_t>(i);
+void Relation::AllIndices(std::vector<RowId>* out) const {
+  out->resize(num_rows_);
+  for (size_t i = 0; i < num_rows_; ++i) {
+    (*out)[i] = static_cast<RowId>(i);
   }
+}
+
+size_t Relation::ArenaBytes() const {
+  return arena_.capacity() * sizeof(TermId);
+}
+
+size_t Relation::IndexBytes() const {
+  size_t bytes = dedup_slots_.capacity() * sizeof(uint32_t);
+  for (const Index& ix : indexes_) {
+    bytes += ix.slots.capacity() * sizeof(uint32_t);
+    bytes += ix.postings.capacity() * sizeof(std::vector<RowId>);
+    for (const std::vector<RowId>& bucket : ix.postings) {
+      bytes += bucket.capacity() * sizeof(RowId);
+    }
+  }
+  return bytes;
 }
 
 }  // namespace lps

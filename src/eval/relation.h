@@ -1,12 +1,21 @@
-// Tuple storage for one predicate, with lazily built hash indexes on
-// bound-column masks. Tuples are vectors of interned TermIds, so
-// set-valued columns cost one word per tuple and comparisons are O(1).
+// Flat row-arena tuple storage for one predicate, with lazily built
+// open-addressed hash indexes on bound-column masks.
+//
+// Every stored row lives in one contiguous TermId arena (row i = the
+// span at i * arity), addressed by dense RowIds. The dedup table and
+// the per-mask indexes store only RowIds and hash/compare directly
+// against the arena, so inserting a tuple costs zero per-tuple heap
+// allocations (amortized) and probes touch cache-friendly flat memory
+// instead of chasing per-tuple vector headers. Set-valued columns are
+// interned TermIds, so comparisons stay O(1) per column (the paper's
+// set-interning win, now without allocator traffic on top).
 #ifndef LPS_EVAL_RELATION_H_
 #define LPS_EVAL_RELATION_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "base/hash.h"
@@ -14,72 +23,198 @@
 
 namespace lps {
 
+/// An owned tuple of interned TermIds. Boundary type only: stored rows
+/// live in the Relation's arena and are viewed through TupleRef;
+/// Tuples are materialized where ownership must outlive the store
+/// (AnswerCursor::ToVector, fact literals, scratch buffers).
 using Tuple = std::vector<TermId>;
+
+/// Zero-copy view of one stored row (or of any TermId sequence). Views
+/// into a Relation are invalidated by its next Insert.
+using TupleRef = std::span<const TermId>;
+
+/// Dense row handle within one Relation: row r occupies the arena span
+/// [r * arity, (r + 1) * arity).
+using RowId = uint32_t;
 
 struct TupleHash {
   size_t operator()(const Tuple& t) const { return HashRange(t); }
 };
 
-/// Append-only tuple set. Tuple order is insertion order, which the
-/// semi-naive evaluator exploits: tuples at index >= some watermark form
-/// the delta of an iteration.
+/// Append-only tuple set over a flat row arena. Row order is insertion
+/// order, which the semi-naive evaluator exploits: rows at RowId >=
+/// some watermark form the delta of an iteration.
 class Relation {
  public:
+  /// Bound-column masks are 32-bit, so only the first 32 columns can
+  /// ever be mask-bound. Wider relations still store and match fine:
+  /// ColumnBit() returns 0 past the limit, which routes those columns
+  /// through the scan-side equality re-check instead of the index.
+  static constexpr size_t kMaxIndexedColumns = 32;
+
   explicit Relation(size_t arity) : arity_(arity) {}
 
   size_t arity() const { return arity_; }
-  size_t size() const { return tuples_.size(); }
-  const std::vector<Tuple>& tuples() const { return tuples_; }
-  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+  size_t size() const { return num_rows_; }
 
-  /// Inserts; returns true if the tuple was new.
-  bool Insert(Tuple t);
+  /// Zero-copy view of row r; valid until the next Insert.
+  TupleRef row(RowId r) const {
+    return TupleRef(arena_.data() + static_cast<size_t>(r) * arity_,
+                    arity_);
+  }
 
-  bool Contains(const Tuple& t) const { return dedup_.count(t) > 0; }
+  /// Owned copy of row r (survives later inserts).
+  Tuple MaterializeRow(RowId r) const {
+    TupleRef t = row(r);
+    return Tuple(t.begin(), t.end());
+  }
 
-  /// Indices of tuples whose columns selected by `mask` (bit i = column
-  /// i bound) equal the corresponding entries of `key` (entries for
-  /// unbound columns are ignored). Builds the per-mask index on first
-  /// use and maintains it incrementally afterwards.
-  const std::vector<uint32_t>& Lookup(uint32_t mask, const Tuple& key);
+  // ---- Row iteration: for (TupleRef t : rel.rows()) ------------------
+  // The range is a snapshot of [0, size()) at call time; inserting
+  // while iterating invalidates the views (copy rows first if the loop
+  // body can insert).
 
-  /// Builds (or catches up) the index for `mask` over all tuples
+  class RowIterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = TupleRef;
+    using difference_type = std::ptrdiff_t;
+
+    RowIterator(const TermId* base, size_t arity, size_t i)
+        : base_(base), arity_(arity), i_(i) {}
+    TupleRef operator*() const {
+      return TupleRef(base_ + i_ * arity_, arity_);
+    }
+    RowIterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const RowIterator& o) const { return i_ == o.i_; }
+    bool operator!=(const RowIterator& o) const { return i_ != o.i_; }
+
+   private:
+    const TermId* base_;
+    size_t arity_;
+    size_t i_;
+  };
+
+  class RowRange {
+   public:
+    RowRange(const TermId* base, size_t arity, size_t n)
+        : base_(base), arity_(arity), n_(n) {}
+    RowIterator begin() const { return RowIterator(base_, arity_, 0); }
+    RowIterator end() const { return RowIterator(base_, arity_, n_); }
+    size_t size() const { return n_; }
+
+   private:
+    const TermId* base_;
+    size_t arity_;
+    size_t n_;
+  };
+
+  RowRange rows() const { return RowRange(arena_.data(), arity_, num_rows_); }
+
+  /// Inserts; returns true if the row was new. The row's TermIds are
+  /// copied into the arena; `t` need not outlive the call.
+  bool Insert(TupleRef t);
+  bool Insert(std::initializer_list<TermId> t) {
+    return Insert(TupleRef(t.begin(), t.size()));
+  }
+
+  bool Contains(TupleRef t) const;
+  bool Contains(std::initializer_list<TermId> t) const {
+    return Contains(TupleRef(t.begin(), t.size()));
+  }
+
+  /// RowIds (ascending) of rows whose columns selected by `mask` (bit i
+  /// = column i bound) equal the corresponding entries of `key`
+  /// (entries for unbound columns are ignored). Builds the per-mask
+  /// index on first use and maintains it incrementally afterwards. The
+  /// returned reference is invalidated by the next Insert or Lookup.
+  const std::vector<RowId>& Lookup(uint32_t mask, TupleRef key);
+  const std::vector<RowId>& Lookup(uint32_t mask,
+                                   std::initializer_list<TermId> key) {
+    return Lookup(mask, TupleRef(key.begin(), key.size()));
+  }
+
+  /// Builds (or catches up) the index for `mask` over all rows
   /// currently stored. Call before a parallel phase so concurrent
   /// LookupSnapshot probes hit a fully built index.
   void EnsureIndex(uint32_t mask);
 
   /// Snapshot probe for concurrent readers: fills `out` with the
-  /// indices (ascending) of tuples among the first `watermark` whose
-  /// masked columns equal `key`. Never builds or extends an index, so
-  /// any number of threads may call it while no inserts are running.
-  /// Returns true when a prebuilt index covered the probe, false when
-  /// it had to fall back to scanning the watermark prefix (the result
-  /// is correct either way).
-  bool LookupSnapshot(uint32_t mask, const Tuple& key, size_t watermark,
-                      std::vector<uint32_t>* out) const;
+  /// RowIds (ascending) of rows among the first `watermark` whose
+  /// masked columns equal `key`. Never builds or extends an index and
+  /// never mutates the relation, so any number of threads may call it
+  /// while no inserts are running. Returns true when a prebuilt index
+  /// covered the probe, false when it had to fall back to scanning the
+  /// watermark prefix (the result is correct either way).
+  bool LookupSnapshot(uint32_t mask, TupleRef key, size_t watermark,
+                      std::vector<RowId>* out) const;
+  bool LookupSnapshot(uint32_t mask, std::initializer_list<TermId> key,
+                      size_t watermark, std::vector<RowId>* out) const {
+    return LookupSnapshot(mask, TupleRef(key.begin(), key.size()),
+                          watermark, out);
+  }
 
-  /// All tuple indices (identity scan).
-  void AllIndices(std::vector<uint32_t>* out) const;
+  /// All RowIds (identity scan).
+  void AllIndices(std::vector<RowId>* out) const;
+
+  // ---- Storage accounting (EvalStats / .stats) -----------------------
+
+  /// Bytes reserved by the row arena.
+  size_t ArenaBytes() const;
+  /// Bytes reserved by the dedup table and every per-mask index.
+  size_t IndexBytes() const;
+  /// Open-addressing probes made by Insert-side dedup so far. Counted
+  /// only on the mutating path, so concurrent Contains/LookupSnapshot
+  /// readers stay pure (no shared counter races during the parallel
+  /// phase).
+  uint64_t dedup_probes() const { return dedup_probes_; }
 
  private:
+  /// One per-mask index: an open-addressed table of bucket ordinals
+  /// over posting lists of RowIds. Keys are never copied - a bucket is
+  /// identified by its first RowId and hashed/compared by projecting
+  /// that row's masked columns straight from the arena.
   struct Index {
     uint32_t mask;
-    std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> buckets;
-    size_t built_up_to = 0;  // tuples_ prefix already indexed
+    size_t built_up_to = 0;           // row prefix already indexed
+    std::vector<uint32_t> slots;      // bucket ordinal + 1; 0 = empty
+    std::vector<std::vector<RowId>> postings;  // ordinal -> ascending
   };
 
-  /// Finds or creates the index for `mask` and catches it up with all
-  /// stored tuples.
-  Index* GetIndex(uint32_t mask);
+  static size_t HashMasked(TupleRef t, uint32_t mask);
+  static bool MaskedEquals(TupleRef a, TupleRef b, uint32_t mask);
 
-  Tuple ProjectKey(uint32_t mask, const Tuple& t) const;
+  void GrowDedup();
+  Index* GetIndex(uint32_t mask);
+  void IndexInsert(Index* ix, RowId r);
+  static void GrowIndex(Index* ix, const Relation& rel);
+  const std::vector<RowId>* ProbeIndex(const Index& ix, TupleRef key) const;
 
   size_t arity_;
-  std::vector<Tuple> tuples_;
-  std::unordered_set<Tuple, TupleHash> dedup_;
+  size_t num_rows_ = 0;
+  std::vector<TermId> arena_;         // num_rows_ * arity_ TermIds
+  std::vector<uint32_t> dedup_slots_; // RowId + 1; 0 = empty
+  uint64_t dedup_probes_ = 0;
   std::vector<Index> indexes_;
-  static const std::vector<uint32_t> kEmpty;
+  static const std::vector<RowId> kEmpty;
 };
+
+/// Bit for column i in a bound-column mask. Columns past
+/// kMaxIndexedColumns get bit 0, i.e. they are never mask-bound; scan
+/// code re-checks such columns by direct equality instead.
+inline constexpr uint32_t ColumnBit(size_t i) {
+  return i < Relation::kMaxIndexedColumns
+             ? (uint32_t{1} << i)
+             : uint32_t{0};
+}
+
+/// Whether column i is bound in `mask` (false past kMaxIndexedColumns).
+inline constexpr bool MaskHasColumn(uint32_t mask, size_t i) {
+  return i < Relation::kMaxIndexedColumns && ((mask >> i) & 1u) != 0;
+}
 
 }  // namespace lps
 

@@ -210,7 +210,9 @@ Status TopDownSolver::SolveUserGoal(PredicateId pred,
   if (st.ok() && db_ != nullptr) {
     const Relation* rel = db_->FindRelation(pred);
     if (rel != nullptr) {
-      for (const Tuple& t : rel->tuples()) {
+      // Zero-copy: solving never inserts into the database, so arena
+      // views stay valid across the scan.
+      for (TupleRef t : rel->rows()) {
         st = try_tuple(t);
         if (!st.ok()) break;
       }

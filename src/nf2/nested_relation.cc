@@ -109,8 +109,8 @@ Result<NestedRelation> NestedRelation::FromRelation(
     return Status::InvalidArgument("schema arity mismatch");
   }
   NestedRelation out(std::move(column_names), std::move(sorts));
-  for (const Tuple& t : rel.tuples()) {
-    LPS_RETURN_IF_ERROR(out.AddRow(store, t));
+  for (TupleRef t : rel.rows()) {
+    LPS_RETURN_IF_ERROR(out.AddRow(store, Tuple(t.begin(), t.end())));
   }
   return out;
 }

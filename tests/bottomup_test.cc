@@ -267,7 +267,7 @@ void ExpectSameRelation(Engine* a, Engine* b, const std::string& pred,
   ASSERT_NE(ra, nullptr);
   ASSERT_NE(rb, nullptr);
   EXPECT_EQ(ra->size(), rb->size()) << pred;
-  for (const Tuple& t : ra->tuples()) {
+  for (TupleRef t : ra->rows()) {
     EXPECT_TRUE(rb->Contains(t)) << pred;
   }
 }

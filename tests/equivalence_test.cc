@@ -37,7 +37,7 @@ void ExpectSameRelation(const Database& a, const Database& b,
   size_t nb = rb ? rb->size() : 0;
   EXPECT_EQ(na, nb) << label;
   if (ra && rb) {
-    for (const Tuple& t : ra->tuples()) {
+    for (TupleRef t : ra->rows()) {
       EXPECT_TRUE(rb->Contains(t)) << label;
     }
   }

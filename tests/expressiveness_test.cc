@@ -118,7 +118,7 @@ TEST(Theorem8Test, PositiveBOverApproximatesUnderGrowth) {
   PredicateId b1 = p1.signature()->Lookup("b", 1);
   const Relation* r1 = p1.database()->FindRelation(b1);
   ASSERT_NE(r1, nullptr);
-  for (const Tuple& t : r1->tuples()) {
+  for (TupleRef t : r1->rows()) {
     // Same textual term in the other engine's store.
     std::string text =
         "b(" + TermToString(*p1.store(), t[0]) + ")";

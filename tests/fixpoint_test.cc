@@ -168,7 +168,7 @@ TEST(FixpointTest, LpsModelEqualsGroundedHornModel) {
     ASSERT_NE(r1, nullptr);
     ASSERT_NE(r2, nullptr);
     EXPECT_EQ(r1->size(), r2->size()) << pred;
-    for (const Tuple& t : r1->tuples()) {
+    for (TupleRef t : r1->rows()) {
       EXPECT_TRUE(r2->Contains(t)) << pred;
     }
   }
@@ -195,7 +195,7 @@ TEST(FixpointTest, MonotoneUnderEdbGrowth) {
   const Relation* rs = small.database()->FindRelation(allq);
   ASSERT_NE(rs, nullptr);
   PredicateId allq_big = big.signature()->Lookup("allq", 1);
-  for (const Tuple& t : rs->tuples()) {
+  for (TupleRef t : rs->rows()) {
     EXPECT_TRUE(big.database()->Contains(allq_big, t));
   }
 }

@@ -57,14 +57,14 @@ TEST(GroupingElimTest, TranslationMatchesNativeGrouping) {
   const Relation* rn = native_db->FindRelation(team);
   ASSERT_NE(rn, nullptr);
   ASSERT_EQ(rn->size(), 2u);
-  for (const Tuple& t : rn->tuples()) {
+  for (TupleRef t : rn->rows()) {
     EXPECT_TRUE(translated_db->Contains(team, t))
         << "missing group in translation";
   }
   // And the translation must not invent wrong groups for those keys.
   const Relation* rt = translated_db->FindRelation(team);
   ASSERT_NE(rt, nullptr);
-  for (const Tuple& t : rt->tuples()) {
+  for (TupleRef t : rt->rows()) {
     if (SetCardinality(*engine.store(), t[1]) > 0) {
       EXPECT_TRUE(rn->Contains(t))
           << "translation derived a spurious non-empty group";
@@ -111,7 +111,7 @@ TEST(UnionToGroupingTest, GroupedUnionMatchesBuiltin) {
   ASSERT_NE(r1, nullptr);
   ASSERT_NE(r2, nullptr);
   EXPECT_EQ(r1->size(), r2->size());
-  for (const Tuple& t : r1->tuples()) {
+  for (TupleRef t : r1->rows()) {
     EXPECT_TRUE(r2->Contains(t));
   }
   EXPECT_TRUE(original_db->Contains(

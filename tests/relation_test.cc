@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "eval/database.h"
 
 namespace lps {
@@ -14,8 +16,8 @@ TEST(RelationTest, InsertDedupsAndKeepsOrder) {
   EXPECT_TRUE(rel.Insert({3, 4}));
   EXPECT_FALSE(rel.Insert({1, 2}));
   EXPECT_EQ(rel.size(), 2u);
-  EXPECT_EQ(rel.tuple(0), (Tuple{1, 2}));
-  EXPECT_EQ(rel.tuple(1), (Tuple{3, 4}));
+  EXPECT_EQ(rel.MaterializeRow(0), (Tuple{1, 2}));
+  EXPECT_EQ(rel.MaterializeRow(1), (Tuple{3, 4}));
   EXPECT_TRUE(rel.Contains({3, 4}));
   EXPECT_FALSE(rel.Contains({4, 3}));
 }
@@ -144,6 +146,133 @@ TEST(RelationTest, SnapshotEmptyMaskEnumeratesWatermarkPrefix) {
   EXPECT_EQ(out, (std::vector<uint32_t>{0, 1}));
 }
 
+// ---- Storage parity: randomized differential vs a linear-scan oracle -
+
+// What the storage engine must implement, spelled out the slow way.
+std::vector<RowId> OracleLookup(const std::vector<Tuple>& rows,
+                                uint32_t mask, const Tuple& key,
+                                size_t watermark) {
+  std::vector<RowId> out;
+  if (watermark > rows.size()) watermark = rows.size();
+  for (size_t i = 0; i < watermark; ++i) {
+    bool match = true;
+    for (size_t c = 0; c < rows[i].size() && match; ++c) {
+      if (MaskHasColumn(mask, c) && rows[i][c] != key[c]) match = false;
+    }
+    if (match) out.push_back(static_cast<RowId>(i));
+  }
+  return out;
+}
+
+uint64_t XorShift(uint64_t* s) {
+  *s ^= *s << 13;
+  *s ^= *s >> 7;
+  *s ^= *s << 17;
+  return *s;
+}
+
+TEST(RelationTest, RandomizedLookupMatchesLinearScanOracle) {
+  constexpr size_t kArity = 3;
+  constexpr TermId kUniverse = 6;  // small: plenty of dups + collisions
+  uint64_t seed = 0xC0FFEE;
+  Relation rel(kArity);
+  std::vector<Tuple> rows;  // insertion-order oracle copy (dedup'd)
+
+  auto random_tuple = [&] {
+    Tuple t(kArity);
+    for (size_t c = 0; c < kArity; ++c) {
+      t[c] = static_cast<TermId>(XorShift(&seed) % kUniverse);
+    }
+    return t;
+  };
+
+  for (int op = 0; op < 4000; ++op) {
+    uint64_t dice = XorShift(&seed) % 10;
+    if (dice < 5) {
+      Tuple t = random_tuple();
+      bool oracle_new =
+          std::find(rows.begin(), rows.end(), t) == rows.end();
+      ASSERT_EQ(rel.Insert(t), oracle_new) << "op " << op;
+      if (oracle_new) rows.push_back(std::move(t));
+      ASSERT_EQ(rel.size(), rows.size());
+    } else if (dice < 6) {
+      // Build / catch up an index mid-stream at a random mask.
+      rel.EnsureIndex(static_cast<uint32_t>(XorShift(&seed) % 8));
+    } else if (dice < 8) {
+      uint32_t mask = static_cast<uint32_t>(XorShift(&seed) % 8);
+      Tuple key = random_tuple();
+      ASSERT_EQ(rel.Lookup(mask, key),
+                OracleLookup(rows, mask, key, rows.size()))
+          << "op " << op << " mask " << mask;
+    } else {
+      uint32_t mask = static_cast<uint32_t>(XorShift(&seed) % 8);
+      Tuple key = random_tuple();
+      size_t watermark = XorShift(&seed) % (rows.size() + 2);
+      std::vector<RowId> out;
+      // Indexed or scan fallback, the result must match the oracle.
+      rel.LookupSnapshot(mask, key, watermark, &out);
+      ASSERT_EQ(out, OracleLookup(rows, mask, key, watermark))
+          << "op " << op << " mask " << mask << " mark " << watermark;
+    }
+  }
+  // Contains parity over everything stored plus fresh randoms.
+  for (const Tuple& t : rows) ASSERT_TRUE(rel.Contains(t));
+  for (int i = 0; i < 200; ++i) {
+    Tuple t = random_tuple();
+    ASSERT_EQ(rel.Contains(t),
+              std::find(rows.begin(), rows.end(), t) != rows.end());
+  }
+}
+
+// ---- Mask-width (arity) limit guard ----------------------------------
+
+TEST(RelationTest, ColumnsPastMaskWidthAreNeverMaskBound) {
+  static_assert(Relation::kMaxIndexedColumns == 32);
+  EXPECT_EQ(ColumnBit(0), 1u);
+  EXPECT_EQ(ColumnBit(31), 1u << 31);
+  EXPECT_EQ(ColumnBit(32), 0u);   // would be UB as 1u << 32
+  EXPECT_EQ(ColumnBit(40), 0u);
+  EXPECT_TRUE(MaskHasColumn(0xffffffffu, 31));
+  EXPECT_FALSE(MaskHasColumn(0xffffffffu, 32));
+}
+
+TEST(RelationTest, WideRelationStoresAndScansPastColumn32) {
+  constexpr size_t kWide = 40;
+  Relation rel(kWide);
+  Tuple a(kWide), b(kWide);
+  for (size_t i = 0; i < kWide; ++i) a[i] = b[i] = static_cast<TermId>(i);
+  b[35] = 999;  // differs only past the mask width
+  EXPECT_TRUE(rel.Insert(a));
+  EXPECT_TRUE(rel.Insert(b));   // dedup compares the full row
+  EXPECT_FALSE(rel.Insert(a));
+  EXPECT_TRUE(rel.Contains(b));
+  // An all-ones mask binds only the first 32 columns, so both rows
+  // match a key equal to `a` (they agree there); column 35 must be
+  // re-checked by the caller's scan-side equality, not the index.
+  EXPECT_EQ(rel.Lookup(0xffffffffu, a).size(), 2u);
+  // The snapshot scan fallback applies the same masking rule.
+  Relation fresh(kWide);
+  fresh.Insert(a);
+  fresh.Insert(b);
+  std::vector<RowId> out;
+  EXPECT_FALSE(fresh.LookupSnapshot(0xffffffffu, a, fresh.size(), &out));
+  EXPECT_EQ(out, (std::vector<RowId>{0, 1}));
+}
+
+// ---- Storage accounting ----------------------------------------------
+
+TEST(RelationTest, StorageAccountingTracksArenaAndIndexes) {
+  Relation rel(2);
+  EXPECT_EQ(rel.ArenaBytes(), 0u);
+  EXPECT_EQ(rel.dedup_probes(), 0u);
+  for (TermId i = 0; i < 100; ++i) rel.Insert({i, i + 1});
+  EXPECT_GE(rel.ArenaBytes(), 100 * 2 * sizeof(TermId));
+  EXPECT_GE(rel.dedup_probes(), 100u);
+  size_t before_index = rel.IndexBytes();  // dedup table only
+  rel.EnsureIndex(0b01);
+  EXPECT_GT(rel.IndexBytes(), before_index);
+}
+
 class DatabaseTest : public ::testing::Test {
  protected:
   DatabaseTest() : sig_(&store_.symbols()), db_(&store_, &sig_) {}
@@ -193,6 +322,46 @@ TEST_F(DatabaseTest, ToStringDeterministic) {
   db_.AddTuple(q, {store_.MakeConstant("b")});
   db_.AddTuple(p, {store_.MakeConstant("a")});
   EXPECT_EQ(db_.ToString(sig_), "p(a).\nq(b).\n");
+}
+
+TEST_F(DatabaseTest, ToStringOrdersByPredicateIdNotInsertion) {
+  // Many predicates inserted in reverse and interleaved: the dump must
+  // come out in PredicateId order with per-relation insertion order
+  // preserved, independent of relations_'s unordered-map iteration.
+  std::vector<PredicateId> preds;
+  for (char c = 'a'; c <= 'h'; ++c) {
+    preds.push_back(*sig_.Declare(std::string(1, c), {Sort::kAtom}));
+  }
+  TermId x = store_.MakeConstant("x");
+  TermId y = store_.MakeConstant("y");
+  for (auto it = preds.rbegin(); it != preds.rend(); ++it) {
+    db_.AddTuple(*it, {y});
+    db_.AddTuple(*it, {x});
+  }
+  std::string expected;
+  for (char c = 'a'; c <= 'h'; ++c) {
+    expected += std::string(1, c) + "(y).\n";
+    expected += std::string(1, c) + "(x).\n";
+  }
+  std::string dump = db_.ToString(sig_);
+  EXPECT_EQ(dump, expected);
+  // And it is stable across repeated calls.
+  EXPECT_EQ(db_.ToString(sig_), dump);
+}
+
+TEST_F(DatabaseTest, StorageStatsAggregateAcrossRelations) {
+  PredicateId p = *sig_.Declare("p", {Sort::kAtom, Sort::kAtom});
+  PredicateId q = *sig_.Declare("q", {Sort::kAtom});
+  EXPECT_EQ(db_.storage_stats().arena_bytes, 0u);
+  TermId a = store_.MakeConstant("a");
+  TermId b = store_.MakeConstant("b");
+  db_.AddTuple(p, {a, b});
+  db_.AddTuple(p, {b, a});
+  db_.AddTuple(q, {a});
+  Database::StorageStats s = db_.storage_stats();
+  EXPECT_GE(s.arena_bytes, 5 * sizeof(TermId));
+  EXPECT_GT(s.index_bytes, 0u);  // dedup tables count
+  EXPECT_GE(s.dedup_probes, 3u);
 }
 
 }  // namespace

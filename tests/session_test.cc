@@ -49,6 +49,46 @@ TEST(SessionTest, EvaluateImpliesCompile) {
   EXPECT_TRUE(*holds);
 }
 
+TEST(SessionTest, StorageStatsSurfaceThroughEvalStats) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(kGraph));
+  ASSERT_OK(session.Evaluate());
+  const EvalStats& stats = session.eval_stats();
+  // 3 EDB edges + 6 derived paths live in row arenas; the dedup tables
+  // were probed at least once per stored tuple.
+  EXPECT_GE(stats.arena_bytes, 9 * 2 * sizeof(TermId));
+  EXPECT_GT(stats.index_bytes, 0u);
+  EXPECT_GE(stats.dedup_probes, stats.tuples_derived);
+}
+
+TEST(AnswerCursorTest, NextRefStreamsZeroCopyViews) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(kGraph));
+  ASSERT_OK(session.Evaluate());
+  auto query = session.Prepare("path(a, X)");
+  ASSERT_TRUE(query.ok());
+  auto cursor = query->Execute();
+  ASSERT_TRUE(cursor.ok());
+  // Views point into the relation's arena: consecutive rows of the
+  // same relation are arity apart in one contiguous allocation.
+  TupleRef first;
+  ASSERT_TRUE(cursor->NextRef(&first));
+  EXPECT_EQ(first.size(), 2u);
+  size_t n = 1;
+  TupleRef view;
+  while (cursor->NextRef(&view)) {
+    EXPECT_EQ(view.size(), 2u);
+    ++n;
+  }
+  EXPECT_EQ(n, 3u);  // path(a,b), path(a,c), path(a,d)
+  EXPECT_TRUE(cursor->exhausted());
+  // Rewind restarts the zero-copy stream.
+  cursor->Rewind();
+  ASSERT_TRUE(cursor->NextRef(&view));
+  EXPECT_EQ(Tuple(view.begin(), view.end()),
+            Tuple(first.begin(), first.end()));
+}
+
 TEST(SessionTest, PreparedQueryExecutesWithoutReparsing) {
   Session session(LanguageMode::kLPS);
   ASSERT_OK(session.Load(kGraph));
