@@ -83,6 +83,135 @@ TermId MakeRandomSet(TermStore* store, int cardinality, int universe,
   return store->MakeSet(std::move(elems));
 }
 
+FuzzProgram RandomFlatHornProgram(uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 1);
+  const bool allow_recursion = (seed % 2) == 1;
+  FuzzProgram out;
+
+  const int nconst = 4 + static_cast<int>(rng.Below(4));
+  auto constant = [&]() {
+    return "c" + std::to_string(rng.Below(nconst));
+  };
+
+  // EDB: two binary relations and one unary one.
+  struct EdbSpec {
+    const char* name;
+    int arity;
+    int facts;
+  };
+  const EdbSpec edb[] = {
+      {"e0", 2, 5 + static_cast<int>(rng.Below(8))},
+      {"e1", 2, 4 + static_cast<int>(rng.Below(6))},
+      {"u0", 1, 2 + static_cast<int>(rng.Below(3))},
+  };
+  for (const EdbSpec& spec : edb) {
+    for (int f = 0; f < spec.facts; ++f) {
+      out.source += spec.name;
+      out.source += '(';
+      for (int a = 0; a < spec.arity; ++a) {
+        if (a > 0) out.source += ", ";
+        out.source += constant();
+      }
+      out.source += ").\n";
+    }
+  }
+
+  // IDB: p0..p{k-1}, arity 1 or 2, bodies over EDB + earlier IDB
+  // predicates (same-or-earlier when recursion is allowed).
+  const int npreds = 2 + static_cast<int>(rng.Below(3));
+  std::vector<int> arity(npreds);
+  for (int i = 0; i < npreds; ++i) {
+    arity[i] = 1 + static_cast<int>(rng.Below(2));
+  }
+  for (int i = 0; i < npreds; ++i) {
+    const int nrules = 1 + static_cast<int>(rng.Below(2));
+    for (int r = 0; r < nrules; ++r) {
+      std::vector<std::string> body;
+      std::vector<std::string> bound_vars;
+      auto var = [&]() { return "V" + std::to_string(rng.Below(4)); };
+      const int nlits = 1 + static_cast<int>(rng.Below(3));
+      for (int l = 0; l < nlits; ++l) {
+        std::string name;
+        int lit_arity;
+        // Half the literals scan the EDB; the rest call the IDB.
+        if (i == 0 || rng.Below(2) == 0) {
+          const EdbSpec& spec = edb[rng.Below(3)];
+          name = spec.name;
+          lit_arity = spec.arity;
+        } else {
+          int j = static_cast<int>(rng.Below(allow_recursion ? i + 1 : i));
+          if (j == i) out.recursive = true;
+          name = "p" + std::to_string(j);
+          lit_arity = arity[j];
+        }
+        std::string lit = name + "(";
+        for (int a = 0; a < lit_arity; ++a) {
+          if (a > 0) lit += ", ";
+          if (rng.Below(4) == 0) {
+            lit += constant();
+          } else {
+            std::string v = var();
+            bound_vars.push_back(v);
+            lit += v;
+          }
+        }
+        lit += ")";
+        body.push_back(std::move(lit));
+      }
+      // Occasionally a negated EDB check over already-bound variables
+      // (safe: every variable occurs in a positive literal).
+      if (!bound_vars.empty() && rng.Below(4) == 0) {
+        const EdbSpec& spec = edb[rng.Below(3)];
+        std::string lit = "not ";
+        lit += spec.name;
+        lit += '(';
+        for (int a = 0; a < spec.arity; ++a) {
+          if (a > 0) lit += ", ";
+          if (rng.Below(3) == 0) {
+            lit += constant();
+          } else {
+            lit += bound_vars[rng.Below(bound_vars.size())];
+          }
+        }
+        lit += ')';
+        body.push_back(std::move(lit));
+      }
+      // Head arguments come from bound variables (or constants), so
+      // every generated rule is safe and enumeration-free.
+      out.source += "p" + std::to_string(i) + "(";
+      for (int a = 0; a < arity[i]; ++a) {
+        if (a > 0) out.source += ", ";
+        if (bound_vars.empty() || rng.Below(5) == 0) {
+          out.source += constant();
+        } else {
+          out.source += bound_vars[rng.Below(bound_vars.size())];
+        }
+      }
+      out.source += ") :- ";
+      for (size_t l = 0; l < body.size(); ++l) {
+        if (l > 0) out.source += ", ";
+        out.source += body[l];
+      }
+      out.source += ".\n";
+    }
+  }
+
+  // The goal targets a random IDB predicate with a random binding
+  // pattern (all-free patterns exercise the demand fallback).
+  const int gp = static_cast<int>(rng.Below(npreds));
+  out.goal = "p" + std::to_string(gp) + "(";
+  for (int a = 0; a < arity[gp]; ++a) {
+    if (a > 0) out.goal += ", ";
+    if (rng.Below(2) == 0) {
+      out.goal += constant();
+    } else {
+      out.goal += "X" + std::to_string(a);
+    }
+  }
+  out.goal += ")";
+  return out;
+}
+
 std::unique_ptr<Session> MustLoad(const std::string& source,
                                   LanguageMode mode) {
   auto session = std::make_unique<Session>(mode);

@@ -56,6 +56,27 @@ TermId MakeIntRangeSet(TermStore* store, int n);
 TermId MakeRandomSet(TermStore* store, int cardinality, int universe,
                      Rng* rng);
 
+/// A seeded random flat-Horn program plus a query goal, for the
+/// differential-fuzz harness (fuzz_equivalence.cc): magic-rewritten,
+/// full-fixpoint and top-down evaluation of `goal` must agree.
+struct FuzzProgram {
+  std::string source;  // facts + rules, parseable LDL
+  std::string goal;    // a goal with a random binding pattern
+  /// True when some rule may be (mutually) recursive. The top-down
+  /// solver is documented incomplete for cyclic recursion (it cuts
+  /// cycles), so the harness compares it only on !recursive seeds.
+  bool recursive = false;
+};
+
+/// Generates a random flat-Horn program: EDB facts over a small
+/// constant pool, IDB rules whose bodies mix EDB scans, IDB calls and
+/// occasional negated EDB literals (always safely ground), and a goal
+/// whose arguments are randomly bound. Even seeds are stratified DAGs
+/// (IDB bodies only reference strictly earlier predicates, so
+/// top-down evaluation is complete); odd seeds additionally allow
+/// recursive IDB calls. Deterministic in `seed`.
+FuzzProgram RandomFlatHornProgram(uint64_t seed);
+
 /// Opens a session, loads and compiles `source`, and aborts on error
 /// (benchmarks should not silently measure failures).
 std::unique_ptr<Session> MustLoad(const std::string& source,

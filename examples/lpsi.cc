@@ -5,15 +5,22 @@
 // (one per line, no trailing dot required; each line is prepared
 // fresh). The REPL also understands dot-commands:
 //
-//   .stats    evaluation + storage-engine statistics (EvalStats)
+//   .stats    evaluation + storage-engine + demand statistics (EvalStats)
 //
-//   build/examples/lpsi program.lps
-//   echo "path(a, X)" | build/examples/lpsi program.lps
+// With --demand the interpreter skips the up-front fixpoint and
+// answers every goal with a bound argument goal-directed: a magic-set
+// rewrite of the program (DESIGN.md section 13) derives only the slice
+// the goal demands. Goals outside the fragment fall back to the full
+// fixpoint transparently (.stats shows the recorded reason).
+//
+//   build/examples/lpsi [--demand] program.lps
+//   echo "path(a, X)" | build/examples/lpsi --demand program.lps
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "lps/lps.h"
 
@@ -38,10 +45,23 @@ void PrintStats(const lps::EvalStats& s) {
   std::printf("  index_bytes  %zu\n", s.index_bytes);
   std::printf("  dedup_probes %llu\n",
               static_cast<unsigned long long>(s.dedup_probes));
+  std::printf("demand:\n");
+  std::printf("  magic_predicates %zu\n", s.magic_predicates);
+  std::printf("  magic_tuples     %zu\n", s.magic_tuples);
+  std::printf("  fallback_reason  %s\n",
+              s.demand_fallback_reason.empty()
+                  ? "(none)"
+                  : s.demand_fallback_reason.c_str());
 }
 
-void Answer(lps::Session* session, lps::PreparedQuery* query) {
-  auto cursor = query->Execute();
+// In demand mode every goal routes through ExecuteDemand(): bound
+// goals evaluate goal-directed, everything else transparently falls
+// back to the full fixpoint on the session database - so all-free
+// goals still see complete answers even though lpsi never ran an
+// up-front Evaluate().
+void Answer(lps::Session* session, lps::PreparedQuery* query,
+            bool demand) {
+  auto cursor = demand ? query->ExecuteDemand() : query->Execute();
   if (!cursor.ok()) {
     std::printf("error: %s\n", cursor.status().ToString().c_str());
     return;
@@ -61,32 +81,59 @@ void Answer(lps::Session* session, lps::PreparedQuery* query) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <program.lps>\n", argv[0]);
+  bool demand = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--demand") {
+      demand = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: %s [--demand] <program.lps>\n", argv[0]);
     return 2;
   }
-  std::ifstream in(argv[1]);
+  std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "cannot open %s\n", path);
     return 2;
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
 
-  lps::Session session(lps::LanguageMode::kLDL);
+  lps::Options options;
+  options.demand = demand;
+  lps::Session session(lps::LanguageMode::kLDL, options);
   lps::Status st = session.Load(buffer.str());
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  st = session.Evaluate();
-  if (!st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
+  if (demand) {
+    // Goal-directed mode: no up-front fixpoint. Compile now so program
+    // errors still surface before the first goal.
+    st = session.Compile();
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "%% demand mode: evaluating per goal, no up-front "
+                 "fixpoint\n");
+  } else {
+    st = session.Evaluate();
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    const lps::EvalStats& stats = session.eval_stats();
+    std::fprintf(stderr, "%% %zu tuples, %zu iterations, %zu strata\n",
+                 stats.tuples_derived, stats.iterations, stats.strata);
   }
-  const lps::EvalStats& stats = session.eval_stats();
-  std::fprintf(stderr, "%% %zu tuples, %zu iterations, %zu strata\n",
-               stats.tuples_derived, stats.iterations, stats.strata);
 
   // Queries embedded in the file: already lowered by Compile(), so
   // preparing them costs a plan but no parse.
@@ -97,7 +144,7 @@ int main(int argc, char** argv) {
       continue;
     }
     std::printf("?- %s\n", prepared->ToString().c_str());
-    Answer(&session, &*prepared);
+    Answer(&session, &*prepared, demand);
   }
 
   // Interactive goals and dot-commands.
@@ -114,7 +161,7 @@ int main(int argc, char** argv) {
       std::printf("error: %s\n", prepared.status().ToString().c_str());
       continue;
     }
-    Answer(&session, &*prepared);
+    Answer(&session, &*prepared, demand);
   }
   return 0;
 }

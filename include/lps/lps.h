@@ -27,6 +27,7 @@
 #include "term/term.h"            // hash-consed two-sorted terms
 #include "transform/builtin_elim.h"      // Theorem 10.1/10.2
 #include "transform/ldl.h"               // Theorem 11
+#include "transform/magic.h"             // demand transformation
 #include "transform/positive_compiler.h" // Theorem 6
 #include "transform/quantifier_elim.h"   // Theorem 10.3/10.4
 #include "transform/stratify.h"          // Section 4.2 / [ABW86]

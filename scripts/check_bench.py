@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate against committed baselines.
+
+Compares google-benchmark JSON output against baselines committed under
+bench/baselines/ and fails (exit 1) on a >tolerance regression in wall
+time or in any user counter (allocs_per_tuple, tuples_derived, ...).
+
+Wall times are machine-dependent, so they are *fleet-normalized*: the
+median current/baseline time ratio across all benchmarks in a file is
+taken as the machine-speed factor, and a benchmark only regresses if it
+is slower than baseline * factor * (1 + tolerance). A uniformly slower
+CI runner therefore passes, while a single benchmark that regressed
+relative to its peers fails. Counters (allocation and tuple counts) are
+machine-independent and compared without normalization.
+
+Cross-benchmark ratio gates (e.g. "magic point query must beat the full
+fixpoint 2x and derive 5x fewer tuples") are expressed with
+--min-ratio and evaluated on the current run only.
+
+Baseline refresh (the one-liner, run from the repo root after building
+Release benches and inspecting the diff):
+
+    python3 scripts/check_bench.py --refresh \
+        --pair BENCH_fixpoint.json=bench/baselines/BENCH_fixpoint.json
+
+Absolute invariants that must hold regardless of how baselines move
+(e.g. the storage engine's allocs-per-tuple ceiling) are expressed
+with --max-value.
+
+Usage:
+    check_bench.py --pair CURRENT=BASELINE [--pair ...]
+                   [--tolerance 0.25]
+                   [--min-ratio FILE:NUM_BENCH:DEN_BENCH:METRIC:MIN]
+                   [--max-value FILE:BENCH:METRIC:MAX]
+                   [--refresh]
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+# Keys of a benchmark entry that are not user counters.
+STANDARD_KEYS = {
+    "name", "run_name", "run_type", "repetitions", "repetition_index",
+    "threads", "iterations", "real_time", "cpu_time", "time_unit",
+    "aggregate_name", "aggregate_unit", "family_index",
+    "per_family_instance_index", "label", "error_occurred",
+    "error_message", "big_o", "rms",
+}
+
+
+def load_entries(path):
+    """name -> representative entry (median aggregate if present)."""
+    with open(path) as f:
+        data = json.load(f)
+    entries = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                entries[b["run_name"]] = b
+        else:
+            # Plain run; never overrides an aggregate.
+            entries.setdefault(b.get("run_name", b["name"]), b)
+    return entries
+
+
+def counters(entry):
+    return {
+        k: v
+        for k, v in entry.items()
+        if k not in STANDARD_KEYS and isinstance(v, (int, float))
+    }
+
+
+def metric_value(entry, metric):
+    if metric == "real_time":
+        return entry["real_time"]
+    value = entry.get(metric)
+    if not isinstance(value, (int, float)):
+        sys.exit(f"metric {metric} missing on {entry['name']}")
+    return value
+
+
+def median(values):
+    values = sorted(values)
+    n = len(values)
+    if n == 0:
+        return 1.0
+    mid = n // 2
+    return values[mid] if n % 2 else (values[mid - 1] + values[mid]) / 2
+
+
+def compare_pair(current_path, baseline_path, tolerance):
+    failures = []
+    current = load_entries(current_path)
+    baseline = load_entries(baseline_path)
+
+    ratios = [
+        current[name]["real_time"] / base["real_time"]
+        for name, base in baseline.items()
+        if name in current and base["real_time"] > 0
+    ]
+    factor = median(ratios)
+    print(f"== {current_path} vs {baseline_path} "
+          f"(machine-speed factor {factor:.2f}x, tolerance "
+          f"{tolerance:.0%})")
+
+    # Both directions must match: a benchmark missing from the baseline
+    # would otherwise never be regression-checked.
+    for name in sorted(set(current) - set(baseline)):
+        failures.append(f"{name}: present in {current_path} but not in "
+                        f"{baseline_path} - refresh the baseline to "
+                        f"cover it")
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: present in baseline but not in "
+                            f"{current_path} (coverage lost?)")
+            continue
+        # Wall time, fleet-normalized.
+        allowed = base["real_time"] * factor * (1 + tolerance)
+        status = "ok"
+        if cur["real_time"] > allowed:
+            status = "REGRESSED"
+            failures.append(
+                f"{name}: real_time {cur['real_time']:.3f} > allowed "
+                f"{allowed:.3f} (baseline {base['real_time']:.3f} x "
+                f"factor {factor:.2f} x {1 + tolerance:.2f})")
+        print(f"  {name}: time {base['real_time']:.3f} -> "
+              f"{cur['real_time']:.3f} [{status}]")
+        # Counters, absolute.
+        base_counters = counters(base)
+        cur_counters = counters(cur)
+        for key, bval in sorted(base_counters.items()):
+            cval = cur_counters.get(key)
+            if cval is None:
+                failures.append(f"{name}: counter {key} disappeared")
+                continue
+            # A zero baseline is an invariant (e.g. zero allocations
+            # per insert): any increase regresses, tolerance or not.
+            regressed = (cval > bval * (1 + tolerance) if bval > 0
+                         else cval > 0)
+            if regressed:
+                failures.append(
+                    f"{name}: counter {key} {cval:.2f} > baseline "
+                    f"{bval:.2f} * {1 + tolerance:.2f}")
+                print(f"    counter {key}: {bval:.2f} -> {cval:.2f} "
+                      f"[REGRESSED]")
+            else:
+                print(f"    counter {key}: {bval:.2f} -> {cval:.2f} [ok]")
+    return failures
+
+
+def check_ratio(spec, currents):
+    """FILE:NUM_BENCH:DEN_BENCH:METRIC:MIN - value(NUM)/value(DEN) of
+    METRIC in FILE's current run must be >= MIN."""
+    try:
+        path, num_name, den_name, metric, min_str = spec.rsplit(":", 4)
+        minimum = float(min_str)
+    except ValueError:
+        sys.exit(f"malformed --min-ratio spec: {spec}")
+    entries = currents.get(path)
+    if entries is None:
+        sys.exit(f"--min-ratio file {path} is not among --pair currents")
+    for name in (num_name, den_name):
+        if name not in entries:
+            return [f"{spec}: benchmark {name} missing from {path}"]
+    num = metric_value(entries[num_name], metric)
+    den = metric_value(entries[den_name], metric)
+    if den == 0:
+        return [f"{spec}: denominator {den_name} is 0"]
+    ratio = num / den
+    ok = ratio >= minimum
+    print(f"== ratio {num_name}/{den_name} on {metric}: {ratio:.2f}x "
+          f"(required >= {minimum:.2f}x) [{'ok' if ok else 'FAILED'}]")
+    return [] if ok else [
+        f"{spec}: ratio {ratio:.2f} below required {minimum:.2f}"]
+
+
+def check_max(spec, currents):
+    """FILE:BENCH:METRIC:MAX - value(BENCH) of METRIC in FILE's current
+    run must be <= MAX (an absolute, baseline-independent ceiling)."""
+    try:
+        path, bench, metric, max_str = spec.rsplit(":", 3)
+        maximum = float(max_str)
+    except ValueError:
+        sys.exit(f"malformed --max-value spec: {spec}")
+    entries = currents.get(path)
+    if entries is None:
+        sys.exit(f"--max-value file {path} is not among --pair currents")
+    if bench not in entries:
+        return [f"{spec}: benchmark {bench} missing from {path}"]
+    value = metric_value(entries[bench], metric)
+    ok = value <= maximum
+    print(f"== ceiling {bench} {metric}: {value:.2f} "
+          f"(required <= {maximum:.2f}) [{'ok' if ok else 'FAILED'}]")
+    return [] if ok else [
+        f"{spec}: value {value:.2f} above ceiling {maximum:.2f}"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pair", action="append", default=[],
+                        metavar="CURRENT=BASELINE", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    parser.add_argument("--min-ratio", action="append", default=[],
+                        metavar="FILE:NUM:DEN:METRIC:MIN")
+    parser.add_argument("--max-value", action="append", default=[],
+                        metavar="FILE:BENCH:METRIC:MAX")
+    parser.add_argument("--refresh", action="store_true",
+                        help="copy CURRENT files over their BASELINEs")
+    args = parser.parse_args()
+
+    pairs = []
+    for spec in args.pair:
+        current, sep, base = spec.partition("=")
+        if not sep:
+            sys.exit(f"malformed --pair spec: {spec}")
+        pairs.append((current, base))
+
+    if args.refresh:
+        for current, base in pairs:
+            shutil.copyfile(current, base)
+            print(f"refreshed {base} from {current}")
+        return
+
+    failures = []
+    currents = {}
+    for current, base in pairs:
+        currents[current] = load_entries(current)
+        failures += compare_pair(current, base, args.tolerance)
+    for spec in args.min_ratio:
+        failures += check_ratio(spec, currents)
+    for spec in args.max_value:
+        failures += check_max(spec, currents)
+
+    if failures:
+        print("\nBENCH GATE FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        print("\nIf the change is intentional, refresh the baselines "
+              "(see --refresh in scripts/check_bench.py) and commit the "
+              "diff.")
+        sys.exit(1)
+    print("\nbench gate passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,24 @@ struct Options {
   /// legacy behavior), 0 = hardware concurrency, N > 1 = that many
   /// lanes (see eval/bottomup.h and DESIGN.md section 11).
   size_t threads = 1;
+  /// Demand-driven query evaluation (DESIGN.md section 13): when true,
+  /// PreparedQuery::Execute() answers goals that name a rule-defined
+  /// predicate with at least one bound argument by evaluating a
+  /// magic-set rewrite of the program into a private database
+  /// (transform/magic.h) instead of scanning the session database -
+  /// deriving only the slice the goal demands, with no prior
+  /// Session::Evaluate() needed for those goals (a goal inside the
+  /// fragment's reach that the rewrite still rejects, e.g. quantifiers
+  /// in its rule slice, falls back by running Evaluate() and scanning,
+  /// reason in EvalStats::demand_fallback_reason). Everything else -
+  /// all-free binding patterns, builtin goals, plain relation scans -
+  /// keeps the exact demand-off contract: a lazy scan of the session
+  /// database, complete only after an Evaluate(), with the reason
+  /// recorded but no evaluation triggered. Use
+  /// PreparedQuery::ExecuteDemand() directly for the self-contained
+  /// variant that falls back through Evaluate() for every ineligible
+  /// goal (lpsi --demand does). Off by default.
+  bool demand = false;
 
   // ---- Top-down SLD solving (eval/topdown.h) -------------------------
   size_t max_depth = 256;

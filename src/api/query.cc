@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "api/session.h"
+#include "eval/bottomup.h"
 #include "eval/builtins.h"
 #include "unify/unify.h"
 
@@ -182,9 +183,37 @@ class GoalPlanExecutor {
   std::unordered_set<Tuple, TupleHash> seen_;
 };
 
+// Streams the adorned answer relation of a demand (magic-set)
+// evaluation. The private database and the rewritten program (whose
+// signature the database points at) ride along with the source, so
+// the cursor stays valid however long the caller streams and across
+// demand-cache invalidation.
+class DemandScanSource final : public AnswerSource {
+ public:
+  DemandScanSource(std::shared_ptr<const MagicProgram> rewrite,
+                   std::unique_ptr<Database> db, TermStore* store,
+                   UnifyOptions unify, std::vector<TermId> patterns)
+      : rewrite_(std::move(rewrite)), db_(std::move(db)) {
+    Relation* rel = nullptr;
+    if (db_->FindRelation(rewrite_->goal.pred) != nullptr) {
+      rel = &db_->relation(rewrite_->goal.pred);
+    }
+    inner_ = std::make_unique<RelationScanSource>(store, unify, rel,
+                                                  std::move(patterns));
+  }
+
+  Result<bool> Next(TupleRef* out) override { return inner_->Next(out); }
+  void Rewind() override { inner_->Rewind(); }
+
+ private:
+  std::shared_ptr<const MagicProgram> rewrite_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<RelationScanSource> inner_;
+};
+
 }  // namespace
 
-PreparedQuery::PreparedQuery(Session* session, Literal goal, BodyPlan plan)
+PreparedQuery::PreparedQuery(Session* session, Literal goal, GoalPlan plan)
     : session_(session), goal_(std::move(goal)), plan_(std::move(plan)) {
   CollectLiteralVariables(*session_->store(), goal_, &vars_);
 }
@@ -228,11 +257,55 @@ Status PreparedQuery::BindText(std::string_view var,
 
 void PreparedQuery::ClearBindings() { bindings_.Clear(); }
 
+bool PreparedQuery::AnyArgBound() const {
+  TermStore* store = session_->store();
+  for (TermId a : goal_.args) {
+    if (store->is_ground(bindings_.Apply(store, a))) return true;
+  }
+  return false;
+}
+
+void PreparedQuery::RefreshDemandState() {
+  if (demand_epoch_ == session_->program_epoch()) return;
+  // The program changed since the cache was filled: drop the cached
+  // rewrites and re-decide eligibility (rules for the goal predicate
+  // may have appeared or vanished since Prepare()).
+  demand_cache_.clear();
+  demand_epoch_ = session_->program_epoch();
+  plan_.demand_ineligible_reason.clear();
+  plan_.demand_candidate =
+      GoalDemandCandidate(session_->program()->signature(),
+                          *session_->program(), goal_,
+                          &plan_.demand_ineligible_reason);
+}
+
 Result<AnswerCursor> PreparedQuery::Execute() {
   if (session_ == nullptr) {
     return Status::InvalidArgument("executing an empty PreparedQuery");
   }
   LPS_RETURN_IF_ERROR(session_->Compile());
+  if (session_->options().demand) {
+    RefreshDemandState();
+    // Any bound position - including ones past the 32-column mask -
+    // routes to the demand path, which reports its own fallback
+    // reasons (e.g. "goal arity exceeds 32 bound positions").
+    if (plan_.demand_candidate && AnyArgBound()) {
+      return ExecuteDemand();
+    }
+    // Shallow ineligibility (all-free pattern, builtin or rule-less
+    // goal): exactly the legacy path, with the reason on record. The
+    // magic counters describe the same demand attempt as the reason,
+    // so they must not linger from an earlier goal-directed run.
+    session_->eval_stats_.demand_fallback_reason =
+        plan_.demand_candidate ? "all-free goal: demand restricts nothing"
+                               : plan_.demand_ineligible_reason;
+    session_->eval_stats_.magic_predicates = 0;
+    session_->eval_stats_.magic_tuples = 0;
+  }
+  return ExecuteScan();
+}
+
+Result<AnswerCursor> PreparedQuery::ExecuteScan() {
   TermStore* store = session_->store();
   const Signature& sig = session_->program()->signature();
   const BuiltinOptions& builtins = session_->options().builtins;
@@ -252,8 +325,100 @@ Result<AnswerCursor> PreparedQuery::Execute() {
 
   std::vector<Tuple> rows;
   GoalPlanExecutor exec(store, session_->database(), builtins, goal_);
-  LPS_RETURN_IF_ERROR(exec.Run(plan_.steps, bindings_, &rows));
+  LPS_RETURN_IF_ERROR(exec.Run(plan_.body.steps, bindings_, &rows));
   return AnswerCursor::FromTuples(std::move(rows));
+}
+
+Result<AnswerCursor> PreparedQuery::ExecuteDemand() {
+  if (session_ == nullptr) {
+    return Status::InvalidArgument("executing an empty PreparedQuery");
+  }
+  LPS_RETURN_IF_ERROR(session_->Compile());
+  RefreshDemandState();
+  TermStore* store = session_->store();
+
+  // Fall back to the full fixpoint on the session database; the
+  // answers are the same, demand just could not narrow the work.
+  auto fall_back = [&](std::string reason) -> Result<AnswerCursor> {
+    LPS_RETURN_IF_ERROR(session_->Evaluate());
+    session_->eval_stats_.demand_fallback_reason = std::move(reason);
+    return ExecuteScan();
+  };
+
+  if (!plan_.demand_candidate) {
+    return fall_back(plan_.demand_ineligible_reason);
+  }
+  // One pass over the arguments: the applied terms, the per-position
+  // boundness, and the (<= 32-column) cache mask. `patterns` is reused
+  // for the seed values and the answer scan below.
+  std::vector<TermId> patterns(goal_.args.size());
+  std::vector<bool> bound(goal_.args.size());
+  uint32_t mask = 0;
+  bool any_bound = false;
+  for (size_t i = 0; i < goal_.args.size(); ++i) {
+    patterns[i] = bindings_.Apply(store, goal_.args[i]);
+    bound[i] = store->is_ground(patterns[i]);
+    any_bound = any_bound || bound[i];
+    if (bound[i]) mask |= ColumnBit(i);
+  }
+  if (!any_bound) {
+    return fall_back("all-free goal: demand restricts nothing");
+  }
+
+  // Rewrites are cached per binding mask until the program changes
+  // (RefreshDemandState() cleared the cache above if it did). Goals
+  // wider than the 32-bit mask are never cached - two patterns that
+  // differ only past column 32 would alias to one entry.
+  const bool cacheable = goal_.args.size() <= 32;
+  DemandEntry uncached;
+  DemandEntry* entry = nullptr;
+  if (cacheable) {
+    auto it = demand_cache_.find(mask);
+    if (it != demand_cache_.end()) entry = &it->second;
+  }
+  if (entry == nullptr) {
+    LPS_ASSIGN_OR_RETURN(MagicRewriteResult rw,
+                         MagicRewrite(*session_->program(), goal_, bound));
+    DemandEntry fresh;
+    fresh.fallback_reason = std::move(rw.fallback_reason);
+    if (rw.applied) fresh.rewrite = std::move(rw.rewrite);
+    if (cacheable) {
+      entry =
+          &demand_cache_.emplace(mask, std::move(fresh)).first->second;
+    } else {
+      uncached = std::move(fresh);
+      entry = &uncached;
+    }
+  }
+  if (entry->rewrite == nullptr) {
+    return fall_back(entry->fallback_reason);
+  }
+  std::shared_ptr<const MagicProgram> rw = entry->rewrite;
+
+  // Seed the magic predicate with the goal's bound values, then run
+  // the rewritten program to fixpoint in a private database.
+  auto db =
+      std::make_unique<Database>(store, &rw->program.signature());
+  Tuple seed;
+  seed.reserve(rw->seed_positions.size());
+  for (size_t pos : rw->seed_positions) {
+    seed.push_back(patterns[pos]);
+  }
+  db->AddTuple(rw->seed_pred, seed);
+  BottomUpEvaluator eval(&rw->program, db.get(),
+                         session_->options().eval());
+  LPS_RETURN_IF_ERROR(eval.Evaluate());
+
+  EvalStats stats = eval.stats();
+  stats.magic_predicates = rw->magic_preds.size();
+  for (PredicateId m : rw->magic_preds) {
+    stats.magic_tuples += db->RelationSize(m);
+  }
+  session_->eval_stats_ = std::move(stats);
+
+  return AnswerCursor(std::make_unique<DemandScanSource>(
+      std::move(rw), std::move(db), store,
+      session_->options().builtins.unify, std::move(patterns)));
 }
 
 Result<bool> PreparedQuery::Holds() {

@@ -19,6 +19,8 @@
 #ifndef LPS_API_QUERY_H_
 #define LPS_API_QUERY_H_
 
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,6 +30,7 @@
 #include "eval/plan.h"
 #include "lang/clause.h"
 #include "term/substitution.h"
+#include "transform/magic.h"
 
 namespace lps {
 
@@ -44,7 +47,9 @@ class PreparedQuery {
   /// parameters.
   const std::vector<TermId>& variables() const { return vars_; }
   /// The execution plan built once at Prepare() time (eval/plan.h).
-  const BodyPlan& plan() const { return plan_; }
+  const BodyPlan& plan() const { return plan_.body; }
+  /// The full goal plan, including the demand-eligibility decision.
+  const GoalPlan& goal_plan() const { return plan_; }
   /// Renders the goal in surface syntax.
   std::string ToString() const;
 
@@ -58,10 +63,26 @@ class PreparedQuery {
   void ClearBindings();
   const Substitution& bindings() const { return bindings_; }
 
-  /// Answers from the session's current database (use after
-  /// Evaluate()). Relation scans stream lazily; builtin goals run their
-  /// plan eagerly into the cursor.
+  /// Answers the goal. Default mode: against the session's current
+  /// database (use after Evaluate()) - relation scans stream lazily,
+  /// builtin goals run their plan eagerly into the cursor. With
+  /// Options::demand set on the session, goals with at least one bound
+  /// argument route through ExecuteDemand() instead.
   Result<AnswerCursor> Execute();
+
+  /// Goal-directed execution: evaluates a magic-set rewrite of the
+  /// program (only the slice this goal's binding pattern demands) into
+  /// a private database owned by the returned cursor, so no prior
+  /// Session::Evaluate() is needed and the session database is left
+  /// untouched. The rewrite is cached per binding pattern and
+  /// invalidated when Session::Compile() commits new clauses. Goals
+  /// outside the magic fragment (all-free pattern, builtin or
+  /// rule-less predicates, quantifiers/grouping/set-terms in the
+  /// reachable slice) fall back to the full fixpoint on the session
+  /// database - running Evaluate() first - with the reason recorded in
+  /// Session::eval_stats().demand_fallback_reason. Either way the
+  /// answer set is identical to the full-fixpoint answers.
+  Result<AnswerCursor> ExecuteDemand();
 
   /// True if Execute() would yield at least one answer. On the lazy
   /// relation-scan path this stops at the first match; builtin goals
@@ -75,13 +96,32 @@ class PreparedQuery {
 
  private:
   friend class Session;
-  PreparedQuery(Session* session, Literal goal, BodyPlan plan);
+  PreparedQuery(Session* session, Literal goal, GoalPlan plan);
+
+  /// The scan/builtin path against the session database.
+  Result<AnswerCursor> ExecuteScan();
+  /// True if any goal argument is ground under the current bindings.
+  bool AnyArgBound() const;
+  /// On a program-epoch change: drops cached rewrites and re-decides
+  /// demand eligibility (rules may have appeared since Prepare()).
+  void RefreshDemandState();
 
   Session* session_ = nullptr;
   Literal goal_;
   std::vector<TermId> vars_;
-  BodyPlan plan_;
+  GoalPlan plan_;
   Substitution bindings_;
+
+  // Magic rewrites cached per binding mask; shared_ptr so a streaming
+  // cursor keeps its program (and the signature its private database
+  // points at) alive across cache invalidation and query copies.
+  // `rewrite` is null for patterns where the rewrite fell back.
+  struct DemandEntry {
+    std::shared_ptr<const MagicProgram> rewrite;
+    std::string fallback_reason;
+  };
+  std::map<uint32_t, DemandEntry> demand_cache_;
+  uint64_t demand_epoch_ = 0;  // Session::program_epoch() at cache fill
 };
 
 }  // namespace lps

@@ -62,6 +62,7 @@ Status Session::Compile() {
   // assignment (not reallocation) keeps that pointer valid.
   *program_ = candidate;
   for (Literal& q : new_queries) queries_.push_back(std::move(q));
+  ++program_epoch_;  // invalidates cached demand rewrites
   return Status::OK();
 }
 
@@ -84,7 +85,9 @@ Status Session::AddFact(const std::string& pred, std::vector<TermId> args) {
     LPS_ASSIGN_OR_RETURN(
         id, program_->signature().Declare(pred, std::move(sorts)));
   }
-  return program_->AddFact(id, std::move(args));
+  LPS_RETURN_IF_ERROR(program_->AddFact(id, std::move(args)));
+  ++program_epoch_;  // cached demand rewrites snapshot the fact set
+  return Status::OK();
 }
 
 Result<PreparedQuery> Session::Prepare(const std::string& goal) {
@@ -100,7 +103,8 @@ Result<PreparedQuery> Session::Prepare(Literal goal) {
   LPS_RETURN_IF_ERROR(Compile());
   LPS_RETURN_IF_ERROR(
       ValidateGoal(*store_, program_->signature(), goal, mode_));
-  BodyPlan plan = BuildGoalPlan(*store_, program_->signature(), goal);
+  GoalPlan plan =
+      BuildGoalPlan(*store_, program_->signature(), *program_, goal);
   return PreparedQuery(this, std::move(goal), std::move(plan));
 }
 

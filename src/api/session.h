@@ -68,6 +68,19 @@ class Session {
   /// needed. Repeatable: already-derived tuples are kept.
   Status Evaluate();
   Status Evaluate(const Options& options);
+
+  /// Statistics of the most recent evaluation: a Session::Evaluate()
+  /// run, or - in demand mode - the last goal-directed magic-set
+  /// evaluation (see eval/bottomup.h). The demand fields
+  /// (magic_predicates/magic_tuples/demand_fallback_reason) describe
+  /// the most recent *demand attempt* instead, which can be a later
+  /// scan-only execution: after a demand-ineligible Execute() they
+  /// hold that attempt's fallback reason and zeros while the
+  /// evaluation counters still describe the earlier evaluation.
+  /// Before the first evaluation of either kind this returns a
+  /// value-initialized EvalStats: every counter 0 and
+  /// demand_fallback_reason empty - callers may rely on that instead
+  /// of guarding the first call.
   const EvalStats& eval_stats() const { return eval_stats_; }
 
   /// Adds a ground fact programmatically, declaring the predicate by
@@ -116,6 +129,12 @@ class Session {
   /// that is the point of preparing.
   size_t parse_count() const { return parse_count_; }
 
+  /// Bumped every time the program changes: Compile() committing
+  /// staged units, or AddFact(). Prepared queries compare it to
+  /// invalidate their cached demand (magic-set) rewrites and refresh
+  /// their demand-eligibility decision.
+  uint64_t program_epoch() const { return program_epoch_; }
+
  private:
   friend class PreparedQuery;
 
@@ -128,6 +147,7 @@ class Session {
   std::vector<Literal> queries_;
   EvalStats eval_stats_;
   size_t parse_count_ = 0;
+  uint64_t program_epoch_ = 0;
 };
 
 }  // namespace lps

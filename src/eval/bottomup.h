@@ -17,6 +17,7 @@
 #define LPS_EVAL_BOTTOMUP_H_
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "base/worker_pool.h"
@@ -57,6 +58,14 @@ struct EvalStats {
   size_t arena_bytes = 0;       // row arenas across all relations
   size_t index_bytes = 0;       // dedup tables + per-mask indexes
   uint64_t dedup_probes = 0;    // insert-side open-addressing probes
+  // ---- Demand (magic-set) evaluation, filled by the api layer when a
+  // prepared query executes goal-directed (transform/magic.h). All
+  // zero/empty after a plain full-fixpoint Evaluate(). ------------------
+  size_t magic_predicates = 0;  // magic predicates in the rewrite
+  size_t magic_tuples = 0;      // demand tuples derived into them
+  // Why the last demand-mode execution fell back to the full fixpoint;
+  // empty when the rewrite applied (or demand was never attempted).
+  std::string demand_fallback_reason;
 };
 
 class BottomUpEvaluator {

@@ -145,12 +145,31 @@ BodyPlan BuildBodyPlan(const TermStore& store, const Signature& sig,
   return plan;
 }
 
-BodyPlan BuildGoalPlan(const TermStore& store, const Signature& sig,
-                       const Literal& goal) {
+bool GoalDemandCandidate(const Signature& sig, const Program& program,
+                         const Literal& goal, std::string* reason) {
+  if (sig.IsBuiltin(goal.pred)) {
+    if (reason != nullptr) *reason = "builtin goal";
+    return false;
+  }
+  for (const Clause& c : program.clauses()) {
+    if (c.head.pred == goal.pred) return true;
+  }
+  if (reason != nullptr) {
+    *reason = "goal predicate has no rules (plain relation scan)";
+  }
+  return false;
+}
+
+GoalPlan BuildGoalPlan(const TermStore& store, const Signature& sig,
+                       const Program& program, const Literal& goal) {
+  GoalPlan plan;
   Clause synthetic;
   synthetic.head = goal;
   synthetic.body.push_back(goal);
-  return BuildBodyPlan(store, sig, synthetic, {0}, {}, {}, true);
+  plan.body = BuildBodyPlan(store, sig, synthetic, {0}, {}, {}, true);
+  plan.demand_candidate = GoalDemandCandidate(
+      sig, program, goal, &plan.demand_ineligible_reason);
+  return plan;
 }
 
 Result<RulePlan> BuildRulePlan(const TermStore& store, const Signature& sig,

@@ -51,14 +51,36 @@ BodyPlan BuildBodyPlan(const TermStore& store, const Signature& sig,
                        const std::vector<TermId>& must_bind,
                        bool bind_all_literal_vars);
 
-/// Plans a single query goal as a one-literal body. The result is one
-/// kScan / kBuiltin step, preceded by active-domain enumeration steps
-/// when a builtin's instantiation mode cannot be satisfied from the
-/// goal's ground arguments alone. Built once per PreparedQuery
-/// (api/query.h); parameters bound later are handled by the executor
-/// skipping enumeration steps whose variable is already bound.
-BodyPlan BuildGoalPlan(const TermStore& store, const Signature& sig,
-                       const Literal& goal);
+/// How a prepared goal executes (api/query.h). `body` is always built:
+/// one kScan / kBuiltin step, preceded by active-domain enumeration
+/// steps when a builtin's instantiation mode cannot be satisfied from
+/// the goal's ground arguments alone; it runs against the session's
+/// evaluated database. `demand_candidate` marks goals that may instead
+/// be answered by a goal-directed magic-set evaluation
+/// (transform/magic.h) when demand mode is on and the execution-time
+/// binding pattern has a bound position - the rewrite itself performs
+/// the deeper fragment check and can still fall back.
+struct GoalPlan {
+  BodyPlan body;
+  bool demand_candidate = false;
+  /// Set when !demand_candidate: why the goal can only scan.
+  std::string demand_ineligible_reason;
+};
+
+/// Plans a single query goal. Built once per PreparedQuery; parameters
+/// bound later are handled by the executor skipping enumeration steps
+/// whose variable is already bound. `program` decides the demand
+/// choice: only non-builtin predicates defined by at least one rule
+/// are demand candidates (everything else is a plain scan or builtin
+/// call, which demand evaluation cannot improve).
+GoalPlan BuildGoalPlan(const TermStore& store, const Signature& sig,
+                       const Program& program, const Literal& goal);
+
+/// Just the demand decision of BuildGoalPlan, without rebuilding the
+/// body plan - used when the program changes under a prepared query.
+/// Returns the candidacy; on false, `reason` (if non-null) gets why.
+bool GoalDemandCandidate(const Signature& sig, const Program& program,
+                         const Literal& goal, std::string* reason);
 
 /// Full rule plan for the bottom-up evaluator.
 struct RulePlan {

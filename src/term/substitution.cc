@@ -5,6 +5,14 @@
 namespace lps {
 
 TermId Substitution::Apply(TermStore* store, TermId term) const {
+  // A chain of distinct variable hops can be at most one per binding;
+  // the budget turns a (degenerate) cyclic chain into a no-op instead
+  // of an infinite loop.
+  return ApplyChased(store, term, map_.size());
+}
+
+TermId Substitution::ApplyChased(TermStore* store, TermId term,
+                                 size_t hops) const {
   const TermNode& n = store->node(term);
   if (n.ground || map_.empty()) return term;
   switch (n.kind) {
@@ -13,14 +21,19 @@ TermId Substitution::Apply(TermStore* store, TermId term) const {
       return term;
     case TermKind::kVariable: {
       TermId bound = Lookup(term);
-      return bound == kInvalidTerm ? term : bound;
+      if (bound == kInvalidTerm || bound == term) return term;
+      // Resolve the bound value in turn: variable chains (X -> Y -> c)
+      // and structured values with bound variables (X -> {Y}, Y -> c)
+      // both come from unifier composition in the top-down solver.
+      if (store->node(bound).ground || hops == 0) return bound;
+      return ApplyChased(store, bound, hops - 1);
     }
     case TermKind::kFunction: {
       auto args = store->args(term);
       std::vector<TermId> new_args(args.begin(), args.end());
       bool changed = false;
       for (TermId& a : new_args) {
-        TermId b = Apply(store, a);
+        TermId b = ApplyChased(store, a, hops);
         changed = changed || (b != a);
         a = b;
       }
@@ -32,7 +45,7 @@ TermId Substitution::Apply(TermStore* store, TermId term) const {
       std::vector<TermId> new_args(args.begin(), args.end());
       bool changed = false;
       for (TermId& a : new_args) {
-        TermId b = Apply(store, a);
+        TermId b = ApplyChased(store, a, hops);
         changed = changed || (b != a);
         a = b;
       }

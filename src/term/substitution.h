@@ -37,7 +37,11 @@ class Substitution {
   }
 
   /// Applies the substitution to `term`. Unbound variables are left in
-  /// place. Results are interned in `store`.
+  /// place; bound values are resolved all the way down, so chains like
+  /// X -> Y, Y -> c (which unifier composition in the top-down solver
+  /// produces) yield c, not Y. Degenerate cyclic chains stop after one
+  /// pass per binding instead of looping. Results are interned in
+  /// `store`.
   TermId Apply(TermStore* store, TermId term) const;
 
   /// this := sigma ∘ this, i.e. first this, then sigma: applies sigma to
@@ -46,6 +50,9 @@ class Substitution {
   void ComposeWith(TermStore* store, const Substitution& sigma);
 
  private:
+  /// Apply with a budget of variable-chain hops left (cycle guard).
+  TermId ApplyChased(TermStore* store, TermId term, size_t hops) const;
+
   std::unordered_map<TermId, TermId> map_;
 };
 

@@ -1,0 +1,341 @@
+#include "transform/magic.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "eval/plan.h"
+#include "eval/relation.h"  // ColumnBit / MaskHasColumn (32-col masks)
+
+namespace lps {
+
+namespace {
+
+// Adorned-predicate worklist key: (predicate, bound-position bitmask,
+// same 32-column convention as the storage engine's index masks).
+using AdornKey = std::pair<PredicateId, uint32_t>;
+
+// An argument is "flat" when Substitution::Apply resolves it without
+// interning: a ground term or a plain variable. The whole rewrite is
+// restricted to flat rules, which is also what makes the adornment's
+// boundness analysis exact (a variable is bound or it is not; there is
+// no partially-bound structure).
+bool FlatArgs(const TermStore& store, const std::vector<TermId>& args) {
+  for (TermId a : args) {
+    if (!store.is_ground(a) && !store.IsVariable(a)) return false;
+  }
+  return true;
+}
+
+MagicRewriteResult Fallback(std::string reason) {
+  MagicRewriteResult r;
+  r.applied = false;
+  r.fallback_reason = std::move(reason);
+  return r;
+}
+
+// Declares `name` if free, otherwise a fresh variant (a user program
+// may already define e.g. "path_bf").
+PredicateId DeclareAdorned(Signature* sig, const std::string& name,
+                           std::vector<Sort> sorts) {
+  if (sig->Lookup(name, sorts.size()) == kInvalidPredicate) {
+    auto id = sig->Declare(name, sorts);
+    if (id.ok()) return *id;
+  }
+  return sig->DeclareFresh(name, std::move(sorts));
+}
+
+}  // namespace
+
+std::string AdornmentString(const std::vector<bool>& bound) {
+  std::string s;
+  s.reserve(bound.size());
+  for (bool b : bound) s.push_back(b ? 'b' : 'f');
+  return s;
+}
+
+Result<MagicRewriteResult> MagicRewrite(const Program& in,
+                                        const Literal& goal,
+                                        const std::vector<bool>& bound) {
+  const TermStore& store = *in.store();
+  const Signature& sig = in.signature();
+  if (bound.size() != goal.args.size()) {
+    return Status::InvalidArgument(
+        "binding pattern arity does not match the goal");
+  }
+  if (sig.IsBuiltin(goal.pred)) {
+    return Fallback("builtin goal");
+  }
+  uint32_t goal_mask = 0;
+  for (size_t i = 0; i < bound.size(); ++i) {
+    if (!bound[i]) continue;
+    if (i >= 32) return Fallback("goal arity exceeds 32 bound positions");
+    goal_mask |= ColumnBit(i);
+  }
+  if (goal_mask == 0) {
+    return Fallback("all-free goal: demand restricts nothing");
+  }
+
+  // Rules and facts per predicate.
+  std::map<PredicateId, std::vector<size_t>> rules_of;
+  for (size_t i = 0; i < in.clauses().size(); ++i) {
+    rules_of[in.clauses()[i].head.pred].push_back(i);
+  }
+  std::set<PredicateId> has_facts;
+  for (const Literal& f : in.facts()) has_facts.insert(f.pred);
+
+  if (rules_of.find(goal.pred) == rules_of.end()) {
+    return Fallback("goal predicate has no rules (plain relation scan)");
+  }
+
+  // ---- Eligibility: every rule reachable from the goal (through
+  // positive and negated body literals alike) must be flat Horn. ------
+  std::set<PredicateId> slice;
+  std::deque<PredicateId> bfs{goal.pred};
+  slice.insert(goal.pred);
+  while (!bfs.empty()) {
+    PredicateId p = bfs.front();
+    bfs.pop_front();
+    auto it = rules_of.find(p);
+    if (it == rules_of.end()) continue;
+    for (size_t ci : it->second) {
+      const Clause& c = in.clauses()[ci];
+      const std::string where = " in a rule for " + sig.Name(p);
+      if (!c.quantifiers.empty()) {
+        return Fallback("restricted universal quantifier" + where);
+      }
+      if (c.grouping.has_value()) {
+        return Fallback("grouping head" + where);
+      }
+      if (!FlatArgs(store, c.head.args)) {
+        return Fallback("set/function-term head argument" + where);
+      }
+      if (c.head.args.size() > 32) {
+        return Fallback("head arity exceeds 32" + where);
+      }
+      for (const Literal& l : c.body) {
+        if (!FlatArgs(store, l.args)) {
+          return Fallback("set/function-term body argument" + where);
+        }
+        if (!sig.IsBuiltin(l.pred) && slice.insert(l.pred).second) {
+          bfs.push_back(l.pred);
+        }
+      }
+      // Rules that enumerate the active domain (head variables no body
+      // literal binds, blocked builtin modes) are domain-dependent:
+      // their answers change with the database the rule runs in, so a
+      // demand-restricted evaluation would diverge from the full
+      // fixpoint. Note a magic guard can *mask* the enumeration by
+      // binding the head variable, so the rewritten program must be
+      // checked against the original plan, not just its own.
+      auto plan = BuildRulePlan(store, sig, c);
+      if (!plan.ok()) {
+        return Fallback("rule does not plan" + where + ": " +
+                        plan.status().ToString());
+      }
+      for (const PlanStep& s : plan->free_plan.steps) {
+        if (s.kind == StepKind::kEnumAtom ||
+            s.kind == StepKind::kEnumSet ||
+            s.kind == StepKind::kEnumAny) {
+          return Fallback("active-domain enumeration" + where);
+        }
+      }
+    }
+  }
+
+  // ---- Adornment worklist ---------------------------------------------
+  MagicProgram mp{in, Literal{}, kInvalidPredicate, {}, {}, {}};
+  Program& out = mp.program;
+  out.mutable_clauses()->clear();
+  Signature& osig = out.signature();
+
+  std::map<AdornKey, PredicateId> adorned, magic_of;
+  std::set<PredicateId> full;  // predicates evaluated unrestricted
+  std::deque<AdornKey> work;
+
+  auto ensure_adorned = [&](PredicateId p, uint32_t mask) -> AdornKey {
+    AdornKey key{p, mask};
+    if (adorned.find(key) == adorned.end()) {
+      const PredicateInfo& info = sig.info(p);
+      std::vector<bool> b(info.arity());
+      for (size_t i = 0; i < b.size(); ++i) b[i] = MaskHasColumn(mask, i);
+      std::vector<Sort> bound_sorts;
+      for (size_t i = 0; i < info.arity(); ++i) {
+        if (MaskHasColumn(mask, i)) bound_sorts.push_back(info.arg_sorts[i]);
+      }
+      std::string base = sig.Name(p);
+      base += '_';
+      base += AdornmentString(b);
+      std::string magic_name = "m_";
+      magic_name += base;
+      adorned[key] = DeclareAdorned(&osig, base, info.arg_sorts);
+      magic_of[key] =
+          DeclareAdorned(&osig, magic_name, std::move(bound_sorts));
+      mp.adorned_preds.push_back(adorned[key]);
+      mp.magic_preds.push_back(magic_of[key]);
+      work.push_back(key);
+    }
+    return key;
+  };
+
+  ensure_adorned(goal.pred, goal_mask);
+
+  while (!work.empty()) {
+    auto [p, mask] = work.front();
+    work.pop_front();
+    PredicateId p_ad = adorned[{p, mask}];
+    PredicateId p_mg = magic_of[{p, mask}];
+
+    for (size_t ci : rules_of[p]) {
+      const Clause& c = in.clauses()[ci];
+
+      std::set<TermId> bound_vars;
+      Literal magic_lit{p_mg, {}, true};
+      for (size_t i = 0; i < c.head.args.size(); ++i) {
+        if (!MaskHasColumn(mask, i)) continue;
+        magic_lit.args.push_back(c.head.args[i]);
+        if (store.IsVariable(c.head.args[i])) {
+          bound_vars.insert(c.head.args[i]);
+        }
+      }
+
+      // Guard-rule bodies: the magic literal plus the positive prefix
+      // (adorned where restricted). Negated literals are omitted -
+      // dropping a filter from a guard only widens the demand set,
+      // which is sound (magic predicates over-approximate demand).
+      std::vector<Literal> prefix{magic_lit};
+      std::vector<Literal> new_body;
+
+      for (const Literal& l : c.body) {
+        Literal nl = l;
+        if (!sig.IsBuiltin(l.pred)) {
+          bool idb = rules_of.find(l.pred) != rules_of.end();
+          if (l.positive && idb) {
+            uint32_t child_mask = 0;
+            for (size_t i = 0; i < l.args.size(); ++i) {
+              TermId a = l.args[i];
+              if (store.is_ground(a) ||
+                  (store.IsVariable(a) && bound_vars.count(a))) {
+                child_mask |= ColumnBit(i);
+              }
+            }
+            if (child_mask != 0) {
+              AdornKey child = ensure_adorned(l.pred, child_mask);
+              nl.pred = adorned[child];
+              Clause guard;
+              guard.head = Literal{magic_of[child], {}, true};
+              for (size_t i = 0; i < l.args.size(); ++i) {
+                if (MaskHasColumn(child_mask, i)) {
+                  guard.head.args.push_back(l.args[i]);
+                }
+              }
+              guard.body = prefix;
+              // Left-linear recursion produces the tautology
+              // m_p(X) :- m_p(X); it derives nothing - skip it rather
+              // than re-join it on every semi-naive iteration.
+              if (guard.body.size() != 1 ||
+                  !(guard.head == guard.body[0])) {
+                out.AddClause(std::move(guard));
+              }
+            } else {
+              full.insert(l.pred);  // unrestricted: keep the original
+            }
+          } else if (!l.positive && idb) {
+            full.insert(l.pred);  // negation needs the complete relation
+          }
+        }
+        if (l.positive) {
+          for (TermId a : l.args) {
+            std::vector<TermId> vars;
+            store.CollectVariables(a, &vars);
+            bound_vars.insert(vars.begin(), vars.end());
+          }
+          prefix.push_back(nl);
+        }
+        new_body.push_back(std::move(nl));
+      }
+
+      Clause modified;
+      modified.head = Literal{p_ad, c.head.args, true};
+      modified.body.push_back(magic_lit);
+      modified.body.insert(modified.body.end(), new_body.begin(),
+                           new_body.end());
+      out.AddClause(std::move(modified));
+    }
+
+    // A predicate with facts as well as rules: import the facts into
+    // the adorned relation under the same magic guard.
+    if (has_facts.count(p)) {
+      const PredicateInfo& info = sig.info(p);
+      Clause import;
+      import.head = Literal{p_ad, {}, true};
+      Literal guard{p_mg, {}, true};
+      Literal scan{p, {}, true};
+      for (size_t i = 0; i < info.arity(); ++i) {
+        TermId v = out.store()->MakeFreshVariable("Mf", info.arg_sorts[i]);
+        import.head.args.push_back(v);
+        scan.args.push_back(v);
+        if (MaskHasColumn(mask, i)) guard.args.push_back(v);
+      }
+      import.body.push_back(std::move(guard));
+      import.body.push_back(std::move(scan));
+      out.AddClause(std::move(import));
+    }
+  }
+
+  // ---- Unrestricted predicates: copy their rule closure unchanged ----
+  std::deque<PredicateId> fq(full.begin(), full.end());
+  while (!fq.empty()) {
+    PredicateId p = fq.front();
+    fq.pop_front();
+    auto it = rules_of.find(p);
+    if (it == rules_of.end()) continue;
+    for (size_t ci : it->second) {
+      for (const Literal& l : in.clauses()[ci].body) {
+        if (!sig.IsBuiltin(l.pred) && full.insert(l.pred).second) {
+          fq.push_back(l.pred);
+        }
+      }
+    }
+  }
+  for (PredicateId p : full) {
+    auto it = rules_of.find(p);
+    if (it == rules_of.end()) continue;
+    for (size_t ci : it->second) out.AddClause(in.clauses()[ci]);
+  }
+
+  // ---- Post-check: no rewritten rule may need active-domain
+  // enumeration (domain-dependent semantics would break answer
+  // equality with the full fixpoint, and enumeration inside a guard
+  // could under-approximate demand). -----------------------------------
+  for (const Clause& c : out.clauses()) {
+    auto plan = BuildRulePlan(*out.store(), osig, c);
+    if (!plan.ok()) {
+      return Fallback("rewritten rule does not plan: " +
+                      plan.status().ToString());
+    }
+    for (const PlanStep& s : plan->free_plan.steps) {
+      if (s.kind == StepKind::kEnumAtom || s.kind == StepKind::kEnumSet ||
+          s.kind == StepKind::kEnumAny) {
+        return Fallback(
+            "active-domain enumeration in a rule for " +
+            osig.Name(c.head.pred));
+      }
+    }
+  }
+
+  mp.goal = goal;
+  mp.goal.pred = adorned[{goal.pred, goal_mask}];
+  mp.seed_pred = magic_of[{goal.pred, goal_mask}];
+  for (size_t i = 0; i < bound.size(); ++i) {
+    if (bound[i]) mp.seed_positions.push_back(i);
+  }
+
+  MagicRewriteResult result;
+  result.applied = true;
+  result.rewrite = std::make_unique<MagicProgram>(std::move(mp));
+  return result;
+}
+
+}  // namespace lps

@@ -147,6 +147,32 @@ TEST_F(PlanTest, MostBoundLiteralScansFirst) {
   EXPECT_EQ(plan->free_plan.steps[0].literal_index, 1u);
 }
 
+TEST_F(PlanTest, GoalPlanFlagsDemandCandidates) {
+  // p1 gains a rule; p2 stays extensional.
+  Clause c;
+  c.head = Literal{p1_, {x_}, true};
+  c.body.push_back(Literal{p2_, {x_, y_}, true});
+  program_.AddClause(c);
+
+  GoalPlan derived = BuildGoalPlan(store_, program_.signature(), program_,
+                                   Literal{p1_, {x_}, true});
+  EXPECT_TRUE(derived.demand_candidate);
+  ASSERT_EQ(derived.body.steps.size(), 1u);
+  EXPECT_EQ(derived.body.steps[0].kind, StepKind::kScan);
+
+  GoalPlan edb = BuildGoalPlan(store_, program_.signature(), program_,
+                               Literal{p2_, {x_, y_}, true});
+  EXPECT_FALSE(edb.demand_candidate);
+  EXPECT_NE(edb.demand_ineligible_reason.find("no rules"),
+            std::string::npos);
+
+  GoalPlan builtin = BuildGoalPlan(store_, program_.signature(), program_,
+                                   Literal{kPredLt, {x_, y_}, true});
+  EXPECT_FALSE(builtin.demand_candidate);
+  EXPECT_NE(builtin.demand_ineligible_reason.find("builtin"),
+            std::string::npos);
+}
+
 TEST_F(PlanTest, BlockedBuiltinsForceEnumeration) {
   // p1(X) :- lt(X, Y): neither bound; the plan must enumerate.
   Clause c;

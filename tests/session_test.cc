@@ -476,5 +476,79 @@ TEST(OptionsTest, ThreadsFlowThroughSession) {
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(a->size(), b->size());
 }
+
+TEST(EvalStatsTest, ZeroBeforeFirstEvaluate) {
+  // Defined behavior: eval_stats() before any evaluation returns a
+  // value-initialized EvalStats - all counters 0, no fallback reason -
+  // so callers never need to guard the first read.
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(kGraph));
+  ASSERT_OK(session.Compile());
+  const EvalStats& s = session.eval_stats();
+  EXPECT_EQ(s.strata, 0u);
+  EXPECT_EQ(s.iterations, 0u);
+  EXPECT_EQ(s.rule_runs, 0u);
+  EXPECT_EQ(s.tuples_derived, 0u);
+  EXPECT_EQ(s.threads_used, 0u);
+  EXPECT_EQ(s.arena_bytes, 0u);
+  EXPECT_EQ(s.magic_predicates, 0u);
+  EXPECT_EQ(s.magic_tuples, 0u);
+  EXPECT_TRUE(s.demand_fallback_reason.empty());
+}
+
+TEST(EvalStatsTest, DemandCountersSurfaceThroughSession) {
+  Options demand;
+  demand.demand = true;
+  Session session(LanguageMode::kLPS, demand);
+  ASSERT_OK(session.Load(kGraph));
+  auto q = session.Prepare("path(a, X)");
+  ASSERT_OK(q.status());
+  EXPECT_EQ(*q->Execute()->Count(), 3u);
+  EXPECT_EQ(session.eval_stats().magic_predicates, 1u);
+  EXPECT_EQ(session.eval_stats().magic_tuples, 1u);  // the seed
+  EXPECT_TRUE(session.eval_stats().demand_fallback_reason.empty());
+
+  // A full Evaluate() resets the demand-specific fields.
+  ASSERT_OK(session.Evaluate());
+  EXPECT_EQ(session.eval_stats().magic_predicates, 0u);
+  EXPECT_TRUE(session.eval_stats().demand_fallback_reason.empty());
+
+  // An ineligible goal records why it fell back - and clears the
+  // magic counters, which describe the same (failed) demand attempt.
+  EXPECT_EQ(*q->Execute()->Count(), 3u);  // repopulate magic counters
+  EXPECT_EQ(session.eval_stats().magic_predicates, 1u);
+  auto all_free = session.Prepare("path(X, Y)");
+  ASSERT_OK(all_free.status());
+  EXPECT_EQ(*all_free->Execute()->Count(), 6u);
+  EXPECT_NE(
+      session.eval_stats().demand_fallback_reason.find("all-free"),
+      std::string::npos);
+  EXPECT_EQ(session.eval_stats().magic_predicates, 0u);
+  EXPECT_EQ(session.eval_stats().magic_tuples, 0u);
+}
+
+TEST(DemandModeTest, OffByDefaultAndHarmlessWhenOn) {
+  // demand=false: Execute() keeps the scan-the-evaluated-database
+  // contract bit for bit.
+  Session off(LanguageMode::kLPS);
+  ASSERT_OK(off.Load(kGraph));
+  auto q_off = off.Prepare("path(a, X)");
+  ASSERT_OK(q_off.status());
+  EXPECT_EQ(*q_off->Execute()->Count(), 0u);  // not evaluated yet
+  ASSERT_OK(off.Evaluate());
+  EXPECT_EQ(*q_off->Execute()->Count(), 3u);
+
+  // demand=true answers the same point query without any Evaluate()
+  // and without touching the session database.
+  Options demand;
+  demand.demand = true;
+  Session on(LanguageMode::kLPS, demand);
+  ASSERT_OK(on.Load(kGraph));
+  auto q_on = on.Prepare("path(a, X)");
+  ASSERT_OK(q_on.status());
+  EXPECT_EQ(*q_on->Execute()->Count(), 3u);
+  EXPECT_EQ(on.database()->TupleCount(), 0u);
+  EXPECT_EQ(on.program_epoch(), 1u);
+}
 }  // namespace
 }  // namespace lps
