@@ -1,0 +1,123 @@
+// Set-heavy grouping workloads (Definition 14): follower-set
+// materialization (grouping over one EDB scan and over a self-join)
+// and the BOM subpart-set explosion (recursive closure feeding a
+// grouping head).
+//
+// Expected shape: single-lane wall time is dominated by the grouping
+// accumulator and set interning (the arena group-by and the dedicated
+// canonical-set intern table are what this bench gates); the *Threads
+// variants shard the grouping body scan across worker lanes and must
+// produce byte-identical databases at every lane count.
+#include <benchmark/benchmark.h>
+
+#include "workloads.h"
+
+namespace lps::bench {
+namespace {
+
+void RunGrouping(benchmark::State& state, const std::string& source,
+                 size_t threads) {
+  EvalStats stats;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto session = MustLoad(source, LanguageMode::kLDL);
+    state.ResumeTiming();
+    Options opts;
+    opts.threads = threads;
+    opts.max_tuples = 10000000;
+    opts.max_iterations = 1000000;
+    stats = MustEvaluate(session.get(), opts);
+  }
+  state.counters["tuples"] = static_cast<double>(stats.tuples_derived);
+  state.counters["groups_emitted"] =
+      static_cast<double>(stats.groups_emitted);
+  state.counters["group_elements"] =
+      static_cast<double>(stats.group_elements);
+  state.counters["set_interns"] = static_cast<double>(stats.set_interns);
+  state.counters["set_intern_hits"] =
+      static_cast<double>(stats.set_intern_hits);
+}
+
+// Follower-set materialization: one group per followed user, one
+// element per follow edge. Group count and element volume both scale
+// with the graph.
+void BM_FollowerSets(benchmark::State& state) {
+  int users = static_cast<int>(state.range(0));
+  RunGrouping(state, FollowerGraph(users, 8 * users, 42) +
+                         FollowerSetRules(),
+              1);
+}
+BENCHMARK(BM_FollowerSets)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+// The same materialization with the grouping body scan sharded across
+// worker lanes (merge order keeps the output byte-identical).
+void BM_FollowerSetsThreads(benchmark::State& state) {
+  RunGrouping(state, FollowerGraph(4096, 8 * 4096, 42) +
+                         FollowerSetRules(),
+              static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_FollowerSetsThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Follower-of-follower sets: the grouping body is a self-join, so the
+// per-group element streams are long and heavily duplicated - the
+// worst case for the accumulator and the best case for canonical-set
+// dedup.
+void BM_FofSets(benchmark::State& state) {
+  int users = static_cast<int>(state.range(0));
+  RunGrouping(state, FollowerGraph(users, 6 * users, 7) +
+                         FollowerOfFollowerRules(),
+              1);
+}
+BENCHMARK(BM_FofSets)->Arg(128)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_FofSetsThreads(benchmark::State& state) {
+  RunGrouping(state, FollowerGraph(512, 6 * 512, 7) +
+                         FollowerOfFollowerRules(),
+              static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_FofSetsThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// BOM subpart-set explosion: recursive closure over the assembly DAG
+// (sharded delta joins) feeding a grouping head that materializes one
+// part set per object.
+void BM_BomSubpartSets(benchmark::State& state) {
+  int objects = static_cast<int>(state.range(0));
+  RunGrouping(state, BomAssembly(objects, 6, 4 * objects, 9) +
+                         BomSubpartSetRules(),
+              1);
+}
+BENCHMARK(BM_BomSubpartSets)
+    ->Arg(64)
+    ->Arg(192)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BomSubpartSetsThreads(benchmark::State& state) {
+  RunGrouping(state, BomAssembly(192, 6, 4 * 192, 9) +
+                         BomSubpartSetRules(),
+              static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_BomSubpartSetsThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lps::bench
+
+BENCHMARK_MAIN();

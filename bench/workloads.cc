@@ -65,6 +65,59 @@ std::string BomCatalog(int objects, int cardinality, int universe,
   return out;
 }
 
+std::string FollowerGraph(int users, int edges, uint64_t seed) {
+  Rng rng(seed);
+  std::string out = "pred follows(atom, atom).\n";
+  for (int i = 0; i < edges; ++i) {
+    uint64_t f = rng.Below(users);
+    uint64_t u = rng.Below(users);
+    out += "follows(u" + std::to_string(f) + ", u" + std::to_string(u) +
+           ").\n";
+  }
+  return out;
+}
+
+std::string FollowerSetRules() {
+  return "followers(U, <F>) :- follows(F, U).\n";
+}
+
+std::string FollowerOfFollowerRules() {
+  return "fof(U, <F2>) :- follows(F1, U), follows(F2, F1).\n";
+}
+
+std::string BomAssembly(int objects, int parts_per, int universe,
+                        uint64_t seed) {
+  Rng rng(seed);
+  std::string out = "pred sub(atom, atom).\npred part_of(atom, atom).\n";
+  // A DAG: each object uses up to two strictly-later subassemblies, so
+  // `uses` closure explodes combinatorially but stays acyclic.
+  for (int o = 0; o + 1 < objects; ++o) {
+    int fanout = 1 + static_cast<int>(rng.Below(2));
+    for (int k = 0; k < fanout; ++k) {
+      int s = o + 1 + static_cast<int>(rng.Below(objects - o - 1));
+      out += "sub(obj" + std::to_string(o) + ", obj" + std::to_string(s) +
+             ").\n";
+    }
+  }
+  for (int o = 0; o < objects; ++o) {
+    for (int k = 0; k < parts_per; ++k) {
+      out += "part_of(part" + std::to_string(rng.Below(universe)) +
+             ", obj" + std::to_string(o) + ").\n";
+    }
+  }
+  return out;
+}
+
+std::string BomSubpartSetRules() {
+  return R"(
+    uses(O, S) :- sub(O, S).
+    uses(O, S2) :- uses(O, S), sub(S, S2).
+    haspart(O, P) :- part_of(P, O).
+    haspart(O, P) :- uses(O, S), part_of(P, S).
+    partset(O, <P>) :- haspart(O, P).
+  )";
+}
+
 TermId MakeIntRangeSet(TermStore* store, int n) {
   std::vector<TermId> elems;
   elems.reserve(n);
@@ -196,8 +249,31 @@ FuzzProgram RandomFlatHornProgram(uint64_t seed) {
     }
   }
 
+  // Optional grouping layer (Definition 14): one set-materializing
+  // rule over a binary IDB predicate. A third of the seeds carry it,
+  // so the differential harness continuously checks demand (magic)
+  // against the full fixpoint on set-valued answers.
+  std::vector<int> binary_preds;
+  for (int i = 0; i < npreds; ++i) {
+    if (arity[i] == 2) binary_preds.push_back(i);
+  }
+  if (!binary_preds.empty() && rng.Below(3) == 0) {
+    int j = binary_preds[rng.Below(binary_preds.size())];
+    out.source += "g0(K, <V>) :- p" + std::to_string(j) + "(K, V).\n";
+    out.has_grouping = true;
+  }
+
   // The goal targets a random IDB predicate with a random binding
-  // pattern (all-free patterns exercise the demand fallback).
+  // pattern (all-free patterns exercise the demand fallback). Half the
+  // grouping seeds aim at the grouping head instead - sometimes with a
+  // bound key, which is the demand-over-grouping fast path, sometimes
+  // all-free, which is its fallback.
+  if (out.has_grouping && rng.Below(2) == 0) {
+    out.goal = "g0(";
+    out.goal += rng.Below(2) == 0 ? constant() : "X0";
+    out.goal += ", X1)";
+    return out;
+  }
   const int gp = static_cast<int>(rng.Below(npreds));
   out.goal = "p" + std::to_string(gp) + "(";
   for (int a = 0; a < arity[gp]; ++a) {

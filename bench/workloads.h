@@ -49,6 +49,30 @@ std::string SetFamily(int count, int cardinality, int universe,
 std::string BomCatalog(int objects, int cardinality, int universe,
                        uint64_t seed);
 
+// ---- Set-heavy grouping workloads (bench_grouping.cc) ----------------
+
+/// follows(F, U) facts: `users` users, `edges` random follow edges.
+std::string FollowerGraph(int users, int edges, uint64_t seed);
+
+/// Follower-set materialization (Definition 14 grouping over one EDB
+/// scan): followers(U, <F>) :- follows(F, U).
+std::string FollowerSetRules();
+
+/// Follower-of-follower sets (grouping over a two-way self-join):
+/// fof(U, <F2>) :- follows(F1, U), follows(F2, F1).
+std::string FollowerOfFollowerRules();
+
+/// BOM assembly facts: sub(O, S) subassembly edges forming a DAG over
+/// `objects` objects plus part_of(P, O) direct-part edges drawn from
+/// `universe` parts (`parts_per` each).
+std::string BomAssembly(int objects, int parts_per, int universe,
+                        uint64_t seed);
+
+/// Subpart-set explosion: transitive closure over the assembly DAG,
+/// then group every reachable part into one set per object:
+///   uses/2 (recursive), haspart/2, partset(O, <P>).
+std::string BomSubpartSetRules();
+
 /// A ground set {0, 1, ..., n-1} of integer atoms in `store`.
 TermId MakeIntRangeSet(TermStore* store, int n);
 
@@ -66,15 +90,22 @@ struct FuzzProgram {
   /// solver is documented incomplete for cyclic recursion (it cuts
   /// cycles), so the harness compares it only on !recursive seeds.
   bool recursive = false;
+  /// True when the program carries a grouping rule (Definition 14).
+  /// The top-down solver rejects grouping clauses, so the harness
+  /// skips the top-down comparison on such seeds; magic vs full
+  /// fixpoint must still agree on the set-valued answers.
+  bool has_grouping = false;
 };
 
 /// Generates a random flat-Horn program: EDB facts over a small
 /// constant pool, IDB rules whose bodies mix EDB scans, IDB calls and
-/// occasional negated EDB literals (always safely ground), and a goal
-/// whose arguments are randomly bound. Even seeds are stratified DAGs
-/// (IDB bodies only reference strictly earlier predicates, so
-/// top-down evaluation is complete); odd seeds additionally allow
-/// recursive IDB calls. Deterministic in `seed`.
+/// occasional negated EDB literals (always safely ground), an optional
+/// grouping layer over a binary IDB predicate (the goal then sometimes
+/// demands a bound group key), and a goal whose arguments are randomly
+/// bound. Even seeds are stratified DAGs (IDB bodies only reference
+/// strictly earlier predicates, so top-down evaluation is complete);
+/// odd seeds additionally allow recursive IDB calls. Deterministic in
+/// `seed`.
 FuzzProgram RandomFlatHornProgram(uint64_t seed);
 
 /// Opens a session, loads and compiles `source`, and aborts on error

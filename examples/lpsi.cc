@@ -45,6 +45,11 @@ void PrintStats(const lps::EvalStats& s) {
   std::printf("  index_bytes  %zu\n", s.index_bytes);
   std::printf("  dedup_probes %llu\n",
               static_cast<unsigned long long>(s.dedup_probes));
+  std::printf("grouping/sets:\n");
+  std::printf("  groups_emitted  %zu\n", s.groups_emitted);
+  std::printf("  group_elements  %zu\n", s.group_elements);
+  std::printf("  set_interns     %zu\n", s.set_interns);
+  std::printf("  set_intern_hits %zu\n", s.set_intern_hits);
   std::printf("demand:\n");
   std::printf("  magic_predicates %zu\n", s.magic_predicates);
   std::printf("  magic_tuples     %zu\n", s.magic_tuples);

@@ -23,6 +23,11 @@ bool IsInStratumDeltaLiteral(const Literal& lit, const Signature& sig,
          strat.pred_stratum[lit.pred] == stratum;
 }
 
+// Smallest delta/scan chunk worth forking for: shared by the delta
+// sharding, the grouping body sharding, and the pool gate so the three
+// cannot drift.
+constexpr size_t kMinChunkTuples = 16;
+
 // RAII lease of a recycled buffer from a pool: cleared on acquire,
 // returned with its capacity intact on destruction, so steady-state
 // join loops allocate nothing per scan step. A pool (rather than a
@@ -58,6 +63,8 @@ BottomUpEvaluator::BottomUpEvaluator(const Program* program, Database* db,
 Status BottomUpEvaluator::Evaluate() {
   const TermStore& store = *program_->store();
   const Signature& sig = program_->signature();
+  const size_t set_interns_before = store.set_interns();
+  const size_t set_intern_hits_before = store.set_intern_hits();
 
   // Load EDB facts.
   for (const Literal& f : program_->facts()) {
@@ -86,14 +93,36 @@ Status BottomUpEvaluator::Evaluate() {
     AnalyzeRuleForParallel(&r);
   }
 
-  // Resolve the lane count; only semi-naive iterations shard work and
-  // only parallel-safe rules with an in-stratum (delta) literal ever
-  // generate tasks, so anything else never pays for a pool (and
-  // threads_used stays 0, truthfully).
+  // Resolve the lane count; only semi-naive evaluation shards work
+  // (naive mode is the fully sequential ablation path, grouping
+  // included - see EvalOptions::threads) and only parallel-safe rules
+  // with an in-stratum (delta) literal - or flat grouping rules, whose
+  // body scans shard without a delta - ever generate tasks, so
+  // anything else never pays for a pool (and threads_used stays 0,
+  // truthfully).
   size_t lanes = options_.threads == 0 ? WorkerPool::HardwareConcurrency()
                                        : options_.threads;
+  // A flat grouping rule only ever shards its first scan step's rows.
+  // EDB relations are fully loaded at this point, so one that cannot
+  // reach the chunking floor never will; IDB-fed scans grow during
+  // evaluation and must be assumed shardable.
+  auto grouping_rule_can_shard = [&](const CompiledRule& r) {
+    for (const PlanStep& s : r.plan.free_plan.steps) {
+      if (s.kind != StepKind::kScan) continue;
+      PredicateId p = r.clause->body[s.literal_index].pred;
+      for (const Clause& c : program_->clauses()) {
+        if (c.head.pred == p) return true;  // IDB: size unknown yet
+      }
+      return db_->RelationSize(p) >= 2 * kMinChunkTuples;
+    }
+    return false;  // no scan step: always runs inline
+  };
   bool any_sharded_rule = false;
   for (const CompiledRule& r : rules_) {
+    if (r.group_parallel_safe && grouping_rule_can_shard(r)) {
+      any_sharded_rule = true;
+      break;
+    }
     if (!r.parallel_safe) continue;
     size_t head_stratum = strat.pred_stratum[r.clause->head.pred];
     for (size_t li : r.plan.free_literals) {
@@ -122,6 +151,9 @@ Status BottomUpEvaluator::Evaluate() {
   stats_.arena_bytes = storage.arena_bytes;
   stats_.index_bytes = storage.index_bytes;
   stats_.dedup_probes = storage.dedup_probes;
+  stats_.set_interns = store.set_interns() - set_interns_before;
+  stats_.set_intern_hits =
+      store.set_intern_hits() - set_intern_hits_before;
   return Status::OK();
 }
 
@@ -238,47 +270,68 @@ Status BottomUpEvaluator::RunRule(CompiledRule* rule,
 
 Status BottomUpEvaluator::RunGroupingRule(CompiledRule* rule) {
   ++stats_.rule_runs;
-  groups_.clear();
   const Clause& clause = *rule->clause;
   const GroupSpec& g = *clause.grouping;
   TermStore* store = program_->store();
+  group_acc_.Reset(clause.head.args.size() - 1);
 
-  Substitution theta;
-  LPS_RETURN_IF_ERROR(ExecSteps(
-      *rule, rule->plan.free_plan.steps, 0, &theta, nullptr,
-      [&](Substitution* t) {
-        return HandleQuantifiers(*rule, t, [&](Substitution* t2) {
-          // Accumulate: key = head args except the grouped position.
-          Tuple key;
-          key.reserve(clause.head.args.size());
-          for (size_t i = 0; i < clause.head.args.size(); ++i) {
-            if (i == g.arg_index) continue;
-            TermId v = t2->Apply(store, clause.head.args[i]);
-            if (!store->is_ground(v)) {
+  // Flat grouping rules run on the flat executor - single-lane as one
+  // inline task (trail-based bindings, no per-row Substitution
+  // copies), multi-lane sharded across the pool with per-task (key,
+  // element) buffers merged in task order. Either way the accumulation
+  // stream equals the sequential ExecSteps stream (chunks partition
+  // the sharded scan's ascending row range in order), so the emitted
+  // database is byte-identical at every lane count.
+  bool flat_done = false;
+  if (rule->group_parallel_safe) {
+    LPS_ASSIGN_OR_RETURN(flat_done, RunGroupingParallel(rule));
+  }
+  if (!flat_done) {
+    Substitution theta;
+    Lease<Tuple> key_lease(&tuple_pool_);
+    Tuple& key = *key_lease;
+    LPS_RETURN_IF_ERROR(ExecSteps(
+        *rule, rule->plan.free_plan.steps, 0, &theta, nullptr,
+        [&](Substitution* t) {
+          return HandleQuantifiers(*rule, t, [&](Substitution* t2) {
+            // Accumulate: key = head args except the grouped position.
+            key.clear();
+            for (size_t i = 0; i < clause.head.args.size(); ++i) {
+              if (i == g.arg_index) continue;
+              TermId v = t2->Apply(store, clause.head.args[i]);
+              if (!store->is_ground(v)) {
+                return Status::SafetyError(
+                    "unbound head variable in grouping clause for " +
+                    program_->signature().Name(clause.head.pred));
+              }
+              key.push_back(v);
+            }
+            TermId gv = t2->Apply(store, g.grouped_var);
+            if (!store->is_ground(gv)) {
               return Status::SafetyError(
-                  "unbound head variable in grouping clause for " +
+                  "grouped variable not bound by the body of the grouping "
+                  "clause for " +
                   program_->signature().Name(clause.head.pred));
             }
-            key.push_back(v);
-          }
-          TermId gv = t2->Apply(store, g.grouped_var);
-          if (!store->is_ground(gv)) {
-            return Status::SafetyError(
-                "grouped variable not bound by the body of the grouping "
-                "clause for " +
-                program_->signature().Name(clause.head.pred));
-          }
-          groups_[std::move(key)].push_back(gv);
-          return Status::OK();
-        });
-      }));
+            group_acc_.AppendPair(key, gv);
+            return Status::OK();
+          });
+        }));
+  }
 
-  // Emit one tuple per group (Definition 14). Only witnessed groups are
-  // produced; see DESIGN.md on the empty-group convention.
-  for (auto& [key, elements] : groups_) {
-    TermId set = store->MakeSet(elements);
-    Tuple out;
-    out.reserve(clause.head.args.size());
+  // Emit one tuple per group in first-witness order (Definition 14).
+  // Only witnessed groups are produced; see DESIGN.md on the
+  // empty-group convention. SetBuilder canonicalizes (sorts + dedups)
+  // each group's element stream through the set intern table.
+  Lease<Tuple> out_lease(&tuple_pool_);
+  Tuple& out = *out_lease;
+  for (uint32_t gi = 0; gi < group_acc_.num_groups(); ++gi) {
+    set_builder_.Clear();
+    group_acc_.ForEachElement(
+        gi, [this](TermId e) { set_builder_.Add(e); });
+    TermId set = set_builder_.Build(store);
+    TupleRef key = group_acc_.key(gi);
+    out.clear();
     size_t k = 0;
     for (size_t i = 0; i < clause.head.args.size(); ++i) {
       if (i == g.arg_index) {
@@ -293,8 +346,98 @@ Status BottomUpEvaluator::RunGroupingRule(CompiledRule* rule) {
       }
     }
   }
-  groups_.clear();
+  stats_.groups_emitted += group_acc_.num_groups();
+  stats_.group_elements += group_acc_.total_elements();
   return Status::OK();
+}
+
+Result<bool> BottomUpEvaluator::RunGroupingParallel(CompiledRule* rule) {
+  const std::vector<PlanStep>& steps = rule->plan.free_plan.steps;
+  // Shard the first scan step's full row range; every other step runs
+  // inside each task exactly as it would sequentially.
+  size_t shard_step = steps.size();
+  for (size_t si = 0; si < steps.size(); ++si) {
+    if (steps[si].kind == StepKind::kScan) {
+      shard_step = si;
+      break;
+    }
+  }
+  if (shard_step == steps.size()) return false;
+  size_t shard_literal = steps[shard_step].literal_index;
+  const Relation* shard_rel =
+      db_->FindRelation(rule->clause->body[shard_literal].pred);
+  size_t len = shard_rel == nullptr ? 0 : shard_rel->size();
+  const size_t kw = group_acc_.key_width();
+  auto merge_into_acc = [&](FlatResult& res) {
+    stats_.snapshot_fallbacks += res.snapshot_fallbacks;
+    const TermId* kp = res.group_keys.data();
+    for (size_t i = 0; i < res.group_elems.size(); ++i, kp += kw) {
+      group_acc_.AppendPair(TupleRef(kp, kw), res.group_elems[i]);
+    }
+  };
+
+  // Build the indexes the executor will probe up front (grouping
+  // bodies read strictly lower strata, so the relations are final):
+  // LookupSnapshot never builds one, and without this the inner scans
+  // of a join body degrade to per-row prefix scans.
+  for (size_t si = 0; si < steps.size(); ++si) {
+    if (steps[si].kind != StepKind::kScan) continue;
+    if (rule->scan_masks[si] == 0) continue;
+    db_->relation(rule->clause->body[steps[si].literal_index].pred)
+        .EnsureIndex(rule->scan_masks[si]);
+  }
+
+  // Single lane (or a relation too small to amortize a fork/join):
+  // run the whole range as one inline task on the coordinator. Same
+  // executor, same order - just without the pool.
+  if (pool_ == nullptr || len < 2 * kMinChunkTuples) {
+    FlatResult res;
+    FlatCtx ctx;
+    ctx.result = &res;
+    ctx.group = &*rule->clause->grouping;
+    ctx.SizeToPlan(steps.size());
+    res.status =
+        ExecFlatSteps(*rule, 0, DeltaSpec{shard_literal, 0, len}, &ctx);
+    LPS_RETURN_IF_ERROR(res.status);
+    merge_into_acc(res);
+    return true;
+  }
+
+  size_t chunks = std::max<size_t>(len / kMinChunkTuples, 1);
+  chunks = std::min(chunks, pool_->size() * 4);
+  std::vector<DeltaSpec> specs;
+  specs.reserve(chunks);
+  size_t base = len / chunks, rem = len % chunks;
+  size_t at = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    size_t sz = base + (c < rem ? 1 : 0);
+    if (sz == 0) continue;
+    specs.push_back(DeltaSpec{shard_literal, at, at + sz});
+    at += sz;
+  }
+
+  std::vector<FlatResult> results(specs.size());
+  std::atomic<size_t> next{0};
+  const GroupSpec* gs = &*rule->clause->grouping;
+  pool_->Run([&](size_t) {
+    for (;;) {
+      size_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= specs.size()) break;
+      FlatCtx ctx;
+      ctx.result = &results[t];
+      ctx.group = gs;
+      ctx.SizeToPlan(steps.size());
+      results[t].status = ExecFlatSteps(*rule, 0, specs[t], &ctx);
+    }
+  });
+
+  // Merge in task order (not completion order): deterministic.
+  for (FlatResult& res : results) {
+    LPS_RETURN_IF_ERROR(res.status);
+    ++stats_.parallel_tasks;
+    merge_into_acc(res);
+  }
+  return true;
 }
 
 Status BottomUpEvaluator::RunEmptyBranch(CompiledRule* rule) {
@@ -331,10 +474,18 @@ void BottomUpEvaluator::AnalyzeRuleForParallel(CompiledRule* rule) const {
   const std::vector<PlanStep>& steps = rule->plan.free_plan.steps;
   rule->scan_masks.assign(steps.size(), 0);
   rule->parallel_safe = false;
-  if (!rule->horn_simple) return;
+  rule->group_parallel_safe = false;
+  // Two admissible shapes: plain flat Horn rules (delta-sharded) and
+  // flat grouping rules (body-scan-sharded). Quantified grouping stays
+  // on the coordinator - HandleQuantifiers can intern terms.
+  const bool grouping = rule->clause->grouping.has_value();
+  if (!rule->horn_simple && !grouping) return;
+  if (grouping && rule->plan.has_quantifiers) return;
 
-  // Flat arguments (ground terms or plain variables) are the ones
-  // Substitution::Apply resolves without interning anything new.
+  // Flat arguments (ground terms - set and function constants included,
+  // since they are interned once at parse time - or plain variables)
+  // are the ones Substitution::Apply resolves without interning
+  // anything new.
   auto flat = [&](const std::vector<TermId>& args) {
     for (TermId a : args) {
       if (!store.is_ground(a) && !store.IsVariable(a)) return false;
@@ -373,9 +524,22 @@ void BottomUpEvaluator::AnalyzeRuleForParallel(CompiledRule* rule) const {
       }
       default:
         // Builtin evaluation can intern new terms (arithmetic, set
-        // construction); enumeration steps never reach horn_simple.
+        // construction); enumeration steps can appear in grouping-rule
+        // plans and also stay sequential.
         return;
     }
+  }
+  if (grouping) {
+    // Key arguments must be flat; the grouped position holds the
+    // grouped variable itself and is emitted by the coordinator.
+    const GroupSpec& g = *rule->clause->grouping;
+    for (size_t i = 0; i < rule->clause->head.args.size(); ++i) {
+      if (i == g.arg_index) continue;
+      TermId a = rule->clause->head.args[i];
+      if (!store.is_ground(a) && !store.IsVariable(a)) return;
+    }
+    rule->group_parallel_safe = true;
+    return;
   }
   if (!flat(rule->clause->head.args)) return;
   rule->parallel_safe = true;
@@ -403,7 +567,6 @@ Status BottomUpEvaluator::RunParallelDeltaPhase(
   // is deterministic, and splitting a delta range into chunks that are
   // merged back in range order reproduces the unsplit derivation
   // sequence, so the merged database is identical for every lane count.
-  constexpr size_t kMinChunkTuples = 16;
   std::vector<ParallelTask> tasks;
   for (size_t ci : clause_indices) {
     const CompiledRule& r = rules_[ci];
@@ -440,10 +603,9 @@ Status BottomUpEvaluator::RunParallelDeltaPhase(
       if (t >= tasks.size()) break;
       FlatCtx ctx;
       ctx.result = &results[t];
-      ctx.scratch.resize(tasks[t].rule->plan.free_plan.steps.size());
-      Substitution theta;
+      ctx.SizeToPlan(tasks[t].rule->plan.free_plan.steps.size());
       results[t].status =
-          ExecFlatSteps(*tasks[t].rule, 0, &theta, tasks[t].spec, &ctx);
+          ExecFlatSteps(*tasks[t].rule, 0, tasks[t].spec, &ctx);
     }
   });
 
@@ -465,41 +627,65 @@ Status BottomUpEvaluator::RunParallelDeltaPhase(
 }
 
 // LOCK-STEP INVARIANT: this is the worker-side twin of ExecSteps /
-// EmitHead restricted to the flat fragment (kScan + kNegated-on-user,
-// ground-or-variable args). Any change to scan matching, negation, or
-// head-emission semantics there must be mirrored here, or threaded
-// runs diverge from sequential ones — ParallelEvalTest's equivalence
-// tests are the tripwire.
+// EmitHead (and, in grouping mode, of RunGroupingRule's sequential
+// accumulation) restricted to the flat fragment (kScan +
+// kNegated-on-user, ground-or-variable args). Any change to scan
+// matching, negation, head-emission or group-accumulation semantics
+// there must be mirrored here, or threaded runs diverge from
+// sequential ones — ParallelEvalTest / ParallelGroupingTest are the
+// tripwire.
 Status BottomUpEvaluator::ExecFlatSteps(const CompiledRule& rule,
-                                        size_t idx, Substitution* theta,
-                                        const DeltaSpec& delta,
+                                        size_t idx, const DeltaSpec& delta,
                                         FlatCtx* ctx) const {
   const std::vector<PlanStep>& steps = rule.plan.free_plan.steps;
   TermStore* store = program_->store();
 
   if (idx == steps.size()) {
-    // Emit into the task-local buffer. Apply is pure on flat args, and
-    // Contains reads the frozen snapshot; real dedup happens when the
-    // coordinator merges.
-    Tuple out;
-    out.reserve(rule.clause->head.args.size());
-    for (TermId a : rule.clause->head.args) {
-      TermId t = theta->Apply(store, a);
+    const Literal& head = rule.clause->head;
+    if (ctx->group != nullptr) {
+      // Grouping mode: buffer the (key, element) pair flat. Apply is
+      // pure on flat args (ground terms short-circuit; variables hit
+      // the trail), so nothing here touches shared state.
+      const GroupSpec& g = *ctx->group;
+      for (size_t i = 0; i < head.args.size(); ++i) {
+        if (i == g.arg_index) continue;
+        TermId v = ctx->binds.Apply(*store, head.args[i]);
+        if (!store->is_ground(v)) {
+          return Status::SafetyError(
+              "unbound head variable in grouping clause for " +
+              program_->signature().Name(head.pred));
+        }
+        ctx->result->group_keys.push_back(v);
+      }
+      TermId gv = ctx->binds.Apply(*store, g.grouped_var);
+      if (!store->is_ground(gv)) {
+        return Status::SafetyError(
+            "grouped variable not bound by the body of the grouping "
+            "clause for " +
+            program_->signature().Name(head.pred));
+      }
+      ctx->result->group_elems.push_back(gv);
+      return Status::OK();
+    }
+    // Emit into the task-local buffer. Contains reads the frozen
+    // snapshot; real dedup happens when the coordinator merges.
+    Tuple& out = ctx->out;
+    out.clear();
+    for (TermId a : head.args) {
+      TermId t = ctx->binds.Apply(*store, a);
       if (!store->is_ground(t)) {
         return Status::SafetyError(
             "head variable not bound by the body in clause for " +
-            program_->signature().Name(rule.clause->head.pred) +
-            " (unsafe clause)");
+            program_->signature().Name(head.pred) + " (unsafe clause)");
       }
       out.push_back(t);
     }
-    if (db_->Contains(rule.clause->head.pred, out)) return Status::OK();
+    if (db_->Contains(head.pred, out)) return Status::OK();
     if (!ctx->emitted.insert(out).second) return Status::OK();
     if (ctx->result->derived.size() >= options_.max_tuples) {
       return Status::ResourceExhausted("tuple limit exceeded");
     }
-    ctx->result->derived.emplace_back(rule.clause->head.pred,
-                                      std::move(out));
+    ctx->result->derived.emplace_back(head.pred, out);
     return Status::OK();
   }
 
@@ -508,18 +694,20 @@ Status BottomUpEvaluator::ExecFlatSteps(const CompiledRule& rule,
     // Stratification puts negated predicates in strictly lower strata,
     // so their relations are final; Contains is a pure read.
     const Literal& lit = rule.clause->body[step.literal_index];
-    Tuple args(lit.args.size(), kInvalidTerm);
+    Tuple& args = ctx->keys[idx];
+    args.clear();
     for (size_t i = 0; i < lit.args.size(); ++i) {
-      args[i] = theta->Apply(store, lit.args[i]);
-      if (!store->is_ground(args[i])) {
+      TermId v = ctx->binds.Apply(*store, lit.args[i]);
+      if (!store->is_ground(v)) {
         return Status::SafetyError(
             "literal " + program_->signature().Name(lit.pred) +
             " is not ground where a ground check is required (unsafe "
             "clause?)");
       }
+      args.push_back(v);
     }
     if (!db_->Contains(lit.pred, args)) {
-      return ExecFlatSteps(rule, idx + 1, theta, delta, ctx);
+      return ExecFlatSteps(rule, idx + 1, delta, ctx);
     }
     return Status::OK();
   }
@@ -529,10 +717,12 @@ Status BottomUpEvaluator::ExecFlatSteps(const CompiledRule& rule,
 
   const Literal& lit = rule.clause->body[step.literal_index];
   uint32_t mask = rule.scan_masks[idx];
-  std::vector<TermId> patterns(lit.args.size());
-  Tuple key(lit.args.size(), kInvalidTerm);
+  Tuple& patterns = ctx->patterns[idx];
+  patterns.resize(lit.args.size());
+  Tuple& key = ctx->keys[idx];
+  key.assign(lit.args.size(), kInvalidTerm);
   for (size_t i = 0; i < lit.args.size(); ++i) {
-    patterns[i] = theta->Apply(store, lit.args[i]);
+    patterns[i] = ctx->binds.Apply(*store, lit.args[i]);
     if (MaskHasColumn(mask, i)) key[i] = patterns[i];
   }
   const Relation* rel = db_->FindRelation(lit.pred);
@@ -540,26 +730,28 @@ Status BottomUpEvaluator::ExecFlatSteps(const CompiledRule& rule,
 
   auto try_row = [&](RowId ti) -> Status {
     TupleRef row = rel->row(ti);  // no copy: frozen for the phase
-    Substitution ext = *theta;
+    size_t mark = ctx->binds.Mark();
     bool ok = true;
     for (size_t i = 0; i < patterns.size() && ok; ++i) {
       if (MaskHasColumn(mask, i)) {
         ok = (row[i] == key[i]);
         continue;
       }
-      TermId p = ext.Apply(store, patterns[i]);
+      TermId p = ctx->binds.Apply(*store, patterns[i]);
       if (store->is_ground(p)) {
         ok = (p == row[i]);
       } else {  // a variable: flat rules have nothing else unbound
         if (!SortAllowsBinding(*store, p, row[i])) {
           ok = false;
         } else {
-          ext.Bind(p, row[i]);
+          ctx->binds.Bind(p, row[i]);
         }
       }
     }
-    if (!ok) return Status::OK();
-    return ExecFlatSteps(rule, idx + 1, &ext, delta, ctx);
+    Status st =
+        ok ? ExecFlatSteps(rule, idx + 1, delta, ctx) : Status::OK();
+    ctx->binds.Undo(mark);
+    return st;
   };
 
   if (delta.literal_index == step.literal_index) {

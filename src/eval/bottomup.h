@@ -23,6 +23,7 @@
 #include "base/worker_pool.h"
 #include "eval/builtins.h"
 #include "eval/database.h"
+#include "eval/groupby.h"
 #include "eval/plan.h"
 #include "lang/program.h"
 #include "transform/stratify.h"
@@ -33,10 +34,11 @@ struct EvalOptions {
   bool semi_naive = true;
   size_t max_iterations = 100000;
   size_t max_tuples = 2000000;
-  /// Worker lanes for the sharded delta joins: 1 = the exact
-  /// sequential path (bit-identical results and stats), 0 = hardware
-  /// concurrency, N > 1 = that many lanes. Only semi-naive iterations
-  /// parallelize; naive mode always runs sequentially.
+  /// Worker lanes for the sharded delta joins and grouping body
+  /// scans: 1 = the exact sequential path (bit-identical results and
+  /// stats), 0 = hardware concurrency, N > 1 = that many lanes. Only
+  /// semi-naive evaluation parallelizes; naive mode always runs
+  /// sequentially (grouping included).
   size_t threads = 1;
   BuiltinOptions builtins;
 };
@@ -58,6 +60,11 @@ struct EvalStats {
   size_t arena_bytes = 0;       // row arenas across all relations
   size_t index_bytes = 0;       // dedup tables + per-mask indexes
   uint64_t dedup_probes = 0;    // insert-side open-addressing probes
+  // ---- Grouping (Definition 14) and set interning ---------------------
+  size_t groups_emitted = 0;    // group tuples produced by grouping rules
+  size_t group_elements = 0;    // elements accumulated pre-dedup
+  size_t set_interns = 0;       // canonical-set intern requests this run
+  size_t set_intern_hits = 0;   // requests satisfied by the intern table
   // ---- Demand (magic-set) evaluation, filled by the api layer when a
   // prepared query executes goal-directed (transform/magic.h). All
   // zero/empty after a plain full-fixpoint Evaluate(). ------------------
@@ -86,11 +93,19 @@ class BottomUpEvaluator {
     RulePlan plan;
     bool horn_simple = false;   // eligible for delta joins
     // Flat fragment: only kScan / kNegated-on-user-predicate steps and
-    // every literal and head argument is ground or a plain variable.
-    // Executing such a rule provably never interns new terms or touches
-    // the database's mutable state, so its delta joins can be sharded
-    // across worker threads against a frozen snapshot.
+    // every literal and head argument is ground or a plain variable
+    // (ground set and function terms included - Substitution::Apply
+    // short-circuits on ground terms, so set-carrying EDB scans shard
+    // like any other flat rule). Executing such a rule provably never
+    // interns new terms or touches the database's mutable state, so its
+    // delta joins can be sharded across worker threads against a frozen
+    // snapshot.
     bool parallel_safe = false;
+    // Grouping rules in the same flat fragment (no quantifiers, flat
+    // key and body args): the grouping body scan can be sharded, with
+    // per-task (key, element) buffers merged in deterministic task
+    // order into the group accumulator.
+    bool group_parallel_safe = false;
     // For parallel_safe rules: the bound-column mask of each free_plan
     // step (meaningful for kScan steps only). Static because boundness
     // at any plan position is determined by the plan alone.
@@ -117,22 +132,63 @@ class BottomUpEvaluator {
   // per-depth scratch pool for snapshot probes, and local counters.
   struct FlatResult {
     std::vector<std::pair<PredicateId, Tuple>> derived;
+    // Grouping-mode buffers (FlatCtx::group != nullptr): pair i is the
+    // key span at [i * key_width, (i + 1) * key_width) in group_keys
+    // plus group_elems[i]. Flat so a task's accumulation allocates
+    // nothing per body row.
+    std::vector<TermId> group_keys;
+    std::vector<TermId> group_elems;
     Status status;
     size_t snapshot_fallbacks = 0;
   };
+  // Trail-based variable bindings for the flat fragment: flat rules
+  // bind only plain variables, so a small undo stack with linear
+  // lookup replaces the per-row Substitution (hash map) copies that
+  // used to dominate the flat executor's allocation profile.
+  struct FlatBindings {
+    std::vector<std::pair<TermId, TermId>> binds;
+    size_t Mark() const { return binds.size(); }
+    void Undo(size_t mark) { binds.resize(mark); }
+    void Bind(TermId var, TermId value) { binds.emplace_back(var, value); }
+    TermId Apply(const TermStore& store, TermId term) const {
+      if (store.node(term).kind != TermKind::kVariable) return term;
+      for (auto it = binds.rbegin(); it != binds.rend(); ++it) {
+        if (it->first == term) return it->second;
+      }
+      return term;
+    }
+  };
   struct FlatCtx {
     FlatResult* result;
-    std::vector<std::vector<uint32_t>> scratch;  // one per plan depth
+    // Non-null: grouping accumulation - the tail buffers (key, element)
+    // pairs instead of head tuples.
+    const GroupSpec* group = nullptr;
+    FlatBindings binds;
+    std::vector<std::vector<uint32_t>> scratch;  // probe hits, per depth
+    std::vector<Tuple> patterns;                 // scan patterns, per depth
+    std::vector<Tuple> keys;                     // probe keys, per depth
+    Tuple out;                                   // head-emission scratch
     // Task-local dedup (a task derives for exactly one head predicate):
     // keeps `derived` and the max_tuples check counting distinct
     // tuples, not join multiplicity.
     std::unordered_set<Tuple, TupleHash> emitted;
+
+    void SizeToPlan(size_t depth) {
+      scratch.resize(depth);
+      patterns.resize(depth);
+      keys.resize(depth);
+    }
   };
 
   Status EvaluateStratum(const std::vector<size_t>& clause_indices,
                          const Stratification& strat, size_t stratum);
   Status RunRule(CompiledRule* rule, const DeltaSpec* delta);
   Status RunGroupingRule(CompiledRule* rule);
+  /// Shards the grouping body scan of a flat grouping rule across the
+  /// pool and merges per-task (key, element) buffers into group_acc_ in
+  /// task order. Returns false (without touching group_acc_) when the
+  /// rule is better run sequentially (no scan step / tiny relation).
+  Result<bool> RunGroupingParallel(CompiledRule* rule);
   Status RunEmptyBranch(CompiledRule* rule);
 
   /// Decides parallel-safety and precomputes static scan masks.
@@ -147,12 +203,13 @@ class BottomUpEvaluator {
       const std::unordered_map<PredicateId, std::pair<size_t, size_t>>&
           delta);
 
-  /// Read-only flat-rule interpreter used by workers. Must not touch
-  /// the term store, database, stats_, or any other shared mutable
-  /// state (the database is frozen for the duration of the phase).
+  /// Read-only flat-rule interpreter used by workers (and, for flat
+  /// grouping rules, by the coordinator). Must not touch the term
+  /// store, database, stats_, or any other shared mutable state (the
+  /// database is frozen for the duration of the phase). Bindings live
+  /// in ctx->binds (trail-based, undone on backtrack).
   Status ExecFlatSteps(const CompiledRule& rule, size_t idx,
-                       Substitution* theta, const DeltaSpec& delta,
-                       FlatCtx* ctx) const;
+                       const DeltaSpec& delta, FlatCtx* ctx) const;
 
   // Executes plan steps [idx..) extending theta; calls cont on success.
   Status ExecSteps(const CompiledRule& rule,
@@ -184,11 +241,12 @@ class BottomUpEvaluator {
   std::unique_ptr<WorkerPool> pool_;
 
   std::vector<CompiledRule> rules_;
-  // Group accumulator for the grouping rule being run.
-  struct GroupKeyHash {
-    size_t operator()(const Tuple& t) const { return HashRange(t); }
-  };
-  std::unordered_map<Tuple, std::vector<TermId>, GroupKeyHash> groups_;
+  // Arena-backed accumulator for the grouping rule being run, plus the
+  // reusable set builder that canonicalizes each group's element
+  // stream at emission; both reach allocation-free steady state across
+  // rule runs (eval/groupby.h, term/term.h).
+  GroupAccumulator group_acc_;
+  SetBuilder set_builder_;
 };
 
 /// Convenience: load facts, stratify, evaluate; returns stats.

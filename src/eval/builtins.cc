@@ -193,10 +193,14 @@ Status EvalBuiltin(TermStore* store, PredicateId pred,
       if (total > options.max_candidates) {
         return Status::ResourceExhausted("union candidate limit");
       }
-      std::vector<uint8_t> choice(ev.size(), 0);
+      // Splitting a canonical (ascending) element array in index order
+      // yields canonical halves: intern them without re-sorting, and
+      // reuse the buffers across the 3^n candidates.
+      std::vector<TermId> xs, ys;
       for (size_t c = 0; c < total; ++c) {
         size_t rem = c;
-        std::vector<TermId> xs, ys;
+        xs.clear();
+        ys.clear();
         for (size_t i = 0; i < ev.size(); ++i) {
           switch (rem % 3) {
             case 0:
@@ -212,8 +216,8 @@ Status EvalBuiltin(TermStore* store, PredicateId pred,
           }
           rem /= 3;
         }
-        TermId x = store->MakeSet(std::move(xs));
-        TermId y = store->MakeSet(std::move(ys));
+        TermId x = store->InternCanonicalSet(xs);
+        TermId y = store->InternCanonicalSet(ys);
         LPS_RETURN_IF_ERROR(
             EmitCandidate(store, args, {x, y, z}, options, emit));
       }

@@ -181,7 +181,10 @@ Result<HerbrandUniverse> HerbrandUniverse::BuildFromAtoms(
     size_t k = std::min(options.max_set_cardinality, pool.size());
     // Combinations by recursive lambda.
     auto rec = [&](auto&& self, size_t start, size_t remaining) -> bool {
-      new_sets.push_back(store->MakeSet(current));
+      // Span overload: `current` is reused across the recursion, so
+      // the store canonicalizes a scratch copy instead of a fresh one.
+      new_sets.push_back(
+          store->MakeSet(std::span<const TermId>(current)));
       if (new_sets.size() + u.sets_.size() > options.max_sets) {
         return false;
       }

@@ -72,7 +72,7 @@ Result<NestedRelation> NestedRelation::Nest(TermStore* store,
     groups[std::move(key)].push_back(row[column]);
   }
   for (auto& [key, elements] : groups) {
-    TermId set = store->MakeSet(elements);
+    TermId set = store->MakeSet(std::span<const TermId>(elements));
     Tuple r;
     r.reserve(arity());
     size_t k = 0;

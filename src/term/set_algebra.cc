@@ -2,14 +2,26 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 
 namespace lps {
 
 namespace {
+
 std::span<const TermId> Elems(const TermStore& store, TermId set) {
   assert(store.kind(set) == TermKind::kSet);
   return store.args(set);
 }
+
+// Fallback scratch for the convenience overloads. Thread-local because
+// TermStore itself is single-threaded per engine but distinct engines
+// may run on distinct threads; the buffer's capacity is retained, so
+// steady-state calls through the 3-argument API allocate nothing.
+std::vector<TermId>* TlsScratch() {
+  static thread_local std::vector<TermId> scratch;
+  return &scratch;
+}
+
 }  // namespace
 
 bool SetContains(const TermStore& store, TermId set, TermId element) {
@@ -38,49 +50,79 @@ bool SetIsDisjoint(const TermStore& store, TermId a, TermId b) {
   return true;
 }
 
-TermId SetUnion(TermStore* store, TermId a, TermId b) {
+// The merges below produce strictly ascending sequences because their
+// inputs are canonical element arrays, so the results intern through
+// the canonical fast path without re-sorting.
+
+TermId SetUnion(TermStore* store, TermId a, TermId b,
+                std::vector<TermId>* scratch) {
   auto ea = Elems(*store, a);
   auto eb = Elems(*store, b);
-  std::vector<TermId> merged;
-  merged.reserve(ea.size() + eb.size());
+  scratch->clear();
   std::set_union(ea.begin(), ea.end(), eb.begin(), eb.end(),
-                 std::back_inserter(merged));
-  return store->MakeSet(std::move(merged));
+                 std::back_inserter(*scratch));
+  return store->InternCanonicalSet(*scratch);
+}
+
+TermId SetUnion(TermStore* store, TermId a, TermId b) {
+  return SetUnion(store, a, b, TlsScratch());
+}
+
+TermId SetIntersect(TermStore* store, TermId a, TermId b,
+                    std::vector<TermId>* scratch) {
+  auto ea = Elems(*store, a);
+  auto eb = Elems(*store, b);
+  scratch->clear();
+  std::set_intersection(ea.begin(), ea.end(), eb.begin(), eb.end(),
+                        std::back_inserter(*scratch));
+  return store->InternCanonicalSet(*scratch);
 }
 
 TermId SetIntersect(TermStore* store, TermId a, TermId b) {
+  return SetIntersect(store, a, b, TlsScratch());
+}
+
+TermId SetDifference(TermStore* store, TermId a, TermId b,
+                     std::vector<TermId>* scratch) {
   auto ea = Elems(*store, a);
   auto eb = Elems(*store, b);
-  std::vector<TermId> merged;
-  std::set_intersection(ea.begin(), ea.end(), eb.begin(), eb.end(),
-                        std::back_inserter(merged));
-  return store->MakeSet(std::move(merged));
+  scratch->clear();
+  std::set_difference(ea.begin(), ea.end(), eb.begin(), eb.end(),
+                      std::back_inserter(*scratch));
+  return store->InternCanonicalSet(*scratch);
 }
 
 TermId SetDifference(TermStore* store, TermId a, TermId b) {
-  auto ea = Elems(*store, a);
-  auto eb = Elems(*store, b);
-  std::vector<TermId> merged;
-  std::set_difference(ea.begin(), ea.end(), eb.begin(), eb.end(),
-                      std::back_inserter(merged));
-  return store->MakeSet(std::move(merged));
+  return SetDifference(store, a, b, TlsScratch());
+}
+
+TermId SetCons(TermStore* store, TermId element, TermId set,
+               std::vector<TermId>* scratch) {
+  auto e = Elems(*store, set);
+  scratch->assign(e.begin(), e.end());
+  auto at = std::lower_bound(scratch->begin(), scratch->end(), element);
+  if (at == scratch->end() || *at != element) {
+    scratch->insert(at, element);
+  }
+  return store->InternCanonicalSet(*scratch);
 }
 
 TermId SetCons(TermStore* store, TermId element, TermId set) {
+  return SetCons(store, element, set, TlsScratch());
+}
+
+TermId SetRemove(TermStore* store, TermId set, TermId element,
+                 std::vector<TermId>* scratch) {
   auto e = Elems(*store, set);
-  std::vector<TermId> elems(e.begin(), e.end());
-  elems.push_back(element);
-  return store->MakeSet(std::move(elems));
+  scratch->clear();
+  for (TermId x : e) {
+    if (x != element) scratch->push_back(x);
+  }
+  return store->InternCanonicalSet(*scratch);
 }
 
 TermId SetRemove(TermStore* store, TermId set, TermId element) {
-  auto e = Elems(*store, set);
-  std::vector<TermId> elems;
-  elems.reserve(e.size());
-  for (TermId x : e) {
-    if (x != element) elems.push_back(x);
-  }
-  return store->MakeSet(std::move(elems));
+  return SetRemove(store, set, element, TlsScratch());
 }
 
 size_t SetCardinality(const TermStore& store, TermId set) {
@@ -95,15 +137,19 @@ Status SetSubsets(TermStore* store, TermId set, size_t max_cardinality,
         "SetSubsets: cardinality " + std::to_string(e.size()) +
         " exceeds limit " + std::to_string(max_cardinality));
   }
+  // Copy: interning a subset can grow the element arena `e` views.
   std::vector<TermId> elems(e.begin(), e.end());
   size_t n = elems.size();
+  std::vector<TermId> subset;
   out->reserve(out->size() + (size_t{1} << n));
   for (size_t mask = 0; mask < (size_t{1} << n); ++mask) {
-    std::vector<TermId> subset;
+    subset.clear();
+    // Ascending index order over an ascending element array keeps each
+    // subset canonical by construction.
     for (size_t i = 0; i < n; ++i) {
       if (mask & (size_t{1} << i)) subset.push_back(elems[i]);
     }
-    out->push_back(store->MakeSet(std::move(subset)));
+    out->push_back(store->InternCanonicalSet(subset));
   }
   return Status::OK();
 }

@@ -5,6 +5,12 @@
 // and membership is a binary search. These implement the built-in
 // predicates of Definition 3 (membership, set equality) and the derived
 // predicates the paper uses (union, Definition 15's `union` and `scons`).
+//
+// The constructive operations come in two flavors: a scratch-buffer
+// overload that merges into a caller-owned buffer and interns the
+// (canonical-by-construction) result without re-sorting, and a
+// convenience overload that reuses an internal thread-local scratch -
+// both allocate nothing per call once the scratch has warmed up.
 #ifndef LPS_TERM_SET_ALGEBRA_H_
 #define LPS_TERM_SET_ALGEBRA_H_
 
@@ -26,18 +32,28 @@ bool SetIsDisjoint(const TermStore& store, TermId a, TermId b);
 
 /// a ∪ b (Definition 15.1).
 TermId SetUnion(TermStore* store, TermId a, TermId b);
+TermId SetUnion(TermStore* store, TermId a, TermId b,
+                std::vector<TermId>* scratch);
 
 /// a ∩ b.
 TermId SetIntersect(TermStore* store, TermId a, TermId b);
+TermId SetIntersect(TermStore* store, TermId a, TermId b,
+                    std::vector<TermId>* scratch);
 
 /// a \ b.
 TermId SetDifference(TermStore* store, TermId a, TermId b);
+TermId SetDifference(TermStore* store, TermId a, TermId b,
+                     std::vector<TermId>* scratch);
 
 /// {element} ∪ set (Definition 15.2, the `scons` constructor).
 TermId SetCons(TermStore* store, TermId element, TermId set);
+TermId SetCons(TermStore* store, TermId element, TermId set,
+               std::vector<TermId>* scratch);
 
 /// set \ {element}.
 TermId SetRemove(TermStore* store, TermId set, TermId element);
+TermId SetRemove(TermStore* store, TermId set, TermId element,
+                 std::vector<TermId>* scratch);
 
 /// Number of elements.
 size_t SetCardinality(const TermStore& store, TermId set);

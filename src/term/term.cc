@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 
 #include "base/hash.h"
 
@@ -34,6 +35,8 @@ TermStore::TermStore() {
 }
 
 TermId TermStore::Intern(Key key) {
+  assert(key.kind != TermKind::kSet &&
+         "kSet terms intern through InternCanonicalSet");
   auto it = index_.find(key);
   if (it != index_.end()) return it->second;
 
@@ -66,17 +69,8 @@ TermId TermStore::Intern(Key key) {
       }
       break;
     }
-    case TermKind::kSet: {
-      node.sort = Sort::kSet;
-      node.ground = true;
-      uint16_t max_child = 0;
-      for (TermId a : key.args) {
-        node.ground = node.ground && nodes_[a].ground;
-        max_child = std::max(max_child, nodes_[a].depth);
-      }
-      node.depth = static_cast<uint16_t>(max_child + 1);
-      break;
-    }
+    case TermKind::kSet:
+      break;  // unreachable: guarded by the assert above
   }
 
   TermId id = static_cast<TermId>(nodes_.size());
@@ -123,8 +117,107 @@ TermId TermStore::MakeSet(std::vector<TermId> elements) {
   std::sort(elements.begin(), elements.end());
   elements.erase(std::unique(elements.begin(), elements.end()),
                  elements.end());
-  return Intern(
-      {TermKind::kSet, Sort::kSet, kInvalidSymbol, 0, std::move(elements)});
+  return InternCanonicalSet(elements);
+}
+
+TermId TermStore::MakeSet(std::span<const TermId> elements) {
+  set_scratch_.assign(elements.begin(), elements.end());
+  std::sort(set_scratch_.begin(), set_scratch_.end());
+  set_scratch_.erase(
+      std::unique(set_scratch_.begin(), set_scratch_.end()),
+      set_scratch_.end());
+  return InternCanonicalSet(set_scratch_);
+}
+
+size_t TermStore::HashElementSpan(std::span<const TermId> elems) {
+  return HashRange(elems);
+}
+
+TermId TermStore::InternCanonicalSet(std::span<const TermId> elements) {
+  assert(std::is_sorted(elements.begin(), elements.end()) &&
+         std::adjacent_find(elements.begin(), elements.end()) ==
+             elements.end() &&
+         "InternCanonicalSet requires strictly ascending elements");
+  ++set_interns_;
+  if (set_slots_.empty()) GrowSetTable();
+  size_t mask = set_slots_.size() - 1;
+  size_t slot = Mix64(HashElementSpan(elements)) & mask;
+  for (;;) {
+    uint32_t v = set_slots_[slot];
+    if (v == 0) break;
+    const TermNode& n = nodes_[v - 1];
+    size_t sz = n.args_end - n.args_begin;
+    if (sz == elements.size() &&
+        std::equal(elements.begin(), elements.end(),
+                   args_.begin() + n.args_begin)) {
+      ++set_intern_hits_;
+      return v - 1;
+    }
+    slot = (slot + 1) & mask;
+  }
+
+  TermNode node;
+  node.kind = TermKind::kSet;
+  node.sort = Sort::kSet;
+  node.symbol = kInvalidSymbol;
+  node.int_value = 0;
+  node.ground = true;
+  uint16_t max_child = 0;
+  for (TermId a : elements) {
+    node.ground = node.ground && nodes_[a].ground;
+    max_child = std::max(max_child, nodes_[a].depth);
+  }
+  node.depth = static_cast<uint16_t>(max_child + 1);
+
+  // `elements` may view this store's own arena (e.g. an args() span of
+  // an existing set): append element-wise through indices then, since
+  // a self-range insert is UB even with capacity reserved. std::less
+  // gives the total pointer order the aliasing test needs.
+  node.args_begin = static_cast<uint32_t>(args_.size());
+  const TermId* data = elements.data();
+  std::less<const TermId*> before;
+  const bool aliases = !before(data, args_.data()) &&
+                       before(data, args_.data() + args_.size());
+  if (aliases) {
+    size_t offset = static_cast<size_t>(data - args_.data());
+    args_.reserve(args_.size() + elements.size());
+    for (size_t i = 0; i < elements.size(); ++i) {
+      args_.push_back(args_[offset + i]);
+    }
+  } else {
+    args_.insert(args_.end(), data, data + elements.size());
+  }
+  node.args_end = static_cast<uint32_t>(args_.size());
+
+  TermId id = static_cast<TermId>(nodes_.size());
+  nodes_.push_back(node);
+  set_slots_[slot] = id + 1;
+  if (++set_count_ * 4 >= set_slots_.size() * 3) GrowSetTable();
+  return id;
+}
+
+void TermStore::GrowSetTable() {
+  size_t cap = set_slots_.empty() ? 64 : set_slots_.size() * 2;
+  std::vector<uint32_t> old = std::move(set_slots_);
+  set_slots_.assign(cap, 0);
+  size_t mask = cap - 1;
+  for (uint32_t v : old) {
+    if (v == 0) continue;
+    const TermNode& n = nodes_[v - 1];
+    std::span<const TermId> elems(args_.data() + n.args_begin,
+                                  n.args_end - n.args_begin);
+    size_t slot = Mix64(HashElementSpan(elems)) & mask;
+    while (set_slots_[slot] != 0) slot = (slot + 1) & mask;
+    set_slots_[slot] = v;
+  }
+}
+
+TermId SetBuilder::Build(TermStore* store) {
+  std::sort(elems_.begin(), elems_.end());
+  elems_.erase(std::unique(elems_.begin(), elems_.end()), elems_.end());
+  TermId id = store->InternCanonicalSet(elems_);
+  elems_.clear();
+  return id;
 }
 
 void TermStore::CollectVariables(TermId id,

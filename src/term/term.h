@@ -14,6 +14,7 @@
 #define LPS_TERM_TERM_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -78,7 +79,31 @@ class TermStore {
   /// sets; still semantically sound for non-ground ones since
   /// {x,x} = {x} in every LPS model).
   TermId MakeSet(std::vector<TermId> elements);
+  /// Same, from a borrowed span: elements are copied into an internal
+  /// scratch buffer before canonicalization, so steady-state calls
+  /// allocate nothing and `elements` may alias this store's own
+  /// element arena (e.g. `args(some_set)`).
+  TermId MakeSet(std::span<const TermId> elements);
+  TermId MakeSet(std::initializer_list<TermId> elements) {
+    return MakeSet(std::span<const TermId>(elements.begin(),
+                                           elements.size()));
+  }
+  /// Interns an element sequence that is already canonical (strictly
+  /// ascending TermIds). This is the zero-copy fast path for callers
+  /// that produce canonical sequences by construction (sorted merges
+  /// in set_algebra.cc, SetBuilder); a non-canonical input asserts in
+  /// debug builds and mis-interns in release, so when in doubt call
+  /// MakeSet. The span may alias the store's element arena.
+  TermId InternCanonicalSet(std::span<const TermId> elements);
   TermId EmptySet() const { return empty_set_; }
+
+  // ---- Set-intern instrumentation (EvalStats / .stats) ---------------
+
+  /// Canonical-set intern requests so far (every MakeSet /
+  /// InternCanonicalSet call lands here exactly once).
+  size_t set_interns() const { return set_interns_; }
+  /// Requests satisfied by the intern table without creating a node.
+  size_t set_intern_hits() const { return set_intern_hits_; }
 
   // ---- Accessors -----------------------------------------------------
 
@@ -127,11 +152,47 @@ class TermStore {
 
   TermId Intern(Key key);
 
+  /// Canonical-set intern table: open-addressed, Mix64-hashed slots of
+  /// TermId + 1 (0 = empty), hashing and comparing element spans
+  /// straight against args_ - kSet terms never touch the generic
+  /// Key-based index_, so a set intern costs zero heap allocations on
+  /// a hit and only the arena append on a miss.
+  void GrowSetTable();
+  static size_t HashElementSpan(std::span<const TermId> elems);
+
   SymbolTable symbols_;
   std::vector<TermNode> nodes_;
   std::vector<TermId> args_;
   std::unordered_map<Key, TermId, KeyHash> index_;
+  std::vector<uint32_t> set_slots_;  // TermId + 1; 0 = empty
+  size_t set_count_ = 0;
+  std::vector<TermId> set_scratch_;  // MakeSet(span) canonicalization
+  size_t set_interns_ = 0;
+  size_t set_intern_hits_ = 0;
   TermId empty_set_ = kInvalidTerm;
+};
+
+/// Reusable accumulator for building canonical sets without per-call
+/// allocations: collect elements in any order (duplicates fine), then
+/// Build() sorts, dedups, interns and clears - the internal buffer's
+/// capacity is retained, so steady-state Build() cycles allocate
+/// nothing. One builder per (single-threaded) construction site; the
+/// grouping executor keeps one per evaluator.
+class SetBuilder {
+ public:
+  void Clear() { elems_.clear(); }
+  void Add(TermId t) { elems_.push_back(t); }
+  void AddAll(std::span<const TermId> ts) {
+    elems_.insert(elems_.end(), ts.begin(), ts.end());
+  }
+  size_t size() const { return elems_.size(); }
+
+  /// Canonicalizes and interns the collected elements; the builder is
+  /// cleared and immediately reusable.
+  TermId Build(TermStore* store);
+
+ private:
+  std::vector<TermId> elems_;
 };
 
 }  // namespace lps

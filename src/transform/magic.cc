@@ -7,6 +7,7 @@
 
 #include "eval/plan.h"
 #include "eval/relation.h"  // ColumnBit / MaskHasColumn (32-col masks)
+#include "transform/stratify.h"
 
 namespace lps {
 
@@ -89,6 +90,28 @@ Result<MagicRewriteResult> MagicRewrite(const Program& in,
     return Fallback("goal predicate has no rules (plain relation scan)");
   }
 
+  // Grouped head positions per predicate (Definition 14): a group's
+  // set content is determined by *all* body solutions sharing the key,
+  // so demand can only ever restrict the key (non-grouped) positions.
+  // A binding on the grouped position stays a plain filter on the
+  // answer scan; it is dropped from every adornment mask here.
+  std::map<PredicateId, uint32_t> grouped_positions;
+  for (const Clause& c : in.clauses()) {
+    if (!c.grouping.has_value()) continue;
+    grouped_positions[c.head.pred] |= ColumnBit(c.grouping->arg_index);
+  }
+  auto demandable_mask = [&](PredicateId p, uint32_t mask) -> uint32_t {
+    auto it = grouped_positions.find(p);
+    return it == grouped_positions.end() ? mask : mask & ~it->second;
+  };
+
+  uint32_t goal_demand = demandable_mask(goal.pred, goal_mask);
+  if (goal_demand == 0) {
+    return Fallback(
+        "goal binds only grouped set positions: demand restricts "
+        "nothing");
+  }
+
   // ---- Eligibility: every rule reachable from the goal (through
   // positive and negated body literals alike) must be flat Horn. ------
   std::set<PredicateId> slice;
@@ -105,18 +128,23 @@ Result<MagicRewriteResult> MagicRewrite(const Program& in,
       if (!c.quantifiers.empty()) {
         return Fallback("restricted universal quantifier" + where);
       }
-      if (c.grouping.has_value()) {
-        return Fallback("grouping head" + where);
-      }
+      // Grouping rules are admitted when flat: the adorned copy keeps
+      // its GroupSpec and evaluates as a guarded grouping rule, which
+      // is complete for every demanded key (the guard restricts whole
+      // groups, never elements within one). Ground set and function
+      // constants are flat - only args still containing variables
+      // under a set/function constructor fall outside the fragment.
       if (!FlatArgs(store, c.head.args)) {
-        return Fallback("set/function-term head argument" + where);
+        return Fallback("non-ground set/function-term head argument" +
+                        where);
       }
       if (c.head.args.size() > 32) {
         return Fallback("head arity exceeds 32" + where);
       }
       for (const Literal& l : c.body) {
         if (!FlatArgs(store, l.args)) {
-          return Fallback("set/function-term body argument" + where);
+          return Fallback("non-ground set/function-term body argument" +
+                          where);
         }
         if (!sig.IsBuiltin(l.pred) && slice.insert(l.pred).second) {
           bfs.push_back(l.pred);
@@ -179,7 +207,7 @@ Result<MagicRewriteResult> MagicRewrite(const Program& in,
     return key;
   };
 
-  ensure_adorned(goal.pred, goal_mask);
+  ensure_adorned(goal.pred, goal_demand);
 
   while (!work.empty()) {
     auto [p, mask] = work.front();
@@ -220,6 +248,7 @@ Result<MagicRewriteResult> MagicRewrite(const Program& in,
                 child_mask |= ColumnBit(i);
               }
             }
+            child_mask = demandable_mask(l.pred, child_mask);
             if (child_mask != 0) {
               AdornKey child = ensure_adorned(l.pred, child_mask);
               nl.pred = adorned[child];
@@ -258,6 +287,10 @@ Result<MagicRewriteResult> MagicRewrite(const Program& in,
 
       Clause modified;
       modified.head = Literal{p_ad, c.head.args, true};
+      // A grouping head keeps its GroupSpec: positions are unchanged
+      // and the magic guard only joins into the body, so the adorned
+      // rule groups exactly the demanded keys' witnesses.
+      modified.grouping = c.grouping;
       modified.body.push_back(magic_lit);
       modified.body.insert(modified.body.end(), new_body.begin(),
                            new_body.end());
@@ -305,10 +338,11 @@ Result<MagicRewriteResult> MagicRewrite(const Program& in,
     for (size_t ci : it->second) out.AddClause(in.clauses()[ci]);
   }
 
-  // ---- Post-check: no rewritten rule may need active-domain
-  // enumeration (domain-dependent semantics would break answer
-  // equality with the full fixpoint, and enumeration inside a guard
-  // could under-approximate demand). -----------------------------------
+  // ---- Post-checks on the rewritten program ---------------------------
+  // (a) No rewritten rule may need active-domain enumeration
+  // (domain-dependent semantics would break answer equality with the
+  // full fixpoint, and enumeration inside a guard could
+  // under-approximate demand).
   for (const Clause& c : out.clauses()) {
     auto plan = BuildRulePlan(*out.store(), osig, c);
     if (!plan.ok()) {
@@ -324,12 +358,27 @@ Result<MagicRewriteResult> MagicRewrite(const Program& in,
       }
     }
   }
+  // (b) The rewrite must stratify. Magic guards add dependency edges
+  // (m_p <- caller prefixes) that the original program does not have;
+  // with grouping heads in the slice - whose body predicates must sit
+  // in strictly lower strata - those edges can close a cycle through a
+  // strict boundary even though the original program stratifies.
+  // Falling back is sound; evaluating an unstratifiable rewrite would
+  // just fail later with a worse error.
+  if (auto strat = Stratify(out); !strat.ok()) {
+    return Fallback("rewrite does not stratify: " +
+                    strat.status().ToString());
+  }
 
   mp.goal = goal;
-  mp.goal.pred = adorned[{goal.pred, goal_mask}];
-  mp.seed_pred = magic_of[{goal.pred, goal_mask}];
+  mp.goal.pred = adorned[{goal.pred, goal_demand}];
+  mp.seed_pred = magic_of[{goal.pred, goal_demand}];
+  // Only positions the magic predicate actually carries seed it: a
+  // bound grouped position is filtered by the answer scan instead.
   for (size_t i = 0; i < bound.size(); ++i) {
-    if (bound[i]) mp.seed_positions.push_back(i);
+    if (bound[i] && MaskHasColumn(goal_demand, i)) {
+      mp.seed_positions.push_back(i);
+    }
   }
 
   MagicRewriteResult result;

@@ -16,17 +16,28 @@
 //  * a seed: the caller inserts the goal's ground bound arguments into
 //    the magic predicate of the goal's own adornment before evaluating.
 //
-// The fragment covered is the flat Horn fragment with stratified
-// negation: rules without quantifiers or grouping whose user-literal
-// and head arguments are all ground terms or plain variables. Negated
-// and all-free body predicates are not demand-restricted; their rules
-// (and everything they reach) are copied unchanged so they evaluate to
-// exactly their full relations, which keeps the rewritten program
-// stratified whenever the input is and makes the rewritten goal answer
-// set identical to the full-fixpoint answer set. Anything outside the
-// fragment (quantifiers, grouping, set/function-term arguments,
-// active-domain enumeration) makes the rewrite report a fallback with
-// a machine-readable reason instead of producing a program.
+// The fragment covered is the flat fragment with stratified negation
+// and grouping: rules without quantifiers whose user-literal and head
+// arguments are all ground terms or plain variables. Ground set and
+// function constants count as ground - a set constant in a goal or a
+// rule is a bound position like any other, since hash-consing makes it
+// a single interned id. Grouping heads (Definition 14) are admitted
+// with their key (non-grouped) positions demandable: the adorned copy
+// keeps its GroupSpec, so each demanded key's group is computed from
+// the complete witness set and equals the full-fixpoint group; the
+// grouped set position itself is never demanded (a group's content
+// depends on every body solution for the key) - a binding there stays
+// a filter on the answer scan, and a goal binding *only* grouped
+// positions falls back. Negated and all-free body predicates are not
+// demand-restricted; their rules (and everything they reach) are
+// copied unchanged so they evaluate to exactly their full relations.
+// A rewrite that fails to stratify (magic guard edges can close a
+// cycle through a grouping/negation boundary) falls back too, so the
+// rewritten goal answer set is always identical to the full-fixpoint
+// answer set. Anything outside the fragment (quantifiers, non-ground
+// set/function-term arguments, active-domain enumeration) makes the
+// rewrite report a fallback with a machine-readable reason instead of
+// producing a program.
 #ifndef LPS_TRANSFORM_MAGIC_H_
 #define LPS_TRANSFORM_MAGIC_H_
 

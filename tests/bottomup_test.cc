@@ -370,10 +370,41 @@ TEST(ParallelEvalTest, StratifiedNegationInShardedRule) {
   EXPECT_FALSE(*p4->HoldsText("reach(n8, n15)"));
 }
 
+TEST(ParallelEvalTest, GroundSetArgumentsShardAcrossThreads) {
+  // Ground set constants are interned ids, so rules carrying them stay
+  // in the flat fragment: the set-carrying EDB scan and the recursive
+  // propagation of a set-valued column both shard across lanes.
+  std::string src = "pred sedge(atom, atom, set).\n";
+  for (int i = 0; i < 48; ++i) {
+    src += "sedge(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+           ", {a, b}).\n";
+  }
+  for (int i = 0; i + 3 < 48; i += 3) {
+    src += "sedge(n" + std::to_string(i) + ", n" + std::to_string(i + 3) +
+           ", {a, b}).\n";
+  }
+  src += "spath(X, Y, S) :- sedge(X, Y, S).\n";
+  src += "spath(X, Z, S) :- spath(X, Y, S), sedge(Y, Z, S2).\n";
+  // Ground set constants inside the probe keys of a delta join.
+  src += "flagged(Y) :- spath(X, Y, {a, b}), sedge(X, Y, {a, b}).\n";
+  auto seq = RunProgram(src);
+  EvalOptions par;
+  par.threads = 4;
+  auto p4 = RunProgram(src, LanguageMode::kLDL, par);
+  EXPECT_EQ(p4->eval_stats().threads_used, 4u);
+  EXPECT_GT(p4->eval_stats().parallel_tuples, 0u)
+      << "set-carrying rules must not fall back to the coordinator";
+  ExpectSameRelation(seq.get(), p4.get(), "spath", 3);
+  ExpectSameRelation(seq.get(), p4.get(), "flagged", 1);
+  EXPECT_EQ(seq->database()->ToString(*seq->signature()),
+            p4->database()->ToString(*p4->signature()));
+}
+
 TEST(ParallelEvalTest, QuantifiedAndGroupingRulesRideAlong) {
-  // Quantified division, grouping, and set-valued EDB facts are not
+  // Quantified division and set-valued EDB facts are not
   // parallel-safe; with threads=4 they must run on the coordinator and
-  // still agree with sequential evaluation while the TC rules shard.
+  // still agree with sequential evaluation while the TC rules shard
+  // (the flat grouping rule shards its body scan too).
   std::string src = TcProgram(20);
   src += R"(
     s({a, b}). s({b}). s({}).
@@ -451,6 +482,141 @@ TEST(ParallelEvalTest, ParallelRespectsMaxTuples) {
   opts.max_tuples = 50;
   Status st = engine.Evaluate(opts);
   EXPECT_FALSE(st.ok());
+}
+
+// ---- Parallel grouping: sharded body scans (DESIGN.md sec. 14) -------
+
+// A follower-set materialization with enough body rows to shard.
+std::string FollowerProgram(int users, int edges) {
+  std::string src = "pred follows(atom, atom).\n";
+  uint64_t state = 0x2545F4914F6CDD1Dull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < edges; ++i) {
+    src += "follows(u" + std::to_string(next() % users) + ", u" +
+           std::to_string(next() % users) + ").\n";
+  }
+  src += "followers(U, <F>) :- follows(F, U).\n";
+  return src;
+}
+
+TEST(ParallelGroupingTest, ByteIdenticalDatabaseAcrossLaneCounts) {
+  // The grouping body scan shards into chunks merged in task order, so
+  // the (key, element) stream - and therefore group ordinals, set
+  // contents, and emitted row order - is identical at every lane
+  // count, including the no-pool single-lane path.
+  std::string src = FollowerProgram(40, 400);
+  std::string dumps[3];
+  size_t lanes[3] = {1, 2, 4};
+  for (int i = 0; i < 3; ++i) {
+    EvalOptions opts;
+    opts.threads = lanes[i];
+    auto e = RunProgram(src, LanguageMode::kLDL, opts);
+    dumps[i] = e->database()->ToString(*e->signature());
+    EXPECT_GT(e->eval_stats().groups_emitted, 0u);
+    if (lanes[i] > 1) {
+      EXPECT_GT(e->eval_stats().parallel_tasks, 0u)
+          << "grouping body scan did not shard at " << lanes[i]
+          << " lanes";
+    }
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+  EXPECT_EQ(dumps[1], dumps[2]);
+}
+
+TEST(ParallelGroupingTest, JoinBodyGroupingAgreesAcrossLanes) {
+  // Grouping over a self-join body (follower-of-follower sets): inner
+  // scan probes run against prebuilt indexes inside each task.
+  std::string src = FollowerProgram(24, 200);
+  src += "fof(U, <F2>) :- follows(F1, U), follows(F2, F1).\n";
+  auto seq = RunProgram(src);
+  EvalOptions par;
+  par.threads = 4;
+  auto p4 = RunProgram(src, LanguageMode::kLDL, par);
+  ExpectSameRelation(seq.get(), p4.get(), "fof", 2);
+  EXPECT_EQ(seq->database()->ToString(*seq->signature()),
+            p4->database()->ToString(*p4->signature()));
+}
+
+TEST(ParallelGroupingTest, NegationAndQuantifierRideAlong) {
+  // A grouping rule with a negated check shards (negation on a frozen
+  // lower stratum is flat); the quantified grouping rule must stay on
+  // the coordinator, and both agree with sequential evaluation.
+  std::string src = FollowerProgram(30, 300);
+  src += R"(
+    muted(u3). muted(u7).
+    loud(U, <F>) :- follows(F, U), not muted(F).
+    ok(u1). ok(u2).
+    approved(X, <Y>) :- follows(Y, X), s(S), forall E in S : ok(E).
+    s({u1, u2}).
+  )";
+  auto seq = RunProgram(src);
+  EvalOptions par;
+  par.threads = 4;
+  auto p4 = RunProgram(src, LanguageMode::kLDL, par);
+  ExpectSameRelation(seq.get(), p4.get(), "loud", 2);
+  ExpectSameRelation(seq.get(), p4.get(), "approved", 2);
+  EXPECT_EQ(seq->database()->ToString(*seq->signature()),
+            p4->database()->ToString(*p4->signature()));
+}
+
+TEST(ParallelGroupingTest, GroupedSetValuedKeysAndStats) {
+  // Set-valued key columns (the ground set constants are interned ids)
+  // group correctly, and the grouping counters surface.
+  std::string src = "pred tag(atom, set).\n";
+  for (int i = 0; i < 48; ++i) {
+    src += "tag(n" + std::to_string(i) + ", " +
+           (i % 2 == 0 ? "{a, b}" : "{c}") + ").\n";
+  }
+  src += "bykind(S, <X>) :- tag(X, S).\n";
+  EvalOptions opts;
+  opts.threads = 2;
+  auto e = RunProgram(src, LanguageMode::kLDL, opts);
+  EXPECT_EQ(e->eval_stats().groups_emitted, 2u);
+  EXPECT_EQ(e->eval_stats().group_elements, 48u);
+  EXPECT_GT(e->eval_stats().set_interns, 0u);
+  auto seq = RunProgram(src);
+  EXPECT_EQ(seq->database()->ToString(*seq->signature()),
+            e->database()->ToString(*e->signature()));
+}
+
+TEST(ParallelGroupingTest, MaxTuplesEnforcedInsideGroupedEmission) {
+  // More groups than max_tuples allows: the limit must trip inside
+  // grouped emission, sequentially and in parallel alike.
+  std::string src = FollowerProgram(60, 400);
+  auto probe = RunProgram(src);
+  size_t total = probe->eval_stats().tuples_derived;
+  size_t groups = probe->eval_stats().groups_emitted;
+  ASSERT_GT(groups, 2u);
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    Engine engine(LanguageMode::kLDL);
+    ASSERT_TRUE(engine.LoadString(src).ok());
+    EvalOptions opts;
+    opts.threads = threads;
+    opts.max_tuples = total - groups / 2;  // trips mid-emission
+    Status st = engine.Evaluate(opts);
+    EXPECT_FALSE(st.ok()) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelGroupingTest, NonFlatGroupingAloneSpinsNoPool) {
+  // A grouping rule whose body needs a builtin step is not
+  // group-parallel-safe (builtins can intern terms); when it is the
+  // only rule, no pool is created and the stats stay sequential.
+  EvalOptions quad;
+  quad.threads = 4;
+  auto e = RunProgram(R"(
+    emp(d, e1, 3). emp(d, e2, 7).
+    team(D, <E>) :- emp(D, E, N), lt(N, 5).
+  )",
+                      LanguageMode::kLDL, quad);
+  EXPECT_EQ(e->eval_stats().threads_used, 0u);
+  EXPECT_EQ(e->eval_stats().parallel_tasks, 0u);
+  EXPECT_TRUE(*e->HoldsText("team(d, {e1})"));
 }
 
 }  // namespace

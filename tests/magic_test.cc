@@ -169,6 +169,65 @@ TEST(MagicRewriteTest, FactsOfDerivedPredicateAreImported) {
   EXPECT_TRUE(found) << "fact-import rule missing";
 }
 
+TEST(MagicRewriteTest, GroupingHeadAdornsOverKeyPositions) {
+  auto session = Load(R"(
+    part(a, p1). part(a, p2). part(b, p3).
+    grp(X, <P>) :- part(X, P).
+  )");
+  auto rw = Rewrite(session.get(), "grp(a, S)");
+  ASSERT_OK(rw.status());
+  ASSERT_TRUE(rw->applied) << rw->fallback_reason;
+  const MagicProgram& mp = *rw->rewrite;
+  // The adorned copy keeps its grouping head; the magic guard joins
+  // into the body and restricts whole groups by their key.
+  EXPECT_EQ(ClauseStrings(mp.program),
+            (std::vector<std::string>{
+                "grp_bf(X, <P>) :- m_grp_bf(X), part(X, P).",
+            }));
+  // Only the key position seeds the magic predicate.
+  EXPECT_EQ(mp.seed_positions, (std::vector<size_t>{0}));
+  EXPECT_EQ(mp.program.signature().Name(mp.goal.pred), "grp_bf");
+}
+
+TEST(MagicRewriteTest, GroupedPositionNeverJoinsAnAdornment) {
+  // The caller binds grp's grouped (set) position with a variable that
+  // is ground at the call site; the adornment must still restrict only
+  // the key position.
+  auto session = Load(R"(
+    part(a, p1). part(b, p2). want(a, {p1}).
+    grp(X, <P>) :- part(X, P).
+    match(X) :- want(X, S), grp(X, S).
+  )");
+  auto rw = Rewrite(session.get(), "match(a)");
+  ASSERT_OK(rw.status());
+  ASSERT_TRUE(rw->applied) << rw->fallback_reason;
+  const Signature& sig = rw->rewrite->program.signature();
+  std::vector<std::string> names;
+  for (PredicateId id : rw->rewrite->adorned_preds) {
+    names.push_back(sig.Name(id));
+  }
+  // grp is called with both positions bound, but the grouped second
+  // position is dropped: the adornment is bf, not bb.
+  EXPECT_EQ(names, (std::vector<std::string>{"match_b", "grp_bf"}));
+}
+
+TEST(MagicRewriteTest, GroundSetConstantsAreBoundPositions) {
+  // Ground set constants - in the goal, a rule body, and a rule head -
+  // are interned ids and thus ordinary bound values; none of them may
+  // trip the non-ground set/function fallback.
+  auto session = Load(R"(
+    owns(alice, {gold, silver}). owns(bob, {tin}).
+    rich(P, S) :- owns(P, S).
+    flagged(P) :- owns(P, {gold, silver}).
+  )");
+  auto rw = Rewrite(session.get(), "rich(X, {gold, silver})");
+  ASSERT_OK(rw.status());
+  EXPECT_TRUE(rw->applied) << rw->fallback_reason;
+  auto rw2 = Rewrite(session.get(), "flagged(bob)");
+  ASSERT_OK(rw2.status());
+  EXPECT_TRUE(rw2->applied) << rw2->fallback_reason;
+}
+
 // ---- Fallback taxonomy ------------------------------------------------
 
 struct FallbackCase {
@@ -202,13 +261,15 @@ INSTANTIATE_TEST_SUITE_P(
                      "s({1, 2}). q(1). q(2). "
                      "allq(X) :- s(X), forall E in X : q(E).",
                      "allq({1, 2})", "quantifier"},
-        FallbackCase{"grouping",
+        // Grouping heads rewrite when a key position is bound; a goal
+        // binding *only* the grouped set position restricts nothing.
+        FallbackCase{"grouping_grouped_position_only",
                      "part(a, 1). part(a, 2). "
                      "grp(X, <P>) :- part(X, P).",
-                     "grp(a, X)", "grouping"},
+                     "grp(X, {1, 2})", "grouped set positions"},
         FallbackCase{"set_term_argument",
                      "s({1, 2}). w(X) :- s({X, 2}).", "w(1)",
-                     "set/function-term"},
+                     "non-ground set/function-term"},
         FallbackCase{"enumeration",
                      "e(a). p(X) :- q(X). q(X) :- e(a).", "p(a)",
                      "enumeration"}),
@@ -350,22 +411,82 @@ TEST(DemandExecutionTest, EligibilityRefreshesWhenRulesAppearLater) {
 
 TEST(DemandExecutionTest, ExplicitDemandFallsBackToFullFixpoint) {
   auto session = Load(R"(
-    part(a, 1). part(a, 2). part(b, 3).
-    grp(X, <P>) :- part(X, P).
+    s({1, 2}). q(1). q(2).
+    allq(X) :- s(X), forall E in X : q(E).
   )");
   Options options;
   options.demand = true;
   session->set_options(options);
-  auto q = session->Prepare("grp(a, X)");
+  auto q = session->Prepare("allq({1, 2})");
   ASSERT_OK(q.status());
-  // Grouping is outside the magic fragment: ExecuteDemand evaluates
+  // Quantifiers are outside the magic fragment: ExecuteDemand evaluates
   // the session database in full and scans it.
   auto cursor = q->ExecuteDemand();
   ASSERT_OK(cursor.status());
   EXPECT_EQ(*cursor->Count(), 1u);
-  EXPECT_NE(session->eval_stats().demand_fallback_reason.find("grouping"),
-            std::string::npos);
+  EXPECT_NE(
+      session->eval_stats().demand_fallback_reason.find("quantifier"),
+      std::string::npos);
   EXPECT_GT(session->database()->TupleCount(), 0u);
+}
+
+TEST(DemandExecutionTest, GroupingGoalWithBoundKeyRunsDemandDriven) {
+  // A grouping head over a derived relation: the demanded key's group
+  // must match the full fixpoint's group exactly while the rest of the
+  // key space is never grouped.
+  std::string src;
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      src += "emp(d" + std::to_string(i) + ", e" + std::to_string(i) +
+             "_" + std::to_string(j) + ").\n";
+    }
+  }
+  src += "staff(D, E) :- emp(D, E).\n";
+  src += "team(D, <E>) :- staff(D, E).\n";
+  auto session = Load(src);
+  ASSERT_OK(session->Evaluate());
+
+  auto full = SortedAnswers(session.get(), "team(d3, S)", false);
+  ASSERT_EQ(full.size(), 1u);
+  size_t full_tuples = session->eval_stats().tuples_derived;
+
+  auto fresh = Load(src);  // untouched session: no prior Evaluate()
+  auto demand = SortedAnswers(fresh.get(), "team(d3, S)", true);
+  EXPECT_EQ(demand, full);
+  EXPECT_TRUE(fresh->eval_stats().demand_fallback_reason.empty())
+      << fresh->eval_stats().demand_fallback_reason;
+  EXPECT_GT(fresh->eval_stats().magic_predicates, 0u);
+  EXPECT_EQ(fresh->eval_stats().groups_emitted, 1u)
+      << "demand must group only the demanded key";
+  // Both counts include the 48 loaded EDB facts; the derived remainder
+  // is 6 demand tuples vs 60 for the full fixpoint.
+  EXPECT_LT(fresh->eval_stats().tuples_derived, full_tuples)
+      << "demand evaluation should derive fewer tuples";
+  // The session database stays untouched (private demand database).
+  EXPECT_EQ(fresh->database()->TupleCount(), 0u);
+}
+
+TEST(DemandExecutionTest, BoundSetConstantGoalIsDemandDriven) {
+  auto session = Load(R"(
+    owns(alice, {gold, silver}). owns(bob, {tin}).
+    owns(carol, {gold, silver}).
+    rich(P, S) :- owns(P, S).
+  )");
+  ASSERT_OK(session->Evaluate());
+  auto full = SortedAnswers(session.get(), "rich(X, {gold, silver})",
+                            false);
+  auto fresh = Load(R"(
+    owns(alice, {gold, silver}). owns(bob, {tin}).
+    owns(carol, {gold, silver}).
+    rich(P, S) :- owns(P, S).
+  )");
+  auto demand =
+      SortedAnswers(fresh.get(), "rich(X, {gold, silver})", true);
+  EXPECT_EQ(demand, full);
+  EXPECT_EQ(demand.size(), 2u);  // alice, carol
+  EXPECT_TRUE(fresh->eval_stats().demand_fallback_reason.empty())
+      << fresh->eval_stats().demand_fallback_reason;
+  EXPECT_GT(fresh->eval_stats().magic_predicates, 0u);
 }
 
 TEST(DemandExecutionTest, BoundParameterDrivesTheSeed) {
@@ -467,10 +588,25 @@ INSTANTIATE_TEST_SUITE_P(
                   "s({1, 2}). s({3}). q(1). q(2)."
                   "allq(X) :- s(X), forall E in X : q(E).",
                   {"allq({1, 2})", "allq(X)"}},
-        SweepCase{"grouping_fallback",
+        SweepCase{"grouping",
                   "part(a, 1). part(a, 2). part(b, 3)."
                   "grp(X, <P>) :- part(X, P).",
-                  {"grp(a, X)", "grp(X, Y)"}},
+                  {"grp(a, X)", "grp(X, Y)", "grp(X, {1, 2})",
+                   "grp(a, {1, 2})", "grp(b, {1, 2})"}},
+        SweepCase{"grouping_over_recursion",
+                  "sub(o1, o2). sub(o2, o3). part_of(p1, o1)."
+                  "part_of(p2, o2). part_of(p3, o3)."
+                  "uses(O, S) :- sub(O, S)."
+                  "uses(O, S2) :- uses(O, S), sub(S, S2)."
+                  "haspart(O, P) :- part_of(P, O)."
+                  "haspart(O, P) :- uses(O, S), part_of(P, S)."
+                  "partset(O, <P>) :- haspart(O, P).",
+                  {"partset(o1, X)", "partset(o2, X)", "partset(X, Y)"}},
+        SweepCase{"ground_set_args",
+                  "tag(x1, {hot}). tag(x2, {cold}). tag(x3, {hot})."
+                  "warm(X) :- tag(X, {hot})."
+                  "linked(X, Y) :- warm(X), warm(Y).",
+                  {"linked(x1, X)", "linked(X, x3)", "linked(X, Y)"}},
         SweepCase{"set_membership_rules",
                   "s({1, 2}). s({2, 3})."
                   "has(X) :- s(S), X in S.",

@@ -61,6 +61,26 @@ TEST(SessionTest, StorageStatsSurfaceThroughEvalStats) {
   EXPECT_GE(stats.dedup_probes, stats.tuples_derived);
 }
 
+TEST(SessionTest, GroupingAndSetInternCountersSurface) {
+  Session session(LanguageMode::kLDL);
+  ASSERT_OK(session.Load(R"(
+    emp(sales, ann). emp(sales, bob). emp(dev, carol).
+    team(D, <E>) :- emp(D, E).
+  )"));
+  ASSERT_OK(session.Evaluate());
+  const EvalStats& stats = session.eval_stats();
+  EXPECT_EQ(stats.groups_emitted, 2u);
+  EXPECT_EQ(stats.group_elements, 3u);
+  // Each emitted group interns one canonical set.
+  EXPECT_GE(stats.set_interns, 2u);
+  // Counters are per-evaluation deltas, not store lifetime totals: a
+  // repeat Evaluate re-derives nothing and re-interns the same two
+  // sets as table hits.
+  ASSERT_OK(session.Evaluate());
+  EXPECT_EQ(session.eval_stats().set_interns, 2u);
+  EXPECT_EQ(session.eval_stats().set_intern_hits, 2u);
+}
+
 TEST(AnswerCursorTest, NextRefStreamsZeroCopyViews) {
   Session session(LanguageMode::kLPS);
   ASSERT_OK(session.Load(kGraph));

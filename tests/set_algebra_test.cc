@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 namespace lps {
 namespace {
 
@@ -136,6 +139,45 @@ INSTANTIATE_TEST_SUITE_P(
     Sizes, SetLawsTest,
     ::testing::Combine(::testing::Values(0, 1, 3, 8, 16),
                        ::testing::Values(1, 4, 9, 20)));
+
+// The scratch-buffer overloads must intern exactly the same terms as
+// the convenience API, reuse the caller's buffer capacity, and leave
+// the canonical fast path (no re-sort) observable through the intern
+// counters.
+TEST_F(SetAlgebraTest, ScratchOverloadsMatchConvenienceApi) {
+  TermId a = S({C("a"), C("c"), C("e")});
+  TermId b = S({C("b"), C("c"), C("d")});
+  std::vector<TermId> scratch;
+  EXPECT_EQ(SetUnion(&store_, a, b, &scratch), SetUnion(&store_, a, b));
+  EXPECT_EQ(SetIntersect(&store_, a, b, &scratch),
+            SetIntersect(&store_, a, b));
+  EXPECT_EQ(SetDifference(&store_, a, b, &scratch),
+            SetDifference(&store_, a, b));
+  EXPECT_EQ(SetCons(&store_, C("x"), a, &scratch),
+            SetCons(&store_, C("x"), a));
+  EXPECT_EQ(SetRemove(&store_, a, C("c"), &scratch),
+            SetRemove(&store_, a, C("c")));
+  // Inserting into the middle and removing from the middle keep the
+  // canonical order (regression guard for the lower_bound insert).
+  TermId consed = SetCons(&store_, C("d"), a, &scratch);
+  auto args = store_.args(consed);
+  EXPECT_TRUE(std::is_sorted(args.begin(), args.end()));
+  EXPECT_EQ(SetCardinality(store_, consed), 4u);
+  // Consing a present element is the identity.
+  EXPECT_EQ(SetCons(&store_, C("a"), a, &scratch), a);
+}
+
+TEST_F(SetAlgebraTest, RepeatedOpsHitTheInternTable) {
+  TermId a = S({C("a"), C("b")});
+  TermId b = S({C("b"), C("c")});
+  TermId u1 = SetUnion(&store_, a, b);
+  size_t hits_before = store_.set_intern_hits();
+  std::vector<TermId> scratch;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SetUnion(&store_, a, b, &scratch), u1);
+  }
+  EXPECT_EQ(store_.set_intern_hits(), hits_before + 10);
+}
 
 }  // namespace
 }  // namespace lps

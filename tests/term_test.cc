@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <span>
+#include <vector>
+
 #include "term/printer.h"
 
 namespace lps {
@@ -172,6 +177,110 @@ TEST_P(SetCanonTest, SortedUniqueElements) {
 
 INSTANTIATE_TEST_SUITE_P(Cardinalities, SetCanonTest,
                          ::testing::Values(0, 1, 2, 3, 5, 9, 17));
+
+// ---- Set-intern differential test ------------------------------------
+// Randomized canonical-form lock-in (in the spirit of relation_test's
+// RandomizedLookupMatchesLinearScanOracle): every construction path -
+// MakeSet(vector), MakeSet(span), SetBuilder::Build, and
+// InternCanonicalSet on the oracle-canonicalized sequence - must agree
+// with a sort+unique oracle, on the same id whenever the canonical
+// forms coincide, and on distinct ids otherwise. Drives the intern
+// table through several growth cycles.
+TEST_F(TermTest, RandomizedSetInternMatchesCanonicalizationOracle) {
+  uint64_t state = 0x9E3779B97F4A7C15ull;
+  auto rnd = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+
+  // Element pool: constants, ints, and a few nested sets.
+  std::vector<TermId> pool;
+  for (int i = 0; i < 24; ++i) {
+    pool.push_back(store_.MakeConstant("c" + std::to_string(i)));
+    pool.push_back(store_.MakeInt(i * 7 - 3));
+  }
+  pool.push_back(store_.MakeSet({pool[0], pool[1]}));
+  pool.push_back(store_.MakeSet({pool[2]}));
+  pool.push_back(store_.EmptySet());
+
+  std::map<std::vector<TermId>, TermId> by_canonical_form;
+  SetBuilder builder;
+  for (int round = 0; round < 4000; ++round) {
+    // A random multiset, duplicates likely.
+    std::vector<TermId> elems;
+    size_t n = rnd() % 9;
+    for (size_t i = 0; i < n; ++i) {
+      elems.push_back(pool[rnd() % pool.size()]);
+    }
+
+    // Oracle canonical form: sorted unique ids.
+    std::vector<TermId> canon = elems;
+    std::sort(canon.begin(), canon.end());
+    canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+
+    TermId via_vector = store_.MakeSet(elems);
+    TermId via_span =
+        store_.MakeSet(std::span<const TermId>(elems.data(), elems.size()));
+    builder.Clear();
+    for (TermId e : elems) builder.Add(e);
+    TermId via_builder = builder.Build(&store_);
+    TermId via_canonical = store_.InternCanonicalSet(canon);
+
+    ASSERT_EQ(via_vector, via_span);
+    ASSERT_EQ(via_vector, via_builder);
+    ASSERT_EQ(via_vector, via_canonical);
+
+    // Stored element array is exactly the oracle's canonical form.
+    auto args = store_.args(via_vector);
+    ASSERT_TRUE(std::equal(args.begin(), args.end(), canon.begin(),
+                           canon.end()))
+        << "stored form diverges from the canonicalization oracle";
+
+    // Same canonical form <=> same id, across the whole history.
+    auto [it, inserted] = by_canonical_form.emplace(canon, via_vector);
+    ASSERT_EQ(it->second, via_vector)
+        << (inserted ? "" : "re-interning an old form changed its id");
+  }
+  // The differential sweep must have exercised both table hits and
+  // growth well past the initial slot count.
+  EXPECT_GT(store_.set_intern_hits(), 1000u);
+  EXPECT_GT(by_canonical_form.size(), 200u);
+}
+
+TEST_F(TermTest, InternCanonicalSetAcceptsArenaAliasingSpans) {
+  // The documented contract: the input span may view the store's own
+  // element arena. Re-interning an existing set's args() is a hit;
+  // interning a subspan of them is a (copy-safe) miss.
+  TermId a = store_.MakeConstant("a");
+  TermId b = store_.MakeConstant("b");
+  TermId c = store_.MakeConstant("c");
+  TermId abc = store_.MakeSet({a, b, c});
+  EXPECT_EQ(store_.InternCanonicalSet(store_.args(abc)), abc);
+  TermId ab = store_.InternCanonicalSet(store_.args(abc).subspan(0, 2));
+  EXPECT_EQ(ab, store_.MakeSet({a, b}));
+  // Force arena growth while interning spans into it.
+  for (int i = 0; i < 64; ++i) {
+    TermId x = store_.MakeConstant("x" + std::to_string(i));
+    TermId s = store_.MakeSet({a, x});
+    EXPECT_EQ(store_.InternCanonicalSet(store_.args(s)), s);
+  }
+}
+
+TEST_F(TermTest, SetInternCountersTrackHitsAndMisses) {
+  size_t interns0 = store_.set_interns();   // constructor made {}
+  size_t hits0 = store_.set_intern_hits();
+  TermId a = store_.MakeConstant("a");
+  TermId b = store_.MakeConstant("b");
+  TermId s1 = store_.MakeSet({a, b});  // miss
+  EXPECT_EQ(store_.set_interns(), interns0 + 1);
+  EXPECT_EQ(store_.set_intern_hits(), hits0);
+  TermId s2 = store_.MakeSet({b, a, b});  // same canonical form: hit
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(store_.set_interns(), interns0 + 2);
+  EXPECT_EQ(store_.set_intern_hits(), hits0 + 1);
+}
 
 }  // namespace
 }  // namespace lps
