@@ -1,0 +1,185 @@
+// Concurrent query serving QPS over a frozen snapshot.
+//
+// BM_ServeThreads/N runs a fixed batch of path(n_i, Y) point queries
+// through an N-lane serve::QueryServer against one published snapshot;
+// every request takes the demand (magic-set) route into a private
+// result database, so the lanes share nothing but the immutable
+// snapshot and the batch should scale near-linearly. The CI gate
+// (scripts/check_bench.py --min-ratio) requires the 4-lane batch to be
+// >= 2x faster than the 1-lane batch, i.e. >= 2x QPS at 4 threads.
+//
+// Before measuring, the bench verifies byte-identical answers: the
+// rendered rows of a 1-lane and a 4-lane server must agree request by
+// request, and the answer counts must match the session's own
+// sequential ground truth - it aborts on any divergence, so the QPS
+// numbers can never come from wrong answers.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "workloads.h"
+
+namespace lps::bench {
+namespace {
+
+constexpr int kNodes = 96;
+constexpr int kBatchReps = 4;  // requests per iteration = reps * nodes
+
+std::string TcSource(int n) {
+  return RandomGraph(n, 2 * n, 99) + TransitiveClosureRules();
+}
+
+std::vector<serve::ServeRequest> PointBatch(size_t query, int nodes,
+                                            int reps) {
+  std::vector<serve::ServeRequest> batch;
+  batch.reserve(static_cast<size_t>(nodes) * reps);
+  for (int rep = 0; rep < reps; ++rep) {
+    for (int i = 0; i < nodes; ++i) {
+      serve::ServeRequest req;
+      req.query = query;
+      req.params = {{"X", "n" + std::to_string(i)}};
+      batch.push_back(std::move(req));
+    }
+  }
+  return batch;
+}
+
+size_t MustPrepareServe(serve::QueryServer* server,
+                        const std::string& goal) {
+  auto id = server->Prepare(goal);
+  if (!id.ok()) {
+    std::fprintf(stderr, "bench_serving: Prepare failed: %s\n",
+                 id.status().ToString().c_str());
+    std::abort();
+  }
+  return *id;
+}
+
+std::vector<serve::ServeAnswer> MustExecute(
+    serve::QueryServer* server,
+    const std::vector<serve::ServeRequest>& batch) {
+  auto answers = server->ExecuteBatch(batch);
+  if (!answers.ok()) {
+    std::fprintf(stderr, "bench_serving: batch failed: %s\n",
+                 answers.status().ToString().c_str());
+    std::abort();
+  }
+  for (const serve::ServeAnswer& a : *answers) {
+    if (!a.status.ok()) {
+      std::fprintf(stderr, "bench_serving: request failed: %s\n",
+                   a.status.ToString().c_str());
+      std::abort();
+    }
+  }
+  return std::move(*answers);
+}
+
+// Aborts unless 1-lane and 4-lane servers return byte-identical
+// rendered answers for every request, with counts matching the
+// session's sequential ground truth.
+void VerifyServingEquivalence(Session* session,
+                              serve::SnapshotRegistry* registry) {
+  serve::ServeOptions seq_opts;
+  seq_opts.threads = 1;
+  serve::ServeOptions par_opts;
+  par_opts.threads = 4;
+  serve::QueryServer seq(registry, seq_opts);
+  serve::QueryServer par(registry, par_opts);
+  std::vector<serve::ServeRequest> batch =
+      PointBatch(MustPrepareServe(&seq, "path(X, Y)"), kNodes, 1);
+  MustPrepareServe(&par, "path(X, Y)");
+  std::vector<serve::ServeAnswer> a = MustExecute(&seq, batch);
+  std::vector<serve::ServeAnswer> b = MustExecute(&par, batch);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    std::vector<std::string> rows_a = a[i].rows;
+    std::vector<std::string> rows_b = b[i].rows;
+    std::sort(rows_a.begin(), rows_a.end());
+    std::sort(rows_b.begin(), rows_b.end());
+    auto truth = session->Query("path(" + batch[i].params[0].second +
+                                ", Y)");
+    if (!truth.ok()) std::abort();
+    if (rows_a != rows_b || a[i].checksum != b[i].checksum ||
+        rows_a.size() != truth->size()) {
+      std::fprintf(stderr,
+                   "bench_serving: answers diverge on %s (seq %zu, "
+                   "par %zu, ground truth %zu)\n",
+                   batch[i].params[0].second.c_str(), rows_a.size(),
+                   rows_b.size(), truth->size());
+      std::abort();
+    }
+  }
+}
+
+void BM_ServeThreads(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  auto session = MustLoad(TcSource(kNodes));
+  MustEvaluate(session.get());
+  serve::SnapshotRegistry registry;
+  auto snap = session->Freeze();
+  if (!snap.ok()) std::abort();
+  registry.Publish(*snap);
+  VerifyServingEquivalence(session.get(), &registry);
+
+  serve::ServeOptions opts;
+  opts.threads = threads;
+  opts.record_answers = false;  // count + checksum only while timing
+  serve::QueryServer server(&registry, opts);
+  std::vector<serve::ServeRequest> batch =
+      PointBatch(MustPrepareServe(&server, "path(X, Y)"), kNodes,
+                 kBatchReps);
+
+  size_t answers = 0;
+  for (auto _ : state) {
+    std::vector<serve::ServeAnswer> out = MustExecute(&server, batch);
+    answers = 0;
+    for (const serve::ServeAnswer& a : out) answers += a.count;
+    benchmark::DoNotOptimize(answers);
+  }
+  // Only deterministic counters: the baseline compare in
+  // scripts/check_bench.py is absolute, so machine-dependent rates
+  // (QPS, latency percentiles) stay out of the JSON. The QPS floor is
+  // the real_time min-ratio between /1 and /4 instead.
+  serve::ServeStats stats = server.stats();
+  state.counters["answers"] = static_cast<double>(answers);
+  state.counters["rewrites_built"] =
+      static_cast<double>(stats.rewrites_built);
+}
+BENCHMARK(BM_ServeThreads)->Arg(1)->Arg(2)->Arg(4)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// The registry hot path: pin/unpin cost a batch pays once (amortized
+// over every request in it).
+void BM_RegistryPinUnpin(benchmark::State& state) {
+  auto session = MustLoad(TcSource(16));
+  serve::SnapshotRegistry registry;
+  auto snap = session->Freeze();
+  if (!snap.ok()) std::abort();
+  registry.Publish(*snap);
+  for (auto _ : state) {
+    serve::PinnedSnapshot pin = registry.Pin();
+    benchmark::DoNotOptimize(pin.epoch());
+  }
+}
+BENCHMARK(BM_RegistryPinUnpin)->Unit(benchmark::kNanosecond);
+
+// Freeze cost: what the writer pays to publish a fresh epoch (deep
+// clone of store + program + database, plus eager index catch-up).
+void BM_SnapshotFreeze(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto session = MustLoad(TcSource(n));
+  MustEvaluate(session.get());
+  for (auto _ : state) {
+    auto snap = session->Freeze();
+    if (!snap.ok()) std::abort();
+    benchmark::DoNotOptimize(snap->get());
+  }
+}
+BENCHMARK(BM_SnapshotFreeze)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lps::bench

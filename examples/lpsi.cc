@@ -5,7 +5,10 @@
 // (one per line, no trailing dot required; each line is prepared
 // fresh). The REPL also understands dot-commands:
 //
-//   .stats    evaluation + storage-engine + demand statistics (EvalStats)
+//   .stats      evaluation + storage-engine + demand + serving statistics
+//   .serve N Q  freeze the session into a snapshot and fire Q copies of
+//               the most recent goal at a QueryServer with N worker
+//               threads, reporting answers, QPS and p50/p99 latency
 //
 // With --demand the interpreter skips the up-front fixpoint and
 // answers every goal with a bound argument goal-directed: a magic-set
@@ -57,6 +60,86 @@ void PrintStats(const lps::EvalStats& s) {
               s.demand_fallback_reason.empty()
                   ? "(none)"
                   : s.demand_fallback_reason.c_str());
+}
+
+// All-zero (value-initialized) before the first .serve, so .stats is
+// always safe to print.
+void PrintServeStats(const lps::serve::ServeStats& s) {
+  auto u64 = [](uint64_t v) { return static_cast<unsigned long long>(v); };
+  std::printf("serving:\n");
+  std::printf("  batches           %llu\n", u64(s.batches));
+  std::printf("  queries           %llu\n", u64(s.queries));
+  std::printf("  demand_queries    %llu\n", u64(s.demand_queries));
+  std::printf("  scan_queries      %llu\n", u64(s.scan_queries));
+  std::printf("  builtin_queries   %llu\n", u64(s.builtin_queries));
+  std::printf("  empty_fast_path   %llu\n", u64(s.empty_fast_path));
+  std::printf("  answers           %llu\n", u64(s.answers));
+  std::printf("  errors            %llu\n", u64(s.errors));
+  std::printf("  rewrites_built    %llu\n", u64(s.rewrites_built));
+  std::printf("  rewrite_cache_hits %llu\n", u64(s.rewrite_cache_hits));
+  std::printf("  worker_rebinds    %llu\n", u64(s.worker_rebinds));
+  std::printf("  last_batch_qps    %.0f\n", s.last_batch_qps);
+  std::printf("  p50_us            %.1f\n", s.p50_us);
+  std::printf("  p99_us            %.1f\n", s.p99_us);
+}
+
+// .serve N Q: snapshot the session's current state and serve Q copies
+// of `goal` concurrently over N worker threads. Publishing into the
+// registry retires the previous .serve snapshot (reclaimed once the
+// batch unpins), so repeated .serve commands track session mutations.
+void Serve(lps::Session* session, lps::serve::SnapshotRegistry* registry,
+           lps::serve::ServeStats* total, size_t threads, size_t copies,
+           const std::string& goal) {
+  auto snap = session->Freeze();
+  if (!snap.ok()) {
+    std::printf("error: %s\n", snap.status().ToString().c_str());
+    return;
+  }
+  registry->Publish(*snap);
+  lps::serve::ServeOptions opts;
+  opts.threads = threads;
+  opts.record_answers = false;
+  lps::serve::QueryServer server(registry, opts);
+  auto query = server.Prepare(goal);
+  if (!query.ok()) {
+    std::printf("error: %s\n", query.status().ToString().c_str());
+    return;
+  }
+  std::vector<lps::serve::ServeRequest> batch(copies);
+  for (lps::serve::ServeRequest& req : batch) req.query = *query;
+  auto answers = server.ExecuteBatch(batch);
+  if (!answers.ok()) {
+    std::printf("error: %s\n", answers.status().ToString().c_str());
+    return;
+  }
+  lps::serve::ServeStats s = server.stats();
+  std::printf("%% served %zu x %s on %zu threads: %llu answers, "
+              "%.0f qps, p50 %.1f us, p99 %.1f us\n",
+              copies, goal.c_str(), server.threads(),
+              static_cast<unsigned long long>(s.answers),
+              s.last_batch_qps, s.p50_us, s.p99_us);
+  for (const lps::serve::ServeAnswer& a : *answers) {
+    if (!a.status.ok()) {
+      std::printf("error: %s\n", a.status.ToString().c_str());
+      break;
+    }
+  }
+  // Accumulate counters for .stats; latency/QPS reflect the last batch.
+  total->batches += s.batches;
+  total->queries += s.queries;
+  total->demand_queries += s.demand_queries;
+  total->scan_queries += s.scan_queries;
+  total->builtin_queries += s.builtin_queries;
+  total->empty_fast_path += s.empty_fast_path;
+  total->answers += s.answers;
+  total->errors += s.errors;
+  total->rewrites_built += s.rewrites_built;
+  total->rewrite_cache_hits += s.rewrite_cache_hits;
+  total->worker_rebinds += s.worker_rebinds;
+  total->last_batch_qps = s.last_batch_qps;
+  total->p50_us = s.p50_us;
+  total->p99_us = s.p99_us;
+  total->max_us = s.max_us;
 }
 
 // In demand mode every goal routes through ExecuteDemand(): bound
@@ -153,11 +236,30 @@ int main(int argc, char** argv) {
   }
 
   // Interactive goals and dot-commands.
+  lps::serve::SnapshotRegistry registry;
+  lps::serve::ServeStats serve_stats;  // all-zero until the first .serve
+  std::string last_goal;
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
     if (line == ".stats" || line == ".stats.") {
       PrintStats(session.eval_stats());
+      PrintServeStats(serve_stats);
+      continue;
+    }
+    if (line.rfind(".serve", 0) == 0) {
+      size_t threads = 0, copies = 0;
+      if (std::sscanf(line.c_str(), ".serve %zu %zu", &threads, &copies) !=
+              2 ||
+          copies == 0) {
+        std::printf("usage: .serve <threads> <copies>\n");
+        continue;
+      }
+      if (last_goal.empty()) {
+        std::printf("error: no goal to serve yet - enter a goal first\n");
+        continue;
+      }
+      Serve(&session, &registry, &serve_stats, threads, copies, last_goal);
       continue;
     }
     if (line.back() == '.') line.pop_back();
@@ -166,6 +268,7 @@ int main(int argc, char** argv) {
       std::printf("error: %s\n", prepared.status().ToString().c_str());
       continue;
     }
+    last_goal = line;
     Answer(&session, &*prepared, demand);
   }
   return 0;

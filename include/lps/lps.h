@@ -22,6 +22,10 @@
 #include "lang/validate.h"        // LPS / ELPS / LDL validation
 #include "nf2/nested_relation.h"  // non-1NF relations [JS82]
 #include "parse/parser.h"         // surface syntax
+#include "serve/registry.h"       // epoch/refcount snapshot publication
+#include "serve/resolve.h"        // read-safe parameter resolution
+#include "serve/server.h"         // concurrent query serving
+#include "serve/snapshot.h"       // frozen session state
 #include "term/printer.h"
 #include "term/set_algebra.h"     // canonical set operations
 #include "term/term.h"            // hash-consed two-sorted terms

@@ -1,7 +1,6 @@
 #include "api/query.h"
 
-#include <unordered_set>
-
+#include "api/goal_exec.h"
 #include "api/session.h"
 #include "eval/bottomup.h"
 #include "eval/builtins.h"
@@ -10,178 +9,6 @@
 namespace lps {
 
 namespace {
-
-// Lazily streams the rows of one relation that match the (partially
-// ground) goal argument patterns, using the relation's hash index on
-// the ground positions. This is the Execute() fast path: answers are
-// produced one Next() at a time as zero-copy views straight into the
-// relation's row arena (the database is frozen while a cursor streams
-// - Evaluate()/ResetDatabase() invalidate cursors), so callers that
-// stop pulling stop paying and matched rows are never copied.
-//
-// The row-matching algorithm mirrors the kScan step of
-// BottomUpEvaluator::ExecSteps (eval/bottomup.cc) but needs only
-// match-or-not per row, where the evaluator must continue into every
-// unifier extension under delta gating - keep the two in sync.
-class RelationScanSource final : public AnswerSource {
- public:
-  RelationScanSource(TermStore* store, UnifyOptions unify, Relation* rel,
-                     std::vector<TermId> patterns)
-      : store_(store),
-        unify_(unify),
-        rel_(rel),
-        patterns_(std::move(patterns)) {
-    Tuple key(patterns_.size(), kInvalidTerm);
-    for (size_t i = 0; i < patterns_.size(); ++i) {
-      if (store_->is_ground(patterns_[i])) {
-        mask_ |= ColumnBit(i);
-        key[i] = patterns_[i];
-      }
-    }
-    if (rel_ != nullptr) {
-      if (mask_ == 0) {
-        rel_->AllIndices(&indices_);
-      } else {
-        // Copy: Lookup's reference is invalidated by later Lookups.
-        indices_ = rel_->Lookup(mask_, key);
-      }
-    }
-  }
-
-  Result<bool> Next(TupleRef* out) override {
-    while (pos_ < indices_.size()) {
-      TupleRef row = rel_->row(indices_[pos_++]);
-      LPS_ASSIGN_OR_RETURN(bool match, Matches(row));
-      if (match) {
-        *out = row;
-        return true;
-      }
-    }
-    return false;
-  }
-
-  void Rewind() override { pos_ = 0; }
-
- private:
-  // One row matches when the non-indexed positions can be consistently
-  // bound: repeated variables must agree, complex patterns (set or
-  // function terms containing variables) go through set unification.
-  Result<bool> Matches(TupleRef row) {
-    Substitution ext;
-    std::vector<size_t> complex_positions;
-    for (size_t i = 0; i < patterns_.size(); ++i) {
-      if (MaskHasColumn(mask_, i)) continue;  // index-guaranteed equal
-      TermId p = ext.Apply(store_, patterns_[i]);
-      if (store_->is_ground(p)) {
-        if (p != row[i]) return false;
-      } else if (store_->IsVariable(p)) {
-        if (!SortAllowsBinding(*store_, p, row[i])) return false;
-        ext.Bind(p, row[i]);
-      } else {
-        complex_positions.push_back(i);
-      }
-    }
-    if (complex_positions.empty()) return true;
-    std::vector<TermId> pat, val;
-    for (size_t i : complex_positions) {
-      pat.push_back(ext.Apply(store_, patterns_[i]));
-      val.push_back(row[i]);
-    }
-    Unifier unifier(store_, unify_);
-    std::vector<Substitution> unifiers;
-    LPS_RETURN_IF_ERROR(unifier.EnumerateTuples(pat, val, &unifiers));
-    return !unifiers.empty();
-  }
-
-  TermStore* store_;
-  UnifyOptions unify_;
-  Relation* rel_;
-  std::vector<TermId> patterns_;
-  uint32_t mask_ = 0;
-  std::vector<uint32_t> indices_;
-  size_t pos_ = 0;
-};
-
-// Runs a builtin goal plan (active-domain enumeration steps followed by
-// the builtin itself) eagerly, emitting one tuple of substituted goal
-// arguments per distinct solution.
-class GoalPlanExecutor {
- public:
-  GoalPlanExecutor(TermStore* store, Database* db,
-                   const BuiltinOptions& builtins, const Literal& goal)
-      : store_(store), db_(db), builtins_(builtins), goal_(goal) {}
-
-  Status Run(const std::vector<PlanStep>& steps,
-             const Substitution& initial, std::vector<Tuple>* out) {
-    out_ = out;
-    Substitution theta = initial;
-    return Exec(steps, 0, &theta);
-  }
-
- private:
-  Status Emit(Substitution* theta) {
-    Tuple t;
-    t.reserve(goal_.args.size());
-    for (TermId a : goal_.args) t.push_back(theta->Apply(store_, a));
-    // Enumeration prefixes can reach the same answer twice; dedup.
-    if (seen_.insert(t).second) out_->push_back(std::move(t));
-    return Status::OK();
-  }
-
-  Status Exec(const std::vector<PlanStep>& steps, size_t idx,
-              Substitution* theta) {
-    if (idx == steps.size()) return Emit(theta);
-    const PlanStep& step = steps[idx];
-    switch (step.kind) {
-      case StepKind::kBuiltin: {
-        std::vector<TermId> args(goal_.args.size());
-        for (size_t i = 0; i < args.size(); ++i) {
-          args[i] = theta->Apply(store_, goal_.args[i]);
-        }
-        return EvalBuiltin(store_, goal_.pred, args, builtins_,
-                           [&](const Substitution& ext) {
-                             Substitution next = *theta;
-                             for (const auto& [v, t] : ext.bindings()) {
-                               next.Bind(v, t);
-                             }
-                             return Exec(steps, idx + 1, &next);
-                           });
-      }
-      case StepKind::kEnumAtom:
-      case StepKind::kEnumSet:
-      case StepKind::kEnumAny: {
-        if (theta->IsBound(step.var)) return Exec(steps, idx + 1, theta);
-        auto enumerate = [&](const std::vector<TermId>& domain) -> Status {
-          for (TermId value : domain) {
-            Substitution next = *theta;
-            next.Bind(step.var, value);
-            LPS_RETURN_IF_ERROR(Exec(steps, idx + 1, &next));
-          }
-          return Status::OK();
-        };
-        if (step.kind == StepKind::kEnumAtom) {
-          return enumerate(db_->atom_domain());
-        }
-        if (step.kind == StepKind::kEnumSet) {
-          return enumerate(db_->set_domain());
-        }
-        LPS_RETURN_IF_ERROR(enumerate(db_->atom_domain()));
-        return enumerate(db_->set_domain());
-      }
-      case StepKind::kScan:
-      case StepKind::kNegated:
-        break;
-    }
-    return Status::Internal("unexpected step in a builtin goal plan");
-  }
-
-  TermStore* store_;
-  Database* db_;
-  const BuiltinOptions& builtins_;
-  const Literal& goal_;
-  std::vector<Tuple>* out_ = nullptr;
-  std::unordered_set<Tuple, TupleHash> seen_;
-};
 
 // Streams the adorned answer relation of a demand (magic-set)
 // evaluation. The private database and the rewritten program (whose

@@ -34,6 +34,11 @@
 
 namespace lps {
 
+namespace serve {
+class Snapshot;
+struct FreezeOptions;
+}  // namespace serve
+
 class Session {
  public:
   explicit Session(LanguageMode mode = LanguageMode::kLDL,
@@ -86,6 +91,20 @@ class Session {
   /// Adds a ground fact programmatically, declaring the predicate by
   /// inference if unknown.
   Status AddFact(const std::string& pred, std::vector<TermId> args);
+
+  // ---- Snapshot publication (src/serve/) -----------------------------
+
+  /// Freezes the session's current state into an immutable snapshot:
+  /// compiles (and by default evaluates to fixpoint), deep-clones the
+  /// term store, program and database, and eagerly catches up every
+  /// relation index, so concurrent readers never trigger a lazy build.
+  /// The session stays fully usable afterwards - further Load /
+  /// AddFact / Evaluate calls never touch a published snapshot, which
+  /// is how a writer re-evaluates while readers drain on the old epoch
+  /// (serve::SnapshotRegistry). Defined in serve/snapshot.cc.
+  Result<std::shared_ptr<const serve::Snapshot>> Freeze();
+  Result<std::shared_ptr<const serve::Snapshot>> Freeze(
+      const serve::FreezeOptions& opts);
 
   // ---- Prepared queries ----------------------------------------------
 

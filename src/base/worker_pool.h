@@ -42,6 +42,15 @@ class WorkerPool {
   /// std::thread::hardware_concurrency, but never 0.
   static size_t HardwareConcurrency();
 
+  /// Resolves an options-level thread count to a lane count: 0 means
+  /// "one lane per hardware thread", anything else is taken literally.
+  /// The one place the 0-means-all convention is implemented; both the
+  /// parallel evaluator (EvalOptions::threads) and the query server
+  /// (serve::ServeOptions::threads) resolve through here.
+  static size_t ResolveLanes(size_t threads) {
+    return threads == 0 ? HardwareConcurrency() : threads;
+  }
+
  private:
   void WorkerLoop(size_t index);
 

@@ -100,8 +100,7 @@ Status BottomUpEvaluator::Evaluate() {
   // body scans shard without a delta - ever generate tasks, so
   // anything else never pays for a pool (and threads_used stays 0,
   // truthfully).
-  size_t lanes = options_.threads == 0 ? WorkerPool::HardwareConcurrency()
-                                       : options_.threads;
+  size_t lanes = WorkerPool::ResolveLanes(options_.threads);
   // A flat grouping rule only ever shards its first scan step's rows.
   // EDB relations are fully loaded at this point, so one that cannot
   // reach the chunking floor never will; IDB-fed scans grow during

@@ -71,6 +71,27 @@ Database::StorageStats Database::storage_stats() const {
   return s;
 }
 
+std::unique_ptr<Database> Database::CloneInto(TermStore* store,
+                                              const Signature* sig) const {
+  auto clone = std::make_unique<Database>(store, sig);
+  // Plain member copies overwrite the constructor's {}-registration;
+  // Relation's value semantics deep-copy arenas and indexes.
+  clone->relations_ = relations_;
+  clone->atom_domain_ = atom_domain_;
+  clone->set_domain_ = set_domain_;
+  clone->registered_ = registered_;
+  clone->version_ = version_;
+  return clone;
+}
+
+void Database::EnsureIndex(PredicateId pred, uint32_t mask) {
+  relation(pred).EnsureIndex(mask);
+}
+
+void Database::FreezeIndexes() {
+  for (auto& [pred, rel] : relations_) rel.FreezeIndexes();
+}
+
 std::string Database::ToString(const Signature& sig) const {
   // relations_ is an unordered_map, so sort by predicate id: dump order
   // must not vary run to run (locked in by DatabaseTest).

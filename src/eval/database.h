@@ -10,6 +10,7 @@
 #ifndef LPS_EVAL_DATABASE_H_
 #define LPS_EVAL_DATABASE_H_
 
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -75,6 +76,27 @@ class Database {
   /// Deterministic dump: relations ordered by PredicateId, rows in
   /// insertion order.
   std::string ToString(const Signature& sig) const;
+
+  // ---- Snapshot publication (serve/snapshot.h) -----------------------
+
+  /// Deep copy re-bound to `store` and `sig`, which must resolve every
+  /// TermId / PredicateId this database holds identically - i.e. be
+  /// the TermStore::Clone() of this database's store and the signature
+  /// of a Program::CloneInto against it. Copies rows, domains, indexes
+  /// and the version counter, so the clone is byte-equivalent for
+  /// every read.
+  std::unique_ptr<Database> CloneInto(TermStore* store,
+                                      const Signature* sig) const;
+
+  /// Builds the per-mask index for `mask` on `pred`'s relation,
+  /// creating the relation if absent. Freeze-time eager indexing for
+  /// binding patterns the server expects to probe.
+  void EnsureIndex(PredicateId pred, uint32_t mask);
+
+  /// Catches up every index of every relation
+  /// (Relation::FreezeIndexes); the last mutation before a snapshot is
+  /// published.
+  void FreezeIndexes();
 
  private:
   TermStore* store_;

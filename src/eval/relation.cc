@@ -168,6 +168,15 @@ const std::vector<RowId>& Relation::Lookup(uint32_t mask, TupleRef key) {
 
 void Relation::EnsureIndex(uint32_t mask) { GetIndex(mask); }
 
+void Relation::FreezeIndexes() {
+  for (Index& ix : indexes_) {
+    for (size_t i = ix.built_up_to; i < num_rows_; ++i) {
+      IndexInsert(&ix, static_cast<RowId>(i));
+    }
+    ix.built_up_to = num_rows_;
+  }
+}
+
 bool Relation::LookupSnapshot(uint32_t mask, TupleRef key,
                               size_t watermark,
                               std::vector<RowId>* out) const {

@@ -142,6 +142,14 @@ class Relation {
   /// LookupSnapshot probes hit a fully built index.
   void EnsureIndex(uint32_t mask);
 
+  /// Catches every existing per-mask index up to the current row count,
+  /// so a subsequent LookupSnapshot at watermark == size() always hits
+  /// a prebuilt index for those masks (no scan fallback, no lazy
+  /// build). Freeze-time step of snapshot publication
+  /// (serve/snapshot.h): after this, the relation satisfies the const
+  /// read-path contract as long as no further Insert runs.
+  void FreezeIndexes();
+
   /// Snapshot probe for concurrent readers: fills `out` with the
   /// RowIds (ascending) of rows among the first `watermark` whose
   /// masked columns equal `key`. Never builds or extends an index and

@@ -43,6 +43,20 @@ class Program {
   /// Renders the whole program, one clause per line.
   std::string ToString() const;
 
+  /// A copy re-bound to `store`, which must resolve every TermId and
+  /// Symbol this program references to the same term/name - i.e. be a
+  /// TermStore::Clone() of this program's store (or a clone's clone).
+  /// The copy's signature points into `store`'s symbol table, so the
+  /// original session can keep interning without the copy observing
+  /// anything. This is how a frozen serve::Snapshot and each server
+  /// worker get their isolated program view.
+  Program CloneInto(TermStore* store) const {
+    Program out = *this;
+    out.store_ = store;
+    out.signature_.RebindSymbols(&store->symbols());
+    return out;
+  }
+
  private:
   TermStore* store_;
   Signature signature_;

@@ -87,6 +87,13 @@ class Signature {
 
   SymbolTable* symbols() const { return symbols_; }
 
+  /// Re-points this signature at another symbol table. Only sound when
+  /// `symbols` assigns every Symbol this signature holds the same name
+  /// - i.e. `symbols` is (a superset-by-suffix of) a CopyFrom copy of
+  /// the current table. Used by Program::CloneInto when re-binding a
+  /// program to a cloned TermStore.
+  void RebindSymbols(SymbolTable* symbols) { symbols_ = symbols; }
+
  private:
   PredicateId Register(std::string_view name, std::vector<Sort> sorts,
                        bool builtin);

@@ -1,0 +1,80 @@
+#include "serve/registry.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lps::serve {
+
+void PinnedSnapshot::Release() {
+  if (registry_ != nullptr) {
+    registry_->Unpin(epoch_);
+    registry_ = nullptr;
+  }
+  snap_.reset();
+  epoch_ = 0;
+}
+
+uint64_t SnapshotRegistry::Publish(std::shared_ptr<const Snapshot> snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!entries_.empty()) {
+    Entry& old = entries_.back();
+    old.retired = true;
+    if (old.pins == 0) {
+      ++reclaimed_;
+      entries_.pop_back();
+    }
+  }
+  Entry e;
+  e.epoch = next_epoch_++;
+  e.snap = std::move(snap);
+  entries_.push_back(std::move(e));
+  ++published_;
+  return entries_.back().epoch;
+}
+
+PinnedSnapshot SnapshotRegistry::Pin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.empty()) return PinnedSnapshot();
+  Entry& cur = entries_.back();
+  ++cur.pins;
+  return PinnedSnapshot(this, cur.epoch, cur.snap);
+}
+
+void SnapshotRegistry::Unpin(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [epoch](const Entry& e) { return e.epoch == epoch; });
+  assert(it != entries_.end() && "unpinning an unknown epoch");
+  if (it == entries_.end()) return;
+  assert(it->pins > 0 && "unbalanced Unpin");
+  --it->pins;
+  // Deferred reclamation: a retired epoch dies with its last pin; the
+  // current epoch stays however many pins come and go.
+  if (it->retired && it->pins == 0) {
+    ++reclaimed_;
+    entries_.erase(it);
+  }
+}
+
+uint64_t SnapshotRegistry::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.empty() ? 0 : entries_.back().epoch;
+}
+
+size_t SnapshotRegistry::live_snapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+uint64_t SnapshotRegistry::published_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_;
+}
+
+uint64_t SnapshotRegistry::reclaimed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reclaimed_;
+}
+
+}  // namespace lps::serve

@@ -1,0 +1,392 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+
+#include "api/goal_exec.h"
+#include "base/hash.h"
+#include "eval/bottomup.h"
+#include "lang/validate.h"
+#include "parse/parser.h"
+#include "serve/resolve.h"
+#include "term/printer.h"
+#include "unify/unify.h"
+
+namespace lps::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+      .count();
+}
+
+// Rendered-row emission: surface syntax is the one representation two
+// workers (or a worker and a sequential ground-truth run) agree on -
+// post-freeze TermIds may differ per private store, rendered text never
+// does. The checksum is a sum of mixed row hashes, so it is invariant
+// under answer order.
+void EmitRow(const TermStore& store, TupleRef t, bool record,
+             ServeAnswer* out) {
+  std::string row = TermListToString(store, t);
+  row.insert(row.begin(), '(');
+  row.push_back(')');
+  out->checksum += Mix64(std::hash<std::string>{}(row));
+  ++out->count;
+  if (record) out->rows.push_back(std::move(row));
+}
+
+void MergeCounters(ServeStats* into, const ServeStats& d) {
+  into->queries += d.queries;
+  into->demand_queries += d.demand_queries;
+  into->scan_queries += d.scan_queries;
+  into->builtin_queries += d.builtin_queries;
+  into->empty_fast_path += d.empty_fast_path;
+  into->errors += d.errors;
+  into->answers += d.answers;
+  into->rewrites_built += d.rewrites_built;
+  into->rewrite_cache_hits += d.rewrite_cache_hits;
+  into->index_misses += d.index_misses;
+  into->worker_rebinds += d.worker_rebinds;
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<size_t>(pos + 0.5)];
+}
+
+}  // namespace
+
+QueryServer::QueryServer(SnapshotRegistry* registry, ServeOptions options)
+    : registry_(registry),
+      options_(options),
+      pool_(WorkerPool::ResolveLanes(options.threads)),
+      workers_(pool_.size()) {}
+
+void QueryServer::BindWorker(Worker* w, const PinnedSnapshot& pin) {
+  if (w->store != nullptr && w->epoch == pin.epoch()) return;
+  const Snapshot& snap = *pin.snapshot();
+  w->store = snap.store().Clone();
+  w->program =
+      std::make_unique<Program>(snap.program().CloneInto(w->store.get()));
+  w->entries.clear();
+  w->epoch = pin.epoch();
+  ++w->delta.worker_rebinds;
+}
+
+QueryServer::QueryEntry& QueryServer::Materialize(Worker* w,
+                                                  const Snapshot& snap,
+                                                  size_t query) {
+  if (w->entries.size() < queries_.size()) {
+    w->entries.resize(queries_.size());
+  }
+  QueryEntry& e = w->entries[query];
+  if (e.materialized) return e;
+  e.materialized = true;
+  Result<Literal> goal = ParseGoalText(queries_[query], snap.mode(),
+                                       w->store.get(),
+                                       &w->program->signature());
+  if (!goal.ok()) {
+    e.error = goal.status();
+    return e;
+  }
+  e.goal = std::move(goal).value();
+  const Signature& sig = w->program->signature();
+  e.error = ValidateGoal(*w->store, sig, e.goal, snap.mode());
+  if (!e.error.ok()) return e;
+  e.plan = BuildGoalPlan(*w->store, sig, *w->program, e.goal);
+  CollectLiteralVariables(*w->store, e.goal, &e.vars);
+  return e;
+}
+
+ServeAnswer QueryServer::ExecuteOne(Worker* w, const Snapshot& snap,
+                                    const ServeRequest& req) {
+  const Clock::time_point t0 = Clock::now();
+  ServeAnswer out;
+  ++w->delta.queries;
+  auto finish = [&]() -> ServeAnswer {
+    out.micros = MicrosSince(t0);
+    w->latencies.push_back(out.micros);
+    w->delta.answers += out.count;
+    if (!out.status.ok()) ++w->delta.errors;
+    return std::move(out);
+  };
+  auto fail = [&](Status s) -> ServeAnswer {
+    out.status = std::move(s);
+    return finish();
+  };
+
+  if (req.query >= queries_.size()) {
+    return fail(Status::InvalidArgument("unknown query id " +
+                                        std::to_string(req.query)));
+  }
+  QueryEntry& e = Materialize(w, snap, req.query);
+  if (!e.error.ok()) return fail(e.error);
+
+  TermStore* store = w->store.get();
+  const Signature& sig = w->program->signature();
+  const BuiltinOptions& builtins = snap.options().builtins;
+
+  // ---- Resolve parameters read-only against the worker store --------
+  struct Param {
+    TermId var;
+    TermId id;
+    MissKind miss;
+    const std::string* text;
+  };
+  std::vector<Param> params;
+  params.reserve(req.params.size());
+  MissKind worst = MissKind::kNone;
+  for (const auto& [name, text] : req.params) {
+    TermId var = kInvalidTerm;
+    for (TermId v : e.vars) {
+      if (store->symbols().Name(store->symbol(v)) == name) {
+        var = v;
+        break;
+      }
+    }
+    if (var == kInvalidTerm) {
+      return fail(Status::NotFound("goal " + queries_[req.query] +
+                                   " has no variable " + name));
+    }
+    Result<Resolution> r = TryResolveGroundTerm(*store, text);
+    if (!r.ok()) return fail(r.status());
+    Resolution res = *r;
+    if (res.missing == MissKind::kNone && res.id >= snap.store_size()) {
+      // Interned into this worker's scratch by an earlier request: the
+      // id exists but is younger than the freeze, so it occurs in no
+      // snapshot row. Classified exactly like a fresh miss; the id is
+      // kept so the demand path can bind it without re-interning.
+      res.missing = store->kind(res.id) == TermKind::kConstant
+                        ? MissKind::kConstant
+                        : MissKind::kOther;
+    }
+    if (res.missing == MissKind::kConstant) {
+      worst = MissKind::kConstant;
+    } else if (res.missing == MissKind::kOther &&
+               worst == MissKind::kNone) {
+      worst = MissKind::kOther;
+    }
+    params.push_back({var, res.id, res.missing, &text});
+  }
+
+  const bool is_builtin = sig.IsBuiltin(e.goal.pred);
+  const bool demand_route = !is_builtin && e.plan.demand_candidate;
+
+  // The empty fast path (serve/resolve.h): a missing plain constant is
+  // underivable - empty on every route; a missing int/set/function
+  // term is empty on a pure snapshot scan, but a demand evaluation
+  // could still derive it, and a builtin could compute it, so those
+  // routes intern into the scratch store and run.
+  if (!is_builtin && (worst == MissKind::kConstant ||
+                      (worst != MissKind::kNone && !demand_route))) {
+    ++w->delta.empty_fast_path;
+    out.note = "empty fast path: parameter not in snapshot";
+    return finish();
+  }
+
+  // ---- Bind ----------------------------------------------------------
+  Substitution bindings;
+  for (Param& p : params) {
+    if (p.id == kInvalidTerm) {
+      Result<TermId> interned = InternGroundTerm(store, *p.text);
+      if (!interned.ok()) return fail(interned.status());
+      p.id = *interned;
+    }
+    if (!SortAllowsBinding(*store, p.var, p.id)) {
+      return fail(Status::SortError("parameter value " + *p.text +
+                                    " has the wrong sort for goal " +
+                                    queries_[req.query]));
+    }
+    bindings.Bind(p.var, p.id);
+  }
+
+  if (is_builtin) {
+    // Builtin goals run their plan against the snapshot's active
+    // domains; computed terms (sums, unions) intern into the scratch.
+    ++w->delta.builtin_queries;
+    std::vector<Tuple> rows;
+    GoalPlanExecutor exec(store, &snap.database(), builtins, e.goal);
+    Status s = exec.Run(e.plan.body.steps, bindings, &rows);
+    if (!s.ok()) return fail(s);
+    for (const Tuple& t : rows) {
+      EmitRow(*store, t, options_.record_answers, &out);
+    }
+    return finish();
+  }
+
+  std::vector<TermId> patterns(e.goal.args.size());
+  std::vector<bool> bound(e.goal.args.size());
+  uint32_t mask = 0;
+  bool any_bound = false;
+  for (size_t i = 0; i < e.goal.args.size(); ++i) {
+    patterns[i] = bindings.Apply(store, e.goal.args[i]);
+    bound[i] = store->is_ground(patterns[i]);
+    any_bound = any_bound || bound[i];
+    if (bound[i]) mask |= ColumnBit(i);
+  }
+
+  // Read-only stream over the frozen snapshot relation (prebuilt
+  // indexes or a bounded scan; never a lazy build).
+  auto scan = [&]() -> ServeAnswer {
+    ++w->delta.scan_queries;
+    const Relation* rel = snap.database().FindRelation(e.goal.pred);
+    RelationScanSource src(store, builtins.unify, rel, patterns);
+    if (!src.index_hit()) ++w->delta.index_misses;
+    TupleRef t;
+    for (;;) {
+      Result<bool> more = src.Next(&t);
+      if (!more.ok()) return fail(more.status());
+      if (!*more) break;
+      EmitRow(*store, t, options_.record_answers, &out);
+    }
+    return finish();
+  };
+
+  if (!demand_route || !any_bound) return scan();
+
+  // ---- Demand (magic-set) evaluation in a private database -----------
+  // Mirrors PreparedQuery::ExecuteDemand (api/query.cc), with the cache
+  // per (query, mask) in this worker and the fallback a snapshot scan
+  // instead of a session Evaluate(): the snapshot already holds the
+  // fixpoint (Snapshot::converged), so the scan answers are complete.
+  const bool cacheable = e.goal.args.size() <= 32;
+  CachedRewrite uncached;
+  CachedRewrite* entry = nullptr;
+  if (cacheable) {
+    auto it = e.rewrites.find(mask);
+    if (it != e.rewrites.end()) {
+      entry = &it->second;
+      ++w->delta.rewrite_cache_hits;
+    }
+  }
+  if (entry == nullptr) {
+    Result<MagicRewriteResult> rw = MagicRewrite(*w->program, e.goal, bound);
+    if (!rw.ok()) return fail(rw.status());
+    ++w->delta.rewrites_built;
+    CachedRewrite fresh;
+    fresh.fallback_reason = std::move(rw->fallback_reason);
+    if (rw->applied) fresh.rewrite = std::move(rw->rewrite);
+    if (cacheable) {
+      entry = &e.rewrites.emplace(mask, std::move(fresh)).first->second;
+    } else {
+      uncached = std::move(fresh);
+      entry = &uncached;
+    }
+  }
+  if (entry->rewrite == nullptr) {
+    out.note = "demand fallback: " + entry->fallback_reason;
+    return scan();
+  }
+  ++w->delta.demand_queries;
+  const std::shared_ptr<const MagicProgram>& rw = entry->rewrite;
+
+  Database db(store, &rw->program.signature());
+  Tuple seed;
+  seed.reserve(rw->seed_positions.size());
+  for (size_t pos : rw->seed_positions) seed.push_back(patterns[pos]);
+  db.AddTuple(rw->seed_pred, seed);
+  EvalOptions eval_opts = snap.options().eval();
+  eval_opts.threads = 1;  // lanes are the parallelism; no nested pools
+  BottomUpEvaluator eval(&rw->program, &db, eval_opts);
+  Status es = eval.Evaluate();
+  if (!es.ok()) return fail(es);
+
+  Relation* rel = nullptr;
+  if (db.FindRelation(rw->goal.pred) != nullptr) {
+    rel = &db.relation(rw->goal.pred);
+  }
+  RelationScanSource src(store, builtins.unify, rel, std::move(patterns));
+  TupleRef t;
+  for (;;) {
+    Result<bool> more = src.Next(&t);
+    if (!more.ok()) return fail(more.status());
+    if (!*more) break;
+    EmitRow(*store, t, options_.record_answers, &out);
+  }
+  return finish();
+}
+
+Result<size_t> QueryServer::Prepare(const std::string& goal_text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PinnedSnapshot pin = registry_->Pin();
+  if (pin.snapshot() == nullptr) {
+    return Status::InvalidArgument(
+        "Prepare before any snapshot was published");
+  }
+  Worker& w = workers_[0];
+  BindWorker(&w, pin);
+  queries_.push_back(goal_text);
+  const size_t id = queries_.size() - 1;
+  QueryEntry& e = Materialize(&w, *pin.snapshot(), id);
+  if (!e.error.ok()) {
+    Status s = e.error;
+    queries_.pop_back();
+    w.entries.resize(queries_.size());
+    return s;
+  }
+  return id;
+}
+
+Result<ServeAnswer> QueryServer::Execute(const ServeRequest& request) {
+  LPS_ASSIGN_OR_RETURN(std::vector<ServeAnswer> answers,
+                       ExecuteBatch({request}));
+  return std::move(answers[0]);
+}
+
+Result<std::vector<ServeAnswer>> QueryServer::ExecuteBatch(
+    const std::vector<ServeRequest>& requests) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PinnedSnapshot pin = registry_->Pin();
+  if (pin.snapshot() == nullptr) {
+    return Status::InvalidArgument(
+        "ExecuteBatch before any snapshot was published");
+  }
+  const Clock::time_point t0 = Clock::now();
+  std::vector<ServeAnswer> answers(requests.size());
+  const Snapshot& snap = *pin.snapshot();
+  const size_t lanes = pool_.size();
+  // Requests are striped over the lanes; every lane writes disjoint
+  // `answers` slots and touches only its own Worker, so the job needs
+  // no synchronization. Run's return is the barrier that publishes
+  // the workers' writes to the merge below.
+  pool_.Run([&](size_t lane) {
+    Worker& w = workers_[lane];
+    BindWorker(&w, pin);
+    for (size_t i = lane; i < requests.size(); i += lanes) {
+      answers[i] = ExecuteOne(&w, snap, requests[i]);
+    }
+  });
+  const double batch_micros = MicrosSince(t0);
+
+  std::vector<double> latencies;
+  for (Worker& w : workers_) {
+    MergeCounters(&stats_, w.delta);
+    w.delta = ServeStats{};
+    latencies.insert(latencies.end(), w.latencies.begin(),
+                     w.latencies.end());
+    w.latencies.clear();
+  }
+  ++stats_.batches;
+  stats_.last_batch_micros = batch_micros;
+  stats_.last_batch_qps =
+      (requests.empty() || batch_micros <= 0)
+          ? 0.0
+          : static_cast<double>(requests.size()) * 1e6 / batch_micros;
+  std::sort(latencies.begin(), latencies.end());
+  stats_.p50_us = Percentile(latencies, 0.5);
+  stats_.p99_us = Percentile(latencies, 0.99);
+  stats_.max_us = latencies.empty() ? 0 : latencies.back();
+  return answers;
+}
+
+ServeStats QueryServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace lps::serve

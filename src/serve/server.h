@@ -1,0 +1,187 @@
+// QueryServer: N worker threads answering prepared point queries
+// against the snapshot currently published in a SnapshotRegistry.
+//
+// Concurrency model (DESIGN.md section 15): a batch pins the current
+// epoch once, fans its requests out over a WorkerPool, and unpins when
+// the last request drains. Between pin and unpin the execution path is
+// lock-free - every read touches only the immutable snapshot (const
+// TermStore::TryLookup* probes, Relation::LookupSnapshot over prebuilt
+// indexes, active-domain reads) and every *write* goes to state a
+// worker owns privately:
+//
+//  * a TermStore clone of the snapshot store (the per-connection
+//    intern scratch: parameter terms, magic rewrite variables and
+//    builtin results intern here, never in the shared store; TermIds
+//    interned here cross-compare soundly with snapshot ids because
+//    clones preserve the id prefix - see TermStore::Clone);
+//  * a Program re-bound to that clone, plus per-query plans and a
+//    per-(query, binding-mask) magic-rewrite cache;
+//  * a private result Database per demand query, owned for exactly the
+//    duration of one request.
+//
+// Workers re-bind (fresh clone, caches dropped) only when the batch
+// pins a *newer* epoch than the one they were bound to, so steady-state
+// serving against one snapshot pays the clone once per worker.
+//
+// Answers come back rendered (surface-syntax strings) with an
+// order-insensitive checksum, because two workers may intern the same
+// post-freeze term under different ids - rendered rows compare across
+// workers and across a sequential ground-truth run, raw TermIds do
+// not.
+#ifndef LPS_SERVE_SERVER_H_
+#define LPS_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/worker_pool.h"
+#include "eval/plan.h"
+#include "lang/clause.h"
+#include "serve/registry.h"
+#include "transform/magic.h"
+
+namespace lps::serve {
+
+struct ServeOptions {
+  /// Worker lanes (each one thread plus its private intern scratch).
+  /// 0 = one per hardware thread (WorkerPool::ResolveLanes).
+  size_t threads = 0;
+  /// Fill ServeAnswer::rows with the rendered answers. Off, answers are
+  /// only counted and checksummed - the benchmark mode.
+  bool record_answers = true;
+};
+
+/// One point query: a prepared query id plus ground parameter values
+/// as (variable name, term text) pairs, e.g. {"X", "n17"}.
+struct ServeRequest {
+  size_t query = 0;
+  std::vector<std::pair<std::string, std::string>> params;
+};
+
+struct ServeAnswer {
+  Status status = Status::OK();
+  /// Rendered answer tuples "(t1, ..., tn)" (iff record_answers).
+  std::vector<std::string> rows;
+  /// Answer count (also with record_answers off).
+  size_t count = 0;
+  /// Order-insensitive checksum over the rendered rows; equal answer
+  /// sets give equal checksums regardless of worker or answer order.
+  uint64_t checksum = 0;
+  /// Wall-clock service time of this request.
+  double micros = 0;
+  /// Non-normative diagnostics: empty-fast-path and fallback notes.
+  std::string note;
+};
+
+/// Cumulative server counters plus the latency profile of the most
+/// recent batch. All zero before the first batch.
+struct ServeStats {
+  uint64_t queries = 0;         // requests served (including errors)
+  uint64_t demand_queries = 0;  // answered by a magic-set evaluation
+  uint64_t scan_queries = 0;    // answered by a snapshot relation scan
+  uint64_t builtin_queries = 0; // answered by a builtin goal plan
+  uint64_t empty_fast_path = 0; // proven empty without touching rows
+  uint64_t errors = 0;          // requests with !status.ok()
+  uint64_t answers = 0;         // total answer tuples produced
+  uint64_t rewrites_built = 0;  // magic rewrites constructed
+  uint64_t rewrite_cache_hits = 0;
+  uint64_t index_misses = 0;    // snapshot scans with no prebuilt index
+  uint64_t worker_rebinds = 0;  // worker re-clones after a new epoch
+  uint64_t batches = 0;
+
+  // Most recent batch:
+  double last_batch_micros = 0;
+  double last_batch_qps = 0;
+  double p50_us = 0;  // per-request latency percentiles
+  double p99_us = 0;
+  double max_us = 0;
+};
+
+class QueryServer {
+ public:
+  /// `registry` must outlive the server and have at least one snapshot
+  /// published before Prepare/Execute are called.
+  explicit QueryServer(SnapshotRegistry* registry, ServeOptions options = {});
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Parses and validates `goal_text` against the current snapshot and
+  /// registers it; returns the query id ServeRequests refer to. Each
+  /// worker materializes its own plan from the text on first use (and
+  /// again after re-binding to a newer epoch).
+  Result<size_t> Prepare(const std::string& goal_text);
+
+  /// Serves one request (a batch of one).
+  Result<ServeAnswer> Execute(const ServeRequest& request);
+
+  /// Pins the current epoch once, serves every request across the
+  /// worker pool, unpins, and updates stats(). Requests are striped
+  /// over the lanes; answers come back in request order. Per-request
+  /// failures (unknown query id, malformed parameter, sort conflicts)
+  /// land in the corresponding ServeAnswer::status - the batch itself
+  /// only fails when no snapshot has been published yet.
+  Result<std::vector<ServeAnswer>> ExecuteBatch(
+      const std::vector<ServeRequest>& requests);
+
+  ServeStats stats() const;
+  size_t threads() const { return pool_.size(); }
+
+ private:
+  struct CachedRewrite {
+    std::shared_ptr<const MagicProgram> rewrite;  // null = fell back
+    std::string fallback_reason;
+  };
+
+  /// One prepared query as materialized in one worker's private
+  /// store/program (parsed from the shared goal text).
+  struct QueryEntry {
+    bool materialized = false;
+    Status error = Status::OK();  // sticky parse/validate failure
+    Literal goal;
+    GoalPlan plan;
+    std::vector<TermId> vars;
+    std::map<uint32_t, CachedRewrite> rewrites;
+  };
+
+  /// Everything a lane owns privately. Only its own thread touches a
+  /// Worker during a batch; the post-Run merge in ExecuteBatch reads
+  /// the deltas after the pool barrier (WorkerPool::Run blocks until
+  /// every lane returns, which publishes the writes).
+  struct Worker {
+    uint64_t epoch = 0;  // epoch the clones below were taken from
+    std::unique_ptr<TermStore> store;
+    std::unique_ptr<Program> program;
+    std::vector<QueryEntry> entries;  // indexed by query id
+    ServeStats delta;                 // counters gathered this batch
+    std::vector<double> latencies;    // per-request micros this batch
+  };
+
+  /// Re-clones the worker's store/program from `pin`'s snapshot iff the
+  /// pinned epoch is newer than the worker's; drops all entries.
+  void BindWorker(Worker* w, const PinnedSnapshot& pin);
+  /// Parses/validates/plans queries_[query] into w->entries[query].
+  QueryEntry& Materialize(Worker* w, const Snapshot& snap, size_t query);
+  ServeAnswer ExecuteOne(Worker* w, const Snapshot& snap,
+                         const ServeRequest& request);
+
+  SnapshotRegistry* registry_;
+  ServeOptions options_;
+  WorkerPool pool_;
+  std::vector<Worker> workers_;  // one per lane, sized pool_.size()
+
+  /// Serializes Prepare/ExecuteBatch (one batch in flight at a time)
+  /// and guards queries_/stats_.
+  mutable std::mutex mu_;
+  std::vector<std::string> queries_;  // goal text by id
+  ServeStats stats_;
+};
+
+}  // namespace lps::serve
+
+#endif  // LPS_SERVE_SERVER_H_

@@ -1,0 +1,94 @@
+// Defines Session::Freeze and PreparedQuery::ExecuteSnapshot here
+// rather than in src/api/ so the api headers only need forward
+// declarations of the serve types (no include cycle).
+#include "serve/snapshot.h"
+
+#include "api/goal_exec.h"
+#include "api/query.h"
+#include "api/session.h"
+
+namespace lps {
+
+namespace {
+
+// Keeps the snapshot alive while a cursor streams over its relation
+// arena; the zero-copy TupleRef views point into snapshot-owned rows.
+class SnapshotScanSource final : public AnswerSource {
+ public:
+  SnapshotScanSource(std::shared_ptr<const serve::Snapshot> snap,
+                     std::unique_ptr<RelationScanSource> inner)
+      : snap_(std::move(snap)), inner_(std::move(inner)) {}
+
+  Result<bool> Next(TupleRef* out) override { return inner_->Next(out); }
+  void Rewind() override { inner_->Rewind(); }
+
+ private:
+  std::shared_ptr<const serve::Snapshot> snap_;
+  std::unique_ptr<RelationScanSource> inner_;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<const serve::Snapshot>> Session::Freeze() {
+  return Freeze(serve::FreezeOptions{});
+}
+
+Result<std::shared_ptr<const serve::Snapshot>> Session::Freeze(
+    const serve::FreezeOptions& opts) {
+  LPS_RETURN_IF_ERROR(Compile());
+  if (opts.evaluate) LPS_RETURN_IF_ERROR(Evaluate());
+  auto snap = std::shared_ptr<serve::Snapshot>(new serve::Snapshot());
+  snap->store_ = store_->Clone();
+  snap->program_ = std::make_unique<Program>(
+      program_->CloneInto(snap->store_.get()));
+  snap->db_ =
+      db_->CloneInto(snap->store_.get(), &snap->program_->signature());
+  for (const serve::FreezeOptions::IndexSpec& spec : opts.indexes) {
+    PredicateId pred =
+        snap->program_->signature().Lookup(spec.pred, spec.arity);
+    if (pred != kInvalidPredicate) snap->db_->EnsureIndex(pred, spec.mask);
+  }
+  snap->db_->FreezeIndexes();
+  snap->mode_ = mode_;
+  snap->options_ = options_;
+  snap->converged_ = opts.evaluate;
+  snap->store_size_ = snap->store_->size();
+  return std::shared_ptr<const serve::Snapshot>(std::move(snap));
+}
+
+Result<AnswerCursor> PreparedQuery::ExecuteSnapshot(
+    std::shared_ptr<const serve::Snapshot> snapshot) {
+  if (session_ == nullptr) {
+    return Status::InvalidArgument("executing an empty PreparedQuery");
+  }
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("ExecuteSnapshot without a snapshot");
+  }
+  TermStore* store = session_->store();
+  const Signature& sig = snapshot->signature();
+  if (goal_.pred >= sig.size()) {
+    // The goal predicate was declared after the freeze, so the
+    // snapshot stores nothing under it.
+    return AnswerCursor::FromTuples({});
+  }
+  const BuiltinOptions& builtins = snapshot->options().builtins;
+
+  if (!sig.IsBuiltin(goal_.pred)) {
+    std::vector<TermId> patterns(goal_.args.size());
+    for (size_t i = 0; i < goal_.args.size(); ++i) {
+      patterns[i] = bindings_.Apply(store, goal_.args[i]);
+    }
+    const Relation* rel = snapshot->database().FindRelation(goal_.pred);
+    auto inner = std::make_unique<RelationScanSource>(
+        store, builtins.unify, rel, std::move(patterns));
+    return AnswerCursor(std::make_unique<SnapshotScanSource>(
+        std::move(snapshot), std::move(inner)));
+  }
+
+  std::vector<Tuple> rows;
+  GoalPlanExecutor exec(store, &snapshot->database(), builtins, goal_);
+  LPS_RETURN_IF_ERROR(exec.Run(plan_.body.steps, bindings_, &rows));
+  return AnswerCursor::FromTuples(std::move(rows));
+}
+
+}  // namespace lps

@@ -1,0 +1,94 @@
+// A frozen, immutable copy of a Session's state, safe for any number
+// of concurrent readers.
+//
+// Session::Freeze() deep-clones the term store (TermStore::Clone - id
+// and symbol assignments are preserved exactly), re-binds a copy of
+// the program and database to the clone, and catches up every
+// relation index (Database::FreezeIndexes). After publication nothing
+// ever mutates a Snapshot: the read path is Relation::LookupSnapshot
+// probes of prebuilt indexes, const TermStore::TryLookup* probes of
+// the intern tables, and active-domain reads - all verified free of
+// lazy mutation - so readers need no locks at all (DESIGN.md section
+// 15). Writers keep loading facts and re-evaluating on the *session*
+// copies and publish fresh snapshots through serve::SnapshotRegistry
+// while readers drain on the old epoch.
+#ifndef LPS_SERVE_SNAPSHOT_H_
+#define LPS_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/options.h"
+#include "eval/database.h"
+#include "lang/program.h"
+#include "lang/validate.h"
+
+namespace lps {
+
+class Session;
+
+namespace serve {
+
+struct FreezeOptions {
+  /// Bring the session database to fixpoint before freezing (the
+  /// normal serving mode: scans over the snapshot are then complete
+  /// answers). With false the snapshot captures the database as-is -
+  /// Snapshot::converged() reports which.
+  bool evaluate = true;
+
+  /// Extra per-mask indexes to build eagerly at freeze time, for
+  /// binding patterns the server is expected to probe that no prior
+  /// execution has indexed yet. Predicates are named (name, arity);
+  /// unknown predicates are skipped, not errors - the scan fallback
+  /// stays correct, just slower.
+  struct IndexSpec {
+    std::string pred;
+    size_t arity = 0;
+    uint32_t mask = 0;
+  };
+  std::vector<IndexSpec> indexes;
+};
+
+/// Immutable after construction; create via Session::Freeze(). Shared
+/// ownership: the registry, pinned readers and snapshot-backed cursors
+/// all hold shared_ptr<const Snapshot>, so the memory lives exactly
+/// until the last reader drops - the registry's epoch refcount decides
+/// *retention* (when the registry stops handing the snapshot out), the
+/// shared_ptr makes even a buggy early retirement memory-safe.
+class Snapshot {
+ public:
+  const TermStore& store() const { return *store_; }
+  const Program& program() const { return *program_; }
+  const Database& database() const { return *db_; }
+  const Signature& signature() const { return program_->signature(); }
+  LanguageMode mode() const { return mode_; }
+  /// The freezing session's options (evaluation limits, builtin
+  /// semantics) - servers evaluate demand queries under these.
+  const Options& options() const { return options_; }
+  /// True when the database was at fixpoint at freeze time, i.e. scan
+  /// answers over this snapshot are complete.
+  bool converged() const { return converged_; }
+  /// Number of terms in the frozen store. A ground term resolved in a
+  /// descendant clone with id >= store_size() was interned after the
+  /// freeze and therefore occurs in no stored tuple here.
+  size_t store_size() const { return store_size_; }
+
+ private:
+  friend class ::lps::Session;
+  Snapshot() = default;
+
+  std::unique_ptr<TermStore> store_;
+  std::unique_ptr<Program> program_;
+  std::unique_ptr<Database> db_;
+  LanguageMode mode_ = LanguageMode::kLDL;
+  Options options_;
+  bool converged_ = false;
+  size_t store_size_ = 0;
+};
+
+}  // namespace serve
+}  // namespace lps
+
+#endif  // LPS_SERVE_SNAPSHOT_H_

@@ -26,4 +26,10 @@ Symbol SymbolTable::Fresh(std::string_view base) {
   }
 }
 
+void SymbolTable::CopyFrom(const SymbolTable& other) {
+  names_ = other.names_;
+  index_ = other.index_;
+  fresh_counter_ = other.fresh_counter_;
+}
+
 }  // namespace lps

@@ -39,6 +39,13 @@ class SymbolTable {
   /// variable names (Theorem 6 auxiliary predicates etc.).
   Symbol Fresh(std::string_view base);
 
+  /// Makes this table an exact copy of `other`: same ids, same fresh
+  /// counter. The table stays deliberately non-copyable (a Symbol is
+  /// only meaningful against the table that interned it); this is the
+  /// one sanctioned duplication path, used by TermStore::Clone() to
+  /// freeze a store for concurrent serving.
+  void CopyFrom(const SymbolTable& other);
+
  private:
   std::vector<std::string> names_;
   std::unordered_map<std::string, Symbol> index_;

@@ -212,6 +212,63 @@ void TermStore::GrowSetTable() {
   }
 }
 
+std::unique_ptr<TermStore> TermStore::Clone() const {
+  auto clone = std::unique_ptr<TermStore>(new TermStore(CloneTag{}));
+  clone->symbols_.CopyFrom(symbols_);
+  clone->nodes_ = nodes_;
+  clone->args_ = args_;
+  clone->index_ = index_;
+  clone->set_slots_ = set_slots_;
+  clone->set_count_ = set_count_;
+  clone->set_interns_ = set_interns_;
+  clone->set_intern_hits_ = set_intern_hits_;
+  clone->empty_set_ = empty_set_;
+  return clone;
+}
+
+TermId TermStore::TryLookupConstant(std::string_view name) const {
+  Symbol sym = symbols_.Lookup(name);
+  if (sym == kInvalidSymbol) return kInvalidTerm;
+  auto it = index_.find({TermKind::kConstant, Sort::kAtom, sym, 0, {}});
+  return it == index_.end() ? kInvalidTerm : it->second;
+}
+
+TermId TermStore::TryLookupInt(int64_t value) const {
+  auto it = index_.find(
+      {TermKind::kInt, Sort::kAtom, kInvalidSymbol, value, {}});
+  return it == index_.end() ? kInvalidTerm : it->second;
+}
+
+TermId TermStore::TryLookupFunction(Symbol name,
+                                    std::vector<TermId> args) const {
+  auto it = index_.find(
+      {TermKind::kFunction, Sort::kAtom, name, 0, std::move(args)});
+  return it == index_.end() ? kInvalidTerm : it->second;
+}
+
+TermId TermStore::TryLookupCanonicalSet(
+    std::span<const TermId> elements) const {
+  assert(std::is_sorted(elements.begin(), elements.end()) &&
+         std::adjacent_find(elements.begin(), elements.end()) ==
+             elements.end() &&
+         "TryLookupCanonicalSet requires strictly ascending elements");
+  if (set_slots_.empty()) return kInvalidTerm;
+  size_t mask = set_slots_.size() - 1;
+  size_t slot = Mix64(HashElementSpan(elements)) & mask;
+  for (;;) {
+    uint32_t v = set_slots_[slot];
+    if (v == 0) return kInvalidTerm;
+    const TermNode& n = nodes_[v - 1];
+    size_t sz = n.args_end - n.args_begin;
+    if (sz == elements.size() &&
+        std::equal(elements.begin(), elements.end(),
+                   args_.begin() + n.args_begin)) {
+      return v - 1;
+    }
+    slot = (slot + 1) & mask;
+  }
+}
+
 TermId SetBuilder::Build(TermStore* store) {
   std::sort(elems_.begin(), elems_.end());
   elems_.erase(std::unique(elems_.begin(), elems_.end()), elems_.end());

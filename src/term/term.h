@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -97,6 +98,34 @@ class TermStore {
   TermId InternCanonicalSet(std::span<const TermId> elements);
   TermId EmptySet() const { return empty_set_; }
 
+  // ---- Snapshot cloning (serve/snapshot.h) ---------------------------
+
+  /// Deep copy for snapshot publication. The clone owns identical
+  /// nodes, symbol table and intern tables, so every TermId and Symbol
+  /// valid in this store at clone time denotes the same term in the
+  /// clone - and because both arenas are append-only, ids interned
+  /// into either store *after* the clone are >= size()-at-clone and can
+  /// never collide with a shared-prefix id. Cross-store TermId
+  /// comparison between a store and its clone is therefore sound
+  /// whenever at least one side's id predates the clone.
+  std::unique_ptr<TermStore> Clone() const;
+
+  // ---- Const lookup (read path for concurrent serving) ---------------
+  // Pure probes of the intern tables: no interning, no table growth,
+  // not even the instrumentation counters move, so any number of
+  // threads may call them concurrently on a frozen store. kInvalidTerm
+  // means the term was never interned here - for a ground term that
+  // guarantees it occurs in no stored tuple of any database over this
+  // store (the serve-path miss => empty-answer fast path).
+
+  TermId TryLookupConstant(std::string_view name) const;
+  TermId TryLookupInt(int64_t value) const;
+  TermId TryLookupFunction(Symbol name,
+                           std::vector<TermId> args) const;
+  /// `elements` must be canonical (strictly ascending), as for
+  /// InternCanonicalSet.
+  TermId TryLookupCanonicalSet(std::span<const TermId> elements) const;
+
   // ---- Set-intern instrumentation (EvalStats / .stats) ---------------
 
   /// Canonical-set intern requests so far (every MakeSet /
@@ -135,6 +164,11 @@ class TermStore {
   bool ContainsVariable(TermId id, TermId var) const;
 
  private:
+  /// Uninitialized shell for Clone(), which copies every member; the
+  /// public constructor would intern {} into the still-empty tables.
+  struct CloneTag {};
+  explicit TermStore(CloneTag) {}
+
   struct Key {
     TermKind kind;
     Sort sort;  // distinguishes variables of different sorts

@@ -1,0 +1,512 @@
+// Tests for the concurrent serving subsystem (src/serve/): snapshot
+// freezing and cloning invariants, registry epoch/refcount lifecycle
+// (pin -> republish -> unpin -> reclamation), read-safe parameter
+// resolution, the QueryServer execution paths (scan / demand / builtin
+// / empty fast path), and a multi-threaded hammer whose per-thread
+// answer checksums must match a sequential ground truth - including
+// while a writer keeps republishing fresh epochs underneath the
+// readers (the TSan target for the whole subsystem).
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "serve/registry.h"
+#include "serve/resolve.h"
+#include "serve/snapshot.h"
+#include "term/printer.h"
+
+namespace lps {
+namespace {
+
+using serve::MissKind;
+using serve::PinnedSnapshot;
+using serve::QueryServer;
+using serve::Resolution;
+using serve::ServeAnswer;
+using serve::ServeOptions;
+using serve::ServeRequest;
+using serve::Snapshot;
+using serve::SnapshotRegistry;
+
+#define ASSERT_OK(expr)                        \
+  do {                                         \
+    ::lps::Status _st = (expr);                \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();   \
+  } while (0)
+
+constexpr const char* kGraph = R"(
+  edge(a, b). edge(b, c). edge(c, d). edge(d, e).
+  path(X, Y) :- edge(X, Y).
+  path(X, Z) :- path(X, Y), edge(Y, Z).
+)";
+
+std::shared_ptr<const Snapshot> FreezeGraph(Session* session) {
+  auto frozen = session->Freeze();
+  EXPECT_TRUE(frozen.ok()) << frozen.status().ToString();
+  return *frozen;
+}
+
+// ---- TermStore const lookups ----------------------------------------
+
+TEST(TryLookupTest, FindsInternedTermsAndMissesOthers) {
+  TermStore store;
+  TermId a = store.MakeConstant("a");
+  TermId i = store.MakeInt(42);
+  TermId f = store.MakeFunction("f", {a, i});
+  TermId s = store.MakeSet({a, i});
+  const TermStore& cs = store;
+  const size_t size_before = store.size();
+
+  EXPECT_EQ(cs.TryLookupConstant("a"), a);
+  EXPECT_EQ(cs.TryLookupInt(42), i);
+  Symbol fs = cs.symbols().Lookup("f");
+  EXPECT_EQ(cs.TryLookupFunction(fs, {a, i}), f);
+  Tuple elems(store.args(s).begin(), store.args(s).end());
+  EXPECT_EQ(cs.TryLookupCanonicalSet(elems), s);
+
+  EXPECT_EQ(cs.TryLookupConstant("zzz"), kInvalidTerm);
+  EXPECT_EQ(cs.TryLookupInt(-7), kInvalidTerm);
+  EXPECT_EQ(cs.TryLookupFunction(fs, {i, a}), kInvalidTerm);
+  Tuple other = {a};
+  EXPECT_EQ(cs.TryLookupCanonicalSet(other), kInvalidTerm);
+  // Pure probes: nothing was interned by any of the misses.
+  EXPECT_EQ(store.size(), size_before);
+}
+
+TEST(TryLookupTest, CloneIsPrefixStable) {
+  TermStore store;
+  TermId a = store.MakeConstant("a");
+  TermId s = store.MakeSet({a, store.MakeInt(1)});
+  std::unique_ptr<TermStore> clone = store.Clone();
+  ASSERT_EQ(clone->size(), store.size());
+  // Identical ids denote identical terms in the clone...
+  EXPECT_EQ(clone->TryLookupConstant("a"), a);
+  EXPECT_EQ(TermToString(*clone, s), TermToString(store, s));
+  // ...and ids interned after the clone sit past the shared prefix in
+  // both stores independently.
+  TermId fresh_in_clone = clone->MakeConstant("post_freeze");
+  EXPECT_GE(fresh_in_clone, static_cast<TermId>(store.size()));
+  EXPECT_EQ(store.TryLookupConstant("post_freeze"), kInvalidTerm);
+}
+
+// ---- Ground-term resolution -----------------------------------------
+
+TEST(ResolveTest, ClassifiesMisses) {
+  TermStore store;
+  TermId a = store.MakeConstant("a");
+  store.MakeInt(5);
+
+  auto hit = serve::TryResolveGroundTerm(store, "a");
+  ASSERT_OK(hit.status());
+  EXPECT_EQ(hit->id, a);
+  EXPECT_EQ(hit->missing, MissKind::kNone);
+
+  auto missing_const = serve::TryResolveGroundTerm(store, "b");
+  ASSERT_OK(missing_const.status());
+  EXPECT_EQ(missing_const->missing, MissKind::kConstant);
+
+  auto missing_int = serve::TryResolveGroundTerm(store, "17");
+  ASSERT_OK(missing_int.status());
+  EXPECT_EQ(missing_int->missing, MissKind::kOther);
+
+  // A set over present elements that was itself never interned.
+  auto missing_set = serve::TryResolveGroundTerm(store, "{a, 5}");
+  ASSERT_OK(missing_set.status());
+  EXPECT_EQ(missing_set->missing, MissKind::kOther);
+
+  // A missing constant dominates inside a composite.
+  auto nested = serve::TryResolveGroundTerm(store, "{a, b}");
+  ASSERT_OK(nested.status());
+  EXPECT_EQ(nested->missing, MissKind::kConstant);
+
+  // Malformed / non-ground text is an error, not a miss.
+  EXPECT_FALSE(serve::TryResolveGroundTerm(store, "X").ok());
+  EXPECT_FALSE(serve::TryResolveGroundTerm(store, "f(a,").ok());
+  EXPECT_FALSE(serve::TryResolveGroundTerm(store, "a b").ok());
+
+  // The probes interned nothing; InternGroundTerm does.
+  const size_t size_before = store.size();
+  EXPECT_EQ(store.size(), size_before);
+  auto interned = serve::InternGroundTerm(&store, "{a, 5}");
+  ASSERT_OK(interned.status());
+  auto again = serve::TryResolveGroundTerm(store, "{a, 5}");
+  ASSERT_OK(again.status());
+  EXPECT_EQ(again->id, *interned);
+  EXPECT_EQ(again->missing, MissKind::kNone);
+}
+
+// ---- Snapshot freezing ----------------------------------------------
+
+TEST(SnapshotTest, FreezeIsImmutableUnderSessionMutation) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(kGraph));
+  auto snap = FreezeGraph(&session);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_TRUE(snap->converged());
+  const size_t frozen_rows = snap->database().TupleCount();
+
+  // Mutate the session heavily: the snapshot must not move.
+  ASSERT_OK(session.Load("edge(e, f). edge(f, g)."));
+  ASSERT_OK(session.Evaluate());
+  EXPECT_GT(session.database()->TupleCount(), frozen_rows);
+  EXPECT_EQ(snap->database().TupleCount(), frozen_rows);
+
+  // Prepared queries execute against the snapshot: the post-freeze
+  // edges are invisible there but visible in the live session.
+  auto q = session.Prepare("path(a, X)");
+  ASSERT_OK(q.status());
+  auto live = q->Execute();
+  ASSERT_OK(live.status());
+  auto live_rows = live->ToVector();
+  ASSERT_OK(live_rows.status());
+  auto frozen = q->ExecuteSnapshot(snap);
+  ASSERT_OK(frozen.status());
+  auto frozen_answers = frozen->ToVector();
+  ASSERT_OK(frozen_answers.status());
+  EXPECT_EQ(frozen_answers->size(), 4u);  // b, c, d, e
+  EXPECT_GT(live_rows->size(), frozen_answers->size());
+}
+
+TEST(SnapshotTest, CursorOutlivesRegistryRetirement) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(kGraph));
+  SnapshotRegistry registry;
+  registry.Publish(FreezeGraph(&session));
+
+  auto q = session.Prepare("edge(X, Y)");
+  ASSERT_OK(q.status());
+  PinnedSnapshot pin = registry.Pin();
+  auto cursor = q->ExecuteSnapshot(pin.snapshot());
+  ASSERT_OK(cursor.status());
+  // Retire the pinned epoch and drop the pin mid-stream: the cursor's
+  // shared ownership keeps the snapshot memory alive.
+  registry.Publish(FreezeGraph(&session));
+  pin.Release();
+  EXPECT_EQ(registry.reclaimed_count(), 1u);
+  auto rows = cursor->ToVector();
+  ASSERT_OK(rows.status());
+  EXPECT_EQ(rows->size(), 4u);
+}
+
+// ---- Registry lifecycle ---------------------------------------------
+
+TEST(RegistryTest, PinRepublishUnpinReclamationOrder) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(kGraph));
+  SnapshotRegistry registry;
+  EXPECT_EQ(registry.current_epoch(), 0u);
+  EXPECT_EQ(registry.Pin().snapshot(), nullptr);
+
+  uint64_t e1 = registry.Publish(FreezeGraph(&session));
+  EXPECT_EQ(e1, 1u);
+  EXPECT_EQ(registry.current_epoch(), 1u);
+
+  PinnedSnapshot reader = registry.Pin();
+  EXPECT_EQ(reader.epoch(), 1u);
+  ASSERT_NE(reader.snapshot(), nullptr);
+
+  // Republish while the reader still holds epoch 1: the old epoch is
+  // retired but NOT reclaimed, and new pins land on epoch 2.
+  uint64_t e2 = registry.Publish(FreezeGraph(&session));
+  EXPECT_EQ(e2, 2u);
+  EXPECT_EQ(registry.live_snapshots(), 2u);
+  EXPECT_EQ(registry.reclaimed_count(), 0u);
+  EXPECT_EQ(registry.Pin().epoch(), 2u);  // temp pin, unpins at once
+
+  // The reader keeps draining on its pinned epoch 1 snapshot.
+  EXPECT_EQ(reader->database().TupleCount(),
+            registry.Pin().snapshot()->database().TupleCount());
+
+  // Deferred reclamation: epoch 1 dies exactly when its pin drops.
+  reader.Release();
+  EXPECT_EQ(registry.live_snapshots(), 1u);
+  EXPECT_EQ(registry.reclaimed_count(), 1u);
+
+  // An unpinned retired epoch reclaims immediately at Publish.
+  registry.Publish(FreezeGraph(&session));
+  EXPECT_EQ(registry.live_snapshots(), 1u);
+  EXPECT_EQ(registry.reclaimed_count(), 2u);
+  EXPECT_EQ(registry.published_count(), 3u);
+
+  // The current epoch never reclaims, however many pins come and go.
+  { PinnedSnapshot p1 = registry.Pin(); PinnedSnapshot p2 = registry.Pin(); }
+  EXPECT_EQ(registry.live_snapshots(), 1u);
+  EXPECT_EQ(registry.current_epoch(), 3u);
+}
+
+// ---- QueryServer ----------------------------------------------------
+
+ServeOptions TwoThreads() {
+  ServeOptions o;
+  o.threads = 2;
+  return o;
+}
+
+TEST(QueryServerTest, ScanDemandAndEmptyFastPaths) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(kGraph));
+  SnapshotRegistry registry;
+  registry.Publish(FreezeGraph(&session));
+  QueryServer server(&registry, TwoThreads());
+
+  auto path_q = server.Prepare("path(X, Y)");
+  ASSERT_OK(path_q.status());
+  auto edge_q = server.Prepare("edge(X, Y)");
+  ASSERT_OK(edge_q.status());
+  EXPECT_FALSE(server.Prepare("path({a}, Y)").ok());  // sort error
+
+  // Demand point query: path(a, Y) has exactly b, c, d, e.
+  ServeRequest req;
+  req.query = *path_q;
+  req.params = {{"X", "a"}};
+  auto ans = server.Execute(req);
+  ASSERT_OK(ans.status());
+  ASSERT_OK(ans->status);
+  EXPECT_EQ(ans->count, 4u);
+  std::set<std::string> rows(ans->rows.begin(), ans->rows.end());
+  EXPECT_TRUE(rows.count("(a, e)")) << ans->rows.size();
+
+  // EDB scan point query on a prebuilt index.
+  req.query = *edge_q;
+  req.params = {{"X", "b"}};
+  ans = server.Execute(req);
+  ASSERT_OK(ans.status());
+  EXPECT_EQ(ans->count, 1u);
+  EXPECT_EQ(ans->rows[0], "(b, c)");
+
+  // Unknown constant: trivially empty without touching a row, on both
+  // the scan route and the demand route.
+  req.params = {{"X", "nowhere"}};
+  ans = server.Execute(req);
+  ASSERT_OK(ans.status());
+  EXPECT_EQ(ans->count, 0u);
+  req.query = *path_q;
+  ans = server.Execute(req);
+  ASSERT_OK(ans.status());
+  EXPECT_EQ(ans->count, 0u);
+
+  // Per-request errors land in the answer, not the batch.
+  ServeRequest bad;
+  bad.query = 999;
+  auto batch = server.ExecuteBatch({bad});
+  ASSERT_OK(batch.status());
+  EXPECT_FALSE((*batch)[0].status.ok());
+
+  serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.queries, 5u);
+  EXPECT_EQ(stats.demand_queries, 1u);
+  EXPECT_GE(stats.scan_queries, 1u);
+  EXPECT_EQ(stats.empty_fast_path, 2u);
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_GE(stats.rewrites_built, 1u);
+  EXPECT_GT(stats.last_batch_qps, 0.0);
+}
+
+TEST(QueryServerTest, RewriteCacheHitsAndRebindOnRepublish) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(kGraph));
+  SnapshotRegistry registry;
+  registry.Publish(FreezeGraph(&session));
+  ServeOptions opts;
+  opts.threads = 1;  // one worker, so cache behavior is deterministic
+  QueryServer server(&registry, opts);
+  auto q = server.Prepare("path(X, Y)");
+  ASSERT_OK(q.status());
+
+  ServeRequest req;
+  req.query = *q;
+  for (const char* c : {"a", "b", "a"}) {
+    req.params = {{"X", c}};
+    auto ans = server.Execute(req);
+    ASSERT_OK(ans.status());
+    ASSERT_OK(ans->status);
+  }
+  serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.rewrites_built, 1u);      // one mask, built once
+  EXPECT_EQ(stats.rewrite_cache_hits, 2u);  // reused across requests
+
+  // Publish a grown database: the worker re-binds and the new edge
+  // becomes visible; the rewrite cache restarts.
+  ASSERT_OK(session.Load("edge(e, f)."));
+  registry.Publish(FreezeGraph(&session));
+  req.params = {{"X", "e"}};
+  auto ans = server.Execute(req);
+  ASSERT_OK(ans.status());
+  ASSERT_EQ(ans->count, 1u);
+  EXPECT_EQ(ans->rows[0], "(e, f)");
+  stats = server.stats();
+  EXPECT_GE(stats.worker_rebinds, 2u);  // initial bind + republish
+  EXPECT_EQ(stats.rewrites_built, 2u);
+}
+
+TEST(QueryServerTest, BuiltinGoalsInternIntoWorkerScratch) {
+  Session session(LanguageMode::kLDL);
+  ASSERT_OK(session.Load("num(1). num(2). num(3)."));
+  SnapshotRegistry registry;
+  registry.Publish(FreezeGraph(&session));
+  QueryServer server(&registry, TwoThreads());
+  auto q = server.Prepare("X < 3");
+  ASSERT_OK(q.status());
+  ServeRequest req;
+  req.query = *q;
+  auto ans = server.Execute(req);
+  ASSERT_OK(ans.status());
+  ASSERT_OK(ans->status);
+  std::set<std::string> rows(ans->rows.begin(), ans->rows.end());
+  EXPECT_EQ(rows, (std::set<std::string>{"(1, 3)", "(2, 3)"}));
+}
+
+// Sequential ground truth for the hammer tests: every path(c, _)
+// answer set rendered and summarized the same way the server does.
+std::map<std::string, size_t> GroundTruthCounts(
+    Session* session, const std::vector<std::string>& consts) {
+  std::map<std::string, size_t> counts;
+  for (const std::string& c : consts) {
+    auto rows = session->Query("path(" + c + ", Y)");
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    counts[c] = rows->size();
+  }
+  return counts;
+}
+
+TEST(QueryServerTest, HammerMatchesSequentialGroundTruth) {
+  // A denser random-ish graph so point queries have real answer sets.
+  Session session(LanguageMode::kLPS);
+  std::string facts;
+  const size_t n = 24;
+  for (size_t i = 0; i < n; ++i) {
+    facts += "edge(n" + std::to_string(i) + ", n" +
+             std::to_string((i * 7 + 3) % n) + ").\n";
+    facts += "edge(n" + std::to_string(i) + ", n" +
+             std::to_string((i * 5 + 1) % n) + ").\n";
+  }
+  ASSERT_OK(session.Load(facts));
+  ASSERT_OK(session.Load(
+      "path(X, Y) :- edge(X, Y). path(X, Z) :- path(X, Y), edge(Y, Z)."));
+  ASSERT_OK(session.Evaluate());
+
+  std::vector<std::string> consts;
+  for (size_t i = 0; i < n; ++i) consts.push_back("n" + std::to_string(i));
+  std::map<std::string, size_t> truth = GroundTruthCounts(&session, consts);
+
+  SnapshotRegistry registry;
+  registry.Publish(FreezeGraph(&session));
+  ServeOptions opts;
+  opts.threads = 4;
+  opts.record_answers = false;  // checksums only, as the bench runs
+  QueryServer server(&registry, opts);
+  auto q = server.Prepare("path(X, Y)");
+  ASSERT_OK(q.status());
+
+  // First a sequential reference pass for the checksums themselves.
+  ServeOptions seq_opts;
+  seq_opts.threads = 1;
+  seq_opts.record_answers = false;
+  QueryServer reference(&registry, seq_opts);
+  auto ref_q = reference.Prepare("path(X, Y)");
+  ASSERT_OK(ref_q.status());
+  std::map<std::string, uint64_t> ref_sums;
+  for (const std::string& c : consts) {
+    ServeRequest req;
+    req.query = *ref_q;
+    req.params = {{"X", c}};
+    auto ans = reference.Execute(req);
+    ASSERT_OK(ans.status());
+    ASSERT_OK(ans->status);
+    EXPECT_EQ(ans->count, truth[c]) << c;
+    ref_sums[c] = ans->checksum;
+  }
+
+  // Hammer: many copies of every point query in one striped batch.
+  std::vector<ServeRequest> batch;
+  for (int rep = 0; rep < 8; ++rep) {
+    for (const std::string& c : consts) {
+      ServeRequest req;
+      req.query = *q;
+      req.params = {{"X", c}};
+      batch.push_back(req);
+    }
+  }
+  auto answers = server.ExecuteBatch(batch);
+  ASSERT_OK(answers.status());
+  ASSERT_EQ(answers->size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const std::string& c = batch[i].params[0].second;
+    const ServeAnswer& a = (*answers)[i];
+    ASSERT_OK(a.status);
+    EXPECT_EQ(a.count, truth[c]) << c;
+    EXPECT_EQ(a.checksum, ref_sums[c]) << c;
+  }
+  serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.queries, batch.size());
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_GT(stats.p99_us + 1.0, stats.p50_us);
+}
+
+TEST(QueryServerTest, ConcurrentWriterRepublication) {
+  // Reader threads run batches while the writer keeps growing the
+  // session and publishing fresh epochs. Every answer must be
+  // internally consistent with *some* published epoch: the path count
+  // from n0 only ever grows as edges accumulate.
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(
+      "edge(n0, n1).\n"
+      "path(X, Y) :- edge(X, Y). path(X, Z) :- path(X, Y), edge(Y, Z)."));
+  SnapshotRegistry registry;
+  registry.Publish(FreezeGraph(&session));
+  QueryServer server(&registry, TwoThreads());
+  auto q = server.Prepare("path(X, Y)");
+  ASSERT_OK(q.status());
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> batches{0};
+  std::thread reader([&] {
+    size_t last = 0;
+    while (!stop.load()) {
+      ServeRequest req;
+      req.query = *q;
+      req.params = {{"X", "n0"}};
+      auto ans = server.Execute(req);
+      ASSERT_TRUE(ans.ok()) << ans.status().ToString();
+      ASSERT_TRUE(ans->status.ok()) << ans->status.ToString();
+      // Monotone: each epoch only adds reachable nodes.
+      ASSERT_GE(ans->count, last);
+      last = ans->count;
+      ++batches;
+    }
+  });
+  for (int i = 1; i < 12; ++i) {
+    ASSERT_OK(session.Load("edge(n" + std::to_string(i) + ", n" +
+                           std::to_string(i + 1) + ")."));
+    auto frozen = session.Freeze();
+    ASSERT_OK(frozen.status());
+    registry.Publish(*frozen);
+  }
+  // Let the reader observe the final epoch at least once.
+  size_t seen = batches.load();
+  while (batches.load() < seen + 2) std::this_thread::yield();
+  stop.store(true);
+  reader.join();
+
+  // Exactly one epoch stays live once readers drain; the final answer
+  // on a fresh pin sees the full chain.
+  ServeRequest req;
+  req.query = *q;
+  req.params = {{"X", "n0"}};
+  auto final_ans = server.Execute(req);
+  ASSERT_OK(final_ans.status());
+  EXPECT_EQ(final_ans->count, 12u);
+  EXPECT_EQ(registry.live_snapshots(), 1u);
+  EXPECT_EQ(registry.reclaimed_count(), registry.published_count() - 1);
+}
+
+}  // namespace
+}  // namespace lps
