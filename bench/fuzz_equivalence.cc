@@ -7,6 +7,14 @@
 // must be identical. Any divergence prints a self-contained repro and
 // appends the seed + program to --fail-log for CI artifact upload.
 //
+// Each clean seed then runs a randomized churn schedule: batches of
+// fact inserts and retracts committed through MutationBatch on an
+// Options::incremental session (eval/incremental.h). After every
+// batch the incrementally maintained database must equal - canonical
+// string for canonical string - a from-scratch fixpoint of the same
+// mutated program, and after the last batch the demand-executed goal
+// answers must match the full fixpoint's.
+//
 //   fuzz_equivalence [--seeds N] [--start S] [--fail-log PATH]
 #include <algorithm>
 #include <cstdio>
@@ -85,6 +93,128 @@ Answers RunMode(const FuzzProgram& fuzz, const char* mode) {
   return out;
 }
 
+// Randomized insert/retract churn against an incremental session,
+// checked batch-by-batch against a from-scratch fixpoint. Ops are
+// exchanged as fact *text* so the two sessions (distinct TermStores)
+// stay comparable; inserts recombine argument texts seen in the
+// initial fact set position-by-position, so sorts always fit. Returns
+// an error description, or "" when every batch converged identically.
+std::string ChurnCheck(const FuzzProgram& fuzz, uint64_t seed) {
+  lps::Options inc_opts;
+  inc_opts.incremental = true;
+  lps::Session inc(lps::LanguageMode::kLDL, inc_opts);
+  if (!inc.Load(fuzz.source).ok() || !inc.Evaluate().ok()) {
+    return "";  // base program does not evaluate: nothing to churn
+  }
+
+  // Per-(predicate, position) pools of argument texts.
+  struct Pool {
+    std::string name;
+    std::vector<std::vector<std::string>> args;  // [pos] -> texts
+  };
+  std::vector<Pool> pools;
+  {
+    const lps::Signature& sig = inc.program()->signature();
+    std::vector<lps::PredicateId> order;
+    for (const lps::Literal& f : inc.program()->facts()) {
+      size_t i = 0;
+      while (i < order.size() && order[i] != f.pred) ++i;
+      if (i == order.size()) {
+        order.push_back(f.pred);
+        pools.push_back({sig.Name(f.pred), {}});
+        pools.back().args.resize(f.args.size());
+      }
+      for (size_t a = 0; a < f.args.size(); ++a) {
+        pools[i].args[a].push_back(
+            lps::TermToString(*inc.store(), f.args[a]));
+      }
+    }
+  }
+  if (pools.empty()) return "";
+
+  lps::bench::Rng rng(seed ^ 0x9E3779B97F4A7C15ULL);
+  std::vector<std::pair<bool, std::string>> log;  // cumulative (insert?)
+  for (int batch = 0; batch < 3; ++batch) {
+    lps::MutationBatch b = inc.Mutate();
+    size_t staged = 0;
+    const size_t ops = 1 + rng.Below(4);
+    for (size_t op = 0; op < ops; ++op) {
+      const auto& facts = inc.program()->facts();
+      if (!facts.empty() && rng.Below(2) == 0) {  // retract a live fact
+        const lps::Literal& f = facts[rng.Below(facts.size())];
+        std::string text = lps::LiteralToString(
+            *inc.store(), inc.program()->signature(), f);
+        if (!b.RetractText(text).ok()) continue;
+        log.push_back({false, std::move(text)});
+      } else {  // insert a recombination of seen arguments
+        const Pool& pool = pools[rng.Below(pools.size())];
+        std::string text = pool.name + "(";
+        for (size_t a = 0; a < pool.args.size(); ++a) {
+          if (a > 0) text += ", ";
+          text += pool.args[a][rng.Below(pool.args[a].size())];
+        }
+        text += ")";
+        if (!b.AddText(text).ok()) continue;
+        log.push_back({true, std::move(text)});
+      }
+      ++staged;
+    }
+    if (staged == 0) {
+      b.Abort();
+      continue;
+    }
+    lps::Status st = b.Commit();
+    if (!st.ok()) return "churn commit: " + st.ToString();
+
+    // From-scratch referee: same source, same cumulative op log
+    // (applied before the first Evaluate, i.e. the deferred path),
+    // full fixpoint.
+    lps::Session ref(lps::LanguageMode::kLDL);
+    st = ref.Load(fuzz.source);
+    if (st.ok()) st = ref.Compile();
+    if (st.ok()) {
+      lps::MutationBatch rb = ref.Mutate();
+      for (const auto& [insert, text] : log) {
+        st = insert ? rb.AddText(text) : rb.RetractText(text);
+        if (!st.ok()) break;
+      }
+      if (st.ok()) st = rb.Commit();
+    }
+    if (st.ok()) st = ref.Evaluate();
+    if (!st.ok()) return "churn referee: " + st.ToString();
+
+    std::string got = inc.database()->ToCanonicalString(
+        inc.program()->signature());
+    std::string want = ref.database()->ToCanonicalString(
+        ref.program()->signature());
+    if (got != want) {
+      return "incremental db != from-scratch fixpoint after churn "
+             "batch " +
+             std::to_string(batch) + " (" + std::to_string(log.size()) +
+             " ops)";
+    }
+
+    if (batch == 2) {  // demand answers over the churned program
+      auto qi = inc.Prepare(fuzz.goal);
+      auto qr = ref.Prepare(fuzz.goal);
+      if (!qi.ok() || !qr.ok()) return "churn prepare failed";
+      auto ci = qi->ExecuteDemand();
+      auto cr = qr->Execute();
+      if (!ci.ok() || !cr.ok()) {
+        return "churn goal: demand=[" + ci.status().ToString() +
+               "] full=[" + cr.status().ToString() + "]";
+      }
+      auto ri = ci->ToVector();
+      auto rr = cr->ToVector();
+      if (!ri.ok() || !rr.ok()) return "churn cursor failed";
+      if (Render(&inc, *ri) != Render(&ref, *rr)) {
+        return "churned demand answers != full fixpoint answers";
+      }
+    }
+  }
+  return "";
+}
+
 void Dump(const FuzzProgram& fuzz, uint64_t seed) {
   std::fprintf(stderr, "---- seed %llu (%s) ----\n",
                static_cast<unsigned long long>(seed),
@@ -116,6 +246,7 @@ int main(int argc, char** argv) {
 
   size_t failures = 0;
   size_t topdown_compared = 0;
+  size_t churned = 0;
   for (uint64_t seed = start; seed < start + seeds; ++seed) {
     FuzzProgram fuzz = RandomFlatHornProgram(seed);
 
@@ -160,14 +291,23 @@ int main(int argc, char** argv) {
         continue;
       }
     }
+
+    // Clean seed: drive a churn schedule through the incremental
+    // maintainer and re-check convergence after every batch.
+    std::string churn = ChurnCheck(fuzz, seed);
+    if (!churn.empty()) {
+      fail(churn);
+      continue;
+    }
+    ++churned;
   }
 
   std::printf(
       "fuzz_equivalence: %llu seeds [%llu, %llu), %zu with top-down "
-      "comparison, %zu failures\n",
+      "comparison, %zu with churn schedules, %zu failures\n",
       static_cast<unsigned long long>(seeds),
       static_cast<unsigned long long>(start),
       static_cast<unsigned long long>(start + seeds), topdown_compared,
-      failures);
+      churned, failures);
   return failures == 0 ? 0 : 1;
 }

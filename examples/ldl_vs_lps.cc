@@ -79,7 +79,9 @@ int main() {
     lps::PredicateId team = translated->signature().Lookup("team", 2);
     const lps::Relation* rel = db.FindRelation(team);
     if (rel != nullptr) {
-      for (lps::TupleRef t : rel->rows()) {
+      for (lps::RowId r = 0; r < rel->size(); ++r) {
+        if (!rel->IsLive(r)) continue;
+        lps::TupleRef t = rel->row(r);
         if (lps::SetCardinality(*session.store(), t[1]) == 0) continue;
         std::printf("  %s -> %s\n",
                     lps::TermToString(*session.store(), t[0]).c_str(),

@@ -9,6 +9,9 @@
 //   .serve N Q  freeze the session into a snapshot and fire Q copies of
 //               the most recent goal at a QueryServer with N worker
 //               threads, reporting answers, QPS and p50/p99 latency
+//   .add F      insert the ground fact F (e.g. ".add edge(a, b)") via a
+//               MutationBatch commit; the database re-converges at once
+//   .retract F  retract the ground fact F the same way
 //
 // With --demand the interpreter skips the up-front fixpoint and
 // answers every goal with a bound argument goal-directed: a magic-set
@@ -16,7 +19,12 @@
 // the goal demands. Goals outside the fragment fall back to the full
 // fixpoint transparently (.stats shows the recorded reason).
 //
-//   build/examples/lpsi [--demand] program.lps
+// With --incremental a .add/.retract commit re-converges by delta
+// rules (DESIGN.md section 16) instead of a from-scratch re-evaluation;
+// .stats then shows the delta_rounds / rederived / overdeleted
+// counters of the last maintenance pass.
+//
+//   build/examples/lpsi [--demand] [--incremental] program.lps
 //   echo "path(a, X)" | build/examples/lpsi --demand program.lps
 #include <cstdio>
 #include <fstream>
@@ -60,6 +68,10 @@ void PrintStats(const lps::EvalStats& s) {
               s.demand_fallback_reason.empty()
                   ? "(none)"
                   : s.demand_fallback_reason.c_str());
+  std::printf("incremental:\n");
+  std::printf("  delta_rounds       %zu\n", s.delta_rounds);
+  std::printf("  rederived_tuples   %zu\n", s.rederived_tuples);
+  std::printf("  overdeleted_tuples %zu\n", s.overdeleted_tuples);
 }
 
 // All-zero (value-initialized) before the first .serve, so .stats is
@@ -78,6 +90,7 @@ void PrintServeStats(const lps::serve::ServeStats& s) {
   std::printf("  rewrites_built    %llu\n", u64(s.rewrites_built));
   std::printf("  rewrite_cache_hits %llu\n", u64(s.rewrite_cache_hits));
   std::printf("  worker_rebinds    %llu\n", u64(s.worker_rebinds));
+  std::printf("  worker_refreshes  %llu\n", u64(s.worker_refreshes));
   std::printf("  last_batch_qps    %.0f\n", s.last_batch_qps);
   std::printf("  p50_us            %.1f\n", s.p50_us);
   std::printf("  p99_us            %.1f\n", s.p99_us);
@@ -136,6 +149,7 @@ void Serve(lps::Session* session, lps::serve::SnapshotRegistry* registry,
   total->rewrites_built += s.rewrites_built;
   total->rewrite_cache_hits += s.rewrite_cache_hits;
   total->worker_rebinds += s.worker_rebinds;
+  total->worker_refreshes += s.worker_refreshes;
   total->last_batch_qps = s.last_batch_qps;
   total->p50_us = s.p50_us;
   total->p99_us = s.p99_us;
@@ -170,10 +184,13 @@ void Answer(lps::Session* session, lps::PreparedQuery* query,
 
 int main(int argc, char** argv) {
   bool demand = false;
+  bool incremental = false;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--demand") {
       demand = true;
+    } else if (std::string_view(argv[i]) == "--incremental") {
+      incremental = true;
     } else if (path == nullptr) {
       path = argv[i];
     } else {
@@ -182,7 +199,9 @@ int main(int argc, char** argv) {
     }
   }
   if (path == nullptr) {
-    std::fprintf(stderr, "usage: %s [--demand] <program.lps>\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s [--demand] [--incremental] <program.lps>\n",
+                 argv[0]);
     return 2;
   }
   std::ifstream in(path);
@@ -195,6 +214,7 @@ int main(int argc, char** argv) {
 
   lps::Options options;
   options.demand = demand;
+  options.incremental = incremental;
   lps::Session session(lps::LanguageMode::kLDL, options);
   lps::Status st = session.Load(buffer.str());
   if (!st.ok()) {
@@ -245,6 +265,22 @@ int main(int argc, char** argv) {
     if (line == ".stats" || line == ".stats.") {
       PrintStats(session.eval_stats());
       PrintServeStats(serve_stats);
+      continue;
+    }
+    if (line.rfind(".add ", 0) == 0 || line.rfind(".retract ", 0) == 0) {
+      const bool insert = line[1] == 'a';
+      std::string fact = line.substr(insert ? 5 : 9);
+      lps::MutationBatch batch = session.Mutate();
+      lps::Status st = insert ? batch.AddText(fact)
+                              : batch.RetractText(fact);
+      if (st.ok()) st = batch.Commit();
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        continue;
+      }
+      std::printf("%% %s %s (fact epoch %llu)\n",
+                  insert ? "added" : "retracted", fact.c_str(),
+                  static_cast<unsigned long long>(session.fact_epoch()));
       continue;
     }
     if (line.rfind(".serve", 0) == 0) {

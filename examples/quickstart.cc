@@ -67,5 +67,29 @@ int main() {
       }
     }
   }
+
+  // Facts change through transactional mutation batches: stage inserts
+  // and retracts, then Commit() applies them atomically and brings the
+  // already-evaluated database back to fixpoint (set
+  // Options::incremental to re-converge by delta rules instead of a
+  // from-scratch evaluation). Abort() would discard the staged ops
+  // with no state change.
+  lps::MutationBatch batch = session.Mutate();
+  if (!batch.AddText("s({7})").ok() ||
+      !batch.RetractText("s({2, 3})").ok()) {
+    return 1;
+  }
+  st = batch.Commit();
+  if (!st.ok()) {
+    std::fprintf(stderr, "mutation failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nafter s({7}) added and s({2, 3}) retracted:\n");
+  for (const char* goal :
+       {"subset({7}, {7})", "subset({2,3}, {2,3})"}) {
+    auto holds = session.Holds(goal);
+    if (!holds.ok()) return 1;
+    std::printf("%-28s %s\n", goal, *holds ? "true" : "false");
+  }
   return 0;
 }

@@ -15,8 +15,12 @@ RelationScanSource::RelationScanSource(TermStore* store,
   if (mask_ == 0) {
     rel->AllIndices(&indices_);
   } else {
-    // Copy: Lookup's reference is invalidated by later Lookups.
-    indices_ = rel->Lookup(mask_, key);
+    // Copy: Lookup's reference is invalidated by later Lookups. Posting
+    // lists keep tombstoned rows; drop them here.
+    indices_.clear();
+    for (RowId r : rel->Lookup(mask_, key)) {
+      if (rel->IsLive(r)) indices_.push_back(r);
+    }
   }
 }
 

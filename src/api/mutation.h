@@ -1,0 +1,99 @@
+// MutationBatch: the transactional fact-mutation surface of the
+// Session API (api/session.h). A batch stages EDB inserts and retracts
+// and applies them atomically on Commit():
+//
+//   auto batch = session.Mutate();
+//   batch.Add("edge", {a, b});
+//   batch.RetractText("edge(c, d)");
+//   batch.Commit();          // or batch.Abort();
+//
+// Commit() updates the program's fact set, bumps fact_epoch() (never
+// rule_epoch(), so prepared-query rewrite caches survive), and - when
+// the session database is at fixpoint - re-converges it: through the
+// incremental maintainer (Options::incremental, eval/incremental.h)
+// when the program is in the maintainable fragment, otherwise through
+// a full from-scratch re-evaluation. Either way the post-commit
+// database equals the from-scratch fixpoint of the mutated program.
+// On a session that has not evaluated yet, Commit() only updates the
+// program, exactly like the deprecated Session::AddFact() always did;
+// the facts take effect at the next Evaluate().
+//
+// Abort() (or destruction without Commit()) discards the batch with no
+// state change - except predicates declared by inference while staging
+// string-named ops, which stay declared (signatures are append-only;
+// an empty predicate is unobservable).
+#ifndef LPS_API_MUTATION_H_
+#define LPS_API_MUTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/relation.h"
+#include "lang/signature.h"
+
+namespace lps {
+
+class Session;
+
+class MutationBatch {
+ public:
+  // Move-only: a batch is a handle on its session's pending mutation.
+  MutationBatch(MutationBatch&&) = default;
+  MutationBatch(const MutationBatch&) = delete;
+  MutationBatch& operator=(const MutationBatch&) = delete;
+  ~MutationBatch() = default;  // un-committed batches discard silently
+
+  /// Stages the insertion of ground fact pred(args). The string
+  /// overload declares the predicate by inference when unknown (like
+  /// the deprecated Session::AddFact). Errors on non-ground arguments,
+  /// arity mismatch, or special predicates; a failed stage leaves the
+  /// batch usable.
+  Status Add(const std::string& pred, Tuple args);
+  Status Add(PredicateId pred, Tuple args);
+
+  /// Stages the retraction of fact pred(args). Retracting a fact that
+  /// is not in the program is a no-op at Commit(); retracting through
+  /// an unknown predicate name is a no-op immediately.
+  Status Retract(const std::string& pred, Tuple args);
+  Status Retract(PredicateId pred, Tuple args);
+
+  /// Parses "pred(t1, ..., tn)" (one parser invocation each) and
+  /// stages it. Trailing '.' is accepted.
+  Status AddText(const std::string& fact);
+  Status RetractText(const std::string& fact);
+
+  /// Staged operations so far.
+  size_t pending() const { return ops_.size(); }
+
+  /// Applies the batch: program facts first (in staging order; later
+  /// ops win over earlier ones on the same tuple), then the database
+  /// re-convergence described in the header comment. The batch is
+  /// consumed either way; a second Commit() is an error. Errors from
+  /// re-convergence surface here with the program already updated.
+  Status Commit();
+
+  /// Discards the batch; no state change. Idempotent.
+  void Abort();
+
+ private:
+  friend class Session;
+  explicit MutationBatch(Session* session) : session_(session) {}
+
+  struct Op {
+    bool insert;
+    PredicateId pred;
+    Tuple args;
+  };
+
+  Status Stage(bool insert, PredicateId pred, Tuple args);
+  Status StageNamed(bool insert, const std::string& pred, Tuple args);
+  Status StageText(bool insert, const std::string& fact);
+
+  Session* session_;
+  std::vector<Op> ops_;
+  bool done_ = false;
+};
+
+}  // namespace lps
+
+#endif  // LPS_API_MUTATION_H_

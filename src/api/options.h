@@ -38,6 +38,17 @@ struct Options {
   /// variant that falls back through Evaluate() for every ineligible
   /// goal (lpsi --demand does). Off by default.
   bool demand = false;
+  /// Incremental view maintenance (DESIGN.md section 16): when true, a
+  /// MutationBatch commit on an already-evaluated session re-converges
+  /// the database by delta rules - a semi-naive pass seeded from the
+  /// new facts for inserts, delete-rederive for retracts
+  /// (eval/incremental.h) - instead of a from-scratch re-evaluation.
+  /// Programs outside the maintainable Horn fragment (negation,
+  /// grouping, quantifiers, domain enumeration) fall back to the full
+  /// re-evaluation automatically; either path yields a database
+  /// tuple-for-tuple equal to the from-scratch fixpoint. Off by
+  /// default: the legacy full re-evaluation, byte-exact.
+  bool incremental = false;
 
   // ---- Top-down SLD solving (eval/topdown.h) -------------------------
   size_t max_depth = 256;

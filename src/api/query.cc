@@ -93,12 +93,16 @@ bool PreparedQuery::AnyArgBound() const {
 }
 
 void PreparedQuery::RefreshDemandState() {
-  if (demand_epoch_ == session_->program_epoch()) return;
-  // The program changed since the cache was filled: drop the cached
+  if (demand_epoch_ == session_->rule_epoch()) return;
+  // The *rules* changed since the cache was filled: drop the cached
   // rewrites and re-decide eligibility (rules for the goal predicate
-  // may have appeared or vanished since Prepare()).
+  // may have appeared or vanished since Prepare()). Fact-only
+  // mutations deliberately do not land here - the rewrite carries no
+  // facts (transform/magic.cc) and ExecuteDemand() loads the current
+  // fact set at execution time, so cached rewrites stay correct
+  // across fact churn.
   demand_cache_.clear();
-  demand_epoch_ = session_->program_epoch();
+  demand_epoch_ = session_->rule_epoch();
   plan_.demand_ineligible_reason.clear();
   plan_.demand_candidate =
       GoalDemandCandidate(session_->program()->signature(),
@@ -204,6 +208,7 @@ Result<AnswerCursor> PreparedQuery::ExecuteDemand() {
     if (it != demand_cache_.end()) entry = &it->second;
   }
   if (entry == nullptr) {
+    ++session_->demand_rewrite_count_;
     LPS_ASSIGN_OR_RETURN(MagicRewriteResult rw,
                          MagicRewrite(*session_->program(), goal_, bound));
     DemandEntry fresh;
@@ -232,6 +237,12 @@ Result<AnswerCursor> PreparedQuery::ExecuteDemand() {
     seed.push_back(patterns[pos]);
   }
   db->AddTuple(rw->seed_pred, seed);
+  // The rewrite carries no facts of its own (transform/magic.cc):
+  // load the session's *current* fact set, so a rewrite cached before
+  // a fact-only mutation still answers over the post-mutation EDB.
+  for (const Literal& f : session_->program()->facts()) {
+    db->AddTuple(f.pred, f.args);
+  }
   BottomUpEvaluator eval(&rw->program, db.get(),
                          session_->options().eval());
   LPS_RETURN_IF_ERROR(eval.Evaluate());

@@ -60,9 +60,17 @@ Status Session::Compile() {
   }
   // Commit in place: db_ points at program_'s signature member, so
   // assignment (not reallocation) keeps that pointer valid.
+  bool clauses_grew = candidate.clauses().size() > old_clauses;
+  bool facts_grew = candidate.facts().size() > old_facts;
   *program_ = candidate;
   for (Literal& q : new_queries) queries_.push_back(std::move(q));
-  ++program_epoch_;  // invalidates cached demand rewrites
+  ++program_epoch_;
+  if (clauses_grew) ++rule_epoch_;  // invalidates cached demand rewrites
+  if (facts_grew) {
+    ++fact_epoch_;
+    fact_counts_valid_ = false;  // rebuilt on the next mutation commit
+  }
+  if (clauses_grew || facts_grew) converged_ = false;
   return Status::OK();
 }
 
@@ -73,21 +81,16 @@ Status Session::Evaluate(const Options& options) {
   BottomUpEvaluator eval(program_.get(), db_.get(), options.eval());
   LPS_RETURN_IF_ERROR(eval.Evaluate());
   eval_stats_ = eval.stats();
+  converged_ = true;
   return Status::OK();
 }
 
+MutationBatch Session::Mutate() { return MutationBatch(this); }
+
 Status Session::AddFact(const std::string& pred, std::vector<TermId> args) {
-  PredicateId id = program_->signature().Lookup(pred, args.size());
-  if (id == kInvalidPredicate) {
-    std::vector<Sort> sorts;
-    sorts.reserve(args.size());
-    for (TermId a : args) sorts.push_back(store_->sort(a));
-    LPS_ASSIGN_OR_RETURN(
-        id, program_->signature().Declare(pred, std::move(sorts)));
-  }
-  LPS_RETURN_IF_ERROR(program_->AddFact(id, std::move(args)));
-  ++program_epoch_;  // cached demand rewrites snapshot the fact set
-  return Status::OK();
+  MutationBatch batch = Mutate();
+  LPS_RETURN_IF_ERROR(batch.Add(pred, std::move(args)));
+  return batch.Commit();
 }
 
 Result<PreparedQuery> Session::Prepare(const std::string& goal) {
@@ -149,6 +152,7 @@ std::string Session::TupleToString(const Tuple& tuple) const {
 
 void Session::ResetDatabase() {
   db_ = std::make_unique<Database>(store_.get(), &program_->signature());
+  converged_ = false;
 }
 
 }  // namespace lps

@@ -22,9 +22,11 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "api/answer_cursor.h"
+#include "api/mutation.h"
 #include "api/options.h"
 #include "api/query.h"
 #include "eval/database.h"
@@ -88,8 +90,21 @@ class Session {
   /// of guarding the first call.
   const EvalStats& eval_stats() const { return eval_stats_; }
 
-  /// Adds a ground fact programmatically, declaring the predicate by
-  /// inference if unknown.
+  // ---- Fact mutations (api/mutation.h) -------------------------------
+
+  /// Opens a transactional mutation batch: stage Add/Retract ops, then
+  /// Commit() to apply them atomically (program facts updated,
+  /// fact_epoch() bumped, database re-converged when it was at
+  /// fixpoint - incrementally under Options::incremental) or Abort()
+  /// to discard with no state change. The only mutation surface with
+  /// retract support.
+  MutationBatch Mutate();
+
+  /// DEPRECATED: use Mutate() - this is a thin wrapper staging one
+  /// Add() and committing. Kept for source compatibility with the
+  /// pre-batch API; note Commit()'s stronger contract: on an
+  /// already-evaluated session the database re-converges immediately
+  /// instead of waiting for the next Evaluate().
   Status AddFact(const std::string& pred, std::vector<TermId> args);
 
   // ---- Snapshot publication (src/serve/) -----------------------------
@@ -148,14 +163,38 @@ class Session {
   /// that is the point of preparing.
   size_t parse_count() const { return parse_count_; }
 
-  /// Bumped every time the program changes: Compile() committing
-  /// staged units, or AddFact(). Prepared queries compare it to
-  /// invalidate their cached demand (magic-set) rewrites and refresh
-  /// their demand-eligibility decision.
+  /// Bumped every time the program changes in any way: Compile()
+  /// committing staged units, or a MutationBatch commit (including the
+  /// deprecated AddFact()). The coarse all-or-nothing epoch; prefer
+  /// the split epochs below for cache keying.
   uint64_t program_epoch() const { return program_epoch_; }
+
+  /// Bumped only when Compile() commits new *clauses*. Fact-only
+  /// mutations leave it unchanged, which is the point of the split:
+  /// prepared queries key their cached demand (magic-set) rewrites and
+  /// their demand-eligibility decision on this epoch, so rewrite
+  /// caches survive fact churn and are rebuilt exactly when rules
+  /// change. Serve-side worker caches key on it too (serve/server.h).
+  uint64_t rule_epoch() const { return rule_epoch_; }
+
+  /// Bumped whenever the program's fact set changes: a MutationBatch
+  /// commit that touched facts, or Compile() committing new facts.
+  uint64_t fact_epoch() const { return fact_epoch_; }
+
+  /// True while the database holds the fixpoint of the current
+  /// program: set by Evaluate(), cleared when Compile() commits
+  /// clauses or facts and by ResetDatabase(). MutationBatch commits
+  /// preserve it by re-converging.
+  bool converged() const { return converged_; }
+
+  /// MagicRewrite invocations across all prepared queries (demand
+  /// cache misses). Stays flat across fact-only mutations - the
+  /// observable witness that rewrite caches key on rule_epoch().
+  size_t demand_rewrite_count() const { return demand_rewrite_count_; }
 
  private:
   friend class PreparedQuery;
+  friend class MutationBatch;
 
   LanguageMode mode_;
   Options options_;
@@ -166,7 +205,21 @@ class Session {
   std::vector<Literal> queries_;
   EvalStats eval_stats_;
   size_t parse_count_ = 0;
+  size_t demand_rewrite_count_ = 0;
   uint64_t program_epoch_ = 0;
+  uint64_t rule_epoch_ = 0;
+  uint64_t fact_epoch_ = 0;
+  bool converged_ = false;
+  // Multiset index over program_->facts(): (pred, args) -> physical
+  // copy count. Built with one fact-list scan on a MutationBatch's
+  // first commit and maintained incrementally by every commit after,
+  // so netting a batch costs O(ops) instead of O(facts). Compile()
+  // invalidates it when staged source appends facts (the only other
+  // fact-list writer).
+  std::unordered_map<PredicateId,
+                     std::unordered_map<Tuple, size_t, TupleHash>>
+      fact_counts_;
+  bool fact_counts_valid_ = false;
 };
 
 }  // namespace lps

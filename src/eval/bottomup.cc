@@ -74,24 +74,7 @@ Status BottomUpEvaluator::Evaluate() {
   LPS_ASSIGN_OR_RETURN(Stratification strat, Stratify(*program_));
   stats_.strata = strat.num_strata;
 
-  // Compile rules.
-  rules_.clear();
-  rules_.resize(program_->clauses().size());
-  for (size_t i = 0; i < program_->clauses().size(); ++i) {
-    CompiledRule& r = rules_[i];
-    r.clause = &program_->clauses()[i];
-    LPS_ASSIGN_OR_RETURN(r.plan, BuildRulePlan(store, sig, *r.clause));
-    bool has_enum = false;
-    for (const PlanStep& s : r.plan.free_plan.steps) {
-      if (s.kind == StepKind::kEnumAtom || s.kind == StepKind::kEnumSet ||
-          s.kind == StepKind::kEnumAny) {
-        has_enum = true;
-      }
-    }
-    r.horn_simple = !r.plan.has_quantifiers &&
-                    !r.clause->grouping.has_value() && !has_enum;
-    AnalyzeRuleForParallel(&r);
-  }
+  LPS_RETURN_IF_ERROR(CompileRules());
 
   // Resolve the lane count; only semi-naive evaluation shards work
   // (naive mode is the fully sequential ablation path, grouping
@@ -153,6 +136,29 @@ Status BottomUpEvaluator::Evaluate() {
   stats_.set_interns = store.set_interns() - set_interns_before;
   stats_.set_intern_hits =
       store.set_intern_hits() - set_intern_hits_before;
+  return Status::OK();
+}
+
+Status BottomUpEvaluator::CompileRules() {
+  const TermStore& store = *program_->store();
+  const Signature& sig = program_->signature();
+  rules_.clear();
+  rules_.resize(program_->clauses().size());
+  for (size_t i = 0; i < program_->clauses().size(); ++i) {
+    CompiledRule& r = rules_[i];
+    r.clause = &program_->clauses()[i];
+    LPS_ASSIGN_OR_RETURN(r.plan, BuildRulePlan(store, sig, *r.clause));
+    bool has_enum = false;
+    for (const PlanStep& s : r.plan.free_plan.steps) {
+      if (s.kind == StepKind::kEnumAtom || s.kind == StepKind::kEnumSet ||
+          s.kind == StepKind::kEnumAny) {
+        has_enum = true;
+      }
+    }
+    r.horn_simple = !r.plan.has_quantifiers &&
+                    !r.clause->grouping.has_value() && !has_enum;
+    AnalyzeRuleForParallel(&r);
+  }
   return Status::OK();
 }
 
@@ -759,6 +765,7 @@ Status BottomUpEvaluator::ExecFlatSteps(const CompiledRule& rule,
     // (ascending) posting list to the chunk, like the sequential path.
     if (mask == 0) {
       for (size_t ti = delta.begin; ti < delta.end; ++ti) {
+        if (!rel->IsLive(static_cast<uint32_t>(ti))) continue;
         LPS_RETURN_IF_ERROR(try_row(static_cast<uint32_t>(ti)));
       }
       return Status::OK();
@@ -815,20 +822,44 @@ Status BottomUpEvaluator::ExecSteps(
         }
       }
       Relation& rel = db_->relation(lit.pred);
+      bool is_delta =
+          delta != nullptr && delta->literal_index == step.literal_index;
+      bool rows_mode = is_delta && delta->rows != nullptr;
       // Copy: Lookup's reference is invalidated by later inserts (and
       // by recursive Lookups on the same relation).
       Lease<std::vector<RowId>> indices_lease(&rowid_pool_);
       std::vector<RowId>& indices = *indices_lease;
-      {
+      if (rows_mode) {
+        // Explicit-rows delta (incremental maintenance): the rows sit
+        // at scattered arena positions, so skip the index probe and
+        // route every column through the binding loop below (mask 0
+        // re-checks bound columns per row). The maintainer picked the
+        // rows deliberately; they are iterated as given, tombstoned or
+        // not.
+        mask = 0;
+        indices.assign(delta->rows->begin() + delta->begin,
+                       delta->rows->begin() + delta->end);
+      } else if (is_delta && mask == 0) {
+        // Unbound range-mode delta: the rows are a contiguous arena
+        // suffix, so enumerate them directly instead of walking the
+        // whole relation just to drop everything outside the range.
+        indices.reserve(delta->end - delta->begin);
+        for (size_t ti = delta->begin; ti < delta->end; ++ti) {
+          indices.push_back(static_cast<RowId>(ti));
+        }
+      } else {
         const std::vector<RowId>& hits = rel.Lookup(mask, key);
         indices.assign(hits.begin(), hits.end());
       }
-      bool is_delta =
-          delta != nullptr && delta->literal_index == step.literal_index;
       Lease<Tuple> row_lease(&tuple_pool_);
       Tuple& row = *row_lease;
       for (RowId ti : indices) {
-        if (is_delta && (ti < delta->begin || ti >= delta->end)) continue;
+        if (is_delta && !rows_mode &&
+            (ti < delta->begin || ti >= delta->end)) {
+          continue;
+        }
+        // Tombstoned rows stay in index postings; skip them here.
+        if (!rows_mode && !rel.IsLive(ti)) continue;
         {
           // Copy: the arena may grow (and reallocate) during recursion.
           TupleRef r = rel.row(ti);

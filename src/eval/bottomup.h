@@ -30,6 +30,8 @@
 
 namespace lps {
 
+class IncrementalMaintainer;
+
 struct EvalOptions {
   bool semi_naive = true;
   size_t max_iterations = 100000;
@@ -73,6 +75,12 @@ struct EvalStats {
   // Why the last demand-mode execution fell back to the full fixpoint;
   // empty when the rewrite applied (or demand was never attempted).
   std::string demand_fallback_reason;
+  // ---- Incremental maintenance (eval/incremental.h), filled when a
+  // mutation batch commits through the delta path; all zero after a
+  // plain full-fixpoint Evaluate(). -------------------------------------
+  size_t delta_rounds = 0;        // semi-naive rounds seeded from the batch
+  size_t overdeleted_tuples = 0;  // tuples tombstoned by DRed over-delete
+  size_t rederived_tuples = 0;    // over-deleted tuples saved by rederive
 };
 
 class BottomUpEvaluator {
@@ -88,6 +96,11 @@ class BottomUpEvaluator {
   const EvalStats& stats() const { return stats_; }
 
  private:
+  // The incremental maintainer (eval/incremental.h) reuses the compiled
+  // rules and the delta-driven join machinery (RunRule + DeltaSpec) to
+  // re-converge after a mutation batch without a from-scratch fixpoint.
+  friend class IncrementalMaintainer;
+
   struct CompiledRule {
     const Clause* clause = nullptr;
     RulePlan plan;
@@ -115,11 +128,18 @@ class BottomUpEvaluator {
     uint64_t last_version = UINT64_MAX;       // for complex-rule gating
   };
 
-  // Delta restriction for one scan literal.
+  // Delta restriction for one scan literal. Range mode (rows ==
+  // nullptr) restricts the scan to arena rows [begin, end) - the
+  // contiguous semi-naive watermark window. Rows mode (rows != nullptr)
+  // restricts it to the explicit RowIds rows[begin..end), which sit at
+  // arbitrary arena positions - incremental maintenance's deltas
+  // (over-deleted or re-inserted rows) are not contiguous. Rows-mode
+  // scans skip the index probe and re-check every bound column per row.
   struct DeltaSpec {
     size_t literal_index;
     size_t begin;
     size_t end;
+    const std::vector<RowId>* rows = nullptr;
   };
 
   // One sharded unit of parallel work: a chunk of a rule's delta range.
@@ -179,6 +199,11 @@ class BottomUpEvaluator {
       keys.resize(depth);
     }
   };
+
+  /// (Re)compiles every clause into rules_: plans, horn/flat analysis,
+  /// static scan masks. Shared by Evaluate() and the incremental
+  /// maintainer, which drives RunRule with hand-built DeltaSpecs.
+  Status CompileRules();
 
   Status EvaluateStratum(const std::vector<size_t>& clause_indices,
                          const Stratification& strat, size_t stratum);

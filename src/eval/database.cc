@@ -36,6 +36,34 @@ bool Database::Contains(PredicateId pred, TupleRef t) const {
   return rel != nullptr && rel->Contains(t);
 }
 
+RowId Database::FindRow(PredicateId pred, TupleRef t) const {
+  const Relation* rel = FindRelation(pred);
+  return rel == nullptr ? Relation::kNoRow : rel->Find(t);
+}
+
+bool Database::EraseTuple(PredicateId pred, TupleRef t) {
+  Relation* rel = const_cast<Relation*>(FindRelation(pred));
+  if (rel == nullptr) return false;
+  RowId r = rel->Find(t);
+  if (r == Relation::kNoRow || !rel->EraseRow(r)) return false;
+  ++version_;
+  return true;
+}
+
+bool Database::EraseRow(PredicateId pred, RowId r) {
+  auto it = relations_.find(pred);
+  if (it == relations_.end() || !it->second.EraseRow(r)) return false;
+  ++version_;
+  return true;
+}
+
+bool Database::ReviveRow(PredicateId pred, RowId r) {
+  auto it = relations_.find(pred);
+  if (it == relations_.end() || !it->second.Revive(r)) return false;
+  ++version_;
+  return true;
+}
+
 void Database::RegisterTerm(TermId t) {
   if (!store_->is_ground(t)) return;
   if (!registered_.insert(t).second) return;
@@ -52,7 +80,7 @@ void Database::RegisterTerm(TermId t) {
 
 size_t Database::TupleCount() const {
   size_t n = 0;
-  for (const auto& [pred, rel] : relations_) n += rel.size();
+  for (const auto& [pred, rel] : relations_) n += rel.live_size();
   return n;
 }
 
@@ -61,11 +89,12 @@ size_t Database::RelationSize(PredicateId pred) const {
   return rel == nullptr ? 0 : rel->size();
 }
 
-Database::StorageStats Database::storage_stats() const {
+Database::StorageStats Database::storage_stats(
+    bool with_index_bytes) const {
   StorageStats s;
   for (const auto& [pred, rel] : relations_) {
     s.arena_bytes += rel.ArenaBytes();
-    s.index_bytes += rel.IndexBytes();
+    if (with_index_bytes) s.index_bytes += rel.IndexBytes();
     s.dedup_probes += rel.dedup_probes();
   }
   return s;
@@ -101,12 +130,37 @@ std::string Database::ToString(const Signature& sig) const {
   std::string out;
   for (PredicateId p : preds) {
     const Relation& rel = *FindRelation(p);
-    for (TupleRef t : rel.rows()) {
+    for (RowId r = 0; r < rel.size(); ++r) {
+      if (!rel.IsLive(r)) continue;
       out += sig.Name(p);
       out += '(';
-      out += TermListToString(*store_, t);
+      out += TermListToString(*store_, rel.row(r));
       out += ").\n";
     }
+  }
+  return out;
+}
+
+std::string Database::ToCanonicalString(const Signature& sig) const {
+  std::vector<PredicateId> preds;
+  for (const auto& [pred, rel] : relations_) preds.push_back(pred);
+  std::sort(preds.begin(), preds.end());
+  std::string out;
+  std::vector<std::string> rows;
+  for (PredicateId p : preds) {
+    const Relation& rel = *FindRelation(p);
+    rows.clear();
+    rows.reserve(rel.live_size());
+    for (RowId r = 0; r < rel.size(); ++r) {
+      if (!rel.IsLive(r)) continue;
+      std::string line = sig.Name(p);
+      line += '(';
+      line += TermListToString(*store_, rel.row(r));
+      line += ").\n";
+      rows.push_back(std::move(line));
+    }
+    std::sort(rows.begin(), rows.end());
+    for (std::string& line : rows) out += line;
   }
   return out;
 }

@@ -42,6 +42,21 @@ class Database {
     return Contains(pred, TupleRef(t.begin(), t.size()));
   }
 
+  /// RowId of the live row storing `t`, or Relation::kNoRow.
+  RowId FindRow(PredicateId pred, TupleRef t) const;
+
+  /// Tombstones the live row storing `t` (Relation::EraseRow). Active
+  /// domains are append-only and keep any terms the row contributed -
+  /// harmless for the incremental fragment, which never enumerates
+  /// domains (see DESIGN.md section 16). Returns false if absent.
+  bool EraseTuple(PredicateId pred, TupleRef t);
+
+  /// Tombstones row r of pred's relation (Relation::EraseRow).
+  bool EraseRow(PredicateId pred, RowId r);
+
+  /// Un-tombstones row r of pred's relation (Relation::Revive).
+  bool ReviveRow(PredicateId pred, RowId r);
+
   /// Ground atoms of sort a seen so far.
   const std::vector<TermId>& atom_domain() const { return atom_domain_; }
   /// Ground sets seen so far (always contains {}).
@@ -65,17 +80,28 @@ class Database {
   size_t RelationSize(PredicateId pred) const;
 
   /// Aggregate storage-engine footprint across all relations (see
-  /// Relation::ArenaBytes / IndexBytes / dedup_probes).
+  /// Relation::ArenaBytes / IndexBytes / dedup_probes). IndexBytes
+  /// walks every posting bucket, so callers on a per-commit fast path
+  /// (incremental maintenance) pass `with_index_bytes = false` and
+  /// keep the last fully computed figure instead.
   struct StorageStats {
     size_t arena_bytes = 0;
     size_t index_bytes = 0;
     uint64_t dedup_probes = 0;
   };
-  StorageStats storage_stats() const;
+  StorageStats storage_stats(bool with_index_bytes = true) const;
 
   /// Deterministic dump: relations ordered by PredicateId, rows in
-  /// insertion order.
+  /// insertion order (dead rows skipped).
   std::string ToString(const Signature& sig) const;
+
+  /// Order-independent dump: relations ordered by PredicateId, rendered
+  /// rows sorted lexicographically per relation. Two databases holding
+  /// the same tuple sets compare equal here even when insertion orders
+  /// differ - the equivalence witness for incremental maintenance,
+  /// whose re-derivation order legitimately differs from a from-scratch
+  /// fixpoint's.
+  std::string ToCanonicalString(const Signature& sig) const;
 
   // ---- Snapshot publication (serve/snapshot.h) -----------------------
 

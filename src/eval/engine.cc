@@ -10,7 +10,9 @@ Status Engine::LoadString(const std::string& source) {
 }
 
 Status Engine::AddFact(const std::string& pred, std::vector<TermId> args) {
-  return session_.AddFact(pred, std::move(args));
+  MutationBatch batch = session_.Mutate();
+  LPS_RETURN_IF_ERROR(batch.Add(pred, std::move(args)));
+  return batch.Commit();
 }
 
 Status Engine::Evaluate(EvalOptions options) {

@@ -42,7 +42,12 @@ class Engine {
   /// resulting program is validated against the engine's language mode.
   Status LoadString(const std::string& source);
 
-  /// Adds a ground fact programmatically.
+  /// DEPRECATED: adds one ground fact programmatically. A thin wrapper
+  /// over Session::Mutate() - one Add() committed immediately. Use
+  /// session().Mutate() for batches, retracts, text-form facts, and
+  /// transactional Abort(); note the MutationBatch contract: on an
+  /// already-evaluated session the commit re-converges the database at
+  /// once (incrementally under Options::incremental).
   Status AddFact(const std::string& pred, std::vector<TermId> args);
 
   /// Runs the bottom-up evaluator to fixpoint.

@@ -1,0 +1,153 @@
+// Incremental view maintenance (DESIGN.md section 16): re-converges an
+// already-evaluated database after a batch of EDB fact mutations
+// without a from-scratch fixpoint.
+//
+//  * Inserts run a delta semi-naive pass seeded from only the new EDB
+//    rows, reusing the evaluator's delta-join machinery over the live
+//    arena: per-predicate watermarks are taken at the pre-batch
+//    relation sizes, so the first round joins exactly the batch.
+//  * Retracts run delete-rederive (DRed): an over-delete fixpoint
+//    tombstones every tuple with a derivation through a retracted one
+//    (explicit-rows delta joins against the still-intact pre-batch
+//    database); re-derivation then revives each casualty that still
+//    has a derivation - one counting-style witness sweep against the
+//    surviving database (complete by itself for non-recursive
+//    programs), followed by delta propagation of the revivals for
+//    recursive ones (the fragment is positive Horn, so re-derivation
+//    is a monotone fixpoint and needs no stratification).
+//
+// The result is tuple-for-tuple identical to re-evaluating the mutated
+// program from scratch (Database::ToCanonicalString equality; arena
+// insertion order legitimately differs). Only the Horn fragment is
+// maintained this way - negation, grouping, quantifiers, and domain
+// enumeration are non-monotone under deletion (and grouping even under
+// insertion), so Maintain() declines and the caller falls back to a
+// full re-evaluation.
+#ifndef LPS_EVAL_INCREMENTAL_H_
+#define LPS_EVAL_INCREMENTAL_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/bottomup.h"
+
+namespace lps {
+
+class IncrementalMaintainer {
+ public:
+  /// `program` and `db` must outlive the maintainer. Preconditions for
+  /// Maintain(): `program` already reflects the batch (retracted facts
+  /// removed, inserted facts appended), and `db` holds the converged
+  /// fixpoint of the pre-batch program.
+  IncrementalMaintainer(const Program* program, Database* db,
+                        EvalOptions options = {});
+
+  /// One mutation, as a ground tuple over program->store().
+  struct FactOp {
+    PredicateId pred;
+    Tuple args;
+  };
+
+  /// Multiset of the post-batch program's facts: (pred, args) ->
+  /// physical copy count. Session keeps one as a persistent index;
+  /// Maintain() can borrow it to answer "is this condemned tuple still
+  /// an EDB fact" per casualty instead of scanning the whole fact list.
+  using FactCounts =
+      std::unordered_map<PredicateId,
+                         std::unordered_map<Tuple, size_t, TupleHash>>;
+
+  /// Applies the batch: retracts (DRed) first, then inserts (delta
+  /// semi-naive). Returns true when the database was incrementally
+  /// re-converged; false when the program is outside the maintainable
+  /// fragment (see ineligible_reason()), in which case the database is
+  /// untouched and the caller must re-evaluate from scratch. Errors
+  /// propagate from rule execution (safety violations, tuple limits).
+  /// `edb_counts`, when given, must describe exactly the post-batch
+  /// program's fact multiset and must outlive the call; DRed's
+  /// EDB-protection pass then costs O(casualties) instead of O(facts).
+  Result<bool> Maintain(const std::vector<FactOp>& inserts,
+                        const std::vector<FactOp>& retracts,
+                        const FactCounts* edb_counts = nullptr);
+
+  /// Why the last Maintain() returned false; empty when it ran.
+  const std::string& ineligible_reason() const {
+    return ineligible_reason_;
+  }
+
+  /// Work counters: delta_rounds / overdeleted_tuples /
+  /// rederived_tuples, plus the usual rule-run and storage numbers.
+  const EvalStats& stats() const { return eval_.stats(); }
+
+ private:
+  Status Retract(const std::vector<FactOp>& retracts);
+  Status Insert(const std::vector<FactOp>& inserts);
+
+  /// The plan for joining a delta on `rule`'s free_literals[pos]: the
+  /// planner's delta-first variant when built (always, for the Horn
+  /// fragment the maintainer accepts), else the general free plan.
+  /// Leading with the delta literal keeps a maintenance round's cost
+  /// proportional to the delta, not to the largest body relation.
+  static const std::vector<PlanStep>& DeltaSteps(
+      const BottomUpEvaluator::CompiledRule& rule, size_t pos);
+
+  /// True when some instance of `rule` derives exactly the tuple `t`
+  /// from the current (live) database: unifies the head against `t`
+  /// and runs the body plan head-bound, stopping at the first witness.
+  /// General fallback; flat rules take FlatWitness below.
+  Result<bool> DerivesTuple(const BottomUpEvaluator::CompiledRule& rule,
+                            const Tuple& t);
+
+  /// Fast-path eligibility: parallel_safe with a pure-kScan plan - the
+  /// whole maintainable fragment in practice (negation is rejected by
+  /// Maintain(), so only builtin steps route a rule through the generic
+  /// ExecSteps machinery). Such rules bind nothing but plain variables,
+  /// so a trail of (var, value) pairs replaces the per-row Substitution
+  /// (hash map) copies that dominate the generic executor's cost.
+  static bool FlatEligible(const BottomUpEvaluator::CompiledRule& rule);
+
+  /// Witness fast path for flat rules: the head is bound directly
+  /// against the target and body literals are probed in plan order
+  /// with masks computed from the binding trail. No Unifier, no
+  /// continuation plumbing; a failing witness costs a handful of index
+  /// probes.
+  bool FlatWitness(const BottomUpEvaluator::CompiledRule& rule,
+                   const Tuple& t);
+  bool FlatWitnessStep(const BottomUpEvaluator::CompiledRule& rule,
+                       size_t step,
+                       BottomUpEvaluator::FlatBindings* binds);
+
+  /// Forward delta-join fast path for flat rules: runs `steps` with
+  /// `spec` restricting the delta literal and hands each ground head
+  /// tuple to `emit`. Mirrors ExecSteps' delta semantics: rows-mode
+  /// delta rows are taken as given, range-mode and plain scans skip
+  /// tombstones.
+  Status FlatDeltaJoin(const BottomUpEvaluator::CompiledRule& rule,
+                       const std::vector<PlanStep>& steps,
+                       const BottomUpEvaluator::DeltaSpec& spec,
+                       const std::function<Status(const Tuple&)>& emit);
+  Status FlatDeltaStep(const BottomUpEvaluator::CompiledRule& rule,
+                       const std::vector<PlanStep>& steps, size_t step,
+                       const BottomUpEvaluator::DeltaSpec& spec,
+                       BottomUpEvaluator::FlatBindings* binds,
+                       const std::function<Status(const Tuple&)>& emit);
+
+  const Program* program_;
+  Database* db_;
+  BottomUpEvaluator eval_;  // compiled rules + delta-join machinery
+  std::string ineligible_reason_;
+  const FactCounts* edb_counts_ = nullptr;  // borrowed for one Maintain()
+  // Flat-executor scratch, one slot per plan depth: probe hits must be
+  // copied out of Lookup's invalidated-by-next-probe reference anyway,
+  // so reuse the buffers across the whole batch. flat_out_ is the head
+  // emission buffer (the emit callback gets a reference; it must copy
+  // if it keeps the tuple).
+  std::vector<std::vector<RowId>> wit_rows_;
+  std::vector<Tuple> wit_keys_;
+  Tuple flat_out_;
+};
+
+}  // namespace lps
+
+#endif  // LPS_EVAL_INCREMENTAL_H_

@@ -252,6 +252,27 @@ Result<RulePlan> BuildRulePlan(const TermStore& store, const Signature& sig,
   plan.free_plan = BuildBodyPlan(store, sig, clause, plan.free_literals,
                                  {}, must_bind, true);
 
+  // Delta-first variants for the semi-naive evaluator and the
+  // incremental maintainer: scan the delta-carrying literal first.
+  if (!plan.has_quantifiers) {
+    plan.delta_plans.reserve(plan.free_literals.size());
+    for (size_t li : plan.free_literals) {
+      const Literal& lit = clause.body[li];
+      BodyPlan dp;
+      if (lit.positive && !sig.IsBuiltin(lit.pred)) {
+        std::vector<size_t> rest;
+        for (size_t other : plan.free_literals) {
+          if (other != li) rest.push_back(other);
+        }
+        dp = BuildBodyPlan(store, sig, clause, rest, LitVars(store, lit),
+                           must_bind, true);
+        dp.steps.insert(dp.steps.begin(),
+                        PlanStep{StepKind::kScan, li, kInvalidTerm});
+      }
+      plan.delta_plans.push_back(std::move(dp));
+    }
+  }
+
   // Which variables are bound after the free plan?
   std::vector<TermId> bound_after_free = must_bind;
   for (size_t li : plan.free_literals) {

@@ -87,6 +87,15 @@ struct RulePlan {
   std::vector<size_t> free_literals;        // no quantified variables
   std::vector<size_t> quantified_literals;  // at least one quantified var
   BodyPlan free_plan;       // binds free vars; range/head vars included
+  /// For quantifier-free rules: delta_plans[i] re-plans the body with
+  /// free_literals[i] scanned *first* (its variables count as bound for
+  /// the rest of the greedy order). Semi-naive rounds seed from a
+  /// delta that is usually tiny; leading with it makes a round cost
+  /// O(|delta| x join fanout) instead of a full scan of whichever
+  /// literal the unbound greedy order starts with. Entries for
+  /// builtins / negated literals (which never carry a delta) are empty
+  /// plans, as is the whole vector for quantified rules.
+  std::vector<BodyPlan> delta_plans;
   std::vector<TermId> range_vars_needed;  // vars of quantifier ranges
   bool has_quantifiers = false;
   /// Variables seeded by the division step (free vars occurring only in

@@ -11,6 +11,11 @@ namespace {
 
 constexpr size_t kInitialSlots = 16;
 
+// Dedup slot marker for an erased entry. Distinct from every live
+// entry (RowId + 1 of a real row) and from 0 (empty): probes continue
+// through it, inserts may reuse it.
+constexpr uint32_t kTombstoneSlot = static_cast<uint32_t>(-1);
+
 bool RowsEqual(TupleRef a, TupleRef b) {
   return std::equal(a.begin(), a.end(), b.begin(), b.end());
 }
@@ -45,16 +50,25 @@ bool Relation::MaskedEquals(TupleRef a, TupleRef b, uint32_t mask) {
 
 bool Relation::Insert(TupleRef t) {
   if (dedup_slots_.empty()) dedup_slots_.assign(kInitialSlots, 0);
+  // num_rows_ bounds live entries + tombstones (each erase adds at
+  // most one tombstone for a row that stays in the arena), so the old
+  // load-factor test stays a safe upper bound.
   if ((num_rows_ + 1) * 4 > dedup_slots_.size() * 3) GrowDedup();
   const size_t cap_mask = dedup_slots_.size() - 1;
   size_t slot = Slot(HashRange(t), cap_mask);
+  size_t reuse = static_cast<size_t>(-1);
   for (;;) {
     ++dedup_probes_;
     uint32_t entry = dedup_slots_[slot];
     if (entry == 0) break;
-    if (RowsEqual(row(entry - 1), t)) return false;
+    if (entry == kTombstoneSlot) {
+      if (reuse == static_cast<size_t>(-1)) reuse = slot;
+    } else if (RowsEqual(row(entry - 1), t)) {
+      return false;
+    }
     slot = (slot + 1) & cap_mask;
   }
+  if (reuse != static_cast<size_t>(-1)) slot = reuse;
   dedup_slots_[slot] = static_cast<uint32_t>(num_rows_) + 1;
   arena_.insert(arena_.end(), t.begin(), t.end());
   ++num_rows_;
@@ -66,7 +80,7 @@ void Relation::GrowDedup() {
   std::vector<uint32_t> fresh(cap, 0);
   const size_t cap_mask = cap - 1;
   for (uint32_t entry : dedup_slots_) {
-    if (entry == 0) continue;
+    if (entry == 0 || entry == kTombstoneSlot) continue;
     size_t slot = Slot(HashRange(row(entry - 1)), cap_mask);
     while (fresh[slot] != 0) slot = (slot + 1) & cap_mask;
     fresh[slot] = entry;
@@ -75,15 +89,64 @@ void Relation::GrowDedup() {
 }
 
 bool Relation::Contains(TupleRef t) const {
-  if (dedup_slots_.empty()) return false;
+  return Find(t) != kNoRow;
+}
+
+RowId Relation::Find(TupleRef t) const {
+  if (dedup_slots_.empty()) return kNoRow;
   const size_t cap_mask = dedup_slots_.size() - 1;
   size_t slot = Slot(HashRange(t), cap_mask);
   for (;;) {
     uint32_t entry = dedup_slots_[slot];
-    if (entry == 0) return false;
-    if (RowsEqual(row(entry - 1), t)) return true;
+    if (entry == 0) return kNoRow;
+    if (entry != kTombstoneSlot && RowsEqual(row(entry - 1), t)) {
+      return entry - 1;
+    }
     slot = (slot + 1) & cap_mask;
   }
+}
+
+bool Relation::EraseRow(RowId r) {
+  if (r >= num_rows_ || !IsLive(r)) return false;
+  const size_t cap_mask = dedup_slots_.size() - 1;
+  size_t slot = Slot(HashRange(row(r)), cap_mask);
+  for (;;) {
+    uint32_t entry = dedup_slots_[slot];
+    if (entry == 0) return false;  // not in the table: corrupt caller
+    if (entry != kTombstoneSlot && entry - 1 == r) {
+      dedup_slots_[slot] = kTombstoneSlot;
+      break;
+    }
+    slot = (slot + 1) & cap_mask;
+  }
+  if (dead_.size() < num_rows_) dead_.resize(num_rows_, false);
+  dead_[r] = true;
+  ++dead_count_;
+  return true;
+}
+
+bool Relation::Revive(RowId r) {
+  if (r >= dead_.size() || !dead_[r]) return false;
+  const size_t cap_mask = dedup_slots_.size() - 1;
+  size_t slot = Slot(HashRange(row(r)), cap_mask);
+  size_t reuse = static_cast<size_t>(-1);
+  for (;;) {
+    uint32_t entry = dedup_slots_[slot];
+    if (entry == 0) break;
+    if (entry == kTombstoneSlot) {
+      if (reuse == static_cast<size_t>(-1)) reuse = slot;
+    } else if (RowsEqual(row(entry - 1), row(r))) {
+      // A fresh duplicate was inserted after the erase; the dead row
+      // stays dead, the fresh one serves the tuple.
+      return false;
+    }
+    slot = (slot + 1) & cap_mask;
+  }
+  if (reuse != static_cast<size_t>(-1)) slot = reuse;
+  dedup_slots_[slot] = r + 1;
+  dead_[r] = false;
+  --dead_count_;
+  return true;
 }
 
 Relation::Index* Relation::GetIndex(uint32_t mask) {
@@ -183,9 +246,11 @@ bool Relation::LookupSnapshot(uint32_t mask, TupleRef key,
   out->clear();
   if (watermark > num_rows_) watermark = num_rows_;
   if (mask == 0) {
-    out->reserve(watermark);
+    out->reserve(watermark - (dead_count_ < watermark ? dead_count_ : 0));
     for (size_t i = 0; i < watermark; ++i) {
-      out->push_back(static_cast<RowId>(i));
+      if (IsLive(static_cast<RowId>(i))) {
+        out->push_back(static_cast<RowId>(i));
+      }
     }
     return true;
   }
@@ -194,16 +259,17 @@ bool Relation::LookupSnapshot(uint32_t mask, TupleRef key,
     const std::vector<RowId>* bucket = ProbeIndex(ix, key);
     if (bucket != nullptr) {
       // Posting lists are ascending, so the prefix below the watermark
-      // is a clean cut.
+      // is a clean cut. Tombstoned rows stay listed and are skipped.
       for (RowId ti : *bucket) {
         if (ti >= watermark) break;
-        out->push_back(ti);
+        if (IsLive(ti)) out->push_back(ti);
       }
     }
     return true;
   }
   // No index built up to the watermark: scan the prefix.
   for (size_t i = 0; i < watermark; ++i) {
+    if (!IsLive(static_cast<RowId>(i))) continue;
     TupleRef t = row(static_cast<RowId>(i));
     bool match = true;
     for (size_t c = 0; c < arity_ && match; ++c) {
@@ -215,9 +281,12 @@ bool Relation::LookupSnapshot(uint32_t mask, TupleRef key,
 }
 
 void Relation::AllIndices(std::vector<RowId>* out) const {
-  out->resize(num_rows_);
+  out->clear();
+  out->reserve(num_rows_ - dead_count_);
   for (size_t i = 0; i < num_rows_; ++i) {
-    (*out)[i] = static_cast<RowId>(i);
+    if (IsLive(static_cast<RowId>(i))) {
+      out->push_back(static_cast<RowId>(i));
+    }
   }
 }
 

@@ -44,6 +44,15 @@ struct TupleHash {
 /// Append-only tuple set over a flat row arena. Row order is insertion
 /// order, which the semi-naive evaluator exploits: rows at RowId >=
 /// some watermark form the delta of an iteration.
+///
+/// Retraction is tombstoning, not compaction: EraseRow marks the row
+/// dead and removes its dedup entry but leaves the arena and every
+/// per-mask posting list untouched, so RowIds (and the watermark
+/// arithmetic built on them) stay stable. Readers filter through
+/// IsLive - LookupSnapshot/AllIndices do it internally, callers of
+/// Lookup/rows() must do it themselves. Revive re-points the dedup
+/// table at the *original* RowId, so an erase/revive round trip is
+/// invisible to the indexes.
 class Relation {
  public:
   /// Bound-column masks are 32-bit, so only the first 32 columns can
@@ -52,10 +61,22 @@ class Relation {
   /// through the scan-side equality re-check instead of the index.
   static constexpr size_t kMaxIndexedColumns = 32;
 
+  /// Find() result for a row that is absent (or tombstoned).
+  static constexpr RowId kNoRow = static_cast<RowId>(-1);
+
   explicit Relation(size_t arity) : arity_(arity) {}
 
   size_t arity() const { return arity_; }
+  /// Arena row count, dead rows included - the watermark domain.
   size_t size() const { return num_rows_; }
+  /// Rows currently alive (size() minus tombstones).
+  size_t live_size() const { return num_rows_ - dead_count_; }
+  size_t dead_count() const { return dead_count_; }
+
+  /// False iff row r was erased (and not revived).
+  bool IsLive(RowId r) const {
+    return r >= dead_.size() || !dead_[r];
+  }
 
   /// Zero-copy view of row r; valid until the next Insert.
   TupleRef row(RowId r) const {
@@ -125,6 +146,19 @@ class Relation {
   bool Contains(std::initializer_list<TermId> t) const {
     return Contains(TupleRef(t.begin(), t.size()));
   }
+
+  /// RowId of the live row equal to `t`, or kNoRow.
+  RowId Find(TupleRef t) const;
+
+  /// Tombstones row r: drops its dedup entry and marks it dead. The
+  /// arena and the per-mask indexes keep the row (readers skip it via
+  /// IsLive). Returns false if r was already dead.
+  bool EraseRow(RowId r);
+
+  /// Undoes EraseRow: marks r live again and re-inserts its dedup
+  /// entry pointing at the original RowId, so postings that still list
+  /// r serve it again. Returns false if r was not dead.
+  bool Revive(RowId r);
 
   /// RowIds (ascending) of rows whose columns selected by `mask` (bit i
   /// = column i bound) equal the corresponding entries of `key`
@@ -204,8 +238,12 @@ class Relation {
   size_t arity_;
   size_t num_rows_ = 0;
   std::vector<TermId> arena_;         // num_rows_ * arity_ TermIds
-  std::vector<uint32_t> dedup_slots_; // RowId + 1; 0 = empty
+  /// Slot states: 0 = empty, kTombstoneSlot = erased entry (probes
+  /// continue through it, inserts may reuse it), else RowId + 1.
+  std::vector<uint32_t> dedup_slots_;
   uint64_t dedup_probes_ = 0;
+  std::vector<bool> dead_;            // sized lazily on first erase
+  size_t dead_count_ = 0;
   std::vector<Index> indexes_;
   static const std::vector<RowId> kEmpty;
 };

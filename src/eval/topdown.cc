@@ -211,9 +211,10 @@ Status TopDownSolver::SolveUserGoal(PredicateId pred,
     const Relation* rel = db_->FindRelation(pred);
     if (rel != nullptr) {
       // Zero-copy: solving never inserts into the database, so arena
-      // views stay valid across the scan.
-      for (TupleRef t : rel->rows()) {
-        st = try_tuple(t);
+      // views stay valid across the scan. Tombstoned rows are skipped.
+      for (RowId r = 0; r < rel->size(); ++r) {
+        if (!rel->IsLive(r)) continue;
+        st = try_tuple(rel->row(r));
         if (!st.ok()) break;
       }
     }

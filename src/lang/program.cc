@@ -23,6 +23,31 @@ Status Program::AddFact(PredicateId pred, std::vector<TermId> args) {
   return Status::OK();
 }
 
+void Program::RemoveFactsAt(const std::vector<size_t>& sorted_indices) {
+  if (sorted_indices.empty()) return;
+  size_t out = sorted_indices[0];
+  size_t next = 0;
+  for (size_t i = sorted_indices[0]; i < facts_.size(); ++i) {
+    if (next < sorted_indices.size() && sorted_indices[next] == i) {
+      ++next;
+      continue;
+    }
+    facts_[out++] = std::move(facts_[i]);
+  }
+  facts_.resize(out);
+}
+
+bool Program::RemoveFact(PredicateId pred,
+                         const std::vector<TermId>& args) {
+  for (auto it = facts_.begin(); it != facts_.end(); ++it) {
+    if (it->pred == pred && it->args == args) {
+      facts_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 std::vector<PredicateId> Program::DefinedPredicates() const {
   std::vector<PredicateId> out;
   auto add = [&out](PredicateId p) {

@@ -35,6 +35,17 @@ class Program {
   const std::vector<Clause>& clauses() const { return clauses_; }
   std::vector<Clause>* mutable_clauses() { return &clauses_; }
   const std::vector<Literal>& facts() const { return facts_; }
+  std::vector<Literal>* mutable_facts() { return &facts_; }
+
+  /// Removes the fact p(args) if present; returns true when removed.
+  bool RemoveFact(PredicateId pred, const std::vector<TermId>& args);
+
+  /// Bulk removal by position: erases the facts at `sorted_indices`
+  /// (ascending, no duplicates, all < facts().size()) in one
+  /// compaction pass. A mutation batch retracting k facts pays
+  /// O(facts) index compares once instead of RemoveFact's
+  /// O(k * facts) tuple compares.
+  void RemoveFactsAt(const std::vector<size_t>& sorted_indices);
 
   /// All predicates appearing in some clause head or fact (the IDB plus
   /// EDB predicates with facts).

@@ -109,7 +109,9 @@ Result<NestedRelation> NestedRelation::FromRelation(
     return Status::InvalidArgument("schema arity mismatch");
   }
   NestedRelation out(std::move(column_names), std::move(sorts));
-  for (TupleRef t : rel.rows()) {
+  for (RowId r = 0; r < rel.size(); ++r) {
+    if (!rel.IsLive(r)) continue;
+    TupleRef t = rel.row(r);
     LPS_RETURN_IF_ERROR(out.AddRow(store, Tuple(t.begin(), t.end())));
   }
   return out;

@@ -51,6 +51,7 @@ void MergeCounters(ServeStats* into, const ServeStats& d) {
   into->rewrite_cache_hits += d.rewrite_cache_hits;
   into->index_misses += d.index_misses;
   into->worker_rebinds += d.worker_rebinds;
+  into->worker_refreshes += d.worker_refreshes;
 }
 
 double Percentile(const std::vector<double>& sorted, double p) {
@@ -70,11 +71,26 @@ QueryServer::QueryServer(SnapshotRegistry* registry, ServeOptions options)
 void QueryServer::BindWorker(Worker* w, const PinnedSnapshot& pin) {
   if (w->store != nullptr && w->epoch == pin.epoch()) return;
   const Snapshot& snap = *pin.snapshot();
+  if (w->store != nullptr && w->rule_epoch == snap.rule_epoch() &&
+      w->store_size == snap.store_size() &&
+      w->sig_preds == snap.signature().size()) {
+    // Fact-only republish: the rules, the frozen term-id prefix and
+    // the predicate table are all unchanged, so the worker's clone,
+    // goal plans and cached magic rewrites stay valid (rewrites carry
+    // no facts; ExecuteOne reads facts from the pinned snapshot). Only
+    // advance the epoch.
+    w->epoch = pin.epoch();
+    ++w->delta.worker_refreshes;
+    return;
+  }
   w->store = snap.store().Clone();
   w->program =
       std::make_unique<Program>(snap.program().CloneInto(w->store.get()));
   w->entries.clear();
   w->epoch = pin.epoch();
+  w->rule_epoch = snap.rule_epoch();
+  w->store_size = snap.store_size();
+  w->sig_preds = snap.signature().size();
   ++w->delta.worker_rebinds;
 }
 
@@ -290,6 +306,14 @@ ServeAnswer QueryServer::ExecuteOne(Worker* w, const Snapshot& snap,
   seed.reserve(rw->seed_positions.size());
   for (size_t pos : rw->seed_positions) seed.push_back(patterns[pos]);
   db.AddTuple(rw->seed_pred, seed);
+  // The rewrite carries no facts (transform/magic.h): load the pinned
+  // snapshot's fact set, which is what keeps a rewrite cached before a
+  // fact-only republish answering over the *new* facts. Sound against
+  // the worker store because a refresh requires store_size equality -
+  // every fact term id sits inside the shared frozen prefix.
+  for (const Literal& f : snap.program().facts()) {
+    db.AddTuple(f.pred, f.args);
+  }
   EvalOptions eval_opts = snap.options().eval();
   eval_opts.threads = 1;  // lanes are the parallelism; no nested pools
   BottomUpEvaluator eval(&rw->program, &db, eval_opts);

@@ -92,6 +92,13 @@ struct ServeStats {
   uint64_t rewrite_cache_hits = 0;
   uint64_t index_misses = 0;    // snapshot scans with no prebuilt index
   uint64_t worker_rebinds = 0;  // worker re-clones after a new epoch
+  /// Worker took the cheap path on a new epoch: the republished
+  /// snapshot has the same rule_epoch/store_size/signature as the one
+  /// the worker is bound to (a fact-only republish), so the clone and
+  /// every cached plan and magic rewrite survive - only the snapshot
+  /// pointer advances. The observable witness that serving state keys
+  /// on rules, not facts.
+  uint64_t worker_refreshes = 0;
   uint64_t batches = 0;
 
   // Most recent batch:
@@ -155,6 +162,12 @@ class QueryServer {
   /// every lane returns, which publishes the writes).
   struct Worker {
     uint64_t epoch = 0;  // epoch the clones below were taken from
+    // Compatibility key of the snapshot the clones were taken from: a
+    // newer epoch whose snapshot matches all three is a fact-only
+    // republish and refreshes the worker in place (see BindWorker).
+    uint64_t rule_epoch = 0;
+    size_t store_size = 0;
+    size_t sig_preds = 0;
     std::unique_ptr<TermStore> store;
     std::unique_ptr<Program> program;
     std::vector<QueryEntry> entries;  // indexed by query id
@@ -162,8 +175,12 @@ class QueryServer {
     std::vector<double> latencies;    // per-request micros this batch
   };
 
-  /// Re-clones the worker's store/program from `pin`'s snapshot iff the
-  /// pinned epoch is newer than the worker's; drops all entries.
+  /// Binds the worker to `pin`'s snapshot. Same epoch: no-op. Newer
+  /// epoch with unchanged rules, term store and signature (a fact-only
+  /// republish): keeps the clone and every materialized entry - plans
+  /// and magic rewrites are pure functions of the rules, and demand
+  /// facts are read from the pinned snapshot at execution time.
+  /// Anything else: re-clones store/program and drops all entries.
   void BindWorker(Worker* w, const PinnedSnapshot& pin);
   /// Parses/validates/plans queries_[query] into w->entries[query].
   QueryEntry& Materialize(Worker* w, const Snapshot& snap, size_t query);

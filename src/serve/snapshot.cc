@@ -36,7 +36,11 @@ Result<std::shared_ptr<const serve::Snapshot>> Session::Freeze() {
 Result<std::shared_ptr<const serve::Snapshot>> Session::Freeze(
     const serve::FreezeOptions& opts) {
   LPS_RETURN_IF_ERROR(Compile());
-  if (opts.evaluate) LPS_RETURN_IF_ERROR(Evaluate());
+  // A session already at fixpoint - e.g. right after an incremental
+  // MutationBatch commit - republishes without paying a redundant
+  // re-evaluation; the delta maintenance already converged the
+  // database.
+  if (opts.evaluate && !converged_) LPS_RETURN_IF_ERROR(Evaluate());
   auto snap = std::shared_ptr<serve::Snapshot>(new serve::Snapshot());
   snap->store_ = store_->Clone();
   snap->program_ = std::make_unique<Program>(
@@ -51,8 +55,9 @@ Result<std::shared_ptr<const serve::Snapshot>> Session::Freeze(
   snap->db_->FreezeIndexes();
   snap->mode_ = mode_;
   snap->options_ = options_;
-  snap->converged_ = opts.evaluate;
+  snap->converged_ = converged_;
   snap->store_size_ = snap->store_->size();
+  snap->rule_epoch_ = rule_epoch_;
   return std::shared_ptr<const serve::Snapshot>(std::move(snap));
 }
 

@@ -74,6 +74,12 @@ class Snapshot {
   /// descendant clone with id >= store_size() was interned after the
   /// freeze and therefore occurs in no stored tuple here.
   size_t store_size() const { return store_size_; }
+  /// The freezing session's rule_epoch() at freeze time. Two snapshots
+  /// of one session with equal rule epochs have identical rule sets,
+  /// so rule-derived serving state (goal plans, cached magic rewrites)
+  /// built against one is valid against the other - the basis of the
+  /// QueryServer's cheap worker refresh across fact-only republishes.
+  uint64_t rule_epoch() const { return rule_epoch_; }
 
  private:
   friend class ::lps::Session;
@@ -86,6 +92,7 @@ class Snapshot {
   Options options_;
   bool converged_ = false;
   size_t store_size_ = 0;
+  uint64_t rule_epoch_ = 0;
 };
 
 }  // namespace serve

@@ -78,13 +78,16 @@ Result<MagicRewriteResult> MagicRewrite(const Program& in,
     return Fallback("all-free goal: demand restricts nothing");
   }
 
-  // Rules and facts per predicate.
+  // Rules per predicate. Facts are deliberately not consulted: the
+  // rewrite must be a pure function of the *rules* (callers cache it
+  // across fact-only mutations, keyed on Session::rule_epoch()), so
+  // fact-import rules below are emitted unconditionally and the
+  // current fact set is loaded into the private database at execution
+  // time (api/query.cc).
   std::map<PredicateId, std::vector<size_t>> rules_of;
   for (size_t i = 0; i < in.clauses().size(); ++i) {
     rules_of[in.clauses()[i].head.pred].push_back(i);
   }
-  std::set<PredicateId> has_facts;
-  for (const Literal& f : in.facts()) has_facts.insert(f.pred);
 
   if (rules_of.find(goal.pred) == rules_of.end()) {
     return Fallback("goal predicate has no rules (plain relation scan)");
@@ -176,6 +179,10 @@ Result<MagicRewriteResult> MagicRewrite(const Program& in,
   MagicProgram mp{in, Literal{}, kInvalidPredicate, {}, {}, {}};
   Program& out = mp.program;
   out.mutable_clauses()->clear();
+  // The rewrite carries no facts: the caller loads the session's
+  // current fact set into the evaluation database instead, so a cached
+  // rewrite stays correct across fact churn.
+  out.mutable_facts()->clear();
   Signature& osig = out.signature();
 
   std::map<AdornKey, PredicateId> adorned, magic_of;
@@ -297,9 +304,12 @@ Result<MagicRewriteResult> MagicRewrite(const Program& in,
       out.AddClause(std::move(modified));
     }
 
-    // A predicate with facts as well as rules: import the facts into
-    // the adorned relation under the same magic guard.
-    if (has_facts.count(p)) {
+    // Import stored tuples of the original predicate into the adorned
+    // relation under the same magic guard. Emitted for every adorned
+    // predicate - not just those with facts at rewrite time - so a
+    // cached rewrite keeps answering correctly after facts are added
+    // to a predicate that had none when the rewrite was built.
+    {
       const PredicateInfo& info = sig.info(p);
       Clause import;
       import.head = Literal{p_ad, {}, true};

@@ -82,6 +82,12 @@ struct MagicRewriteResult {
 /// (`bound.size()` must equal the goal arity). Free-standing and pure:
 /// the returned program shares `in`'s TermStore but owns a signature
 /// copy, so repeated rewrites never pollute the session signature.
+/// The rewrite depends only on `in`'s *rules*: it carries no facts
+/// (fact-import guard rules are emitted unconditionally for every
+/// adorned predicate), so callers may cache it across fact-only
+/// program mutations - the caller loads the current fact set into the
+/// evaluation database before running the rewritten program
+/// (api/query.cc does; Session::rule_epoch() is the cache key).
 Result<MagicRewriteResult> MagicRewrite(const Program& in,
                                         const Literal& goal,
                                         const std::vector<bool>& bound);

@@ -60,12 +60,17 @@ TEST(MagicRewriteTest, TransitiveClosureGolden) {
   const MagicProgram& mp = *rw->rewrite;
 
   // Left-linear recursion would produce the tautological guard
-  // m_path_bf(X) :- m_path_bf(X); it is skipped.
+  // m_path_bf(X) :- m_path_bf(X); it is skipped. The final clause is
+  // the unconditional fact-import rule: emitted even though path has
+  // no facts right now, so the (rule-keyed) cached rewrite keeps
+  // answering after facts are added later.
   EXPECT_EQ(ClauseStrings(mp.program),
             (std::vector<std::string>{
                 "path_bf(X, Y) :- m_path_bf(X), edge(X, Y).",
                 "path_bf(X, Z) :- m_path_bf(X), path_bf(X, Y), "
                 "edge(Y, Z).",
+                "path_bf(Mf#0, Mf#1) :- m_path_bf(Mf#0), "
+                "path(Mf#0, Mf#1).",
             }));
   EXPECT_EQ(mp.magic_preds.size(), 1u);
   EXPECT_EQ(mp.adorned_preds.size(), 1u);
@@ -179,10 +184,13 @@ TEST(MagicRewriteTest, GroupingHeadAdornsOverKeyPositions) {
   ASSERT_TRUE(rw->applied) << rw->fallback_reason;
   const MagicProgram& mp = *rw->rewrite;
   // The adorned copy keeps its grouping head; the magic guard joins
-  // into the body and restricts whole groups by their key.
+  // into the body and restricts whole groups by their key. The second
+  // clause is the unconditional fact-import rule (grp has no facts, so
+  // it derives nothing here).
   EXPECT_EQ(ClauseStrings(mp.program),
             (std::vector<std::string>{
                 "grp_bf(X, <P>) :- m_grp_bf(X), part(X, P).",
+                "grp_bf(Mf#0, Mf#1) :- m_grp_bf(Mf#0), grp(Mf#0, Mf#1).",
             }));
   // Only the key position seeds the magic predicate.
   EXPECT_EQ(mp.seed_positions, (std::vector<size_t>{0}));
@@ -388,6 +396,41 @@ TEST(DemandExecutionTest, AddFactInvalidatesCachedRewrite) {
   ASSERT_OK(session->AddFact(
       "edge", {store->MakeConstant("b"), store->MakeConstant("c")}));
   EXPECT_EQ(*q->Execute()->Count(), 2u);
+}
+
+TEST(DemandExecutionTest, FactOnlyMutationReusesCachedRewrite) {
+  auto session = Load(R"(
+    edge(a, b).
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- path(X, Y), edge(Y, Z).
+  )");
+  Options options;
+  options.demand = true;
+  session->set_options(options);
+  auto q = session->Prepare("path(a, X)");
+  ASSERT_OK(q.status());
+  EXPECT_EQ(*q->Execute()->Count(), 1u);
+  EXPECT_EQ(session->demand_rewrite_count(), 1u);
+
+  // Fact-only commits bump fact_epoch() but not rule_epoch(): the
+  // cached rewrite (a pure function of the rules) answers over the new
+  // fact set without re-running the magic transformation.
+  MutationBatch grow = session->Mutate();
+  ASSERT_OK(grow.AddText("edge(b, c)"));
+  ASSERT_OK(grow.Commit());
+  EXPECT_EQ(*q->Execute()->Count(), 2u);
+  EXPECT_EQ(session->demand_rewrite_count(), 1u);  // cache hit
+
+  MutationBatch shrink = session->Mutate();
+  ASSERT_OK(shrink.RetractText("edge(a, b)"));
+  ASSERT_OK(shrink.Commit());
+  EXPECT_EQ(*q->Execute()->Count(), 0u);  // a is cut off
+  EXPECT_EQ(session->demand_rewrite_count(), 1u);  // still cached
+
+  // A rule commit moves rule_epoch() and invalidates the cache.
+  ASSERT_OK(session->Load("path(X, Y) :- back(X, Y). back(a, q)."));
+  EXPECT_EQ(*q->Execute()->Count(), 1u);
+  EXPECT_EQ(session->demand_rewrite_count(), 2u);
 }
 
 TEST(DemandExecutionTest, EligibilityRefreshesWhenRulesAppearLater) {

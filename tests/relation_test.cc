@@ -22,6 +22,51 @@ TEST(RelationTest, InsertDedupsAndKeepsOrder) {
   EXPECT_FALSE(rel.Contains({4, 3}));
 }
 
+TEST(RelationTest, TombstoneChurnKeepsDedupAndLiveViewsCoherent) {
+  // Retraction is tombstoning (eval/incremental.h drives it): erase
+  // hides the row from Contains/FindRow/live_size but never compacts
+  // the arena; Revive undoes an over-delete in place; a fresh insert
+  // of an erased tuple appends a new row that serves the tuple from
+  // then on (the corpse stays dead even through Revive).
+  Relation rel(2);
+  rel.Insert({1, 10});
+  rel.Insert({2, 20});
+  rel.Insert({3, 30});
+  const Tuple probe{2, 20};
+  ASSERT_EQ(rel.Find(probe), 1u);
+
+  EXPECT_TRUE(rel.EraseRow(1));
+  EXPECT_FALSE(rel.EraseRow(1));  // already dead
+  EXPECT_FALSE(rel.IsLive(1));
+  EXPECT_FALSE(rel.Contains({2, 20}));
+  EXPECT_EQ(rel.Find(probe), Relation::kNoRow);
+  EXPECT_EQ(rel.size(), 3u);       // arena never compacts
+  EXPECT_EQ(rel.live_size(), 2u);  // tombstone counted out
+
+  // Live-row enumeration skips the corpse.
+  std::vector<RowId> live;
+  rel.AllIndices(&live);
+  EXPECT_EQ(live, (std::vector<RowId>{0, 2}));
+
+  // Erase + Revive round-trip (the DRed rederive path).
+  EXPECT_TRUE(rel.Revive(1));
+  EXPECT_FALSE(rel.Revive(1));  // already live
+  EXPECT_TRUE(rel.Contains({2, 20}));
+  EXPECT_EQ(rel.live_size(), 3u);
+
+  // Dedup stays exact through churn: re-inserting a live tuple is
+  // still a no-op, and after a second erase a fresh insert appends.
+  EXPECT_FALSE(rel.Insert({2, 20}));
+  EXPECT_TRUE(rel.EraseRow(1));
+  EXPECT_TRUE(rel.Insert({2, 20}));
+  EXPECT_EQ(rel.size(), 4u);
+  EXPECT_EQ(rel.live_size(), 3u);
+  EXPECT_EQ(rel.Find(probe), 3u);
+  // The superseded corpse cannot come back to create a duplicate.
+  EXPECT_FALSE(rel.Revive(1));
+  EXPECT_EQ(rel.live_size(), 3u);
+}
+
 TEST(RelationTest, IndexLookupByMask) {
   Relation rel(2);
   rel.Insert({1, 10});

@@ -347,6 +347,44 @@ TEST(QueryServerTest, RewriteCacheHitsAndRebindOnRepublish) {
   EXPECT_EQ(stats.rewrites_built, 2u);
 }
 
+TEST(QueryServerTest, FactOnlyRepublishRefreshesWorkerInPlace) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(kGraph));
+  SnapshotRegistry registry;
+  registry.Publish(FreezeGraph(&session));
+  ServeOptions opts;
+  opts.threads = 1;  // one worker, so bind accounting is deterministic
+  QueryServer server(&registry, opts);
+  auto q = server.Prepare("path(X, Y)");
+  ASSERT_OK(q.status());
+
+  ServeRequest req;
+  req.query = *q;
+  req.params = {{"X", "a"}};
+  auto ans = server.Execute(req);
+  ASSERT_OK(ans.status());
+  EXPECT_EQ(ans->count, 4u);
+
+  // Mutate facts over already-interned terms: rule_epoch() and the
+  // append-only term-id prefix both stand still, so the republished
+  // snapshot is compatible with the worker's bound state. The worker
+  // refreshes in place - store clone and rewrite cache kept - instead
+  // of re-binding, and the cached rewrite answers over the new facts.
+  MutationBatch batch = session.Mutate();
+  ASSERT_OK(batch.AddText("edge(b, a)"));  // cycle: path(a, a) appears
+  ASSERT_OK(batch.Commit());
+  registry.Publish(FreezeGraph(&session));
+
+  ans = server.Execute(req);
+  ASSERT_OK(ans.status());
+  EXPECT_EQ(ans->count, 5u);  // the new cycle answer is served
+  serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.worker_refreshes, 1u);
+  EXPECT_EQ(stats.worker_rebinds, 1u);  // only the initial bind
+  EXPECT_EQ(stats.rewrites_built, 1u);  // cache survived the republish
+  EXPECT_GE(stats.rewrite_cache_hits, 1u);
+}
+
 TEST(QueryServerTest, BuiltinGoalsInternIntoWorkerScratch) {
   Session session(LanguageMode::kLDL);
   ASSERT_OK(session.Load("num(1). num(2). num(3)."));

@@ -570,5 +570,28 @@ TEST(DemandModeTest, OffByDefaultAndHarmlessWhenOn) {
   EXPECT_EQ(on.database()->TupleCount(), 0u);
   EXPECT_EQ(on.program_epoch(), 1u);
 }
+
+TEST(SessionTest, PreparedQuerySurvivesFactOnlyMutation) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(kGraph));
+  ASSERT_OK(session.Evaluate());
+  auto q = session.Prepare("path(a, X)");
+  ASSERT_OK(q.status());
+  EXPECT_EQ(*q->Execute()->Count(), 3u);
+  const size_t parses = session.parse_count();
+  const uint64_t rules = session.rule_epoch();
+
+  // A fact-only commit re-converges the database but leaves the rules
+  // alone: the same prepared handle answers over the new facts with no
+  // re-parse or re-plan (only the staged fact text itself is parsed)
+  // and rule_epoch() - the key of every rewrite cache - stays put.
+  MutationBatch batch = session.Mutate();
+  ASSERT_OK(batch.AddText("edge(d, e)"));
+  ASSERT_OK(batch.Commit());
+  EXPECT_EQ(*q->Execute()->Count(), 4u);
+  EXPECT_EQ(session.parse_count(), parses + 1);
+  EXPECT_EQ(session.rule_epoch(), rules);
+  EXPECT_GT(session.fact_epoch(), 0u);
+}
 }  // namespace
 }  // namespace lps
