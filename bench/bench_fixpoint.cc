@@ -20,6 +20,12 @@ void RunTc(benchmark::State& state, const std::string& facts,
     state.ResumeTiming();
     Options opts;
     opts.semi_naive = semi_naive;
+    // This file benchmarks the iteration machinery itself. The
+    // cost-based join order probes the growing recursive relation and
+    // collapses chain closures into round 0 (DESIGN.md section 17),
+    // which would measure the planner, not the naive/semi-naive gap -
+    // bench_planner owns that comparison.
+    opts.reorder = false;
     opts.max_tuples = 10000000;
     opts.max_iterations = 1000000;
     EvalStats stats = MustEvaluate(engine.get(), opts);
@@ -70,6 +76,7 @@ void RunAllq(benchmark::State& state, bool semi_naive) {
     state.ResumeTiming();
     Options opts;
     opts.semi_naive = semi_naive;
+    opts.reorder = false;  // see RunTc
     EvalStats stats = MustEvaluate(engine.get(), opts);
     combos = stats.combos_checked;
   }
@@ -103,6 +110,10 @@ void RunScaling(benchmark::State& state, const std::string& source) {
     state.ResumeTiming();
     Options opts;
     opts.threads = static_cast<size_t>(state.range(0));
+    // The lane-scaling gate measures the sharded delta phase; the
+    // cost order's round-0 cascade would leave the lanes nothing to
+    // shard (see RunTc).
+    opts.reorder = false;
     opts.max_tuples = 10000000;
     opts.max_iterations = 1000000;
     EvalStats stats = MustEvaluate(engine.get(), opts);

@@ -1,0 +1,154 @@
+// Cost-based join ordering vs source order on an adversarial join,
+// plus the subsumptive demand cache on repeated point queries.
+//
+// The needle workload joins hay(X, Y) - `hay` rows, every Y unique -
+// against two 32-row relations, written source-order-worst: the rule
+// scans hay first and reaches pin(Z, W) before anything binds Z or W,
+// so the legacy planner enumerates the 32 x hay cross product before
+// the selective link(Y, W) literal prunes it. The cost order starts
+// from a 32-row scan and turns both joins into indexed point probes.
+// The CI ratio gate (scripts/check_bench.py --min-ratio, wired in
+// ci.yml) requires the legacy order to be >= 2x slower - i.e.
+// reordering must keep earning its keep. Both orders are checked for
+// canonical-model equality here before anything is measured; the
+// bench aborts on divergence.
+//
+// The subsumption pair measures repeated bound-bound point queries
+// against a session whose bound-free materialization already covers
+// them (answers filtered from the cached result, no fixpoint) vs a
+// cold session that re-seeds and re-runs the cached rewrite per query.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "workloads.h"
+
+namespace lps::bench {
+namespace {
+
+// hay(h_i, k_i) for i < hay (all keys distinct), 32 pin(p_j, w_j)
+// rows, 32 link(k_?, w_j) rows, and the adversarially ordered rule.
+std::string NeedleSource(int hay) {
+  std::string out;
+  out.reserve(32 * hay);
+  for (int i = 0; i < hay; ++i) {
+    out += "hay(h" + std::to_string(i) + ", k" + std::to_string(i) +
+           ").\n";
+  }
+  for (int j = 0; j < 32; ++j) {
+    out += "pin(p" + std::to_string(j) + ", w" + std::to_string(j) +
+           ").\n";
+    out += "link(k" + std::to_string((j * 37) % hay) + ", w" +
+           std::to_string(j) + ").\n";
+  }
+  out += "q(X, Z) :- hay(X, Y), pin(Z, W), link(Y, W).\n";
+  return out;
+}
+
+Options ReorderOptions(bool reorder) {
+  Options options;
+  options.reorder = reorder;
+  return options;
+}
+
+// Aborts unless both join orders reach the identical canonical model.
+void VerifyNeedleEquivalence(int hay) {
+  std::string canonical[2];
+  for (int r = 0; r < 2; ++r) {
+    auto session = MustLoad(NeedleSource(hay));
+    MustEvaluate(session.get(), ReorderOptions(r == 1));
+    canonical[r] = session->database()->ToCanonicalString(
+        session->program()->signature());
+  }
+  if (canonical[0] != canonical[1]) {
+    std::fprintf(stderr,
+                 "bench_planner: reordered model diverges from source "
+                 "order on needle/%d\n",
+                 hay);
+    std::abort();
+  }
+}
+
+void NeedleJoin(benchmark::State& state, bool reorder) {
+  const int hay = static_cast<int>(state.range(0));
+  VerifyNeedleEquivalence(hay);
+  auto session = MustLoad(NeedleSource(hay));
+  for (auto _ : state) {
+    session->ResetDatabase();
+    MustEvaluate(session.get(), ReorderOptions(reorder));
+  }
+  const EvalStats& s = session->eval_stats();
+  state.counters["tuples_derived"] =
+      static_cast<double>(s.tuples_derived);
+  state.counters["plan_reorders"] = static_cast<double>(s.plan_reorders);
+}
+
+void BM_NeedleJoinLegacyOrder(benchmark::State& state) {
+  NeedleJoin(state, false);
+}
+BENCHMARK(BM_NeedleJoinLegacyOrder)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NeedleJoinCostOrder(benchmark::State& state) {
+  NeedleJoin(state, true);
+}
+BENCHMARK(BM_NeedleJoinCostOrder)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- Subsumptive demand cache ----------------------------------------
+
+std::string TcSource(int n) {
+  return RandomGraph(n, 2 * n, 99) + TransitiveClosureRules();
+}
+
+// Bound-bound point queries cycling over 64 targets. With `warm` the
+// session answered path(n0, X) once up front, so every point query is
+// subsumed by that materialization; cold sessions re-run the (cached)
+// rewrite per fresh target.
+void PointQueries(benchmark::State& state, bool warm) {
+  const int n = static_cast<int>(state.range(0));
+  auto session = MustLoad(TcSource(n));
+  // The demand cache (rewrites + materialized results) lives on the
+  // prepared query, so the warm materialization must run through the
+  // same handle the point queries use.
+  auto query = MustPrepare(session.get(), "path(n0, Y)");
+  if (warm) {
+    auto count = query.ExecuteDemand()->Count();
+    if (!count.ok()) std::abort();
+  }
+  int k = 0;
+  for (auto _ : state) {
+    query.ClearBindings();
+    if (!query.BindText("Y", "n" + std::to_string(k % 64)).ok()) {
+      std::abort();
+    }
+    auto cursor = query.ExecuteDemand();
+    if (!cursor.ok()) std::abort();
+    auto count = cursor->Count();
+    if (!count.ok()) std::abort();
+    benchmark::DoNotOptimize(*count);
+    ++k;
+  }
+  // Normalized per query (raw hit counts scale with the iteration
+  // count the harness picks): 1.0 when every point query was answered
+  // from the warm materialization, 0.0 when none were.
+  state.counters["subsumption_hits_per_query"] =
+      static_cast<double>(session->demand_subsumption_count()) /
+      static_cast<double>(state.iterations());
+}
+
+void BM_PointQueryCold(benchmark::State& state) {
+  PointQueries(state, false);
+}
+BENCHMARK(BM_PointQueryCold)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void BM_PointQuerySubsumed(benchmark::State& state) {
+  PointQueries(state, true);
+}
+BENCHMARK(BM_PointQuerySubsumed)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace lps::bench

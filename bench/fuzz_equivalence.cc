@@ -15,7 +15,17 @@
 // mutated program, and after the last batch the demand-executed goal
 // answers must match the full fixpoint's.
 //
-//   fuzz_equivalence [--seeds N] [--start S] [--fail-log PATH]
+// Clean seeds also run a body-permutation sweep: PermuteRuleBodies
+// shuffles the literal order of every rule body, and each permuted
+// program must reach the identical canonical model under the full
+// fixpoint and the identical goal answers under demand execution.
+// Join order is an implementation choice the cost-based planner makes
+// per statistics snapshot; the model must not depend on it. --perm-only
+// restricts a run to this sweep (plus the base magic/full agreement),
+// skipping top-down and churn, so large seed counts stay fast.
+//
+//   fuzz_equivalence [--seeds N] [--start S] [--perms K] [--perm-only]
+//                    [--fail-log PATH]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +39,7 @@
 namespace {
 
 using lps::bench::FuzzProgram;
+using lps::bench::PermuteRuleBodies;
 using lps::bench::RandomFlatHornProgram;
 
 std::vector<std::string> Render(lps::Session* session,
@@ -215,6 +226,21 @@ std::string ChurnCheck(const FuzzProgram& fuzz, uint64_t seed) {
   return "";
 }
 
+// Full fixpoint of `source`, rendered as the database's canonical
+// string (sorted, TermStore-independent). On evaluation error returns
+// "" with the message in *error.
+std::string CanonicalModel(const std::string& source, std::string* error) {
+  lps::Session session(lps::LanguageMode::kLDL);
+  lps::Status st = session.Load(source);
+  if (st.ok()) st = session.Evaluate();
+  if (!st.ok()) {
+    *error = st.ToString();
+    return "";
+  }
+  return session.database()->ToCanonicalString(
+      session.program()->signature());
+}
+
 void Dump(const FuzzProgram& fuzz, uint64_t seed) {
   std::fprintf(stderr, "---- seed %llu (%s) ----\n",
                static_cast<unsigned long long>(seed),
@@ -228,17 +254,24 @@ void Dump(const FuzzProgram& fuzz, uint64_t seed) {
 int main(int argc, char** argv) {
   uint64_t seeds = 50;
   uint64_t start = 0;
+  uint64_t perms = 3;
+  bool perm_only = false;
   const char* fail_log = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
       seeds = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--start") == 0 && i + 1 < argc) {
       start = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--perms") == 0 && i + 1 < argc) {
+      perms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--perm-only") == 0) {
+      perm_only = true;
     } else if (std::strcmp(argv[i], "--fail-log") == 0 && i + 1 < argc) {
       fail_log = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--seeds N] [--start S] [--fail-log PATH]\n",
+                   "usage: %s [--seeds N] [--start S] [--perms K] "
+                   "[--perm-only] [--fail-log PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -247,6 +280,7 @@ int main(int argc, char** argv) {
   size_t failures = 0;
   size_t topdown_compared = 0;
   size_t churned = 0;
+  size_t permutations_checked = 0;
   for (uint64_t seed = start; seed < start + seeds; ++seed) {
     FuzzProgram fuzz = RandomFlatHornProgram(seed);
 
@@ -275,6 +309,55 @@ int main(int argc, char** argv) {
            std::to_string(full.rows.size()) + " answers)");
       continue;
     }
+    // Body-permutation sweep: shuffle every rule body and demand the
+    // identical canonical model and identical demand answers. This is
+    // the planner's soundness contract - the cost-based join order is
+    // itself one such permutation.
+    if (perms > 0) {
+      std::string base_err;
+      std::string base_db = CanonicalModel(fuzz.source, &base_err);
+      if (!base_err.empty()) {
+        fail("base fixpoint for permutation sweep: " + base_err);
+        continue;
+      }
+      bool perm_failed = false;
+      for (uint64_t p = 1; p <= perms; ++p) {
+        FuzzProgram perm = fuzz;
+        perm.source =
+            PermuteRuleBodies(fuzz.source, seed * 1315423911ull + p);
+        std::string perr;
+        std::string pdb = CanonicalModel(perm.source, &perr);
+        if (!perr.empty()) {
+          fail("permutation " + std::to_string(p) +
+               " fixpoint error: " + perr);
+          perm_failed = true;
+          break;
+        }
+        if (pdb != base_db) {
+          fail("permutation " + std::to_string(p) +
+               " canonical model differs from source order");
+          perm_failed = true;
+          break;
+        }
+        Answers pmagic = RunMode(perm, "magic");
+        if (!pmagic.ok) {
+          fail("permutation " + std::to_string(p) +
+               " demand error: " + pmagic.error);
+          perm_failed = true;
+          break;
+        }
+        if (pmagic.rows != full.rows) {
+          fail("permutation " + std::to_string(p) +
+               " demand answers differ from source-order fixpoint");
+          perm_failed = true;
+          break;
+        }
+        ++permutations_checked;
+      }
+      if (perm_failed) continue;
+    }
+    if (perm_only) continue;
+
     // Top-down comparison only where the solver is complete: no cyclic
     // recursion, no grouping clauses (rejected by TopDownSolver).
     if (!fuzz.recursive && !fuzz.has_grouping) {
@@ -304,10 +387,11 @@ int main(int argc, char** argv) {
 
   std::printf(
       "fuzz_equivalence: %llu seeds [%llu, %llu), %zu with top-down "
-      "comparison, %zu with churn schedules, %zu failures\n",
+      "comparison, %zu with churn schedules, %zu body permutations, "
+      "%zu failures\n",
       static_cast<unsigned long long>(seeds),
       static_cast<unsigned long long>(start),
       static_cast<unsigned long long>(start + seeds), topdown_compared,
-      churned, failures);
+      churned, permutations_checked, failures);
   return failures == 0 ? 0 : 1;
 }

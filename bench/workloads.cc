@@ -136,6 +136,57 @@ TermId MakeRandomSet(TermStore* store, int cardinality, int universe,
   return store->MakeSet(std::move(elems));
 }
 
+std::string PermuteRuleBodies(const std::string& source, uint64_t seed) {
+  if (seed == 0) return source;
+  Rng rng(seed);
+  std::string out;
+  size_t pos = 0;
+  while (pos < source.size()) {
+    size_t eol = source.find('\n', pos);
+    if (eol == std::string::npos) eol = source.size();
+    std::string line = source.substr(pos, eol - pos);
+    pos = eol + 1;
+    size_t arrow = line.find(" :- ");
+    size_t dot = line.rfind('.');
+    if (arrow == std::string::npos || dot == std::string::npos ||
+        dot < arrow) {
+      out += line;
+      out += '\n';
+      continue;
+    }
+    // Split "lit, lit, ..." at top-level commas only: commas inside
+    // parenthesized argument lists or braced set literals stay put.
+    std::string body = line.substr(arrow + 4, dot - arrow - 4);
+    std::vector<std::string> lits;
+    std::string cur;
+    int depth = 0;
+    for (size_t i = 0; i < body.size(); ++i) {
+      char c = body[i];
+      if (c == '(' || c == '{') ++depth;
+      if (c == ')' || c == '}') --depth;
+      if (c == ',' && depth == 0) {
+        lits.push_back(cur);
+        cur.clear();
+        while (i + 1 < body.size() && body[i + 1] == ' ') ++i;
+      } else {
+        cur += c;
+      }
+    }
+    if (!cur.empty()) lits.push_back(cur);
+    for (size_t i = lits.size(); i > 1; --i) {  // Fisher-Yates
+      std::swap(lits[i - 1], lits[rng.Below(i)]);
+    }
+    out += line.substr(0, arrow + 4);
+    for (size_t i = 0; i < lits.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += lits[i];
+    }
+    out += line.substr(dot);
+    out += '\n';
+  }
+  return out;
+}
+
 FuzzProgram RandomFlatHornProgram(uint64_t seed) {
   Rng rng(seed * 0x9e3779b97f4a7c15ull + 1);
   const bool allow_recursion = (seed % 2) == 1;

@@ -97,6 +97,15 @@ struct FuzzProgram {
   bool has_grouping = false;
 };
 
+/// Rewrites `source` with the body literals of every rule line
+/// (anything containing " :- ") shuffled by a seeded Fisher-Yates.
+/// Splitting respects parenthesis/brace nesting, so literal argument
+/// lists survive intact. seed 0 is the identity permutation. Facts,
+/// queries and non-rule lines pass through unchanged. Used by the
+/// fuzzer's permutation mode: any body order must produce the same
+/// model (join order is an implementation choice, not semantics).
+std::string PermuteRuleBodies(const std::string& source, uint64_t seed);
+
 /// Generates a random flat-Horn program: EDB facts over a small
 /// constant pool, IDB rules whose bodies mix EDB scans, IDB calls and
 /// occasional negated EDB literals (always safely ground), an optional

@@ -6,6 +6,8 @@
 // fresh). The REPL also understands dot-commands:
 //
 //   .stats      evaluation + storage-engine + demand + serving statistics
+//   .plan       the join order the planner picks per rule, with the
+//               cardinality estimates that drove each choice
 //   .serve N Q  freeze the session into a snapshot and fire Q copies of
 //               the most recent goal at a QueryServer with N worker
 //               threads, reporting answers, QPS and p50/p99 latency
@@ -37,7 +39,7 @@
 
 namespace {
 
-void PrintStats(const lps::EvalStats& s) {
+void PrintStats(const lps::EvalStats& s, size_t subsumptions) {
   std::printf("evaluation:\n");
   std::printf("  strata            %zu\n", s.strata);
   std::printf("  iterations        %zu\n", s.iterations);
@@ -72,6 +74,11 @@ void PrintStats(const lps::EvalStats& s) {
   std::printf("  delta_rounds       %zu\n", s.delta_rounds);
   std::printf("  rederived_tuples   %zu\n", s.rederived_tuples);
   std::printf("  overdeleted_tuples %zu\n", s.overdeleted_tuples);
+  std::printf("planner:\n");
+  std::printf("  plan_reorders         %zu\n", s.plan_reorders);
+  std::printf("  plan_estimated_tuples %.0f\n", s.plan_estimated_tuples);
+  std::printf("  subsumption_hits      %zu\n", s.subsumption_hits);
+  std::printf("  subsumptions_total    %zu\n", subsumptions);
 }
 
 // All-zero (value-initialized) before the first .serve, so .stats is
@@ -263,8 +270,17 @@ int main(int argc, char** argv) {
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
     if (line == ".stats" || line == ".stats.") {
-      PrintStats(session.eval_stats());
+      PrintStats(session.eval_stats(), session.demand_subsumption_count());
       PrintServeStats(serve_stats);
+      continue;
+    }
+    if (line == ".plan" || line == ".plan.") {
+      auto report = session.ExplainPlans();
+      if (!report.ok()) {
+        std::printf("error: %s\n", report.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", report->c_str());
       continue;
     }
     if (line.rfind(".add ", 0) == 0 || line.rfind(".retract ", 0) == 0) {

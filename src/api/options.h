@@ -20,6 +20,12 @@ struct Options {
   /// legacy behavior), 0 = hardware concurrency, N > 1 = that many
   /// lanes (see eval/bottomup.h and DESIGN.md section 11).
   size_t threads = 1;
+  /// Cost-based join ordering (DESIGN.md section 17): rule bodies (and
+  /// the magic rewrite's sideways-information-passing order) reorder by
+  /// estimated bound-selectivity from relation statistics. On by
+  /// default; turn off to debug with the legacy source-order-heuristic
+  /// plans, byte-exact to pre-planner behavior.
+  bool reorder = true;
   /// Demand-driven query evaluation (DESIGN.md section 13): when true,
   /// PreparedQuery::Execute() answers goals that name a rule-defined
   /// predicate with at least one bound argument by evaluating a
@@ -68,6 +74,7 @@ struct Options {
     o.max_iterations = max_iterations;
     o.max_tuples = max_tuples;
     o.threads = threads;
+    o.reorder = reorder;
     o.builtins = builtins;
     return o;
   }
@@ -87,6 +94,7 @@ struct Options {
     o.max_iterations = e.max_iterations;
     o.max_tuples = e.max_tuples;
     o.threads = e.threads;
+    o.reorder = e.reorder;
     o.builtins = e.builtins;
     return o;
   }

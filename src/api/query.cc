@@ -1,5 +1,7 @@
 #include "api/query.h"
 
+#include <bit>
+
 #include "api/goal_exec.h"
 #include "api/session.h"
 #include "eval/bottomup.h"
@@ -17,8 +19,12 @@ namespace {
 // demand-cache invalidation.
 class DemandScanSource final : public AnswerSource {
  public:
+  // The database is shared: the demand cache memoizes it as the
+  // pattern's materialized result, so a later subsumed execution can
+  // stream the same converged database through its own cursor while
+  // this one is still alive.
   DemandScanSource(std::shared_ptr<const MagicProgram> rewrite,
-                   std::unique_ptr<Database> db, TermStore* store,
+                   std::shared_ptr<Database> db, TermStore* store,
                    UnifyOptions unify, std::vector<TermId> patterns)
       : rewrite_(std::move(rewrite)), db_(std::move(db)) {
     Relation* rel = nullptr;
@@ -34,7 +40,7 @@ class DemandScanSource final : public AnswerSource {
 
  private:
   std::shared_ptr<const MagicProgram> rewrite_;
-  std::unique_ptr<Database> db_;
+  std::shared_ptr<Database> db_;
   std::unique_ptr<RelationScanSource> inner_;
 };
 
@@ -201,6 +207,47 @@ Result<AnswerCursor> PreparedQuery::ExecuteDemand() {
   // wider than the 32-bit mask are never cached - two patterns that
   // differ only past column 32 would alias to one entry.
   const bool cacheable = goal_.args.size() <= 32;
+
+  // Subsumption (DESIGN.md section 17): a cached entry whose bound
+  // mask is a subset of this request's, holding a materialized result
+  // for the same seed values under the current fact set, already
+  // contains every answer this goal can have - its fixpoint ran with a
+  // weaker (or equal) restriction. Stream that database through the
+  // full pattern (the scan filters the extra ground positions) instead
+  // of running rewrite + fixpoint again. Among candidates, the widest
+  // mask wins: it is the most restricted cached run, so the scan
+  // filters the fewest surplus rows.
+  if (cacheable) {
+    const DemandEntry* best = nullptr;
+    int best_bits = -1;
+    for (const auto& [m, e] : demand_cache_) {
+      if ((m & mask) != m) continue;  // not a subset of this request
+      if (e.rewrite == nullptr || e.result_db == nullptr) continue;
+      if (e.result_fact_epoch != session_->fact_epoch()) continue;
+      bool same_seed = true;
+      size_t k = 0;
+      for (size_t pos : e.rewrite->seed_positions) {
+        same_seed = same_seed && patterns[pos] == e.result_seed[k++];
+      }
+      if (!same_seed) continue;
+      int bits = std::popcount(m);
+      if (bits > best_bits) {
+        best = &e;
+        best_bits = bits;
+      }
+    }
+    if (best != nullptr) {
+      ++session_->demand_subsumption_count_;
+      EvalStats stats = best->result_stats;
+      stats.subsumption_hits = 1;
+      stats.demand_fallback_reason.clear();
+      session_->eval_stats_ = std::move(stats);
+      return AnswerCursor(std::make_unique<DemandScanSource>(
+          best->rewrite, best->result_db, store,
+          session_->options().builtins.unify, std::move(patterns)));
+    }
+  }
+
   DemandEntry uncached;
   DemandEntry* entry = nullptr;
   if (cacheable) {
@@ -209,8 +256,27 @@ Result<AnswerCursor> PreparedQuery::ExecuteDemand() {
   }
   if (entry == nullptr) {
     ++session_->demand_rewrite_count_;
-    LPS_ASSIGN_OR_RETURN(MagicRewriteResult rw,
-                         MagicRewrite(*session_->program(), goal_, bound));
+    // SIP statistics (transform/magic.h): measured cardinalities when
+    // the session database is at fixpoint, program fact counts before
+    // any evaluation. Gated on the same knob as rule planning; off
+    // keeps the legacy source-order rewrite byte-exact. The rewrite is
+    // still cached on rule_epoch(): a SIP order picked under stale
+    // statistics stays *correct* (any order is), only its intermediate
+    // relation sizes drift until rules change and the cache refills.
+    PlannerStats sip_stats;
+    const PlannerStats* sip = nullptr;
+    if (session_->options().reorder) {
+      sip_stats = session_->converged()
+                      ? PlannerStats::FromDatabase(*session_->database())
+                      : PlannerStats::FromFacts(*session_->program());
+      for (const Clause& c : session_->program()->clauses()) {
+        sip_stats.MarkDerived(c.head.pred);
+      }
+      sip = &sip_stats;
+    }
+    LPS_ASSIGN_OR_RETURN(
+        MagicRewriteResult rw,
+        MagicRewrite(*session_->program(), goal_, bound, sip));
     DemandEntry fresh;
     fresh.fallback_reason = std::move(rw.fallback_reason);
     if (rw.applied) fresh.rewrite = std::move(rw.rewrite);
@@ -229,8 +295,7 @@ Result<AnswerCursor> PreparedQuery::ExecuteDemand() {
 
   // Seed the magic predicate with the goal's bound values, then run
   // the rewritten program to fixpoint in a private database.
-  auto db =
-      std::make_unique<Database>(store, &rw->program.signature());
+  auto db = std::make_shared<Database>(store, &rw->program.signature());
   Tuple seed;
   seed.reserve(rw->seed_positions.size());
   for (size_t pos : rw->seed_positions) {
@@ -251,6 +316,18 @@ Result<AnswerCursor> PreparedQuery::ExecuteDemand() {
   stats.magic_predicates = rw->magic_preds.size();
   for (PredicateId m : rw->magic_preds) {
     stats.magic_tuples += db->RelationSize(m);
+  }
+
+  // Memoize the converged database as this mask's materialized result:
+  // later executions whose binding subsumes (or repeats) this one
+  // stream it directly. Nothing writes to the database after this
+  // point - cursors only read it. `entry` is stable: map nodes do not
+  // move, and the uncached (> 32 columns) case skips memoization.
+  if (cacheable) {
+    entry->result_db = db;
+    entry->result_seed = seed;
+    entry->result_fact_epoch = session_->fact_epoch();
+    entry->result_stats = stats;
   }
   session_->eval_stats_ = std::move(stats);
 

@@ -34,6 +34,7 @@
 
 namespace lps {
 
+class Database;
 class Session;
 
 namespace serve {
@@ -134,9 +135,23 @@ class PreparedQuery {
   // cursor keeps its program (and the signature its private database
   // points at) alive across cache invalidation and query copies.
   // `rewrite` is null for patterns where the rewrite fell back.
+  //
+  // An entry also memoizes its last *materialized result*: the private
+  // database the rewritten program converged into, the seed values it
+  // answered, and the fact epoch it ran under. A later execution whose
+  // bound positions are a superset of the entry's mask with the same
+  // values on the entry's positions is subsumed: the cached fixpoint
+  // ran with a weaker restriction, so its database already holds every
+  // answer - the scan just filters the extra bound positions
+  // (DESIGN.md section 17). Stale epochs miss; rule changes clear the
+  // whole cache (RefreshDemandState).
   struct DemandEntry {
     std::shared_ptr<const MagicProgram> rewrite;
     std::string fallback_reason;
+    std::shared_ptr<Database> result_db;  // null until first execution
+    Tuple result_seed;                    // values at seed_positions
+    uint64_t result_fact_epoch = 0;
+    EvalStats result_stats;               // stats of the cached run
   };
   std::map<uint32_t, DemandEntry> demand_cache_;
   uint64_t demand_epoch_ = 0;  // Session::program_epoch() at cache fill

@@ -155,4 +155,62 @@ void Session::ResetDatabase() {
   converged_ = false;
 }
 
+Result<std::string> Session::ExplainPlans() {
+  LPS_RETURN_IF_ERROR(Compile());
+  const Signature& sig = program_->signature();
+  // The same statistics CompileRules would snapshot right now: the
+  // report shows the join orders the next Evaluate() picks (after an
+  // Evaluate() the relations are populated, so re-running shows the
+  // orders a re-evaluation or an incremental pass would use).
+  PlannerStats stats = PlannerStats::FromDatabase(*db_);
+  for (const Clause& c : program_->clauses()) {
+    stats.MarkDerived(c.head.pred);
+  }
+  const PlannerStats* sp = options_.reorder ? &stats : nullptr;
+  std::string out;
+  char buf[64];
+  for (const Clause& c : program_->clauses()) {
+    LPS_ASSIGN_OR_RETURN(RulePlan plan,
+                         BuildRulePlan(*store_, sig, c, sp));
+    out += ClauseToString(*store_, sig, c);
+    out += '\n';
+    for (const PlanStep& s : plan.free_plan.steps) {
+      out += "  ";
+      switch (s.kind) {
+        case StepKind::kScan:
+          out += "scan    ";
+          break;
+        case StepKind::kBuiltin:
+          out += "builtin ";
+          break;
+        case StepKind::kNegated:
+          out += "negated ";
+          break;
+        case StepKind::kEnumAtom:
+        case StepKind::kEnumSet:
+        case StepKind::kEnumAny:
+          out += "enum    ";
+          out += TermToString(*store_, s.var);
+          out += '\n';
+          continue;
+      }
+      out += LiteralToString(*store_, sig, c.body[s.literal_index]);
+      if (s.est_rows >= 0.0) {
+        snprintf(buf, sizeof buf, "  ~%.0f rows", s.est_rows);
+        out += buf;
+      }
+      out += '\n';
+    }
+    if (plan.free_plan.est_out >= 0.0) {
+      snprintf(buf, sizeof buf, "  est out ~%.0f", plan.free_plan.est_out);
+      out += buf;
+      out += plan.free_plan.reordered ? "  (reordered)\n" : "\n";
+    } else if (plan.free_plan.reordered) {
+      out += "  (reordered)\n";
+    }
+  }
+  if (out.empty()) out = "(no rules)\n";
+  return out;
+}
+
 }  // namespace lps

@@ -192,6 +192,20 @@ class Session {
   /// observable witness that rewrite caches key on rule_epoch().
   size_t demand_rewrite_count() const { return demand_rewrite_count_; }
 
+  /// Demand executions answered by filtering a cached materialized
+  /// result whose binding mask subsumes the request (DESIGN.md section
+  /// 17) - no rewrite, no fixpoint. The observable witness that e.g. a
+  /// cached p(bf) answer served a later p(bb) goal.
+  size_t demand_subsumption_count() const {
+    return demand_subsumption_count_;
+  }
+
+  /// Human-readable join-order report: one block per rule with the
+  /// planned step order and, when cost-based ordering is on, the
+  /// per-step row estimates the planner used against the current
+  /// database (lpsi's .plan command prints this). Compiles first.
+  Result<std::string> ExplainPlans();
+
  private:
   friend class PreparedQuery;
   friend class MutationBatch;
@@ -206,6 +220,7 @@ class Session {
   EvalStats eval_stats_;
   size_t parse_count_ = 0;
   size_t demand_rewrite_count_ = 0;
+  size_t demand_subsumption_count_ = 0;
   uint64_t program_epoch_ = 0;
   uint64_t rule_epoch_ = 0;
   uint64_t fact_epoch_ = 0;

@@ -142,12 +142,37 @@ Status BottomUpEvaluator::Evaluate() {
 Status BottomUpEvaluator::CompileRules() {
   const TermStore& store = *program_->store();
   const Signature& sig = program_->signature();
+  // Statistics snapshot for cost-based literal ordering. Taken after
+  // Evaluate() loaded the EDB facts, so extensional cardinalities are
+  // real; IDB relations (possibly still empty on a first evaluation)
+  // are marked derived so they estimate as unknown-sized, not empty.
+  // The snapshot is a pure function of the database contents, so every
+  // lane count - and every re-run over the same facts - compiles the
+  // identical plans.
+  PlannerStats planner_stats;
+  const PlannerStats* stats = nullptr;
+  if (options_.reorder) {
+    planner_stats = PlannerStats::FromDatabase(*db_);
+    for (const Clause& c : program_->clauses()) {
+      planner_stats.MarkDerived(c.head.pred);
+    }
+    stats = &planner_stats;
+  }
+  stats_.plan_reorders = 0;
+  stats_.plan_estimated_tuples = 0;
   rules_.clear();
   rules_.resize(program_->clauses().size());
   for (size_t i = 0; i < program_->clauses().size(); ++i) {
     CompiledRule& r = rules_[i];
     r.clause = &program_->clauses()[i];
-    LPS_ASSIGN_OR_RETURN(r.plan, BuildRulePlan(store, sig, *r.clause));
+    LPS_ASSIGN_OR_RETURN(r.plan,
+                         BuildRulePlan(store, sig, *r.clause, stats));
+    if (r.plan.free_plan.reordered || r.plan.seed_plan.reordered) {
+      ++stats_.plan_reorders;
+    }
+    if (r.plan.free_plan.est_out >= 0) {
+      stats_.plan_estimated_tuples += r.plan.free_plan.est_out;
+    }
     bool has_enum = false;
     for (const PlanStep& s : r.plan.free_plan.steps) {
       if (s.kind == StepKind::kEnumAtom || s.kind == StepKind::kEnumSet ||

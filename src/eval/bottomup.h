@@ -42,6 +42,11 @@ struct EvalOptions {
   /// semi-naive evaluation parallelizes; naive mode always runs
   /// sequentially (grouping included).
   size_t threads = 1;
+  /// Cost-based join ordering (eval/plan.h PlannerStats): body literals
+  /// reorder by estimated bound-selectivity from relation statistics
+  /// taken at rule-compile time. Off = the boundness-heuristic source
+  /// order, byte-exact legacy plans (the debugging escape hatch).
+  bool reorder = true;
   BuiltinOptions builtins;
 };
 
@@ -58,6 +63,15 @@ struct EvalStats {
   size_t parallel_tasks = 0;    // sharded delta chunks executed
   size_t parallel_tuples = 0;   // tuples buffered by workers (pre-merge)
   size_t snapshot_fallbacks = 0;  // probes that missed a prebuilt index
+  // ---- Cost-based join planning (eval/plan.h; DESIGN.md section 17) --
+  size_t plan_reorders = 0;   // plans whose cost order differs from the
+                              // boundness-heuristic order
+  double plan_estimated_tuples = 0;  // summed per-rule output estimates
+                                     // (compare against tuples_derived
+                                     // for the estimate error)
+  size_t subsumption_hits = 0;  // 1 when this demand execution was
+                                // answered from a cached broader-mask
+                                // result (api/query.cc), else 0
   // ---- Storage-engine footprint at fixpoint (eval/relation.h) --------
   size_t arena_bytes = 0;       // row arenas across all relations
   size_t index_bytes = 0;       // dedup tables + per-mask indexes

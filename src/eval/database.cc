@@ -89,6 +89,16 @@ size_t Database::RelationSize(PredicateId pred) const {
   return rel == nullptr ? 0 : rel->size();
 }
 
+std::vector<std::pair<PredicateId, RelationStats>> Database::CollectStats()
+    const {
+  std::vector<std::pair<PredicateId, RelationStats>> out;
+  out.reserve(relations_.size());
+  for (const auto& [pred, rel] : relations_) {
+    out.emplace_back(pred, rel.Stats());
+  }
+  return out;
+}
+
 Database::StorageStats Database::storage_stats(
     bool with_index_bytes) const {
   StorageStats s;

@@ -79,6 +79,11 @@ class Database {
   /// detect novelty for specific predicates.
   size_t RelationSize(PredicateId pred) const;
 
+  /// Planner statistics (Relation::Stats) of every materialized
+  /// relation, in unspecified order. Consumers key by PredicateId, so
+  /// the unordered_map iteration order never influences a plan.
+  std::vector<std::pair<PredicateId, RelationStats>> CollectStats() const;
+
   /// Aggregate storage-engine footprint across all relations (see
   /// Relation::ArenaBytes / IndexBytes / dedup_probes). IndexBytes
   /// walks every posting bucket, so callers on a per-commit fast path

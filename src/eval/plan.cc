@@ -3,8 +3,84 @@
 #include <algorithm>
 
 #include "eval/builtins.h"
+#include "eval/database.h"
 
 namespace lps {
+
+void PlannerStats::SetRelation(PredicateId pred, RelationStats stats) {
+  rels_[pred] = std::move(stats);
+}
+
+void PlannerStats::MarkDerived(PredicateId pred) { derived_.insert(pred); }
+
+double PlannerStats::EstimateScan(PredicateId pred, uint32_t mask) const {
+  auto it = rels_.find(pred);
+  double rows = 0.0;
+  // Cost is rows *walked*, not rows yielded: tombstoned rows stay in
+  // the arena and in every posting list, and scans/probes skip them
+  // one by one. Charging by the physical count steers plans away from
+  // relations that churn has filled with dead rows (arena_rows >>
+  // live_rows) - the live count alone would call such a scan cheap.
+  const size_t phys =
+      it == rels_.end()
+          ? 0
+          : std::max(it->second.arena_rows, it->second.live_rows);
+  if (phys > 0) {
+    rows = static_cast<double>(phys);
+  } else if (derived_.count(pred) != 0) {
+    // Rule-defined and empty so far: the relation grows during the
+    // fixpoint, so "unknown", never "empty".
+    rows = kUnknownRows;
+  }
+  if (mask == 0 || rows <= 0.0) return rows;
+
+  const RelationStats* rs = it != rels_.end() ? &it->second : nullptr;
+  if (rs != nullptr) {
+    // Exact-mask index: the average bucket size is the measured mean
+    // matching-row count per probe.
+    for (const RelationStats::MaskStats& m : rs->masks) {
+      if (m.mask != mask || m.distinct_keys == 0 || m.rows_indexed == 0) {
+        continue;
+      }
+      double per_key = static_cast<double>(m.rows_indexed) /
+                       static_cast<double>(m.distinct_keys);
+      return std::max(1.0, std::min(rows, per_key));
+    }
+  }
+  // Per-column composition: 1/distinct for columns with a measured
+  // single-column index, a default selectivity for the rest.
+  double sel = 1.0;
+  for (size_t i = 0; i < Relation::kMaxIndexedColumns; ++i) {
+    if (!MaskHasColumn(mask, i)) continue;
+    double col = kDefaultColumnSelectivity;
+    if (rs != nullptr) {
+      for (const RelationStats::MaskStats& m : rs->masks) {
+        if (m.mask == ColumnBit(i) && m.distinct_keys > 0) {
+          col = 1.0 / static_cast<double>(m.distinct_keys);
+          break;
+        }
+      }
+    }
+    sel *= col;
+  }
+  return std::max(1.0, rows * sel);
+}
+
+PlannerStats PlannerStats::FromDatabase(const Database& db) {
+  PlannerStats s;
+  for (auto& [pred, stats] : db.CollectStats()) {
+    s.rels_[pred] = std::move(stats);
+  }
+  return s;
+}
+
+PlannerStats PlannerStats::FromFacts(const Program& program) {
+  PlannerStats s;
+  for (const Literal& f : program.facts()) {
+    ++s.rels_[f.pred].live_rows;
+  }
+  return s;
+}
 
 namespace {
 
@@ -45,17 +121,23 @@ StepKind EnumKindFor(const TermStore& store, TermId var) {
   return StepKind::kEnumAny;
 }
 
-}  // namespace
-
-BodyPlan BuildBodyPlan(const TermStore& store, const Signature& sig,
-                       const Clause& clause,
-                       const std::vector<size_t>& literal_indices,
-                       const std::vector<TermId>& initially_bound,
-                       const std::vector<TermId>& must_bind,
-                       bool bind_all_literal_vars) {
+// One greedy selection pass. `stats == nullptr` is the byte-exact
+// heuristic mode; with statistics, partial positive scans compete by
+// estimated matching-row count (ascending) instead of the boundness
+// score, with the heuristic score and then source order as the
+// deterministic tie-breaks (same inputs, same plan - on every lane
+// count and every run).
+BodyPlan BuildBodyPlanImpl(const TermStore& store, const Signature& sig,
+                           const Clause& clause,
+                           const std::vector<size_t>& literal_indices,
+                           const std::vector<TermId>& initially_bound,
+                           const std::vector<TermId>& must_bind,
+                           bool bind_all_literal_vars,
+                           const PlannerStats* stats) {
   BodyPlan plan;
   std::vector<TermId> bound = initially_bound;
   std::vector<size_t> remaining = literal_indices;
+  double est_out = 1.0;
 
   auto vars_unbound = [&](const Literal& lit) {
     size_t n = 0;
@@ -67,13 +149,24 @@ BodyPlan BuildBodyPlan(const TermStore& store, const Signature& sig,
   auto all_bound = [&](const Literal& lit) {
     return vars_unbound(lit) == 0;
   };
+  auto bound_mask = [&](const Literal& lit) {
+    uint32_t mask = 0;
+    for (size_t i = 0; i < lit.args.size(); ++i) {
+      if (TermBound(store, lit.args[i], bound)) mask |= ColumnBit(i);
+    }
+    return mask;
+  };
 
   while (!remaining.empty()) {
     int best_score = -1;
     size_t best_pos = 0;
+    double best_est = -1.0;
+    bool best_partial_scan = false;
     for (size_t pos = 0; pos < remaining.size(); ++pos) {
       const Literal& lit = clause.body[remaining[pos]];
       int score = -1;
+      bool partial_scan = false;
+      double est = -1.0;
       if (!lit.positive) {
         // Negated literals (user or builtin) need every variable bound.
         if (all_bound(lit)) score = 90;
@@ -92,14 +185,34 @@ BodyPlan BuildBodyPlan(const TermStore& store, const Signature& sig,
         for (TermId a : lit.args) {
           if (TermBound(store, a, bound)) ++bound_args;
         }
-        score = all_bound(lit)
-                    ? 95
-                    : static_cast<int>(20 + 10 * bound_args) -
-                          static_cast<int>(vars_unbound(lit));
+        partial_scan = !all_bound(lit);
+        score = partial_scan
+                    ? static_cast<int>(20 + 10 * bound_args) -
+                          static_cast<int>(vars_unbound(lit))
+                    : 95;
+        if (stats != nullptr) {
+          est = stats->EstimateScan(lit.pred, bound_mask(lit));
+        }
       }
-      if (score > best_score) {
+      bool better;
+      if (stats == nullptr || score < 0) {
+        better = score > best_score;
+      } else if (partial_scan != best_partial_scan || best_score < 0) {
+        // Cost mode tiers: any runnable existence check or generator
+        // (all-bound scans, builtins, negated checks) runs before any
+        // row-producing partial scan.
+        better = best_score < 0 || !partial_scan;
+      } else if (partial_scan) {
+        better = est < best_est ||
+                 (est == best_est && score > best_score);
+      } else {
+        better = score > best_score;
+      }
+      if (better) {
         best_score = score;
         best_pos = pos;
+        best_est = est;
+        best_partial_scan = partial_scan;
       }
     }
 
@@ -128,7 +241,10 @@ BodyPlan BuildBodyPlan(const TermStore& store, const Signature& sig,
     StepKind kind = !lit.positive          ? StepKind::kNegated
                     : sig.IsBuiltin(lit.pred) ? StepKind::kBuiltin
                                               : StepKind::kScan;
-    plan.steps.push_back(PlanStep{kind, li, kInvalidTerm});
+    plan.steps.push_back(PlanStep{kind, li, kInvalidTerm, best_est});
+    if (kind == StepKind::kScan && best_est >= 0.0) {
+      est_out *= best_est;
+    }
     if (lit.positive) {
       for (TermId v : LitVars(store, lit)) AddUnique(&bound, v);
     }
@@ -142,6 +258,43 @@ BodyPlan BuildBodyPlan(const TermStore& store, const Signature& sig,
     }
   }
   (void)bind_all_literal_vars;  // scans/builtins ground their variables
+  if (stats != nullptr) plan.est_out = est_out;
+  return plan;
+}
+
+// The literal visit order of a plan (enumeration steps excluded).
+std::vector<size_t> LiteralOrder(const BodyPlan& plan) {
+  std::vector<size_t> order;
+  order.reserve(plan.steps.size());
+  for (const PlanStep& s : plan.steps) {
+    if (s.kind == StepKind::kScan || s.kind == StepKind::kBuiltin ||
+        s.kind == StepKind::kNegated) {
+      order.push_back(s.literal_index);
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+BodyPlan BuildBodyPlan(const TermStore& store, const Signature& sig,
+                       const Clause& clause,
+                       const std::vector<size_t>& literal_indices,
+                       const std::vector<TermId>& initially_bound,
+                       const std::vector<TermId>& must_bind,
+                       bool bind_all_literal_vars,
+                       const PlannerStats* stats) {
+  BodyPlan plan =
+      BuildBodyPlanImpl(store, sig, clause, literal_indices,
+                        initially_bound, must_bind, bind_all_literal_vars,
+                        stats);
+  if (stats != nullptr && literal_indices.size() > 1) {
+    BodyPlan heuristic =
+        BuildBodyPlanImpl(store, sig, clause, literal_indices,
+                          initially_bound, must_bind,
+                          bind_all_literal_vars, nullptr);
+    plan.reordered = LiteralOrder(plan) != LiteralOrder(heuristic);
+  }
   return plan;
 }
 
@@ -173,7 +326,8 @@ GoalPlan BuildGoalPlan(const TermStore& store, const Signature& sig,
 }
 
 Result<RulePlan> BuildRulePlan(const TermStore& store, const Signature& sig,
-                               const Clause& clause) {
+                               const Clause& clause,
+                               const PlannerStats* stats) {
   RulePlan plan;
   plan.has_quantifiers = !clause.quantifiers.empty();
 
@@ -250,7 +404,7 @@ Result<RulePlan> BuildRulePlan(const TermStore& store, const Signature& sig,
   }
 
   plan.free_plan = BuildBodyPlan(store, sig, clause, plan.free_literals,
-                                 {}, must_bind, true);
+                                 {}, must_bind, true, stats);
 
   // Delta-first variants for the semi-naive evaluator and the
   // incremental maintainer: scan the delta-carrying literal first.
@@ -264,8 +418,10 @@ Result<RulePlan> BuildRulePlan(const TermStore& store, const Signature& sig,
         for (size_t other : plan.free_literals) {
           if (other != li) rest.push_back(other);
         }
+        // The delta literal always scans first (semi-naive seeds from
+        // it); the tail reorders by cost with its variables bound.
         dp = BuildBodyPlan(store, sig, clause, rest, LitVars(store, lit),
-                           must_bind, true);
+                           must_bind, true, stats);
         dp.steps.insert(dp.steps.begin(),
                         PlanStep{StepKind::kScan, li, kInvalidTerm});
       }
@@ -295,7 +451,7 @@ Result<RulePlan> BuildRulePlan(const TermStore& store, const Signature& sig,
     for (TermId v : qvars) AddUnique(&seed_bound, v);
     plan.seed_plan =
         BuildBodyPlan(store, sig, clause, plan.quantified_literals,
-                      seed_bound, plan.seed_vars, true);
+                      seed_bound, plan.seed_vars, true, stats);
 
     // Empty-range branch: bind range vars and head vars by enumeration;
     // body is vacuously true.

@@ -5,14 +5,73 @@
 // variables no literal can bind. Planning is shared by the bottom-up
 // evaluator's free part, its quantified "division" part, and the
 // grouping executor.
+//
+// Two ordering modes (DESIGN.md section 17):
+//  * heuristic (stats == nullptr): the boundness ladder alone - most
+//    bound candidate first, source order breaking ties. Byte-exact
+//    legacy behavior.
+//  * cost-based (stats != nullptr): positive user literals are ranked
+//    by their estimated matching-row count under the currently bound
+//    variables (PlannerStats), so a selective literal runs before a
+//    huge one regardless of where the author wrote it. Ties fall back
+//    to the heuristic score and then to source order, so the order is
+//    a deterministic function of (clause, statistics) - identical
+//    across lane counts and across runs.
 #ifndef LPS_EVAL_PLAN_H_
 #define LPS_EVAL_PLAN_H_
 
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "eval/relation.h"
 #include "lang/program.h"
 
 namespace lps {
+
+class Database;
+
+/// Per-relation statistics the cost-based planner consumes: live row
+/// counts plus per-mask distinct-key counts harvested from indexes the
+/// storage engine already built (Relation::Stats). A value snapshot:
+/// build it at compile time, hand a pointer to the Build*Plan calls,
+/// drop it after. Predicates marked derived (IDB) with no rows yet are
+/// estimated at a default cardinality instead of zero - at first
+/// compile their relations are empty, yet the same plan runs every
+/// later semi-naive round against the growing fixpoint.
+class PlannerStats {
+ public:
+  /// Records `pred`'s measured statistics (overwrites).
+  void SetRelation(PredicateId pred, RelationStats stats);
+  /// Marks `pred` as rule-defined: an empty relation means "unknown
+  /// size", not "empty scan".
+  void MarkDerived(PredicateId pred);
+
+  /// Estimated number of rows a scan of `pred` walks when exactly the
+  /// columns in `mask` are bound. mask == 0 estimates the full scan.
+  /// Charged by physical (arena) rows, tombstones included - dead rows
+  /// cost probe work even though they yield nothing, so a churned
+  /// relation estimates as expensive as it actually is.
+  /// Uses, in order: the exact-mask index's average bucket size, the
+  /// product of per-single-column selectivities (1/distinct) for
+  /// columns with a single-column index, and a default selectivity of
+  /// kDefaultColumnSelectivity per remaining bound column.
+  double EstimateScan(PredicateId pred, uint32_t mask) const;
+
+  /// Snapshot of every materialized relation in `db`.
+  static PlannerStats FromDatabase(const Database& db);
+  /// Fact-count approximation for sessions that never evaluated: the
+  /// magic rewrite (transform/magic.h) plans its SIP orders before any
+  /// database exists.
+  static PlannerStats FromFacts(const Program& program);
+
+  static constexpr double kUnknownRows = 256.0;
+  static constexpr double kDefaultColumnSelectivity = 0.1;
+
+ private:
+  std::unordered_map<PredicateId, RelationStats> rels_;
+  std::unordered_set<PredicateId> derived_;
+};
 
 enum class StepKind : uint8_t {
   kScan,        // positive user-predicate literal: index join
@@ -27,6 +86,10 @@ struct PlanStep {
   StepKind kind;
   size_t literal_index = 0;  // into the clause body, for literal steps
   TermId var = kInvalidTerm;  // for enumeration steps
+  /// Estimated rows this step matches per execution, under the
+  /// variables bound before it. Filled for kScan steps planned with
+  /// statistics; -1 otherwise (heuristic plans carry no estimates).
+  double est_rows = -1.0;
 };
 
 struct BodyPlan {
@@ -34,6 +97,12 @@ struct BodyPlan {
   /// Variables still unbound after all steps (possible only when the
   /// caller allows deferred binding, e.g. division seeding).
   std::vector<TermId> unbound;
+  /// True when cost-based ordering chose a different literal order
+  /// than the boundness heuristic would have (EvalStats counts these).
+  bool reordered = false;
+  /// Estimated output cardinality: the product of per-scan-step
+  /// est_rows. -1 when planned without statistics.
+  double est_out = -1.0;
 };
 
 /// Builds an execution order for the body literals listed in
@@ -44,12 +113,17 @@ struct BodyPlan {
 /// If `bind_all_literal_vars` is set, enumeration steps are also added
 /// for any literal variable left unbound (needed when the plan's
 /// solutions must be ground).
+/// `stats` selects the ordering mode (see the header comment):
+/// nullptr reproduces the heuristic order byte-exactly, non-null ranks
+/// positive user literals by estimated selectivity and records
+/// per-step estimates.
 BodyPlan BuildBodyPlan(const TermStore& store, const Signature& sig,
                        const Clause& clause,
                        const std::vector<size_t>& literal_indices,
                        const std::vector<TermId>& initially_bound,
                        const std::vector<TermId>& must_bind,
-                       bool bind_all_literal_vars);
+                       bool bind_all_literal_vars,
+                       const PlannerStats* stats = nullptr);
 
 /// How a prepared goal executes (api/query.h). `body` is always built:
 /// one kScan / kBuiltin step, preceded by active-domain enumeration
@@ -110,8 +184,12 @@ struct RulePlan {
   BodyPlan empty_branch_plan;
 };
 
+/// `stats` (optional) turns on cost-based ordering for the free plan,
+/// every delta-plan tail (the delta literal itself stays first) and
+/// the division seed plan. nullptr keeps the heuristic order.
 Result<RulePlan> BuildRulePlan(const TermStore& store, const Signature& sig,
-                               const Clause& clause);
+                               const Clause& clause,
+                               const PlannerStats* stats = nullptr);
 
 }  // namespace lps
 

@@ -290,6 +290,24 @@ void Relation::AllIndices(std::vector<RowId>* out) const {
   }
 }
 
+RelationStats Relation::Stats() const {
+  RelationStats s;
+  s.live_rows = num_rows_ - dead_count_;
+  // Tombstoned rows stay in the arena and in every posting list until
+  // a rebuild, so scans and probes pay for them even though they yield
+  // nothing. Report the physical row count alongside the live one: the
+  // planner charges scans by rows *walked*, which keeps cost-based
+  // plans from parking on a relation that churn has filled with dead
+  // rows (DESIGN.md section 17).
+  s.arena_rows = num_rows_;
+  s.masks.reserve(indexes_.size());
+  for (const Index& ix : indexes_) {
+    if (ix.built_up_to == 0 || ix.postings.empty()) continue;
+    s.masks.push_back({ix.mask, ix.postings.size(), ix.built_up_to});
+  }
+  return s;
+}
+
 size_t Relation::ArenaBytes() const {
   return arena_.capacity() * sizeof(TermId);
 }

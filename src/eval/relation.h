@@ -41,6 +41,28 @@ struct TupleHash {
   size_t operator()(const Tuple& t) const { return HashRange(t); }
 };
 
+/// Cheap statistics snapshot of one relation, extracted from state the
+/// storage engine already maintains: the live row count and, for every
+/// per-mask index built so far, how many distinct keys its bucket
+/// table holds over how many indexed rows. The cost-based join planner
+/// (eval/plan.h PlannerStats) turns these into bound-selectivity
+/// estimates; nothing here triggers an index build or a scan.
+struct RelationStats {
+  size_t live_rows = 0;
+  /// Physical rows in the arena, tombstones included: what a full scan
+  /// actually walks. Under retract/insert churn this can grow well past
+  /// live_rows (re-adding an erased tuple appends a fresh row), and the
+  /// planner charges scans by it.
+  size_t arena_rows = 0;
+  struct MaskStats {
+    uint32_t mask = 0;
+    size_t distinct_keys = 0;  // bucket count of the per-mask index
+    size_t rows_indexed = 0;   // indexed row prefix, dead rows included
+  };
+  /// One entry per built index, in unspecified order (look up by mask).
+  std::vector<MaskStats> masks;
+};
+
 /// Append-only tuple set over a flat row arena. Row order is insertion
 /// order, which the semi-naive evaluator exploits: rows at RowId >=
 /// some watermark form the delta of an iteration.
@@ -201,6 +223,13 @@ class Relation {
 
   /// All RowIds (identity scan).
   void AllIndices(std::vector<RowId>* out) const;
+
+  /// Statistics snapshot for the cost-based planner: live rows plus
+  /// the distinct-key count of every index built so far. Pure reads of
+  /// already-materialized state (no index build, no row scan), so it
+  /// is safe to call concurrently with LookupSnapshot readers as long
+  /// as no insert runs - the same frozen-relation contract.
+  RelationStats Stats() const;
 
   // ---- Storage accounting (EvalStats / .stats) -----------------------
 

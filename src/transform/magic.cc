@@ -58,7 +58,8 @@ std::string AdornmentString(const std::vector<bool>& bound) {
 
 Result<MagicRewriteResult> MagicRewrite(const Program& in,
                                         const Literal& goal,
-                                        const std::vector<bool>& bound) {
+                                        const std::vector<bool>& bound,
+                                        const PlannerStats* stats) {
   const TermStore& store = *in.store();
   const Signature& sig = in.signature();
   if (bound.size() != goal.args.size()) {
@@ -235,6 +236,32 @@ Result<MagicRewriteResult> MagicRewrite(const Program& in,
         }
       }
 
+      // Sideways-information-passing order: with statistics, bindings
+      // propagate through the body in the cost-based join order
+      // (eval/plan.h) instead of source order, so a selective literal
+      // narrows demand before a huge one. The adorned rule body is
+      // emitted in the same order, so its guards cover exactly the
+      // prefix that has run when each magic subgoal is demanded. Any
+      // permutation is a valid SIP order (the guard always carries the
+      // accumulated bound set); source order is the legacy default.
+      std::vector<size_t> sip(c.body.size());
+      for (size_t i = 0; i < sip.size(); ++i) sip[i] = i;
+      if (stats != nullptr && sip.size() > 1) {
+        std::vector<TermId> init(bound_vars.begin(), bound_vars.end());
+        BodyPlan bp =
+            BuildBodyPlan(store, sig, c, sip, init, {}, false, stats);
+        std::vector<size_t> order;
+        for (const PlanStep& s : bp.steps) {
+          if (s.kind == StepKind::kScan || s.kind == StepKind::kBuiltin ||
+              s.kind == StepKind::kNegated) {
+            order.push_back(s.literal_index);
+          }
+        }
+        // A plan that dropped a literal (blocked builtin mode) cannot
+        // order the body; keep source order for this rule.
+        if (order.size() == sip.size()) sip = std::move(order);
+      }
+
       // Guard-rule bodies: the magic literal plus the positive prefix
       // (adorned where restricted). Negated literals are omitted -
       // dropping a filter from a guard only widens the demand set,
@@ -242,7 +269,8 @@ Result<MagicRewriteResult> MagicRewrite(const Program& in,
       std::vector<Literal> prefix{magic_lit};
       std::vector<Literal> new_body;
 
-      for (const Literal& l : c.body) {
+      for (size_t sip_li : sip) {
+        const Literal& l = c.body[sip_li];
         Literal nl = l;
         if (!sig.IsBuiltin(l.pred)) {
           bool idb = rules_of.find(l.pred) != rules_of.end();

@@ -49,6 +49,8 @@
 
 namespace lps {
 
+class PlannerStats;
+
 /// A goal-directed rewrite of a program: evaluate `program` after
 /// seeding `seed_pred` with the goal's bound arguments, then read the
 /// answers of the original goal from `goal` (the adorned answer
@@ -88,9 +90,16 @@ struct MagicRewriteResult {
 /// program mutations - the caller loads the current fact set into the
 /// evaluation database before running the rewritten program
 /// (api/query.cc does; Session::rule_epoch() is the cache key).
-Result<MagicRewriteResult> MagicRewrite(const Program& in,
-                                        const Literal& goal,
-                                        const std::vector<bool>& bound);
+/// `stats` (optional) picks the sideways-information-passing order per
+/// rule by estimated selectivity (eval/plan.h, DESIGN.md section 17):
+/// bindings propagate through body literals in cost order instead of
+/// source order, so a selective literal narrows demand before a huge
+/// one. nullptr keeps source order, byte-exact to the legacy rewrite.
+/// Any valid SIP order yields the same answer set; only the size of
+/// the intermediate magic/adorned relations changes.
+Result<MagicRewriteResult> MagicRewrite(
+    const Program& in, const Literal& goal, const std::vector<bool>& bound,
+    const PlannerStats* stats = nullptr);
 
 /// "bf"-style rendering of a binding pattern (b = bound, f = free).
 std::string AdornmentString(const std::vector<bool>& bound);

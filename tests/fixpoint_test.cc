@@ -212,11 +212,24 @@ TEST(FixpointTest, ConvergesInLinearRoundsOnChains) {
   src += "path(X, Z) :- path(X, Y), edge(Y, Z).\n";
   Engine engine(LanguageMode::kLPS);
   ASSERT_TRUE(engine.LoadString(src).ok());
-  ASSERT_TRUE(engine.Evaluate().ok());
+  // Legacy source-order plans lead with the recursive literal, so each
+  // round extends paths by exactly one hop.
+  EvalOptions legacy;
+  legacy.reorder = false;
+  ASSERT_TRUE(engine.Evaluate(legacy).ok());
   EXPECT_TRUE(*engine.HoldsText("path(n0, n20)"));
   // 20 hops need about 20 rounds, plus the fixpoint-detection round.
   EXPECT_LE(engine.eval_stats().iterations, 25u);
   EXPECT_GE(engine.eval_stats().iterations, 19u);
+  // Cost-based ordering (the default) scans edge and probes the
+  // growing path relation, so derivations cascade within a round: the
+  // same model in far fewer rounds.
+  Engine fast(LanguageMode::kLPS);
+  ASSERT_TRUE(fast.LoadString(src).ok());
+  ASSERT_TRUE(fast.Evaluate().ok());
+  EXPECT_TRUE(*fast.HoldsText("path(n0, n20)"));
+  EXPECT_LT(fast.eval_stats().iterations,
+            engine.eval_stats().iterations);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <gtest/gtest.h>
 
+#include "eval/plan.h"
 #include "lps/lps.h"
 
 namespace lps {
@@ -236,6 +237,49 @@ TEST(MagicRewriteTest, GroundSetConstantsAreBoundPositions) {
   EXPECT_TRUE(rw2->applied) << rw2->fallback_reason;
 }
 
+TEST(MagicRewriteTest, StatsPickSipOrder) {
+  // p(X, Z) :- r(Y, Z), e(X, Y) with X bound. Source order reaches
+  // r(Y, Z) before anything binds Y, so r is demanded unrestricted
+  // (copied in full). Statistics rank the tiny EDB scan e(X, Y) - one
+  // bound column - ahead of the unknown-size derived r, so the SIP
+  // order binds Y first and r is demanded bound-free instead.
+  auto session = Load(R"(
+    e(a, b). e(b, c).
+    s(b, x1). s(c, x2).
+    r(X, Y) :- s(X, Y).
+    p(X, Z) :- r(Y, Z), e(X, Y).
+  )");
+  auto legacy = Rewrite(session.get(), "p(a, W)");
+  ASSERT_OK(legacy.status());
+  ASSERT_TRUE(legacy->applied) << legacy->fallback_reason;
+  EXPECT_EQ(legacy->rewrite->adorned_preds.size(), 1u);  // p_bf only
+
+  auto q = session->Prepare("p(a, W)");
+  ASSERT_OK(q.status());
+  std::vector<bool> bound;
+  for (TermId a : q->goal().args) {
+    bound.push_back(session->store()->is_ground(a));
+  }
+  PlannerStats stats = PlannerStats::FromFacts(*session->program());
+  for (const Clause& c : session->program()->clauses()) {
+    stats.MarkDerived(c.head.pred);
+  }
+  auto rw = MagicRewrite(*session->program(), q->goal(), bound, &stats);
+  ASSERT_OK(rw.status());
+  ASSERT_TRUE(rw->applied) << rw->fallback_reason;
+  const MagicProgram& mp = *rw->rewrite;
+  EXPECT_EQ(mp.adorned_preds.size(), 2u);  // p_bf and r_bf
+  EXPECT_EQ(mp.magic_preds.size(), 2u);
+  // The adorned rule body is emitted in SIP order: e before r_bf.
+  bool sip_body = false;
+  for (const std::string& cs : ClauseStrings(mp.program)) {
+    if (cs.find("e(X, Y), r_bf(Y, Z)") != std::string::npos) {
+      sip_body = true;
+    }
+  }
+  EXPECT_TRUE(sip_body);
+}
+
 // ---- Fallback taxonomy ------------------------------------------------
 
 struct FallbackCase {
@@ -315,6 +359,10 @@ TEST(DemandExecutionTest, PointQueryWithoutEvaluate) {
   )");
   Options options;
   options.demand = true;
+  // The magic-counter expectations below pin the legacy source-order
+  // rewrite shape (one magic predicate for the left-linear rule); the
+  // cost-based SIP order may adorn the recursive literal differently.
+  options.reorder = false;
   session->set_options(options);
   // No Session::Evaluate() was ever called.
   auto q = session->Prepare("path(a, X)");

@@ -1,8 +1,14 @@
 // Tests for join planning: literal ordering, builtin-mode awareness,
-// enumeration fallbacks, and the quantifier-specific plan parts.
+// enumeration fallbacks, the quantifier-specific plan parts, and the
+// cost-based ordering mode (PlannerStats).
 #include "eval/plan.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "eval/database.h"
 
 namespace lps {
 namespace {
@@ -171,6 +177,151 @@ TEST_F(PlanTest, GoalPlanFlagsDemandCandidates) {
   EXPECT_FALSE(builtin.demand_candidate);
   EXPECT_NE(builtin.demand_ineligible_reason.find("builtin"),
             std::string::npos);
+}
+
+TEST_F(PlanTest, PlannerStatsEstimatesFromRelation) {
+  Database db(&store_, &program_.signature());
+  // 40 rows: 40 distinct first-column keys, 4 distinct second-column.
+  for (int i = 0; i < 40; ++i) {
+    db.AddTuple(p2_, {store_.MakeConstant("a" + std::to_string(i)),
+                      store_.MakeConstant("b" + std::to_string(i % 4))});
+  }
+  db.relation(p2_).EnsureIndex(ColumnBit(0));
+  db.relation(p2_).EnsureIndex(ColumnBit(1));
+
+  RelationStats rs = db.relation(p2_).Stats();
+  EXPECT_EQ(rs.live_rows, 40u);
+  ASSERT_EQ(rs.masks.size(), 2u);
+
+  PlannerStats stats = PlannerStats::FromDatabase(db);
+  EXPECT_DOUBLE_EQ(stats.EstimateScan(p2_, 0), 40.0);
+  // Exact-mask indexes: average bucket size = rows / distinct keys.
+  EXPECT_DOUBLE_EQ(stats.EstimateScan(p2_, ColumnBit(0)), 1.0);
+  EXPECT_DOUBLE_EQ(stats.EstimateScan(p2_, ColumnBit(1)), 10.0);
+  // No exact index for the combined mask: per-column selectivities
+  // multiply, clamped below at one matching row.
+  EXPECT_DOUBLE_EQ(stats.EstimateScan(p2_, ColumnBit(0) | ColumnBit(1)),
+                   1.0);
+  // An absent relation scans empty unless marked rule-defined.
+  EXPECT_DOUBLE_EQ(stats.EstimateScan(p1_, 0), 0.0);
+  stats.MarkDerived(p1_);
+  EXPECT_DOUBLE_EQ(stats.EstimateScan(p1_, 0), PlannerStats::kUnknownRows);
+}
+
+TEST_F(PlanTest, CostOrderPicksSelectiveLiteralFirst) {
+  // p1(X) :- hay(X, Y), pin(Y, Z): source order ties on the boundness
+  // ladder, so the heuristic scans hay first. With statistics, pin's
+  // two rows against hay's fifty flip the order.
+  Signature& sig = program_.signature();
+  PredicateId hay = *sig.Declare("hay", {Sort::kAtom, Sort::kAtom});
+  PredicateId pin = *sig.Declare("pin", {Sort::kAtom, Sort::kAtom});
+  Database db(&store_, &sig);
+  for (int i = 0; i < 50; ++i) {
+    db.AddTuple(hay, {store_.MakeConstant("h" + std::to_string(i)),
+                      store_.MakeConstant("k" + std::to_string(i))});
+  }
+  db.AddTuple(pin, {store_.MakeConstant("k1"), store_.MakeConstant("v")});
+  db.AddTuple(pin, {store_.MakeConstant("k2"), store_.MakeConstant("w")});
+
+  Clause c;
+  c.head = Literal{p1_, {x_}, true};
+  c.body.push_back(Literal{hay, {x_, y_}, true});
+  c.body.push_back(Literal{pin, {y_, z_}, true});
+
+  auto legacy = BuildRulePlan(store_, sig, c);
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(legacy->free_plan.steps[0].literal_index, 0u);
+  EXPECT_FALSE(legacy->free_plan.reordered);
+  EXPECT_EQ(legacy->free_plan.est_out, -1.0);
+  EXPECT_EQ(legacy->free_plan.steps[0].est_rows, -1.0);
+
+  PlannerStats stats = PlannerStats::FromDatabase(db);
+  auto cost = BuildRulePlan(store_, sig, c, &stats);
+  ASSERT_TRUE(cost.ok());
+  ASSERT_EQ(cost->free_plan.steps.size(), 2u);
+  EXPECT_EQ(cost->free_plan.steps[0].literal_index, 1u);  // pin first
+  EXPECT_TRUE(cost->free_plan.reordered);
+  EXPECT_DOUBLE_EQ(cost->free_plan.steps[0].est_rows, 2.0);
+  EXPECT_GE(cost->free_plan.est_out, 0.0);
+}
+
+TEST_F(PlanTest, CostOrderIsDeterministic) {
+  // The cost order is a pure function of (clause, statistics): no
+  // iteration-order or address-dependent tie-breaks. Rebuilding the
+  // plan must reproduce the identical step sequence and estimates.
+  Signature& sig = program_.signature();
+  PredicateId r1 = *sig.Declare("r1", {Sort::kAtom, Sort::kAtom});
+  PredicateId r2 = *sig.Declare("r2", {Sort::kAtom, Sort::kAtom});
+  PredicateId r3 = *sig.Declare("r3", {Sort::kAtom, Sort::kAtom});
+  Database db(&store_, &sig);
+  for (int i = 0; i < 7; ++i) {
+    TermId a = store_.MakeConstant("c" + std::to_string(i));
+    db.AddTuple(r1, {a, a});
+    if (i < 3) db.AddTuple(r2, {a, a});
+    db.AddTuple(r3, {a, a});
+  }
+  Clause c;
+  c.head = Literal{p1_, {x_}, true};
+  c.body.push_back(Literal{r1, {x_, y_}, true});
+  c.body.push_back(Literal{r2, {y_, z_}, true});
+  c.body.push_back(Literal{r3, {z_, x_}, true});
+
+  PlannerStats stats = PlannerStats::FromDatabase(db);
+  auto first = BuildRulePlan(store_, sig, c, &stats);
+  ASSERT_TRUE(first.ok());
+  for (int trial = 0; trial < 20; ++trial) {
+    PlannerStats again = PlannerStats::FromDatabase(db);
+    auto plan = BuildRulePlan(store_, sig, c, &again);
+    ASSERT_TRUE(plan.ok());
+    ASSERT_EQ(plan->free_plan.steps.size(),
+              first->free_plan.steps.size());
+    for (size_t i = 0; i < plan->free_plan.steps.size(); ++i) {
+      EXPECT_EQ(plan->free_plan.steps[i].literal_index,
+                first->free_plan.steps[i].literal_index);
+      EXPECT_EQ(plan->free_plan.steps[i].est_rows,
+                first->free_plan.steps[i].est_rows);
+    }
+    EXPECT_EQ(plan->free_plan.est_out, first->free_plan.est_out);
+  }
+}
+
+TEST_F(PlanTest, StatsReadsAreRaceFreeAgainstSnapshotReaders) {
+  // Relation::Stats() documents that it is safe concurrent with
+  // LookupSnapshot while no insert runs - the coordinator snapshots
+  // statistics while serve-side readers scan. Run both under TSan.
+  Database db(&store_, &program_.signature());
+  TermId key = kInvalidTerm;
+  for (int i = 0; i < 64; ++i) {
+    TermId a = store_.MakeConstant("s" + std::to_string(i));
+    if (i == 0) key = a;
+    db.AddTuple(p2_, {a, a});
+  }
+  Relation& rel = db.relation(p2_);
+  rel.EnsureIndex(ColumnBit(0));
+  std::atomic<bool> go{false};
+  std::atomic<size_t> rows_seen{0};
+  std::thread reader([&] {
+    while (!go.load()) {
+    }
+    std::vector<RowId> hits;
+    Tuple k{key, kInvalidTerm};
+    for (int i = 0; i < 1000; ++i) {
+      rel.LookupSnapshot(ColumnBit(0), k, rel.size(), &hits);
+      rows_seen += hits.size();
+    }
+  });
+  std::thread counter([&] {
+    while (!go.load()) {
+    }
+    for (int i = 0; i < 1000; ++i) {
+      RelationStats s = rel.Stats();
+      rows_seen += s.live_rows;
+    }
+  });
+  go = true;
+  reader.join();
+  counter.join();
+  EXPECT_GT(rows_seen.load(), 0u);
 }
 
 TEST_F(PlanTest, BlockedBuiltinsForceEnumeration) {

@@ -519,6 +519,10 @@ TEST(EvalStatsTest, ZeroBeforeFirstEvaluate) {
 TEST(EvalStatsTest, DemandCountersSurfaceThroughSession) {
   Options demand;
   demand.demand = true;
+  // The exact magic predicate/tuple counts below pin the legacy
+  // source-order rewrite; the cost-based SIP order may adorn the
+  // recursive literal differently (same answers, different shape).
+  demand.reorder = false;
   Session session(LanguageMode::kLPS, demand);
   ASSERT_OK(session.Load(kGraph));
   auto q = session.Prepare("path(a, X)");
@@ -592,6 +596,95 @@ TEST(SessionTest, PreparedQuerySurvivesFactOnlyMutation) {
   EXPECT_EQ(session.parse_count(), parses + 1);
   EXPECT_EQ(session.rule_epoch(), rules);
   EXPECT_GT(session.fact_epoch(), 0u);
+}
+
+TEST(SubsumptionTest, WiderBindingServedFromCachedMaterialization) {
+  // A bf execution materializes every answer for its seed; a later bb
+  // execution with the same first argument is subsumed: same answers,
+  // no second rewrite, no second fixpoint.
+  Options demand;
+  demand.demand = true;
+  Session session(LanguageMode::kLDL, demand);
+  ASSERT_OK(session.Load(kGraph));
+  auto q = session.Prepare("path(X, Y)");
+  ASSERT_OK(q.status());
+
+  ASSERT_OK(q->BindText("X", "a"));
+  EXPECT_EQ(*q->Execute()->Count(), 3u);  // b, c, d
+  EXPECT_EQ(session.demand_rewrite_count(), 1u);
+  EXPECT_EQ(session.demand_subsumption_count(), 0u);
+
+  ASSERT_OK(q->BindText("Y", "c"));  // now bb, same X
+  auto bb = q->Execute();
+  ASSERT_OK(bb.status());
+  auto rows = bb->ToVector();
+  ASSERT_OK(rows.status());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(session.TupleToString((*rows)[0]), "(a, c)");
+  EXPECT_EQ(session.demand_rewrite_count(), 1u);  // no second rewrite
+  EXPECT_EQ(session.demand_subsumption_count(), 1u);
+  EXPECT_EQ(session.eval_stats().subsumption_hits, 1u);
+  EXPECT_TRUE(session.eval_stats().demand_fallback_reason.empty());
+
+  // Repeating the exact bf pattern with the same seed is subsumed by
+  // its own materialization too: still one rewrite, zero evaluations.
+  q->ClearBindings();
+  ASSERT_OK(q->BindText("X", "a"));
+  EXPECT_EQ(*q->Execute()->Count(), 3u);
+  EXPECT_EQ(session.demand_rewrite_count(), 1u);
+  EXPECT_EQ(session.demand_subsumption_count(), 2u);
+}
+
+TEST(SubsumptionTest, DifferentSeedIsNotSubsumed) {
+  Options demand;
+  demand.demand = true;
+  Session session(LanguageMode::kLDL, demand);
+  ASSERT_OK(session.Load(kGraph));
+  auto q = session.Prepare("path(X, Y)");
+  ASSERT_OK(q.status());
+
+  ASSERT_OK(q->BindText("X", "a"));
+  EXPECT_EQ(*q->Execute()->Count(), 3u);
+  // Same mask, different seed value: the cached rewrite is reused (no
+  // new MagicRewrite) but the materialized answers are for X = a, so
+  // the fixpoint must run again for X = b.
+  ASSERT_OK(q->BindText("X", "b"));
+  EXPECT_EQ(*q->Execute()->Count(), 2u);  // c, d
+  EXPECT_EQ(session.demand_rewrite_count(), 1u);
+  EXPECT_EQ(session.demand_subsumption_count(), 0u);
+}
+
+TEST(SubsumptionTest, FactChurnInvalidatesMaterializedAnswers) {
+  Options demand;
+  demand.demand = true;
+  Session session(LanguageMode::kLDL, demand);
+  ASSERT_OK(session.Load(kGraph));
+  auto q = session.Prepare("path(X, Y)");
+  ASSERT_OK(q.status());
+
+  ASSERT_OK(q->BindText("X", "a"));
+  EXPECT_EQ(*q->Execute()->Count(), 3u);
+
+  // The materialization predates the new edge: serving the bb request
+  // from it would lose path(a, e). The stale epoch forces a fresh
+  // fixpoint (the cached *rewrite* survives - rules never changed).
+  MutationBatch batch = session.Mutate();
+  ASSERT_OK(batch.AddText("edge(d, e)"));
+  ASSERT_OK(batch.Commit());
+  ASSERT_OK(q->BindText("Y", "e"));
+  EXPECT_EQ(*q->Execute()->Count(), 1u);
+  EXPECT_EQ(session.demand_subsumption_count(), 0u);
+  EXPECT_EQ(session.eval_stats().subsumption_hits, 0u);
+  // Re-materialize the bf pattern at the new epoch: subsumption then
+  // serves a narrower request again, new fact included.
+  q->ClearBindings();
+  ASSERT_OK(q->BindText("X", "a"));
+  EXPECT_EQ(*q->Execute()->Count(), 4u);  // b, c, d, e
+  EXPECT_EQ(session.demand_subsumption_count(), 0u);
+  ASSERT_OK(q->BindText("Y", "e"));
+  EXPECT_EQ(*q->Execute()->Count(), 1u);
+  EXPECT_EQ(session.demand_subsumption_count(), 1u);
+  EXPECT_EQ(session.eval_stats().subsumption_hits, 1u);
 }
 }  // namespace
 }  // namespace lps
