@@ -31,6 +31,31 @@ std::string TransitiveClosureRules() {
   )";
 }
 
+std::string ShardedTcSource(int shards, int nodes, int edges,
+                            uint64_t seed) {
+  Rng rng(seed);
+  std::string out;
+  for (int s = 0; s < shards; ++s) {
+    const std::string e = "edge" + std::to_string(s);
+    const std::string p = "path" + std::to_string(s);
+    const std::string node = "s" + std::to_string(s) + "_n";
+    // A chain first, so every shard constant occurs in some fact -
+    // churn over existing node names then never interns a new term
+    // (the precondition for FreezeIncremental sharing the store).
+    for (int i = 0; i + 1 < nodes; ++i) {
+      out += e + "(" + node + std::to_string(i) + ", " + node +
+             std::to_string(i + 1) + ").\n";
+    }
+    for (int i = nodes - 1; i < edges; ++i) {
+      out += e + "(" + node + std::to_string(rng.Below(nodes)) + ", " +
+             node + std::to_string(rng.Below(nodes)) + ").\n";
+    }
+    out += p + "(X, Y) :- " + e + "(X, Y).\n";
+    out += p + "(X, Z) :- " + p + "(X, Y), " + e + "(Y, Z).\n";
+  }
+  return out;
+}
+
 std::string SetFamily(int count, int cardinality, int universe,
                       uint64_t seed) {
   Rng rng(seed);

@@ -38,6 +38,16 @@ std::string RandomGraph(int nodes, int edges, uint64_t seed);
 /// The standard transitive-closure program (rules only).
 std::string TransitiveClosureRules();
 
+/// A sharded transitive-closure universe for the copy-on-write
+/// republish benchmarks (bench_serving.cc): `shards` fully independent
+/// predicate families edge_s/path_s, each a random graph of `nodes`
+/// nodes and `edges` edges over shard-local constants (s<i>_n<j>) with
+/// its own TC rule pair. Churn confined to one shard then touches
+/// exactly two relations, leaving the rest byte-identical - the shape
+/// FreezeIncremental shares.
+std::string ShardedTcSource(int shards, int nodes, int edges,
+                            uint64_t seed);
+
 /// s(...) facts: `count` random subsets of {0..universe-1}, each of the
 /// given cardinality.
 std::string SetFamily(int count, int cardinality, int universe,

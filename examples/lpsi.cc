@@ -8,9 +8,12 @@
 //   .stats      evaluation + storage-engine + demand + serving statistics
 //   .plan       the join order the planner picks per rule, with the
 //               cardinality estimates that drove each choice
-//   .serve N Q  freeze the session into a snapshot and fire Q copies of
-//               the most recent goal at a QueryServer with N worker
-//               threads, reporting answers, QPS and p50/p99 latency
+//   .serve N Q  freeze the session into a snapshot (copy-on-write
+//               against the previous .serve snapshot, so churned
+//               sessions republish in time proportional to the delta)
+//               and fire Q copies of the most recent goal at a
+//               QueryServer with N worker threads, reporting answers,
+//               QPS, p50/p99 latency and the sharing achieved
 //   .add F      insert the ground fact F (e.g. ".add edge(a, b)") via a
 //               MutationBatch commit; the database re-converges at once
 //   .retract F  retract the ground fact F the same way
@@ -98,6 +101,12 @@ void PrintServeStats(const lps::serve::ServeStats& s) {
   std::printf("  rewrite_cache_hits %llu\n", u64(s.rewrite_cache_hits));
   std::printf("  worker_rebinds    %llu\n", u64(s.worker_rebinds));
   std::printf("  worker_refreshes  %llu\n", u64(s.worker_refreshes));
+  std::printf("  deadline_exceeded %llu\n", u64(s.deadline_exceeded));
+  std::printf("  admission_rejected %llu\n", u64(s.admission_rejected));
+  std::printf("  relations_shared  %llu\n", u64(s.relations_shared));
+  std::printf("  relations_cloned  %llu\n", u64(s.relations_cloned));
+  std::printf("  bytes_shared      %llu\n", u64(s.bytes_shared));
+  std::printf("  store_shared      %s\n", s.store_shared ? "yes" : "no");
   std::printf("  last_batch_qps    %.0f\n", s.last_batch_qps);
   std::printf("  p50_us            %.1f\n", s.p50_us);
   std::printf("  p99_us            %.1f\n", s.p99_us);
@@ -107,14 +116,27 @@ void PrintServeStats(const lps::serve::ServeStats& s) {
 // of `goal` concurrently over N worker threads. Publishing into the
 // registry retires the previous .serve snapshot (reclaimed once the
 // batch unpins), so repeated .serve commands track session mutations.
+// Republication is copy-on-write: the first .serve deep-freezes, every
+// later one goes through Session::FreezeIncremental against the
+// previous snapshot, so after .add/.retract churn only the touched
+// relations are re-cloned (the sharing achieved is printed and shows
+// in .stats as relations_shared / bytes_shared).
 void Serve(lps::Session* session, lps::serve::SnapshotRegistry* registry,
-           lps::serve::ServeStats* total, size_t threads, size_t copies,
-           const std::string& goal) {
-  auto snap = session->Freeze();
+           lps::serve::ServeStats* total,
+           std::shared_ptr<const lps::serve::Snapshot>* prev,
+           size_t threads, size_t copies, const std::string& goal) {
+  auto snap = session->FreezeIncremental(*prev);
   if (!snap.ok()) {
     std::printf("error: %s\n", snap.status().ToString().c_str());
     return;
   }
+  *prev = *snap;
+  const lps::serve::CowStats& cow = (*snap)->cow_stats();
+  std::printf(
+      "%% snapshot: %zu relations shared, %zu cloned, %zu bytes shared, "
+      "%zu fact chunks shared, store %s\n",
+      cow.relations_shared, cow.relations_cloned, cow.bytes_shared,
+      cow.fact_chunks_shared, cow.store_shared ? "shared" : "cloned");
   registry->Publish(*snap);
   lps::serve::ServeOptions opts;
   opts.threads = threads;
@@ -157,6 +179,12 @@ void Serve(lps::Session* session, lps::serve::SnapshotRegistry* registry,
   total->rewrite_cache_hits += s.rewrite_cache_hits;
   total->worker_rebinds += s.worker_rebinds;
   total->worker_refreshes += s.worker_refreshes;
+  total->deadline_exceeded += s.deadline_exceeded;
+  total->admission_rejected += s.admission_rejected;
+  total->relations_shared = s.relations_shared;
+  total->relations_cloned = s.relations_cloned;
+  total->bytes_shared = s.bytes_shared;
+  total->store_shared = s.store_shared;
   total->last_batch_qps = s.last_batch_qps;
   total->p50_us = s.p50_us;
   total->p99_us = s.p99_us;
@@ -265,6 +293,9 @@ int main(int argc, char** argv) {
   // Interactive goals and dot-commands.
   lps::serve::SnapshotRegistry registry;
   lps::serve::ServeStats serve_stats;  // all-zero until the first .serve
+  // The previous .serve snapshot: FreezeIncremental chains off it so
+  // repeated .serve commands republish copy-on-write.
+  std::shared_ptr<const lps::serve::Snapshot> last_snapshot;
   std::string last_goal;
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -311,7 +342,8 @@ int main(int argc, char** argv) {
         std::printf("error: no goal to serve yet - enter a goal first\n");
         continue;
       }
-      Serve(&session, &registry, &serve_stats, threads, copies, last_goal);
+      Serve(&session, &registry, &serve_stats, &last_snapshot, threads,
+            copies, last_goal);
       continue;
     }
     if (line.back() == '.') line.pop_back();

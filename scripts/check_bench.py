@@ -32,7 +32,16 @@ Usage:
                    [--tolerance 0.25]
                    [--min-ratio FILE:NUM_BENCH:DEN_BENCH:METRIC:MIN]
                    [--max-value FILE:BENCH:METRIC:MAX]
-                   [--refresh]
+                   [--refresh] [--list]
+
+Gate specs are colon-delimited; when a benchmark run name itself
+contains a colon (google-benchmark appends modifiers like
+".../iterations:48/manual_time"), write the spec with '|' between
+fields instead: FILE|NUM|DEN|METRIC|MIN.
+
+--list prints every gated benchmark plus the ratio floors / ceilings
+without running anything (it reads only the committed baselines) -
+the quick answer to "what does CI gate, and at what thresholds?".
 """
 
 import argparse
@@ -74,11 +83,14 @@ def counters(entry):
 
 
 def metric_value(entry, metric):
-    if metric == "real_time":
-        return entry["real_time"]
+    """The metric's value, or None when the entry doesn't carry it.
+
+    Never exits: callers turn a None into a reported failure so one
+    malformed entry can't mask every other finding in the run.
+    """
     value = entry.get(metric)
     if not isinstance(value, (int, float)):
-        sys.exit(f"metric {metric} missing on {entry['name']}")
+        return None
     return value
 
 
@@ -99,7 +111,10 @@ def compare_pair(current_path, baseline_path, tolerance):
     ratios = [
         current[name]["real_time"] / base["real_time"]
         for name, base in baseline.items()
-        if name in current and base["real_time"] > 0
+        if name in current
+        and isinstance(base.get("real_time"), (int, float))
+        and base["real_time"] > 0
+        and isinstance(current[name].get("real_time"), (int, float))
     ]
     factor = median(ratios)
     print(f"== {current_path} vs {baseline_path} "
@@ -119,6 +134,11 @@ def compare_pair(current_path, baseline_path, tolerance):
                             f"{current_path} (coverage lost?)")
             continue
         # Wall time, fleet-normalized.
+        if metric_value(base, "real_time") is None or \
+                metric_value(cur, "real_time") is None:
+            failures.append(f"{name}: real_time missing from "
+                            f"{'baseline' if metric_value(base, 'real_time') is None else current_path}")
+            continue
         allowed = base["real_time"] * factor * (1 + tolerance)
         status = "ok"
         if cur["real_time"] > allowed:
@@ -152,22 +172,37 @@ def compare_pair(current_path, baseline_path, tolerance):
     return failures
 
 
+def split_spec(spec, fields):
+    """Splits a gate spec into `fields` parts. Uses '|' when present
+    (for benchmark names containing ':'), ':' otherwise; raises
+    ValueError on the wrong field count either way."""
+    sep = "|" if "|" in spec else ":"
+    parts = spec.rsplit(sep, fields - 1)
+    if len(parts) != fields:
+        raise ValueError(spec)
+    return parts
+
+
 def check_ratio(spec, currents):
     """FILE:NUM_BENCH:DEN_BENCH:METRIC:MIN - value(NUM)/value(DEN) of
     METRIC in FILE's current run must be >= MIN."""
     try:
-        path, num_name, den_name, metric, min_str = spec.rsplit(":", 4)
+        path, num_name, den_name, metric, min_str = split_spec(spec, 5)
         minimum = float(min_str)
     except ValueError:
         sys.exit(f"malformed --min-ratio spec: {spec}")
     entries = currents.get(path)
     if entries is None:
         sys.exit(f"--min-ratio file {path} is not among --pair currents")
-    for name in (num_name, den_name):
-        if name not in entries:
-            return [f"{spec}: benchmark {name} missing from {path}"]
+    missing = [f"{spec}: benchmark {name} missing from {path}"
+               for name in (num_name, den_name) if name not in entries]
+    if missing:
+        return missing
     num = metric_value(entries[num_name], metric)
     den = metric_value(entries[den_name], metric)
+    if num is None or den is None:
+        return [f"{spec}: metric {metric} missing on "
+                f"{num_name if num is None else den_name}"]
     if den == 0:
         return [f"{spec}: denominator {den_name} is 0"]
     ratio = num / den
@@ -182,7 +217,7 @@ def check_max(spec, currents):
     """FILE:BENCH:METRIC:MAX - value(BENCH) of METRIC in FILE's current
     run must be <= MAX (an absolute, baseline-independent ceiling)."""
     try:
-        path, bench, metric, max_str = spec.rsplit(":", 3)
+        path, bench, metric, max_str = split_spec(spec, 4)
         maximum = float(max_str)
     except ValueError:
         sys.exit(f"malformed --max-value spec: {spec}")
@@ -192,11 +227,52 @@ def check_max(spec, currents):
     if bench not in entries:
         return [f"{spec}: benchmark {bench} missing from {path}"]
     value = metric_value(entries[bench], metric)
+    if value is None:
+        return [f"{spec}: metric {metric} missing on {bench}"]
     ok = value <= maximum
     print(f"== ceiling {bench} {metric}: {value:.2f} "
           f"(required <= {maximum:.2f}) [{'ok' if ok else 'FAILED'}]")
     return [] if ok else [
         f"{spec}: value {value:.2f} above ceiling {maximum:.2f}"]
+
+
+def list_gates(pairs, tolerance, ratio_specs, max_specs):
+    """Print every gated benchmark and its floor/ceiling, then exit 0.
+
+    Reads only the committed baselines (the CURRENT files need not
+    exist), so `--list` works without building or running anything:
+    it answers "what does CI actually gate, and at what thresholds?".
+    """
+    print(f"Gated benchmarks (tolerance {tolerance:.0%} on wall time "
+          f"after fleet normalization; counters absolute):")
+    for current, base in pairs:
+        try:
+            entries = load_entries(base)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"  {base}: unreadable ({e})")
+            continue
+        print(f"  {base} (compared against {current}):")
+        for name, entry in sorted(entries.items()):
+            gated = ["real_time"] + sorted(counters(entry))
+            print(f"    {name}: {', '.join(gated)}")
+    if ratio_specs:
+        print("Cross-benchmark ratio floors (current run only):")
+        for spec in ratio_specs:
+            try:
+                path, num, den, metric, minimum = split_spec(spec, 5)
+                print(f"  {num} / {den} on {metric} >= "
+                      f"{float(minimum):g}x  [{path}]")
+            except ValueError:
+                print(f"  malformed spec: {spec}")
+    if max_specs:
+        print("Absolute ceilings (baseline-independent):")
+        for spec in max_specs:
+            try:
+                path, bench, metric, maximum = split_spec(spec, 4)
+                print(f"  {bench} {metric} <= {float(maximum):g}  "
+                      f"[{path}]")
+            except ValueError:
+                print(f"  malformed spec: {spec}")
 
 
 def main():
@@ -210,6 +286,10 @@ def main():
                         metavar="FILE:BENCH:METRIC:MAX")
     parser.add_argument("--refresh", action="store_true",
                         help="copy CURRENT files over their BASELINEs")
+    parser.add_argument("--list", action="store_true",
+                        help="print gated benchmarks and their floors "
+                             "from the committed baselines, then exit "
+                             "(no current run needed)")
     args = parser.parse_args()
 
     pairs = []
@@ -218,6 +298,11 @@ def main():
         if not sep:
             sys.exit(f"malformed --pair spec: {spec}")
         pairs.append((current, base))
+
+    if args.list:
+        list_gates(pairs, args.tolerance, args.min_ratio,
+                   args.max_value)
+        return
 
     if args.refresh:
         for current, base in pairs:

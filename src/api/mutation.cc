@@ -178,12 +178,13 @@ Status MutationBatch::Commit() {
     }
     std::vector<size_t> drop;
     drop.reserve(surplus_total);
-    const std::vector<Literal>& fact_list = s->program()->facts();
+    const FactLedger& fact_list = s->program()->facts();
     PredicateId last_pred = kInvalidPredicate;
     std::unordered_map<Tuple, Net, TupleHash>* tuples = nullptr;
-    for (size_t i = 0;
-         i < fact_list.size() && drop.size() < surplus_total; ++i) {
-      const Literal& f = fact_list[i];
+    size_t i = 0;
+    for (const Literal& f : fact_list) {
+      if (drop.size() >= surplus_total) break;
+      const size_t index = i++;
       if (f.pred >= touched.size() || !touched[f.pred]) continue;
       if (f.pred != last_pred) {  // facts cluster by predicate
         last_pred = f.pred;
@@ -194,7 +195,7 @@ Status MutationBatch::Commit() {
       Net& n = it->second;
       if (n.physical > n.count) {
         --n.physical;
-        drop.push_back(i);
+        drop.push_back(index);
       }
     }
     s->program_->RemoveFactsAt(drop);  // built ascending

@@ -1,10 +1,21 @@
 #include "api/session.h"
 
+#include <atomic>
+
 #include "eval/bottomup.h"
 #include "term/printer.h"
 #include "transform/positive_compiler.h"
 
 namespace lps {
+
+namespace {
+
+uint64_t NextSessionId() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 Session::Session(LanguageMode mode, Options options)
     : mode_(mode),
@@ -12,7 +23,9 @@ Session::Session(LanguageMode mode, Options options)
       store_(std::make_unique<TermStore>()),
       program_(std::make_unique<Program>(store_.get())),
       db_(std::make_unique<Database>(store_.get(),
-                                     &program_->signature())) {}
+                                     &program_->signature())) {
+  session_id_ = NextSessionId();
+}
 
 Status Session::Load(const std::string& source) {
   ++parse_count_;

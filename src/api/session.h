@@ -121,6 +121,26 @@ class Session {
   Result<std::shared_ptr<const serve::Snapshot>> Freeze(
       const serve::FreezeOptions& opts);
 
+  /// Copy-on-write republication: like Freeze(), but relations whose
+  /// content has not changed since `prev` was frozen from this session
+  /// alias prev's immutable storage (row arena, dedup table, per-mask
+  /// indexes) instead of being deep-copied, and the TermStore itself
+  /// is aliased when no term or symbol was interned since - so after
+  /// an incremental MutationBatch commit the publish cost is
+  /// proportional to the delta, not the database. The sharing achieved
+  /// is reported in Snapshot::cow_stats(). `prev == nullptr` falls
+  /// back to a full deep freeze (convenient for publish loops); a
+  /// `prev` frozen by a different session is an error. Defined in
+  /// serve/snapshot.cc; sharing rules in DESIGN.md section 18.
+  Result<std::shared_ptr<const serve::Snapshot>> FreezeIncremental(
+      const std::shared_ptr<const serve::Snapshot>& prev);
+  Result<std::shared_ptr<const serve::Snapshot>> FreezeIncremental(
+      const std::shared_ptr<const serve::Snapshot>& prev,
+      const serve::FreezeOptions& opts);
+
+  /// Process-unique id of this session (snapshot lineage tagging).
+  uint64_t session_id() const { return session_id_; }
+
   // ---- Prepared queries ----------------------------------------------
 
   /// Parses, validates and plans `goal` once; the returned handle
@@ -224,6 +244,7 @@ class Session {
   uint64_t program_epoch_ = 0;
   uint64_t rule_epoch_ = 0;
   uint64_t fact_epoch_ = 0;
+  uint64_t session_id_ = 0;  // assigned in the constructor, never 0
   bool converged_ = false;
   // Multiset index over program_->facts(): (pred, args) -> physical
   // copy count. Built with one fact-list scan on a MutationBatch's

@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kParseError:
       return "ParseError";
     case StatusCode::kSortError:

@@ -20,6 +20,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kResourceExhausted,  // e.g. iteration/derivation limits hit
+  kDeadlineExceeded,   // cooperative deadline hit (serve admission control)
   kParseError,
   kSortError,        // two-sorted type errors (Definition 1-3)
   kSafetyError,      // range restriction / safety violations
@@ -57,6 +58,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));

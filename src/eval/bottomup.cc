@@ -187,6 +187,17 @@ Status BottomUpEvaluator::CompileRules() {
   return Status::OK();
 }
 
+Status BottomUpEvaluator::CheckDeadline(uint32_t* tick) const {
+  if (options_.deadline == std::chrono::steady_clock::time_point{}) {
+    return Status::OK();
+  }
+  if ((++*tick & 1023u) != 0) return Status::OK();
+  if (std::chrono::steady_clock::now() >= options_.deadline) {
+    return Status::DeadlineExceeded("evaluation deadline exceeded");
+  }
+  return Status::OK();
+}
+
 Status BottomUpEvaluator::EvaluateStratum(
     const std::vector<size_t>& clause_indices, const Stratification& strat,
     size_t stratum) {
@@ -220,6 +231,13 @@ Status BottomUpEvaluator::EvaluateStratum(
   for (;;) {
     if (++stats_.iterations > options_.max_iterations) {
       return Status::ResourceExhausted("iteration limit exceeded");
+    }
+    // Unconditional clock read per iteration: iterations are coarse
+    // enough that the step-granular countdown (CheckDeadline) could
+    // wrap many rows before firing on pathologically wide deltas.
+    if (options_.deadline != std::chrono::steady_clock::time_point{} &&
+        std::chrono::steady_clock::now() >= options_.deadline) {
+      return Status::DeadlineExceeded("evaluation deadline exceeded");
     }
     uint64_t version_before = db_->version();
 
@@ -667,6 +685,7 @@ Status BottomUpEvaluator::RunParallelDeltaPhase(
 Status BottomUpEvaluator::ExecFlatSteps(const CompiledRule& rule,
                                         size_t idx, const DeltaSpec& delta,
                                         FlatCtx* ctx) const {
+  LPS_RETURN_IF_ERROR(CheckDeadline(&ctx->deadline_tick));
   const std::vector<PlanStep>& steps = rule.plan.free_plan.steps;
   TermStore* store = program_->store();
 
@@ -824,6 +843,7 @@ Status BottomUpEvaluator::ExecSteps(
     const CompiledRule& rule, const std::vector<PlanStep>& steps,
     size_t idx, Substitution* theta, const DeltaSpec* delta,
     const std::function<Status(Substitution*)>& cont) {
+  LPS_RETURN_IF_ERROR(CheckDeadline(&deadline_tick_));
   if (idx == steps.size()) return cont(theta);
   const PlanStep& step = steps[idx];
   TermStore* store = program_->store();

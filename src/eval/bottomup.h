@@ -16,6 +16,7 @@
 #ifndef LPS_EVAL_BOTTOMUP_H_
 #define LPS_EVAL_BOTTOMUP_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -47,6 +48,15 @@ struct EvalOptions {
   /// taken at rule-compile time. Off = the boundness-heuristic source
   /// order, byte-exact legacy plans (the debugging escape hatch).
   bool reorder = true;
+  /// Cooperative evaluation deadline (steady clock); the default
+  /// (epoch, i.e. time_point{}) means no deadline. Checked once per
+  /// fixpoint iteration and every ~1k join steps, so evaluation
+  /// returns a typed kDeadlineExceeded within a bounded overshoot
+  /// instead of running to fixpoint. Set by the serve-path admission
+  /// control (serve/server.h); deliberately NOT mirrored through
+  /// api::Options - sessions own their evaluations, only the server
+  /// imposes per-request budgets.
+  std::chrono::steady_clock::time_point deadline{};
   BuiltinOptions builtins;
 };
 
@@ -206,6 +216,11 @@ class BottomUpEvaluator {
     // keeps `derived` and the max_tuples check counting distinct
     // tuples, not join multiplicity.
     std::unordered_set<Tuple, TupleHash> emitted;
+    // Per-task cooperative deadline countdown (CheckDeadline). Lives
+    // here rather than on the evaluator because ExecFlatSteps is const
+    // and runs concurrently on worker lanes - a shared counter would
+    // be a data race.
+    uint32_t deadline_tick = 0;
 
     void SizeToPlan(size_t depth) {
       scratch.resize(depth);
@@ -264,10 +279,19 @@ class BottomUpEvaluator {
 
   Status EmitHead(const CompiledRule& rule, Substitution* theta);
 
+  /// Cooperative deadline probe: reads the clock only on every 1024th
+  /// call (counted through *tick, which the caller owns - a member for
+  /// the sequential path, FlatCtx::deadline_tick per worker task), so
+  /// the per-step cost is one branch and an increment. Returns
+  /// kDeadlineExceeded once options_.deadline has passed, OK before
+  /// (and always OK when no deadline is set).
+  Status CheckDeadline(uint32_t* tick) const;
+
   const Program* program_;
   Database* db_;
   EvalOptions options_;
   EvalStats stats_;
+  uint32_t deadline_tick_ = 0;  // CheckDeadline countdown, sequential path
 
   // Recycled scratch buffers for the sequential join loop: ExecSteps
   // frames lease a buffer on entry and return it on exit, so steady-

@@ -8,20 +8,38 @@
 namespace lps {
 
 Database::Database(TermStore* store, const Signature* sig)
-    : store_(store), sig_(sig) {
+    : store_(store), sig_(sig),
+      domains_(std::make_shared<TermDomains>()) {
   RegisterTerm(store_->EmptySet());
 }
 
 Relation& Database::relation(PredicateId pred) {
   auto it = relations_.find(pred);
-  if (it != relations_.end()) return it->second;
+  if (it != relations_.end()) {
+    // Copy-on-write: a relation shared with a published snapshot
+    // (CloneIntoCow) must be privatized before any mutation escapes.
+    if (it->second.use_count() > 1) {
+      it->second = std::make_shared<Relation>(*it->second);
+    }
+    return *it->second;
+  }
   size_t arity = sig_->info(pred).arity();
-  return relations_.emplace(pred, Relation(arity)).first->second;
+  return *relations_.emplace(pred, std::make_shared<Relation>(arity))
+              .first->second;
+}
+
+Relation* Database::MutableRelation(PredicateId pred) {
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) return nullptr;
+  if (it->second.use_count() > 1) {
+    it->second = std::make_shared<Relation>(*it->second);
+  }
+  return it->second.get();
 }
 
 const Relation* Database::FindRelation(PredicateId pred) const {
   auto it = relations_.find(pred);
-  return it == relations_.end() ? nullptr : &it->second;
+  return it == relations_.end() ? nullptr : it->second.get();
 }
 
 bool Database::AddTuple(PredicateId pred, TupleRef t) {
@@ -42,7 +60,7 @@ RowId Database::FindRow(PredicateId pred, TupleRef t) const {
 }
 
 bool Database::EraseTuple(PredicateId pred, TupleRef t) {
-  Relation* rel = const_cast<Relation*>(FindRelation(pred));
+  Relation* rel = MutableRelation(pred);
   if (rel == nullptr) return false;
   RowId r = rel->Find(t);
   if (r == Relation::kNoRow || !rel->EraseRow(r)) return false;
@@ -51,36 +69,48 @@ bool Database::EraseTuple(PredicateId pred, TupleRef t) {
 }
 
 bool Database::EraseRow(PredicateId pred, RowId r) {
-  auto it = relations_.find(pred);
-  if (it == relations_.end() || !it->second.EraseRow(r)) return false;
+  Relation* rel = MutableRelation(pred);
+  if (rel == nullptr || !rel->EraseRow(r)) return false;
   ++version_;
   return true;
 }
 
 bool Database::ReviveRow(PredicateId pred, RowId r) {
-  auto it = relations_.find(pred);
-  if (it == relations_.end() || !it->second.Revive(r)) return false;
+  Relation* rel = MutableRelation(pred);
+  if (rel == nullptr || !rel->Revive(r)) return false;
   ++version_;
   return true;
 }
 
 void Database::RegisterTerm(TermId t) {
   if (!store_->is_ground(t)) return;
-  if (!registered_.insert(t).second) return;
+  if (domains_->registered.count(t)) return;
+  // Copy-on-write: domains shared with a published snapshot
+  // (CloneInto / CloneIntoCow alias them) are privatized before the
+  // first mutation escapes.
+  if (domains_.use_count() > 1) {
+    domains_ = std::make_shared<TermDomains>(*domains_);
+  }
+  RegisterTermOwned(t);
+}
+
+void Database::RegisterTermOwned(TermId t) {
+  if (!store_->is_ground(t)) return;
+  if (!domains_->registered.insert(t).second) return;
   ++version_;
   if (store_->sort(t) == Sort::kSet) {
-    set_domain_.push_back(t);
-    for (TermId e : store_->args(t)) RegisterTerm(e);
+    domains_->sets.push_back(t);
+    for (TermId e : store_->args(t)) RegisterTermOwned(e);
   } else {
-    atom_domain_.push_back(t);
+    domains_->atoms.push_back(t);
     // Atoms built from function symbols contribute their subterms too.
-    for (TermId a : store_->args(t)) RegisterTerm(a);
+    for (TermId a : store_->args(t)) RegisterTermOwned(a);
   }
 }
 
 size_t Database::TupleCount() const {
   size_t n = 0;
-  for (const auto& [pred, rel] : relations_) n += rel.live_size();
+  for (const auto& [pred, rel] : relations_) n += rel->live_size();
   return n;
 }
 
@@ -94,7 +124,7 @@ std::vector<std::pair<PredicateId, RelationStats>> Database::CollectStats()
   std::vector<std::pair<PredicateId, RelationStats>> out;
   out.reserve(relations_.size());
   for (const auto& [pred, rel] : relations_) {
-    out.emplace_back(pred, rel.Stats());
+    out.emplace_back(pred, rel->Stats());
   }
   return out;
 }
@@ -103,9 +133,9 @@ Database::StorageStats Database::storage_stats(
     bool with_index_bytes) const {
   StorageStats s;
   for (const auto& [pred, rel] : relations_) {
-    s.arena_bytes += rel.ArenaBytes();
-    if (with_index_bytes) s.index_bytes += rel.IndexBytes();
-    s.dedup_probes += rel.dedup_probes();
+    s.arena_bytes += rel->ArenaBytes();
+    if (with_index_bytes) s.index_bytes += rel->IndexBytes();
+    s.dedup_probes += rel->dedup_probes();
   }
   return s;
 }
@@ -114,21 +144,61 @@ std::unique_ptr<Database> Database::CloneInto(TermStore* store,
                                               const Signature* sig) const {
   auto clone = std::make_unique<Database>(store, sig);
   // Plain member copies overwrite the constructor's {}-registration;
-  // Relation's value semantics deep-copy arenas and indexes.
-  clone->relations_ = relations_;
-  clone->atom_domain_ = atom_domain_;
-  clone->set_domain_ = set_domain_;
-  clone->registered_ = registered_;
+  // relations are deep-copied (Relation's value semantics copy arenas
+  // and indexes) so the clone never aliases this database's storage.
+  clone->relations_.reserve(relations_.size());
+  for (const auto& [pred, rel] : relations_) {
+    clone->relations_.emplace(pred, std::make_shared<Relation>(*rel));
+  }
+  // Domains alias rather than copy: they are append-only, and
+  // RegisterTerm on either side privatizes before writing.
+  clone->domains_ = domains_;
+  clone->version_ = version_;
+  return clone;
+}
+
+std::unique_ptr<Database> Database::CloneIntoCow(
+    TermStore* store, const Signature* sig, const Database& prev) const {
+  auto clone = std::make_unique<Database>(store, sig);
+  clone->relations_.reserve(relations_.size());
+  for (const auto& [pred, rel] : relations_) {
+    auto it = prev.relations_.find(pred);
+    if (it != prev.relations_.end() &&
+        it->second->content_tick() == rel->content_tick()) {
+      // Unchanged since prev froze it: alias prev's immutable object.
+      // Equal ticks imply identical content (NextContentTick is
+      // process-wide unique), and prev's copy is already index-frozen.
+      clone->relations_.emplace(pred, it->second);
+    } else {
+      clone->relations_.emplace(pred, std::make_shared<Relation>(*rel));
+    }
+  }
+  clone->domains_ = domains_;
   clone->version_ = version_;
   return clone;
 }
 
 void Database::EnsureIndex(PredicateId pred, uint32_t mask) {
+  const Relation* rel = FindRelation(pred);
+  if (rel != nullptr && rel->HasIndexBuilt(mask)) return;
   relation(pred).EnsureIndex(mask);
 }
 
 void Database::FreezeIndexes() {
-  for (auto& [pred, rel] : relations_) rel.FreezeIndexes();
+  for (auto& [pred, rel] : relations_) {
+    if (rel.use_count() > 1) continue;  // shared => frozen at prior publish
+    rel->FreezeIndexes();
+  }
+}
+
+std::vector<std::pair<PredicateId, const Relation*>> Database::Relations()
+    const {
+  std::vector<std::pair<PredicateId, const Relation*>> out;
+  out.reserve(relations_.size());
+  for (const auto& [pred, rel] : relations_) {
+    out.emplace_back(pred, rel.get());
+  }
+  return out;
 }
 
 std::string Database::ToString(const Signature& sig) const {

@@ -13,6 +13,8 @@
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "eval/relation.h"
 #include "lang/program.h"
@@ -25,6 +27,13 @@ class Database {
 
   TermStore* store() const { return store_; }
 
+  /// Mutable accessor; creates the relation on first use. Relations
+  /// are held by shared_ptr so consecutive snapshots can share
+  /// unchanged ones (CloneIntoCow); this accessor copies-on-write when
+  /// the relation is shared with another database, so a mutation here
+  /// can never be observed through a published snapshot. Session-side
+  /// relations are never shared (sharing happens snapshot-to-snapshot
+  /// only), so the hot evaluation paths never pay the copy.
   Relation& relation(PredicateId pred);
   const Relation* FindRelation(PredicateId pred) const;
 
@@ -58,9 +67,9 @@ class Database {
   bool ReviveRow(PredicateId pred, RowId r);
 
   /// Ground atoms of sort a seen so far.
-  const std::vector<TermId>& atom_domain() const { return atom_domain_; }
+  const std::vector<TermId>& atom_domain() const { return domains_->atoms; }
   /// Ground sets seen so far (always contains {}).
-  const std::vector<TermId>& set_domain() const { return set_domain_; }
+  const std::vector<TermId>& set_domain() const { return domains_->sets; }
 
   /// Adds a ground term (and its subterms) to the active domains without
   /// storing any tuple. Used to seed domains, e.g. with all subsets of
@@ -119,23 +128,64 @@ class Database {
   std::unique_ptr<Database> CloneInto(TermStore* store,
                                       const Signature* sig) const;
 
+  /// Copy-on-write clone for incremental snapshot republication
+  /// (Session::FreezeIncremental). Like CloneInto, but a relation
+  /// whose content_tick matches the same predicate's relation in
+  /// `prev` - i.e. one that has not changed since `prev` was frozen
+  /// from this session - shares prev's immutable Relation object
+  /// (arena, dedup table and per-mask indexes included) instead of
+  /// deep-copying; only touched relations are cloned. Domains and the
+  /// version counter are still copied, so the clone answers every read
+  /// byte-identically to CloneInto. `prev` must be a frozen snapshot
+  /// database of the same session lineage (enforced by the caller via
+  /// snapshot session ids).
+  std::unique_ptr<Database> CloneIntoCow(TermStore* store,
+                                         const Signature* sig,
+                                         const Database& prev) const;
+
   /// Builds the per-mask index for `mask` on `pred`'s relation,
   /// creating the relation if absent. Freeze-time eager indexing for
-  /// binding patterns the server expects to probe.
+  /// binding patterns the server expects to probe. A no-op when the
+  /// index already covers every row, so it never copy-on-write-clones
+  /// a shared relation that is already fully indexed.
   void EnsureIndex(PredicateId pred, uint32_t mask);
 
   /// Catches up every index of every relation
   /// (Relation::FreezeIndexes); the last mutation before a snapshot is
-  /// published.
+  /// published. Relations shared with another database (CloneIntoCow)
+  /// are skipped: they were frozen when first published and are
+  /// unchanged since, so catch-up would be a no-op - and routing it
+  /// through the copy-on-write accessor would needlessly unshare them.
   void FreezeIndexes();
 
+  /// (pred, relation) pointer of every materialized relation, in
+  /// unspecified order. Pointer equality with another database's entry
+  /// witnesses physical sharing - the introspection hook behind the
+  /// relations_shared / bytes_shared serving stats and the COW tests.
+  std::vector<std::pair<PredicateId, const Relation*>> Relations() const;
+
  private:
+  /// Mutable lookup without creation; copies-on-write like relation().
+  Relation* MutableRelation(PredicateId pred);
+
+  /// The active Herbrand domains, held behind a shared_ptr so clones
+  /// (CloneInto / CloneIntoCow) alias them instead of copying the
+  /// registered-term set. Append-only; RegisterTerm privatizes the
+  /// object first whenever it is shared with another database, so a
+  /// published snapshot never observes a mutation.
+  struct TermDomains {
+    std::vector<TermId> atoms;
+    std::vector<TermId> sets;
+    std::unordered_set<TermId> registered;
+  };
+
+  /// RegisterTerm body after the copy-on-write privatization check.
+  void RegisterTermOwned(TermId t);
+
   TermStore* store_;
   const Signature* sig_;
-  std::unordered_map<PredicateId, Relation> relations_;
-  std::vector<TermId> atom_domain_;
-  std::vector<TermId> set_domain_;
-  std::unordered_set<TermId> registered_;
+  std::unordered_map<PredicateId, std::shared_ptr<Relation>> relations_;
+  std::shared_ptr<TermDomains> domains_;
   uint64_t version_ = 0;
 };
 

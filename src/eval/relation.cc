@@ -1,11 +1,19 @@
 #include "eval/relation.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 
 namespace lps {
 
 const std::vector<RowId> Relation::kEmpty;
+
+uint64_t NextContentTick() {
+  // Relaxed is enough: ticks only need to be unique and monotonic per
+  // observer, never to order unrelated memory operations.
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -72,6 +80,7 @@ bool Relation::Insert(TupleRef t) {
   dedup_slots_[slot] = static_cast<uint32_t>(num_rows_) + 1;
   arena_.insert(arena_.end(), t.begin(), t.end());
   ++num_rows_;
+  content_tick_ = NextContentTick();
   return true;
 }
 
@@ -122,6 +131,7 @@ bool Relation::EraseRow(RowId r) {
   if (dead_.size() < num_rows_) dead_.resize(num_rows_, false);
   dead_[r] = true;
   ++dead_count_;
+  content_tick_ = NextContentTick();
   return true;
 }
 
@@ -146,6 +156,7 @@ bool Relation::Revive(RowId r) {
   dedup_slots_[slot] = r + 1;
   dead_[r] = false;
   --dead_count_;
+  content_tick_ = NextContentTick();
   return true;
 }
 
@@ -230,6 +241,13 @@ const std::vector<RowId>& Relation::Lookup(uint32_t mask, TupleRef key) {
 }
 
 void Relation::EnsureIndex(uint32_t mask) { GetIndex(mask); }
+
+bool Relation::HasIndexBuilt(uint32_t mask) const {
+  for (const Index& ix : indexes_) {
+    if (ix.mask == mask) return ix.built_up_to == num_rows_;
+  }
+  return false;
+}
 
 void Relation::FreezeIndexes() {
   for (Index& ix : indexes_) {

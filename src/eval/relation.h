@@ -41,6 +41,17 @@ struct TupleHash {
   size_t operator()(const Tuple& t) const { return HashRange(t); }
 };
 
+/// Process-wide monotonic counter for Relation content versioning.
+/// Every successful content mutation (new row, erase, revive) stamps
+/// the relation with a fresh tick; copies inherit the source's tick.
+/// Ticks are never reused, so tick equality between two Relation
+/// objects witnesses that one was copied from the other (possibly
+/// transitively) with no content change since - the sharing test for
+/// copy-on-write snapshot republication (serve/snapshot.h), robust
+/// against same-count-different-content histories (erase X + revive Y)
+/// and against databases rebuilt from scratch.
+uint64_t NextContentTick();
+
 /// Cheap statistics snapshot of one relation, extracted from state the
 /// storage engine already maintains: the live row count and, for every
 /// per-mask index built so far, how many distinct keys its bucket
@@ -86,9 +97,14 @@ class Relation {
   /// Find() result for a row that is absent (or tombstoned).
   static constexpr RowId kNoRow = static_cast<RowId>(-1);
 
-  explicit Relation(size_t arity) : arity_(arity) {}
+  explicit Relation(size_t arity)
+      : arity_(arity), content_tick_(NextContentTick()) {}
 
   size_t arity() const { return arity_; }
+  /// Content version stamp (see NextContentTick). Equal ticks on two
+  /// relations imply identical content (rows, tombstones, dedup state);
+  /// index sets may still differ (index builds don't change content).
+  uint64_t content_tick() const { return content_tick_; }
   /// Arena row count, dead rows included - the watermark domain.
   size_t size() const { return num_rows_; }
   /// Rows currently alive (size() minus tombstones).
@@ -206,6 +222,13 @@ class Relation {
   /// read-path contract as long as no further Insert runs.
   void FreezeIndexes();
 
+  /// True iff the index for `mask` exists and covers every stored row,
+  /// i.e. EnsureIndex(mask) would be a pure no-op. Lets freeze-time
+  /// index provisioning skip relations shared with a previous snapshot
+  /// instead of copy-on-write-cloning them just to rebuild an index
+  /// they already carry.
+  bool HasIndexBuilt(uint32_t mask) const;
+
   /// Snapshot probe for concurrent readers: fills `out` with the
   /// RowIds (ascending) of rows among the first `watermark` whose
   /// masked columns equal `key`. Never builds or extends an index and
@@ -265,6 +288,7 @@ class Relation {
   const std::vector<RowId>* ProbeIndex(const Index& ix, TupleRef key) const;
 
   size_t arity_;
+  uint64_t content_tick_ = 0;
   size_t num_rows_ = 0;
   std::vector<TermId> arena_;         // num_rows_ * arity_ TermIds
   /// Slot states: 0 = empty, kTombstoneSlot = erased entry (probes

@@ -1,0 +1,138 @@
+#include "lang/fact_ledger.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+namespace lps {
+
+const Literal& FactLedger::operator[](size_t i) const {
+  if (i >= sealed_size_) return tail_[i - sealed_size_];
+  size_t c = static_cast<size_t>(
+      std::upper_bound(starts_.begin(), starts_.end(), i) -
+      starts_.begin() - 1);
+  return (*sealed_[c])[i - starts_[c]];
+}
+
+void FactLedger::push_back(Literal fact) {
+  tail_.push_back(std::move(fact));
+  ++size_;
+  if (tail_.size() >= kChunkSize) {
+    starts_.push_back(sealed_size_);
+    sealed_size_ += tail_.size();
+    sealed_.push_back(std::make_shared<const Chunk>(std::move(tail_)));
+    tail_.clear();
+  }
+}
+
+void FactLedger::clear() {
+  sealed_.clear();
+  starts_.clear();
+  sealed_size_ = 0;
+  tail_.clear();
+  size_ = 0;
+}
+
+void FactLedger::RemoveAt(const std::vector<size_t>& sorted_indices) {
+  if (sorted_indices.empty()) return;
+  std::vector<std::shared_ptr<const Chunk>> new_sealed;
+  std::vector<size_t> new_starts;
+  new_sealed.reserve(sealed_.size());
+  new_starts.reserve(sealed_.size());
+  size_t new_total = 0;
+  size_t k = 0;  // cursor into sorted_indices
+  for (size_t c = 0; c < sealed_.size(); ++c) {
+    const size_t lo = starts_[c];
+    const size_t hi = lo + sealed_[c]->size();
+    const size_t k0 = k;
+    while (k < sorted_indices.size() && sorted_indices[k] < hi) ++k;
+    if (k == k0) {  // untouched: keep sharing the sealed chunk
+      new_starts.push_back(new_total);
+      new_total += sealed_[c]->size();
+      new_sealed.push_back(sealed_[c]);
+      continue;
+    }
+    auto rebuilt = std::make_shared<Chunk>();
+    rebuilt->reserve(hi - lo - (k - k0));
+    size_t kk = k0;
+    for (size_t i = lo; i < hi; ++i) {
+      if (kk < k && sorted_indices[kk] == i) {
+        ++kk;
+        continue;
+      }
+      rebuilt->push_back((*sealed_[c])[i - lo]);
+    }
+    if (!rebuilt->empty()) {
+      new_starts.push_back(new_total);
+      new_total += rebuilt->size();
+      new_sealed.push_back(std::move(rebuilt));
+    }
+  }
+  Chunk new_tail;
+  new_tail.reserve(tail_.size());
+  for (size_t i = 0; i < tail_.size(); ++i) {
+    const size_t global = sealed_size_ + i;
+    if (k < sorted_indices.size() && sorted_indices[k] == global) {
+      ++k;
+      continue;
+    }
+    new_tail.push_back(std::move(tail_[i]));
+  }
+  sealed_ = std::move(new_sealed);
+  starts_ = std::move(new_starts);
+  sealed_size_ = new_total;
+  tail_ = std::move(new_tail);
+  size_ = sealed_size_ + tail_.size();
+}
+
+bool FactLedger::RemoveFirst(PredicateId pred,
+                             const std::vector<TermId>& args) {
+  size_t i = 0;
+  for (const Literal& f : *this) {
+    if (f.pred == pred && f.args == args) {
+      RemoveAt({i});
+      return true;
+    }
+    ++i;
+  }
+  return false;
+}
+
+size_t FactLedger::SharedChunksWith(const FactLedger& other) const {
+  std::unordered_set<const Chunk*> theirs;
+  theirs.reserve(other.sealed_.size());
+  for (const auto& c : other.sealed_) theirs.insert(c.get());
+  size_t shared = 0;
+  for (const auto& c : sealed_) {
+    if (theirs.count(c.get())) ++shared;
+  }
+  return shared;
+}
+
+FactLedger::const_iterator FactLedger::begin() const {
+  // Sealed chunks are never empty (push_back seals full chunks only
+  // and RemoveAt drops emptied ones), so (0, 0) is the first element
+  // whether it lives in sealed_[0] or the tail - and equals end() for
+  // the fully empty ledger.
+  return const_iterator(this, 0, 0);
+}
+
+FactLedger::const_iterator::reference FactLedger::const_iterator::operator*()
+    const {
+  if (chunk_ < ledger_->sealed_.size()) {
+    return (*ledger_->sealed_[chunk_])[pos_];
+  }
+  return ledger_->tail_[pos_];
+}
+
+FactLedger::const_iterator& FactLedger::const_iterator::operator++() {
+  ++pos_;
+  if (chunk_ < ledger_->sealed_.size() &&
+      pos_ >= ledger_->sealed_[chunk_]->size()) {
+    ++chunk_;
+    pos_ = 0;
+  }
+  return *this;
+}
+
+}  // namespace lps

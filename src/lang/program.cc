@@ -24,28 +24,12 @@ Status Program::AddFact(PredicateId pred, std::vector<TermId> args) {
 }
 
 void Program::RemoveFactsAt(const std::vector<size_t>& sorted_indices) {
-  if (sorted_indices.empty()) return;
-  size_t out = sorted_indices[0];
-  size_t next = 0;
-  for (size_t i = sorted_indices[0]; i < facts_.size(); ++i) {
-    if (next < sorted_indices.size() && sorted_indices[next] == i) {
-      ++next;
-      continue;
-    }
-    facts_[out++] = std::move(facts_[i]);
-  }
-  facts_.resize(out);
+  facts_.RemoveAt(sorted_indices);
 }
 
 bool Program::RemoveFact(PredicateId pred,
                          const std::vector<TermId>& args) {
-  for (auto it = facts_.begin(); it != facts_.end(); ++it) {
-    if (it->pred == pred && it->args == args) {
-      facts_.erase(it);
-      return true;
-    }
-  }
-  return false;
+  return facts_.RemoveFirst(pred, args);
 }
 
 std::vector<PredicateId> Program::DefinedPredicates() const {
@@ -55,7 +39,7 @@ std::vector<PredicateId> Program::DefinedPredicates() const {
       out.push_back(p);
     }
   };
-  for (const Clause& c : clauses_) add(c.head.pred);
+  for (const Clause& c : *clauses_) add(c.head.pred);
   for (const Literal& f : facts_) add(f.pred);
   return out;
 }
@@ -66,7 +50,7 @@ std::string Program::ToString() const {
     out += LiteralToString(*store_, signature_, f);
     out += ".\n";
   }
-  for (const Clause& c : clauses_) {
+  for (const Clause& c : *clauses_) {
     out += ClauseToString(*store_, signature_, c);
     out += '\n';
   }

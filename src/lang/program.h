@@ -3,9 +3,12 @@
 #ifndef LPS_LANG_PROGRAM_H_
 #define LPS_LANG_PROGRAM_H_
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "lang/clause.h"
+#include "lang/fact_ledger.h"
 #include "lang/signature.h"
 
 namespace lps {
@@ -13,7 +16,8 @@ namespace lps {
 class Program {
  public:
   explicit Program(TermStore* store)
-      : store_(store), signature_(&store->symbols()) {}
+      : store_(store), signature_(&store->symbols()),
+        clauses_(std::make_shared<std::vector<Clause>>()) {}
 
   // Copyable: transforms take a Program and return a rewritten one
   // sharing the same TermStore.
@@ -25,17 +29,26 @@ class Program {
   const Signature& signature() const { return signature_; }
 
   void AddClause(Clause clause) {
-    clauses_.push_back(std::move(clause));
+    mutable_clauses()->push_back(std::move(clause));
   }
 
   /// Adds a ground fact p(args). Errors if any arg is non-ground or the
   /// predicate is special (facts must satisfy Definition 5 too).
   Status AddFact(PredicateId pred, std::vector<TermId> args);
 
-  const std::vector<Clause>& clauses() const { return clauses_; }
-  std::vector<Clause>* mutable_clauses() { return &clauses_; }
-  const std::vector<Literal>& facts() const { return facts_; }
-  std::vector<Literal>* mutable_facts() { return &facts_; }
+  const std::vector<Clause>& clauses() const { return *clauses_; }
+  /// Copy-on-write: Program copies (transform pipelines, snapshot
+  /// freezes) share the clause vector; the first mutation through
+  /// this accessor privatizes it, so no copy ever observes another's
+  /// edits and an unchanged copy costs one shared_ptr bump.
+  std::vector<Clause>* mutable_clauses() {
+    if (clauses_.use_count() > 1) {
+      clauses_ = std::make_shared<std::vector<Clause>>(*clauses_);
+    }
+    return clauses_.get();
+  }
+  const FactLedger& facts() const { return facts_; }
+  FactLedger* mutable_facts() { return &facts_; }
 
   /// Removes the fact p(args) if present; returns true when removed.
   bool RemoveFact(PredicateId pred, const std::vector<TermId>& args);
@@ -71,8 +84,11 @@ class Program {
  private:
   TermStore* store_;
   Signature signature_;
-  std::vector<Clause> clauses_;
-  std::vector<Literal> facts_;
+  // Shared between copies until one side mutates (mutable_clauses).
+  std::shared_ptr<std::vector<Clause>> clauses_;
+  // Chunked with structural sharing so Program copies (snapshot
+  // freezes, transform pipelines) don't pay O(EDB) for the fact list.
+  FactLedger facts_;
 };
 
 }  // namespace lps

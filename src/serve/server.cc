@@ -52,6 +52,8 @@ void MergeCounters(ServeStats* into, const ServeStats& d) {
   into->index_misses += d.index_misses;
   into->worker_rebinds += d.worker_rebinds;
   into->worker_refreshes += d.worker_refreshes;
+  into->deadline_exceeded += d.deadline_exceeded;
+  into->admission_rejected += d.admission_rejected;
 }
 
 double Percentile(const std::vector<double>& sorted, double p) {
@@ -119,21 +121,79 @@ QueryServer::QueryEntry& QueryServer::Materialize(Worker* w,
   return e;
 }
 
-ServeAnswer QueryServer::ExecuteOne(Worker* w, const Snapshot& snap,
-                                    const ServeRequest& req) {
+ServeAnswer QueryServer::ExecuteOne(
+    Worker* w, const Snapshot& snap, const ServeRequest& req,
+    Clock::time_point batch_deadline) {
   const Clock::time_point t0 = Clock::now();
   ServeAnswer out;
   ++w->delta.queries;
+  bool admission = false;  // rejected before any work (vs cut mid-flight)
   auto finish = [&]() -> ServeAnswer {
     out.micros = MicrosSince(t0);
     w->latencies.push_back(out.micros);
     w->delta.answers += out.count;
-    if (!out.status.ok()) ++w->delta.errors;
+    if (!out.status.ok()) {
+      if (out.status.code() == StatusCode::kDeadlineExceeded) {
+        // Policy outcome, not a malfunction: tracked separately so
+        // `errors` keeps meaning "something went wrong".
+        if (admission) {
+          ++w->delta.admission_rejected;
+        } else {
+          ++w->delta.deadline_exceeded;
+        }
+      } else {
+        ++w->delta.errors;
+      }
+    }
     return std::move(out);
   };
   auto fail = [&](Status s) -> ServeAnswer {
     out.status = std::move(s);
     return finish();
+  };
+
+  // ---- Admission control ---------------------------------------------
+  // Effective deadline = min(batch deadline, request start + timeout);
+  // either side absent (zero) drops out. A request whose turn comes
+  // after the deadline has already passed is rejected without doing
+  // any work, so one pathological lane-mate cannot make this request
+  // burn budget it no longer has.
+  const double timeout_micros =
+      req.timeout_micros > 0 ? req.timeout_micros
+                             : options_.default_timeout_micros;
+  Clock::time_point deadline = batch_deadline;
+  if (timeout_micros > 0) {
+    const Clock::time_point request_deadline =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double, std::micro>(timeout_micros));
+    if (deadline == Clock::time_point{} || request_deadline < deadline) {
+      deadline = request_deadline;
+    }
+  }
+  if (deadline != Clock::time_point{} && t0 >= deadline) {
+    admission = true;
+    out.note = "admission rejected: deadline expired before start";
+    return fail(Status::DeadlineExceeded(
+        "admission rejected: deadline expired before request start"));
+  }
+  const size_t max_tuples =
+      req.max_tuples > 0 ? req.max_tuples : options_.default_max_tuples;
+  // Cursor-loop deadline probe: one branch per row, a clock read every
+  // 256th (answer emission is far cheaper than the eval steps behind
+  // it, so the coarser granularity still bounds overshoot tightly).
+  uint32_t deadline_tick = 0;
+  auto deadline_hit = [&]() -> bool {
+    if (deadline == Clock::time_point{}) return false;
+    if ((++deadline_tick & 255u) != 0) return false;
+    return Clock::now() >= deadline;
+  };
+  // True when the row cap was reached (emission should stop; the
+  // answer stays OK but is marked partial).
+  auto capped = [&]() -> bool {
+    if (max_tuples == 0 || out.count < max_tuples) return false;
+    out.partial = true;
+    if (out.note.empty()) out.note = "truncated: max_tuples reached";
+    return true;
   };
 
   if (req.query >= queries_.size()) {
@@ -230,6 +290,7 @@ ServeAnswer QueryServer::ExecuteOne(Worker* w, const Snapshot& snap,
     Status s = exec.Run(e.plan.body.steps, bindings, &rows);
     if (!s.ok()) return fail(s);
     for (const Tuple& t : rows) {
+      if (capped()) break;
       EmitRow(*store, t, options_.record_answers, &out);
     }
     return finish();
@@ -255,6 +316,12 @@ ServeAnswer QueryServer::ExecuteOne(Worker* w, const Snapshot& snap,
     if (!src.index_hit()) ++w->delta.index_misses;
     TupleRef t;
     for (;;) {
+      if (capped()) break;
+      if (deadline_hit()) {
+        out.partial = true;
+        return fail(Status::DeadlineExceeded(
+            "deadline exceeded during snapshot scan"));
+      }
       Result<bool> more = src.Next(&t);
       if (!more.ok()) return fail(more.status());
       if (!*more) break;
@@ -316,9 +383,16 @@ ServeAnswer QueryServer::ExecuteOne(Worker* w, const Snapshot& snap,
   }
   EvalOptions eval_opts = snap.options().eval();
   eval_opts.threads = 1;  // lanes are the parallelism; no nested pools
+  // Cooperative deadline inside the fixpoint (eval/bottomup.h): a
+  // pathological goal returns a typed kDeadlineExceeded instead of
+  // starving this lane for the rest of the batch.
+  eval_opts.deadline = deadline;
   BottomUpEvaluator eval(&rw->program, &db, eval_opts);
   Status es = eval.Evaluate();
-  if (!es.ok()) return fail(es);
+  if (!es.ok()) {
+    if (es.code() == StatusCode::kDeadlineExceeded) out.partial = true;
+    return fail(es);
+  }
 
   Relation* rel = nullptr;
   if (db.FindRelation(rw->goal.pred) != nullptr) {
@@ -327,6 +401,12 @@ ServeAnswer QueryServer::ExecuteOne(Worker* w, const Snapshot& snap,
   RelationScanSource src(store, builtins.unify, rel, std::move(patterns));
   TupleRef t;
   for (;;) {
+    if (capped()) break;
+    if (deadline_hit()) {
+      out.partial = true;
+      return fail(Status::DeadlineExceeded(
+          "deadline exceeded streaming demand answers"));
+    }
     Result<bool> more = src.Next(&t);
     if (!more.ok()) return fail(more.status());
     if (!*more) break;
@@ -371,6 +451,15 @@ Result<std::vector<ServeAnswer>> QueryServer::ExecuteBatch(
         "ExecuteBatch before any snapshot was published");
   }
   const Clock::time_point t0 = Clock::now();
+  // One deadline for the whole batch (zero timeout = none): requests
+  // already past it when their turn comes are admission-rejected.
+  Clock::time_point batch_deadline{};
+  if (options_.batch_timeout_micros > 0) {
+    batch_deadline =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double, std::micro>(
+                     options_.batch_timeout_micros));
+  }
   std::vector<ServeAnswer> answers(requests.size());
   const Snapshot& snap = *pin.snapshot();
   const size_t lanes = pool_.size();
@@ -382,7 +471,7 @@ Result<std::vector<ServeAnswer>> QueryServer::ExecuteBatch(
     Worker& w = workers_[lane];
     BindWorker(&w, pin);
     for (size_t i = lane; i < requests.size(); i += lanes) {
-      answers[i] = ExecuteOne(&w, snap, requests[i]);
+      answers[i] = ExecuteOne(&w, snap, requests[i], batch_deadline);
     }
   });
   const double batch_micros = MicrosSince(t0);
@@ -396,6 +485,14 @@ Result<std::vector<ServeAnswer>> QueryServer::ExecuteBatch(
     w.latencies.clear();
   }
   ++stats_.batches;
+  // Sharing witnesses of the snapshot this batch served from
+  // (overwritten per batch, like the latency profile): how much of it
+  // was aliased from its predecessor by FreezeIncremental.
+  const CowStats& cow = snap.cow_stats();
+  stats_.relations_shared = cow.relations_shared;
+  stats_.relations_cloned = cow.relations_cloned;
+  stats_.bytes_shared = cow.bytes_shared;
+  stats_.store_shared = cow.store_shared;
   stats_.last_batch_micros = batch_micros;
   stats_.last_batch_qps =
       (requests.empty() || batch_micros <= 0)

@@ -31,6 +31,7 @@
 #ifndef LPS_SERVE_SERVER_H_
 #define LPS_SERVE_SERVER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -54,6 +55,23 @@ struct ServeOptions {
   /// Fill ServeAnswer::rows with the rendered answers. Off, answers are
   /// only counted and checksummed - the benchmark mode.
   bool record_answers = true;
+
+  // ---- Admission control (defaults: everything unlimited) ------------
+
+  /// Per-batch deadline in microseconds: ExecuteBatch stamps one
+  /// deadline when the batch starts and every request shares it. A
+  /// request whose turn comes after the deadline is rejected without
+  /// doing any work (admission_rejected); one caught mid-flight
+  /// returns a kDeadlineExceeded partial answer. 0 = no batch deadline.
+  double batch_timeout_micros = 0;
+  /// Default per-request timeout in microseconds, measured from the
+  /// request's own start; a request's timeout_micros overrides it.
+  /// 0 = no per-request deadline.
+  double default_timeout_micros = 0;
+  /// Default per-request answer cap; a request's max_tuples overrides
+  /// it. A capped request returns the first `max_tuples` answers with
+  /// ServeAnswer::partial set. 0 = unlimited.
+  size_t default_max_tuples = 0;
 };
 
 /// One point query: a prepared query id plus ground parameter values
@@ -61,6 +79,10 @@ struct ServeOptions {
 struct ServeRequest {
   size_t query = 0;
   std::vector<std::pair<std::string, std::string>> params;
+  /// Per-request overrides of the ServeOptions admission defaults
+  /// (0 = use the default).
+  double timeout_micros = 0;
+  size_t max_tuples = 0;
 };
 
 struct ServeAnswer {
@@ -74,6 +96,11 @@ struct ServeAnswer {
   uint64_t checksum = 0;
   /// Wall-clock service time of this request.
   double micros = 0;
+  /// True when rows/count are a prefix of the full answer set: the
+  /// request hit its max_tuples cap (status stays OK) or its deadline
+  /// (status is kDeadlineExceeded - a typed partial outcome, not a
+  /// server error).
+  bool partial = false;
   /// Non-normative diagnostics: empty-fast-path and fallback notes.
   std::string note;
 };
@@ -100,6 +127,18 @@ struct ServeStats {
   /// on rules, not facts.
   uint64_t worker_refreshes = 0;
   uint64_t batches = 0;
+  // ---- Admission control (not counted into `errors`: a deadline is a
+  // policy outcome, not a malfunction) --------------------------------
+  uint64_t deadline_exceeded = 0;   // requests cut off mid-flight
+  uint64_t admission_rejected = 0;  // requests rejected before any work
+
+  // ---- Copy-on-write republication witnesses of the snapshot the
+  // most recent batch pinned (Snapshot::cow_stats): how much of it
+  // aliases the previous snapshot. ------------------------------------
+  uint64_t relations_shared = 0;
+  uint64_t relations_cloned = 0;
+  uint64_t bytes_shared = 0;
+  bool store_shared = false;
 
   // Most recent batch:
   double last_batch_micros = 0;
@@ -185,7 +224,8 @@ class QueryServer {
   /// Parses/validates/plans queries_[query] into w->entries[query].
   QueryEntry& Materialize(Worker* w, const Snapshot& snap, size_t query);
   ServeAnswer ExecuteOne(Worker* w, const Snapshot& snap,
-                         const ServeRequest& request);
+                         const ServeRequest& request,
+                         std::chrono::steady_clock::time_point batch_deadline);
 
   SnapshotRegistry* registry_;
   ServeOptions options_;

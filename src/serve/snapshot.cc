@@ -3,6 +3,8 @@
 // declarations of the serve types (no include cycle).
 #include "serve/snapshot.h"
 
+#include <unordered_set>
+
 #include "api/goal_exec.h"
 #include "api/query.h"
 #include "api/session.h"
@@ -58,6 +60,89 @@ Result<std::shared_ptr<const serve::Snapshot>> Session::Freeze(
   snap->converged_ = converged_;
   snap->store_size_ = snap->store_->size();
   snap->rule_epoch_ = rule_epoch_;
+  snap->session_id_ = session_id_;
+  snap->cow_.relations_cloned = snap->db_->Relations().size();
+  return std::shared_ptr<const serve::Snapshot>(std::move(snap));
+}
+
+Result<std::shared_ptr<const serve::Snapshot>> Session::FreezeIncremental(
+    const std::shared_ptr<const serve::Snapshot>& prev) {
+  return FreezeIncremental(prev, serve::FreezeOptions{});
+}
+
+Result<std::shared_ptr<const serve::Snapshot>> Session::FreezeIncremental(
+    const std::shared_ptr<const serve::Snapshot>& prev,
+    const serve::FreezeOptions& opts) {
+  if (prev == nullptr) return Freeze(opts);  // first publish of a chain
+  if (prev->session_id() != session_id_) {
+    return Status::InvalidArgument(
+        "FreezeIncremental: prev snapshot was frozen by a different "
+        "session (relation content ticks are lineage-local)");
+  }
+  LPS_RETURN_IF_ERROR(Compile());
+  if (opts.evaluate && !converged_) LPS_RETURN_IF_ERROR(Evaluate());
+
+  auto snap = std::shared_ptr<serve::Snapshot>(new serve::Snapshot());
+  // Share the whole term store when nothing was interned since prev
+  // froze: both arenas are append-only, so equal term and symbol
+  // counts mean identical content (the common case when a mutation
+  // batch churns facts over already-interned constants). Otherwise
+  // fall back to the prefix-stable Clone - ids shared relations carry
+  // all predate prev's freeze and resolve identically in the fresh
+  // clone.
+  const bool store_unchanged =
+      store_->size() == prev->store().size() &&
+      store_->symbols().size() == prev->store().symbols().size();
+  if (store_unchanged) {
+    snap->store_ = prev->store_;
+  } else {
+    snap->store_ = store_->Clone();
+  }
+  // The program is always re-cloned: facts change on every commit and
+  // CloneInto is cheap (vector copies + a signature pointer rebind -
+  // no re-interning, so a shared store is never mutated here).
+  snap->program_ = std::make_unique<Program>(
+      program_->CloneInto(snap->store_.get()));
+  snap->db_ = db_->CloneIntoCow(snap->store_.get(),
+                                &snap->program_->signature(),
+                                prev->database());
+  for (const serve::FreezeOptions::IndexSpec& spec : opts.indexes) {
+    PredicateId pred =
+        snap->program_->signature().Lookup(spec.pred, spec.arity);
+    // EnsureIndex is a no-op when the (possibly shared) relation
+    // already carries the index; a shared relation missing it is
+    // copy-on-write-privatized, which the witness pass below counts
+    // as cloned.
+    if (pred != kInvalidPredicate) snap->db_->EnsureIndex(pred, spec.mask);
+  }
+  snap->db_->FreezeIndexes();
+  snap->mode_ = mode_;
+  snap->options_ = options_;
+  snap->converged_ = converged_;
+  snap->store_size_ = snap->store_->size();
+  snap->rule_epoch_ = rule_epoch_;
+  snap->session_id_ = session_id_;
+
+  // Sharing witnesses, by physical pointer identity against prev (the
+  // ground truth - computed after index provisioning, which may have
+  // unshared a relation).
+  std::unordered_set<const Relation*> prev_rels;
+  for (const auto& [pred, rel] : prev->database().Relations()) {
+    prev_rels.insert(rel);
+  }
+  serve::CowStats cow;
+  cow.store_shared = snap->store_.get() == &prev->store();
+  cow.fact_chunks_shared =
+      snap->program_->facts().SharedChunksWith(prev->program().facts());
+  for (const auto& [pred, rel] : snap->db_->Relations()) {
+    if (prev_rels.count(rel)) {
+      ++cow.relations_shared;
+      cow.bytes_shared += rel->ArenaBytes();
+    } else {
+      ++cow.relations_cloned;
+    }
+  }
+  snap->cow_ = cow;
   return std::shared_ptr<const serve::Snapshot>(std::move(snap));
 }
 

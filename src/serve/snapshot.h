@@ -51,6 +51,23 @@ struct FreezeOptions {
   std::vector<IndexSpec> indexes;
 };
 
+/// Sharing witnesses of one freeze: how much of the snapshot is
+/// physically aliased from the previous snapshot versus deep-copied.
+/// All-cloned (shared == 0, store_shared == false) after a full
+/// Session::Freeze(); FreezeIncremental fills in the sharing it
+/// achieved. Surfaced through ServeStats and lpsi .stats/.serve.
+struct CowStats {
+  size_t relations_shared = 0;  // relations aliased from the previous snapshot
+  size_t relations_cloned = 0;  // relations deep-copied (touched or new)
+  // Arena bytes of the shared relations. Index bytes are deliberately
+  // excluded: Relation::IndexBytes walks every posting bucket, which
+  // would put an O(index) pass on every republish just to report a
+  // witness (the actual shared footprint is larger than this figure).
+  size_t bytes_shared = 0;
+  size_t fact_chunks_shared = 0;  // sealed EDB fact chunks aliased from prev
+  bool store_shared = false;    // TermStore aliased (no new terms/symbols)
+};
+
 /// Immutable after construction; create via Session::Freeze(). Shared
 /// ownership: the registry, pinned readers and snapshot-backed cursors
 /// all hold shared_ptr<const Snapshot>, so the memory lives exactly
@@ -80,12 +97,23 @@ class Snapshot {
   /// built against one is valid against the other - the basis of the
   /// QueryServer's cheap worker refresh across fact-only republishes.
   uint64_t rule_epoch() const { return rule_epoch_; }
+  /// Id of the session that froze this snapshot (process-unique).
+  /// FreezeIncremental refuses a `prev` from a different session:
+  /// relation content ticks are only meaningful along one session's
+  /// clone lineage.
+  uint64_t session_id() const { return session_id_; }
+  /// How much of this snapshot aliases the previous one (see CowStats).
+  const CowStats& cow_stats() const { return cow_; }
 
  private:
   friend class ::lps::Session;
   Snapshot() = default;
 
-  std::unique_ptr<TermStore> store_;
+  // The store is shared_ptr so consecutive snapshots of a quiet store
+  // can alias one TermStore; program and database are per-snapshot
+  // (the database's *relations* alias internally, see
+  // Database::CloneIntoCow).
+  std::shared_ptr<TermStore> store_;
   std::unique_ptr<Program> program_;
   std::unique_ptr<Database> db_;
   LanguageMode mode_ = LanguageMode::kLDL;
@@ -93,6 +121,8 @@ class Snapshot {
   bool converged_ = false;
   size_t store_size_ = 0;
   uint64_t rule_epoch_ = 0;
+  uint64_t session_id_ = 0;
+  CowStats cow_;
 };
 
 }  // namespace serve

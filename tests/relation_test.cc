@@ -67,6 +67,47 @@ TEST(RelationTest, TombstoneChurnKeepsDedupAndLiveViewsCoherent) {
   EXPECT_EQ(rel.live_size(), 3u);
 }
 
+TEST(RelationTest, ContentTickAdvancesOnMutationOnly) {
+  // The copy-on-write sharing witness (Database::CloneIntoCow): ticks
+  // are process-globally unique, advance on every successful content
+  // mutation, stand still on no-ops and reads, and copies carry their
+  // source's tick - so tick equality across a clone lineage certifies
+  // identical content.
+  Relation rel(2);
+  const uint64_t born = rel.content_tick();
+  EXPECT_GT(born, 0u);
+
+  EXPECT_TRUE(rel.Insert({1, 2}));
+  const uint64_t after_insert = rel.content_tick();
+  EXPECT_GT(after_insert, born);
+  EXPECT_FALSE(rel.Insert({1, 2}));  // dedup no-op: tick stands still
+  EXPECT_EQ(rel.content_tick(), after_insert);
+  EXPECT_TRUE(rel.Contains({1, 2}));  // reads never tick
+  EXPECT_EQ(rel.content_tick(), after_insert);
+
+  EXPECT_TRUE(rel.EraseRow(0));
+  const uint64_t after_erase = rel.content_tick();
+  EXPECT_GT(after_erase, after_insert);
+  EXPECT_FALSE(rel.EraseRow(0));  // already dead: no-op
+  EXPECT_EQ(rel.content_tick(), after_erase);
+
+  EXPECT_TRUE(rel.Revive(0));
+  EXPECT_GT(rel.content_tick(), after_erase);
+
+  // A copy inherits the tick (identical content), and a fresh relation
+  // never collides with it even when its row/tombstone counts match.
+  Relation copy(rel);
+  EXPECT_EQ(copy.content_tick(), rel.content_tick());
+  Relation twin(2);
+  twin.Insert({1, 2});
+  twin.EraseRow(0);
+  twin.Revive(0);
+  EXPECT_NE(twin.content_tick(), rel.content_tick());
+  // Diverging the copy re-stamps it.
+  EXPECT_TRUE(copy.Insert({3, 4}));
+  EXPECT_NE(copy.content_tick(), rel.content_tick());
+}
+
 TEST(RelationTest, IndexLookupByMask) {
   Relation rel(2);
   rel.Insert({1, 10});

@@ -10,11 +10,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "api/session.h"
@@ -544,6 +549,355 @@ TEST(QueryServerTest, ConcurrentWriterRepublication) {
   EXPECT_EQ(final_ans->count, 12u);
   EXPECT_EQ(registry.live_snapshots(), 1u);
   EXPECT_EQ(registry.reclaimed_count(), registry.published_count() - 1);
+}
+
+// ---- Copy-on-write republication (Session::FreezeIncremental) -------
+
+// Two independent predicate families, so a mutation confined to one
+// leaves the other physically untouched.
+constexpr const char* kTwoFamilies = R"(
+  edge(a, b). edge(b, c).
+  color(a, red). color(b, blue).
+  path(X, Y) :- edge(X, Y).
+  path(X, Z) :- path(X, Y), edge(Y, Z).
+  hue(Y) :- color(X, Y).
+)";
+
+// pred name -> relation pointer, the physical-sharing witness.
+std::unordered_map<std::string, const Relation*> RelationPointers(
+    const Snapshot& snap) {
+  std::unordered_map<std::string, const Relation*> out;
+  for (const auto& [pred, rel] : snap.database().Relations()) {
+    out[snap.signature().Name(pred)] = rel;
+  }
+  return out;
+}
+
+TEST(CowSnapshotTest, SharesUnchangedClonesMutatedByteIdentical) {
+  Options opt;
+  opt.incremental = true;
+  Session session(LanguageMode::kLPS, opt);
+  ASSERT_OK(session.Load(kTwoFamilies));
+  ASSERT_OK(session.Evaluate());
+  auto base = session.Freeze();
+  ASSERT_OK(base.status());
+  // A full freeze clones everything and shares nothing.
+  EXPECT_EQ((*base)->cow_stats().relations_shared, 0u);
+  EXPECT_FALSE((*base)->cow_stats().store_shared);
+
+  // Mutate the edge family only, over already-interned constants.
+  MutationBatch batch = session.Mutate();
+  ASSERT_OK(batch.AddText("edge(c, a)"));
+  ASSERT_OK(batch.Commit());
+
+  auto inc = session.FreezeIncremental(*base);
+  ASSERT_OK(inc.status());
+  auto full = session.Freeze();
+  ASSERT_OK(full.status());
+
+  // Byte identity with the deep-clone freeze of the same state.
+  EXPECT_EQ((*inc)->database().ToCanonicalString((*inc)->signature()),
+            (*full)->database().ToCanonicalString((*full)->signature()));
+
+  // Physical sharing: untouched family aliased, touched family cloned.
+  auto base_rels = RelationPointers(**base);
+  auto inc_rels = RelationPointers(**inc);
+  EXPECT_EQ(inc_rels.at("color"), base_rels.at("color"));
+  EXPECT_EQ(inc_rels.at("hue"), base_rels.at("hue"));
+  EXPECT_NE(inc_rels.at("edge"), base_rels.at("edge"));
+  EXPECT_NE(inc_rels.at("path"), base_rels.at("path"));
+
+  const serve::CowStats& cow = (*inc)->cow_stats();
+  EXPECT_GE(cow.relations_shared, 2u);  // color, hue
+  EXPECT_GE(cow.relations_cloned, 2u);  // edge, path
+  EXPECT_GT(cow.bytes_shared, 0u);
+  // No new constant was interned, so the stores alias too.
+  EXPECT_TRUE(cow.store_shared);
+  EXPECT_EQ(&(*inc)->store(), &(*base)->store());
+
+  // The chain serves correctly: a server over the COW snapshot answers
+  // exactly like one over the deep clone.
+  SnapshotRegistry registry;
+  registry.Publish(*inc);
+  QueryServer server(&registry, TwoThreads());
+  auto q = server.Prepare("path(X, Y)");
+  ASSERT_OK(q.status());
+  ServeRequest req;
+  req.query = *q;
+  req.params = {{"X", "c"}};
+  auto ans = server.Execute(req);
+  ASSERT_OK(ans.status());
+  ASSERT_OK(ans->status);
+  EXPECT_EQ(ans->count, 3u);  // c -> a -> b -> c
+  serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.relations_shared, cow.relations_shared);
+  EXPECT_TRUE(stats.store_shared);
+}
+
+TEST(CowSnapshotTest, ClonesStoreWhenNewTermsIntern) {
+  Options opt;
+  opt.incremental = true;
+  Session session(LanguageMode::kLPS, opt);
+  ASSERT_OK(session.Load(kTwoFamilies));
+  ASSERT_OK(session.Evaluate());
+  auto base = session.Freeze();
+  ASSERT_OK(base.status());
+
+  // `d` is a fresh constant: the term store grew, so it cannot alias.
+  MutationBatch batch = session.Mutate();
+  ASSERT_OK(batch.AddText("edge(c, d)"));
+  ASSERT_OK(batch.Commit());
+  auto inc = session.FreezeIncremental(*base);
+  ASSERT_OK(inc.status());
+  EXPECT_FALSE((*inc)->cow_stats().store_shared);
+  EXPECT_NE(&(*inc)->store(), &(*base)->store());
+  // Untouched relations still alias: store sharing and relation
+  // sharing are independent decisions.
+  EXPECT_GE((*inc)->cow_stats().relations_shared, 2u);
+  auto full = session.Freeze();
+  ASSERT_OK(full.status());
+  EXPECT_EQ((*inc)->database().ToCanonicalString((*inc)->signature()),
+            (*full)->database().ToCanonicalString((*full)->signature()));
+}
+
+TEST(CowSnapshotTest, RejectsForeignPrevAndNullPrevIsFullFreeze) {
+  Session a(LanguageMode::kLPS);
+  ASSERT_OK(a.Load(kGraph));
+  auto a_snap = a.Freeze();
+  ASSERT_OK(a_snap.status());
+
+  Session b(LanguageMode::kLPS);
+  ASSERT_OK(b.Load(kGraph));
+  // Content ticks are only meaningful along one session's lineage.
+  auto foreign = b.FreezeIncremental(*a_snap);
+  EXPECT_FALSE(foreign.ok());
+
+  // No previous snapshot: degrades to a full freeze, not an error.
+  auto first = b.FreezeIncremental(nullptr);
+  ASSERT_OK(first.status());
+  EXPECT_EQ((*first)->cow_stats().relations_shared, 0u);
+  EXPECT_FALSE((*first)->cow_stats().store_shared);
+  EXPECT_EQ((*first)->database().TupleCount(),
+            (*a_snap)->database().TupleCount());
+}
+
+// ---- Admission control ----------------------------------------------
+
+TEST(QueryServerTest, ExpiredBatchDeadlineRejectsWithoutWork) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(kGraph));
+  SnapshotRegistry registry;
+  registry.Publish(FreezeGraph(&session));
+  ServeOptions opts;
+  opts.threads = 2;
+  opts.batch_timeout_micros = 1e-4;  // expired by the time any request starts
+  QueryServer server(&registry, opts);
+  auto q = server.Prepare("path(X, Y)");
+  ASSERT_OK(q.status());
+
+  ServeRequest req;
+  req.query = *q;
+  req.params = {{"X", "a"}};
+  auto batch = server.ExecuteBatch({req, req, req});
+  ASSERT_OK(batch.status());
+  for (const ServeAnswer& ans : *batch) {
+    EXPECT_EQ(ans.status.code(), StatusCode::kDeadlineExceeded)
+        << ans.status.ToString();
+    EXPECT_EQ(ans.count, 0u);  // rejected before any work
+  }
+  serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.admission_rejected, 3u);
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
+  EXPECT_EQ(stats.errors, 0u);  // a deadline is policy, not malfunction
+}
+
+TEST(QueryServerTest, MidEvalDeadlineReturnsTypedPartialPromptly) {
+  // An effectively unbounded demand evaluation: counting to a billion
+  // one semi-naive iteration at a time. The snapshot is frozen
+  // unevaluated (a fixpoint freeze would never finish) and the limits
+  // are raised so the deadline is the only thing that can stop it.
+  Options opt;
+  opt.max_iterations = 1000000000;
+  opt.max_tuples = 1000000000;
+  Session session(LanguageMode::kLDL, opt);
+  ASSERT_OK(session.Load(
+      "seed(go, 0).\n"
+      "count(T, N) :- seed(T, N).\n"
+      "count(T, M) :- count(T, N), lt(N, 1000000000), add(N, 1, M).\n"
+      "echo(T, N) :- seed(T, N).\n"));
+  ASSERT_OK(session.Compile());
+  serve::FreezeOptions fopts;
+  fopts.evaluate = false;
+  auto snap = session.Freeze(fopts);
+  ASSERT_OK(snap.status());
+  SnapshotRegistry registry;
+  registry.Publish(*snap);
+  QueryServer server(&registry, TwoThreads());
+  auto unbounded = server.Prepare("count(T, X)");
+  ASSERT_OK(unbounded.status());
+  // The mates take the demand route too (the snapshot is unevaluated,
+  // so a plain EDB scan would be trivially empty): a non-recursive
+  // rule whose magic evaluation derives one tuple immediately.
+  auto cheap = server.Prepare("echo(T, X)");
+  ASSERT_OK(cheap.status());
+
+  constexpr double kDeadlineMicros = 400000;  // 400ms
+  ServeRequest pathological;
+  pathological.query = *unbounded;
+  pathological.params = {{"T", "go"}};
+  pathological.timeout_micros = kDeadlineMicros;
+  ServeRequest mate;
+  mate.query = *cheap;
+  mate.params = {{"T", "go"}};
+  std::vector<ServeRequest> batch{pathological, mate, mate, mate};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto answers = server.ExecuteBatch(batch);
+  const double elapsed_micros =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - t0).count();
+  ASSERT_OK(answers.status());
+  ASSERT_EQ(answers->size(), 4u);
+
+  // The pathological lane returns a typed partial outcome within 2x
+  // the configured deadline (the acceptance bound: cooperative checks
+  // run every iteration and every ~1k executor steps).
+  const ServeAnswer& cut = (*answers)[0];
+  EXPECT_EQ(cut.status.code(), StatusCode::kDeadlineExceeded)
+      << cut.status.ToString();
+  EXPECT_TRUE(cut.partial);
+  EXPECT_LT(elapsed_micros, 2 * kDeadlineMicros);
+
+  // ...without stalling its lane-mates.
+  for (size_t i = 1; i < answers->size(); ++i) {
+    ASSERT_OK((*answers)[i].status);
+    EXPECT_EQ((*answers)[i].count, 1u);  // echo(go, 0)
+  }
+  serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.admission_rejected, 0u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(QueryServerTest, ZeroDeadlineUnlimitedAndMaxTuplesTruncates) {
+  Session session(LanguageMode::kLPS);
+  ASSERT_OK(session.Load(kGraph));
+  SnapshotRegistry registry;
+  registry.Publish(FreezeGraph(&session));
+  QueryServer server(&registry, TwoThreads());
+  auto q = server.Prepare("path(X, Y)");
+  ASSERT_OK(q.status());
+
+  // Zero timeout (the default) means no deadline at all.
+  ServeRequest req;
+  req.query = *q;
+  req.params = {{"X", "a"}};
+  auto ans = server.Execute(req);
+  ASSERT_OK(ans.status());
+  ASSERT_OK(ans->status);
+  EXPECT_FALSE(ans->partial);
+  EXPECT_EQ(ans->count, 4u);
+
+  // max_tuples caps the answer set: a prefix comes back marked partial
+  // with an OK status (a cap is an answer-shape contract, not an
+  // overload outcome).
+  req.max_tuples = 2;
+  ans = server.Execute(req);
+  ASSERT_OK(ans.status());
+  ASSERT_OK(ans->status);
+  EXPECT_TRUE(ans->partial);
+  EXPECT_EQ(ans->count, 2u);
+  EXPECT_EQ(ans->rows.size(), 2u);
+
+  serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
+  EXPECT_EQ(stats.admission_rejected, 0u);
+}
+
+// ---- COW republish soak ---------------------------------------------
+
+// A writer republishes FreezeIncremental snapshots under sustained
+// reader load, with a periodic byte-identity referee against a
+// deep-clone freeze. PR runs exercise the path for a fraction of a
+// second; the nightly TSan job sets LPS_SERVE_SOAK_SECONDS=60 (see
+// .github/workflows/ci.yml soak-serving).
+TEST(QueryServerTest, SoakCowRepublishUnderReaderLoad) {
+  double seconds = 0.2;
+  if (const char* env = std::getenv("LPS_SERVE_SOAK_SECONDS")) {
+    seconds = std::max(0.05, std::atof(env));
+  }
+  Options opt;
+  opt.incremental = true;
+  Session session(LanguageMode::kLPS, opt);
+  std::string facts;
+  const int n = 16;
+  for (int i = 0; i + 1 < n; ++i) {
+    facts += "edge(n" + std::to_string(i) + ", n" +
+             std::to_string(i + 1) + ").\n";
+  }
+  ASSERT_OK(session.Load(facts));
+  ASSERT_OK(session.Load(
+      "path(X, Y) :- edge(X, Y). path(X, Z) :- path(X, Y), edge(Y, Z)."));
+  ASSERT_OK(session.Evaluate());
+  auto first = session.Freeze();
+  ASSERT_OK(first.status());
+  std::shared_ptr<const Snapshot> prev = *first;
+  SnapshotRegistry registry;
+  registry.Publish(prev);
+  QueryServer server(&registry, TwoThreads());
+  auto q = server.Prepare("path(X, Y)");
+  ASSERT_OK(q.status());
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      while (!stop.load()) {
+        ServeRequest req;
+        req.query = *q;
+        req.params = {{"X", "n" + std::to_string(r)}};
+        auto ans = server.Execute(req);
+        ASSERT_TRUE(ans.ok()) << ans.status().ToString();
+        ASSERT_TRUE(ans->status.ok()) << ans->status.ToString();
+        ASSERT_GE(ans->count, static_cast<size_t>(n - 2 - r));
+        ++reads;
+      }
+    });
+  }
+
+  // Writer: toggle a shortcut edge over existing constants, republish
+  // a COW snapshot each commit, referee every 8th epoch.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  size_t epochs = 0;
+  bool present = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    MutationBatch batch = session.Mutate();
+    ASSERT_OK(present ? batch.RetractText("edge(n0, n5)")
+                      : batch.AddText("edge(n0, n5)"));
+    ASSERT_OK(batch.Commit());
+    present = !present;
+    auto inc = session.FreezeIncremental(prev);
+    ASSERT_OK(inc.status());
+    if (++epochs % 8 == 0) {
+      auto full = session.Freeze();
+      ASSERT_OK(full.status());
+      ASSERT_EQ(
+          (*inc)->database().ToCanonicalString((*inc)->signature()),
+          (*full)->database().ToCanonicalString((*full)->signature()));
+    }
+    prev = *inc;
+    registry.Publish(prev);
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_GT(epochs, 0u);
+  EXPECT_GT(reads.load(), 0u);
+  serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
 }
 
 }  // namespace
