@@ -1,0 +1,119 @@
+// Parallel bulk-ingest lane scaling (Session::LoadFactsParallel).
+//
+// BM_IngestLanes/N bulk-loads the 10M-edge clustered social graph
+// (SocialFollows, the examples/social_graph.cc workload) into a fresh
+// session on N parser lanes and reports the load wall time plus the
+// deterministic ingest counters. The CI gate (scripts/check_bench.py
+// --min-ratio) requires the 8-lane load to beat the 1-lane load by
+// the committed floor - the parse phase parallelizes embarrassingly
+// while the order-sensitive merge passes stay sequential, so the
+// achievable ratio is Amdahl-bound by the merge fraction (DESIGN.md
+// section 19).
+//
+// Before any timing, VerifyIngestEquivalence bulk-loads a smaller
+// slice of the same workload at lanes {1, 2, 4, 8} and aborts unless
+// each result is byte-identical (ToString - insertion order included
+// - and ToCanonicalString) to a sequential Load + Evaluate of the
+// same text, so the speedup can never come from a wrong merge.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "workloads.h"
+
+namespace lps::bench {
+namespace {
+
+// ~10.2M follows() edges, ~276 MB of text: the ROADMAP item 5 scale.
+constexpr size_t kBenchUsers = 3'400'000;
+// Referee slice: big enough to split into many chunks per lane and
+// to exercise presizing, small enough to re-load five times quickly.
+constexpr size_t kRefereeUsers = 50'000;
+
+const std::string& BenchFacts() {
+  static const std::string* facts =
+      new std::string(SocialFollows(kBenchUsers));
+  return *facts;
+}
+
+// Aborts unless parallel loads reproduce the sequential load
+// byte-for-byte at every lane count.
+void VerifyIngestEquivalence() {
+  const std::string facts = SocialFollows(kRefereeUsers);
+  Session seq(LanguageMode::kLDL);
+  Status st = seq.Load(facts);
+  if (st.ok()) st = seq.Evaluate();
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench_ingest: sequential load failed: %s\n",
+                 st.ToString().c_str());
+    std::abort();
+  }
+  const std::string want = seq.database()->ToString(*seq.signature());
+  for (size_t lanes : {1, 2, 4, 8}) {
+    Session par(LanguageMode::kLDL);
+    st = par.LoadFactsParallel(facts, lanes);
+    if (st.ok()) st = par.Evaluate();
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench_ingest: %zu-lane load failed: %s\n",
+                   lanes, st.ToString().c_str());
+      std::abort();
+    }
+    if (par.database()->ToString(*par.signature()) != want ||
+        par.database()->ToCanonicalString(*par.signature()) !=
+            seq.database()->ToCanonicalString(*seq.signature())) {
+      std::fprintf(stderr,
+                   "bench_ingest: %zu-lane load diverges from the "
+                   "sequential load\n",
+                   lanes);
+      std::abort();
+    }
+  }
+}
+
+void BM_IngestLanes(benchmark::State& state) {
+  static const bool verified = [] {
+    VerifyIngestEquivalence();
+    return true;
+  }();
+  (void)verified;
+  const size_t lanes = static_cast<size_t>(state.range(0));
+  const std::string& facts = BenchFacts();
+
+  EvalStats::IngestStats ig;
+  for (auto _ : state) {
+    Session session(LanguageMode::kLDL);
+    const auto t0 = std::chrono::steady_clock::now();
+    Status st = session.LoadFactsParallel(facts, lanes);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench_ingest: load failed: %s\n",
+                   st.ToString().c_str());
+      std::abort();
+    }
+    ig = session.eval_stats().ingest;
+    state.SetIterationTime(
+        std::chrono::duration<double>(t1 - t0).count());
+  }
+  // Only deterministic counters go into the committed baseline (the
+  // compare in scripts/check_bench.py is absolute): fact counts are
+  // lane-independent, chunk/scratch counts are fixed for a given lane
+  // count, and the byte-identity referee above pins the semantics.
+  state.counters["facts_parsed"] = static_cast<double>(ig.facts_parsed);
+  state.counters["facts_inserted"] =
+      static_cast<double>(ig.facts_inserted);
+  state.counters["chunks"] = static_cast<double>(ig.chunks);
+  state.counters["scratch_terms"] =
+      static_cast<double>(ig.scratch_terms);
+}
+// One iteration per lane count: a 10M-edge load runs tens of seconds,
+// and the lane-scaling ratio (not run-to-run noise) is what the gate
+// consumes; manual time keeps session teardown out of the figure.
+BENCHMARK(BM_IngestLanes)->Arg(1)->Arg(8)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lps::bench

@@ -189,15 +189,13 @@ constexpr int kShardNodes = 32;
 constexpr int kShardEdges = 64;
 constexpr int kChurnEdges = 40;  // ~1% of kShards * kShardEdges facts
 
-// Both republish benchmarks run a fixed iteration count. Toggle churn
-// is logically state-cycling but physically accreting: retraction
-// tombstones rows and drops their dedup entries, so the next insert
-// of the same tuple appends a fresh row and the touched shard's arena
-// grows every cycle (see ROADMAP: arena compaction). Pinning the
-// count gives both variants the same bounded degradation instead of
-// letting the framework's time-targeting run them to different churn
-// depths.
-constexpr int kRepublishIters = 48;
+// Toggle churn is state-cycling physically as well as logically:
+// retraction tombstones a row but keeps its dedup entry, so the next
+// insert of the same tuple revives the row in place and the touched
+// shard's arena stays flat at any churn depth. The benchmarks
+// therefore run unpinned (framework time-targeting), which
+// bench_storage's BM_RelationToggleChurn locks in at the storage
+// layer.
 
 std::unique_ptr<Session> MustLoadIncremental(const std::string& source) {
   Options opt;
@@ -233,8 +231,8 @@ std::vector<std::pair<std::string, std::string>> ChurnSet() {
 
 // One churn commit: inserts the churn set when *present is false,
 // retracts it when true. Alternating cycles the database between two
-// fixed logical states (the arenas still accrete; see
-// kRepublishIters above).
+// fixed logical states at a fixed arena size (re-adding revives the
+// tombstoned rows in place).
 void Churn(Session* session, bool* present) {
   TermStore* store = session->store();
   MutationBatch batch = session->Mutate();
@@ -326,7 +324,7 @@ void BM_RepublishFull(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RepublishFull)->UseManualTime()
-    ->Iterations(kRepublishIters)->Unit(benchmark::kMicrosecond);
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_RepublishIncremental(benchmark::State& state) {
   auto session = RepublishSession();
@@ -358,7 +356,7 @@ void BM_RepublishIncremental(benchmark::State& state) {
   state.counters["bytes_shared"] = static_cast<double>(bytes_shared);
 }
 BENCHMARK(BM_RepublishIncremental)->UseManualTime()
-    ->Iterations(kRepublishIters)->Unit(benchmark::kMicrosecond);
+    ->Unit(benchmark::kMicrosecond);
 
 // Freeze cost: what the writer pays to publish a fresh epoch (deep
 // clone of store + program + database, plus eager index catch-up).

@@ -1,5 +1,6 @@
 #include "workloads.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -52,6 +53,27 @@ std::string ShardedTcSource(int shards, int nodes, int edges,
     }
     out += p + "(X, Y) :- " + e + "(X, Y).\n";
     out += p + "(X, Z) :- " + p + "(X, Y), " + e + "(Y, Z).\n";
+  }
+  return out;
+}
+
+std::string SocialFollows(size_t users) {
+  constexpr size_t kClusterSize = 64;
+  std::string out;
+  out.reserve(users * 3 * 24);
+  Rng rng(0x2545f4914f6cdd1dULL);
+  auto edge = [&out](size_t a, size_t b) {
+    out += "follows(u" + std::to_string(a) + ", u" + std::to_string(b) +
+           ").\n";
+  };
+  for (size_t i = 0; i < users; ++i) {
+    const size_t cluster = i / kClusterSize;
+    const size_t base = cluster * kClusterSize;
+    const size_t span = std::min(kClusterSize, users - base);
+    auto member = [base, span](size_t k) { return base + k % span; };
+    edge(i, member(i - base + 1));  // ring
+    edge(i, member(i - base + 3));  // skip ring
+    if (span > 4) edge(i, member(rng.Below(span)));  // extra
   }
   return out;
 }

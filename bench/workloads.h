@@ -48,6 +48,13 @@ std::string TransitiveClosureRules();
 std::string ShardedTcSource(int shards, int nodes, int edges,
                             uint64_t seed);
 
+/// follows(u<i>, u<j>) facts for a clustered social graph: users are
+/// partitioned into clusters of 64 and every edge stays intra-cluster
+/// (a ring, a skip ring, plus one extra pseudo-random edge per user -
+/// ~3 edges/user). The bulk-ingest workload: same shape as
+/// examples/social_graph.cc, sized by bench_ingest.cc at 10M edges.
+std::string SocialFollows(size_t users);
+
 /// s(...) facts: `count` random subsets of {0..universe-1}, each of the
 /// given cardinality.
 std::string SetFamily(int count, int cardinality, int universe,

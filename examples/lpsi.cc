@@ -17,6 +17,16 @@
 //   .add F      insert the ground fact F (e.g. ".add edge(a, b)") via a
 //               MutationBatch commit; the database re-converges at once
 //   .retract F  retract the ground fact F the same way
+//   .load FILE [lanes]
+//               bulk-load a facts-only file through the pipelined
+//               parallel loader (Session::LoadFactsParallel): FILE is
+//               split into chunks, parsed on `lanes` worker lanes
+//               (default: the --lanes value, else hardware concurrency)
+//               and merged deterministically; prints the ingest wall
+//               time and pipeline counters (also visible via .stats)
+//
+// With --lanes N both evaluation (Options::threads) and .load default
+// to N worker lanes.
 //
 // With --demand the interpreter skips the up-front fixpoint and
 // answers every goal with a bound argument goal-directed: a magic-set
@@ -29,9 +39,11 @@
 // .stats then shows the delta_rounds / rederived / overdeleted
 // counters of the last maintenance pass.
 //
-//   build/examples/lpsi [--demand] [--incremental] program.lps
+//   build/examples/lpsi [--demand] [--incremental] [--lanes N] program.lps
 //   echo "path(a, X)" | build/examples/lpsi --demand program.lps
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -82,6 +94,17 @@ void PrintStats(const lps::EvalStats& s, size_t subsumptions) {
   std::printf("  plan_estimated_tuples %.0f\n", s.plan_estimated_tuples);
   std::printf("  subsumption_hits      %zu\n", s.subsumption_hits);
   std::printf("  subsumptions_total    %zu\n", subsumptions);
+  std::printf("ingest (last .load):\n");
+  std::printf("  lanes                    %zu\n", s.ingest.lanes);
+  std::printf("  chunks                   %zu\n", s.ingest.chunks);
+  std::printf("  facts_parsed             %zu\n", s.ingest.facts_parsed);
+  std::printf("  facts_inserted           %zu\n", s.ingest.facts_inserted);
+  std::printf("  scratch_terms            %zu\n", s.ingest.scratch_terms);
+  std::printf("  remap_hits               %zu\n", s.ingest.remap_hits);
+  std::printf("  presize_rehashes_avoided %zu\n",
+              s.ingest.presize_rehashes_avoided);
+  std::printf("  parse_ms                 %.2f\n", s.ingest.parse_ms);
+  std::printf("  merge_ms                 %.2f\n", s.ingest.merge_ms);
 }
 
 // All-zero (value-initialized) before the first .serve, so .stats is
@@ -220,23 +243,28 @@ void Answer(lps::Session* session, lps::PreparedQuery* query,
 int main(int argc, char** argv) {
   bool demand = false;
   bool incremental = false;
+  size_t lanes = 0;  // 0 = hardware concurrency
   const char* path = nullptr;
+  bool bad_usage = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--demand") {
       demand = true;
     } else if (std::string_view(argv[i]) == "--incremental") {
       incremental = true;
+    } else if (std::string_view(argv[i]) == "--lanes" && i + 1 < argc) {
+      lanes = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (path == nullptr) {
       path = argv[i];
     } else {
-      path = nullptr;
+      bad_usage = true;
       break;
     }
   }
-  if (path == nullptr) {
-    std::fprintf(stderr,
-                 "usage: %s [--demand] [--incremental] <program.lps>\n",
-                 argv[0]);
+  if (path == nullptr || bad_usage) {
+    std::fprintf(
+        stderr,
+        "usage: %s [--demand] [--incremental] [--lanes N] <program.lps>\n",
+        argv[0]);
     return 2;
   }
   std::ifstream in(path);
@@ -250,6 +278,7 @@ int main(int argc, char** argv) {
   lps::Options options;
   options.demand = demand;
   options.incremental = incremental;
+  if (lanes != 0) options.threads = lanes;  // default stays sequential
   lps::Session session(lps::LanguageMode::kLDL, options);
   lps::Status st = session.Load(buffer.str());
   if (!st.ok()) {
@@ -328,6 +357,50 @@ int main(int argc, char** argv) {
       std::printf("%% %s %s (fact epoch %llu)\n",
                   insert ? "added" : "retracted", fact.c_str(),
                   static_cast<unsigned long long>(session.fact_epoch()));
+      continue;
+    }
+    if (line.rfind(".load ", 0) == 0) {
+      char file[1024] = {0};
+      size_t load_lanes = lanes;  // --lanes default; 0 = hardware
+      if (std::sscanf(line.c_str(), ".load %1023s %zu", file,
+                      &load_lanes) < 1) {
+        std::printf("usage: .load <facts-file> [lanes]\n");
+        continue;
+      }
+      std::ifstream facts_in(file);
+      if (!facts_in) {
+        std::printf("error: cannot open %s\n", file);
+        continue;
+      }
+      std::stringstream facts;
+      facts << facts_in.rdbuf();
+      const auto t0 = std::chrono::steady_clock::now();
+      lps::Status st = session.LoadFactsParallel(facts.str(), load_lanes);
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        continue;
+      }
+      const lps::EvalStats::IngestStats& ig = session.eval_stats().ingest;
+      std::printf(
+          "%% loaded %zu facts (%zu new) in %.1f ms: %zu lanes, "
+          "%zu chunks, parse %.1f ms, merge %.1f ms, %zu scratch terms, "
+          "%zu remap hits, %zu rehashes avoided\n",
+          ig.facts_parsed, ig.facts_inserted, wall_ms, ig.lanes, ig.chunks,
+          ig.parse_ms, ig.merge_ms, ig.scratch_terms, ig.remap_hits,
+          ig.presize_rehashes_avoided);
+      // Re-converge so follow-up goals see derivations over the new
+      // facts (demand mode keeps evaluating per goal instead).
+      if (!demand) {
+        lps::Status ev = session.Evaluate();
+        if (!ev.ok()) {
+          std::printf("error: %s\n", ev.ToString().c_str());
+          continue;
+        }
+      }
       continue;
     }
     if (line.rfind(".serve", 0) == 0) {

@@ -17,6 +17,16 @@ Cross-benchmark ratio gates (e.g. "magic point query must beat the full
 fixpoint 2x and derive 5x fewer tuples") are expressed with
 --min-ratio and evaluated on the current run only.
 
+Fleet normalization assumes every benchmark in a file scales with the
+same machine-speed factor. That breaks when entries inside one file
+scale *differently* across machines - e.g. BENCH_ingest.json, whose
+1-lane and 8-lane loads diverge with core count, so a baseline recorded
+on an N-core box can spuriously fail on an M-core runner. Mark such
+files --counters-only: their machine-independent counters are still
+compared absolutely (and coverage both ways is still enforced), but
+wall times are gated exclusively through --min-ratio on the current
+run.
+
 Baseline refresh (the one-liner, run from the repo root after building
 Release benches and inspecting the diff):
 
@@ -30,6 +40,7 @@ with --max-value.
 Usage:
     check_bench.py --pair CURRENT=BASELINE [--pair ...]
                    [--tolerance 0.25]
+                   [--counters-only CURRENT_FILE]
                    [--min-ratio FILE:NUM_BENCH:DEN_BENCH:METRIC:MIN]
                    [--max-value FILE:BENCH:METRIC:MAX]
                    [--refresh] [--list]
@@ -103,23 +114,28 @@ def median(values):
     return values[mid] if n % 2 else (values[mid - 1] + values[mid]) / 2
 
 
-def compare_pair(current_path, baseline_path, tolerance):
+def compare_pair(current_path, baseline_path, tolerance,
+                 counters_only=False):
     failures = []
     current = load_entries(current_path)
     baseline = load_entries(baseline_path)
 
-    ratios = [
-        current[name]["real_time"] / base["real_time"]
-        for name, base in baseline.items()
-        if name in current
-        and isinstance(base.get("real_time"), (int, float))
-        and base["real_time"] > 0
-        and isinstance(current[name].get("real_time"), (int, float))
-    ]
-    factor = median(ratios)
-    print(f"== {current_path} vs {baseline_path} "
-          f"(machine-speed factor {factor:.2f}x, tolerance "
-          f"{tolerance:.0%})")
+    if counters_only:
+        print(f"== {current_path} vs {baseline_path} "
+              f"(counters only - wall times gated via --min-ratio)")
+    else:
+        ratios = [
+            current[name]["real_time"] / base["real_time"]
+            for name, base in baseline.items()
+            if name in current
+            and isinstance(base.get("real_time"), (int, float))
+            and base["real_time"] > 0
+            and isinstance(current[name].get("real_time"), (int, float))
+        ]
+        factor = median(ratios)
+        print(f"== {current_path} vs {baseline_path} "
+              f"(machine-speed factor {factor:.2f}x, tolerance "
+              f"{tolerance:.0%})")
 
     # Both directions must match: a benchmark missing from the baseline
     # would otherwise never be regression-checked.
@@ -133,22 +149,26 @@ def compare_pair(current_path, baseline_path, tolerance):
             failures.append(f"{name}: present in baseline but not in "
                             f"{current_path} (coverage lost?)")
             continue
-        # Wall time, fleet-normalized.
-        if metric_value(base, "real_time") is None or \
-                metric_value(cur, "real_time") is None:
-            failures.append(f"{name}: real_time missing from "
-                            f"{'baseline' if metric_value(base, 'real_time') is None else current_path}")
-            continue
-        allowed = base["real_time"] * factor * (1 + tolerance)
-        status = "ok"
-        if cur["real_time"] > allowed:
-            status = "REGRESSED"
-            failures.append(
-                f"{name}: real_time {cur['real_time']:.3f} > allowed "
-                f"{allowed:.3f} (baseline {base['real_time']:.3f} x "
-                f"factor {factor:.2f} x {1 + tolerance:.2f})")
-        print(f"  {name}: time {base['real_time']:.3f} -> "
-              f"{cur['real_time']:.3f} [{status}]")
+        # Wall time, fleet-normalized (skipped for counters-only
+        # files, whose entries scale differently across machines).
+        if counters_only:
+            print(f"  {name}: time compare skipped (counters only)")
+        else:
+            if metric_value(base, "real_time") is None or \
+                    metric_value(cur, "real_time") is None:
+                failures.append(f"{name}: real_time missing from "
+                                f"{'baseline' if metric_value(base, 'real_time') is None else current_path}")
+                continue
+            allowed = base["real_time"] * factor * (1 + tolerance)
+            status = "ok"
+            if cur["real_time"] > allowed:
+                status = "REGRESSED"
+                failures.append(
+                    f"{name}: real_time {cur['real_time']:.3f} > allowed "
+                    f"{allowed:.3f} (baseline {base['real_time']:.3f} x "
+                    f"factor {factor:.2f} x {1 + tolerance:.2f})")
+            print(f"  {name}: time {base['real_time']:.3f} -> "
+                  f"{cur['real_time']:.3f} [{status}]")
         # Counters, absolute.
         base_counters = counters(base)
         cur_counters = counters(cur)
@@ -236,7 +256,8 @@ def check_max(spec, currents):
         f"{spec}: value {value:.2f} above ceiling {maximum:.2f}"]
 
 
-def list_gates(pairs, tolerance, ratio_specs, max_specs):
+def list_gates(pairs, tolerance, ratio_specs, max_specs,
+               counters_only):
     """Print every gated benchmark and its floor/ceiling, then exit 0.
 
     Reads only the committed baselines (the CURRENT files need not
@@ -251,9 +272,12 @@ def list_gates(pairs, tolerance, ratio_specs, max_specs):
         except (OSError, json.JSONDecodeError) as e:
             print(f"  {base}: unreadable ({e})")
             continue
-        print(f"  {base} (compared against {current}):")
+        note = " [counters only]" if current in counters_only else ""
+        print(f"  {base} (compared against {current}){note}:")
         for name, entry in sorted(entries.items()):
-            gated = ["real_time"] + sorted(counters(entry))
+            gated = sorted(counters(entry))
+            if current not in counters_only:
+                gated = ["real_time"] + gated
             print(f"    {name}: {', '.join(gated)}")
     if ratio_specs:
         print("Cross-benchmark ratio floors (current run only):")
@@ -280,6 +304,12 @@ def main():
     parser.add_argument("--pair", action="append", default=[],
                         metavar="CURRENT=BASELINE", required=True)
     parser.add_argument("--tolerance", type=float, default=0.25)
+    parser.add_argument("--counters-only", action="append", default=[],
+                        metavar="CURRENT_FILE",
+                        help="skip the fleet-normalized wall-time "
+                             "compare for this --pair CURRENT file "
+                             "(counters still compared; wall times "
+                             "gated only via --min-ratio)")
     parser.add_argument("--min-ratio", action="append", default=[],
                         metavar="FILE:NUM:DEN:METRIC:MIN")
     parser.add_argument("--max-value", action="append", default=[],
@@ -299,9 +329,15 @@ def main():
             sys.exit(f"malformed --pair spec: {spec}")
         pairs.append((current, base))
 
+    counters_only = set(args.counters_only)
+    unknown = counters_only - {current for current, _ in pairs}
+    if unknown:
+        sys.exit(f"--counters-only files not among --pair currents: "
+                 f"{', '.join(sorted(unknown))}")
+
     if args.list:
         list_gates(pairs, args.tolerance, args.min_ratio,
-                   args.max_value)
+                   args.max_value, counters_only)
         return
 
     if args.refresh:
@@ -314,7 +350,8 @@ def main():
     currents = {}
     for current, base in pairs:
         currents[current] = load_entries(current)
-        failures += compare_pair(current, base, args.tolerance)
+        failures += compare_pair(current, base, args.tolerance,
+                                 counters_only=current in counters_only)
     for spec in args.min_ratio:
         failures += check_ratio(spec, currents)
     for spec in args.max_value:

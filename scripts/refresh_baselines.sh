@@ -29,7 +29,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DLPS_WERROR=ON -DLPS_BUILD_TESTS=OFF
 cmake --build "$BUILD_DIR" -j --target \
   bench_fixpoint bench_storage bench_magic bench_grouping \
-  bench_serving bench_incremental bench_planner
+  bench_serving bench_incremental bench_planner bench_ingest
 
 run() {  # run <bench-binary> <output-json> [extra flags...]
   local bin="$1" out="$2"
@@ -47,6 +47,9 @@ run bench_grouping BENCH_grouping.json "${REPS_FLAGS[@]}"
 run bench_serving BENCH_serving.json "${REPS_FLAGS[@]}"
 run bench_incremental BENCH_incremental.json "${REPS_FLAGS[@]}"
 run bench_planner BENCH_planner.json "${REPS_FLAGS[@]}"
+# One iteration per lane count by design (a 10M-edge load runs tens
+# of seconds; the gate consumes the 1-vs-8-lane ratio, not noise).
+run bench_ingest BENCH_ingest.json --benchmark_format=json
 
 python3 scripts/check_bench.py --refresh \
   --pair BENCH_fixpoint.json=bench/baselines/BENCH_fixpoint.json \
@@ -55,11 +58,12 @@ python3 scripts/check_bench.py --refresh \
   --pair BENCH_grouping.json=bench/baselines/BENCH_grouping.json \
   --pair BENCH_serving.json=bench/baselines/BENCH_serving.json \
   --pair BENCH_incremental.json=bench/baselines/BENCH_incremental.json \
-  --pair BENCH_planner.json=bench/baselines/BENCH_planner.json
+  --pair BENCH_planner.json=bench/baselines/BENCH_planner.json \
+  --pair BENCH_ingest.json=bench/baselines/BENCH_ingest.json
 
 rm -f BENCH_fixpoint.json BENCH_storage.json BENCH_magic.json \
   BENCH_grouping.json BENCH_serving.json BENCH_incremental.json \
-  BENCH_planner.json
+  BENCH_planner.json BENCH_ingest.json
 
 echo
 echo "Baselines rewritten. Review with: git diff bench/baselines/"

@@ -241,6 +241,8 @@ Result<AnswerCursor> PreparedQuery::ExecuteDemand() {
       EvalStats stats = best->result_stats;
       stats.subsumption_hits = 1;
       stats.demand_fallback_reason.clear();
+      // The ingest block (last LoadFactsParallel) survives overwrites.
+      stats.ingest = session_->eval_stats_.ingest;
       session_->eval_stats_ = std::move(stats);
       return AnswerCursor(std::make_unique<DemandScanSource>(
           best->rewrite, best->result_db, store,
@@ -329,6 +331,8 @@ Result<AnswerCursor> PreparedQuery::ExecuteDemand() {
     entry->result_fact_epoch = session_->fact_epoch();
     entry->result_stats = stats;
   }
+  // The ingest block (last LoadFactsParallel) survives overwrites.
+  stats.ingest = session_->eval_stats_.ingest;
   session_->eval_stats_ = std::move(stats);
 
   return AnswerCursor(std::make_unique<DemandScanSource>(

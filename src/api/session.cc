@@ -93,7 +93,11 @@ Status Session::Evaluate(const Options& options) {
   LPS_RETURN_IF_ERROR(Compile());
   BottomUpEvaluator eval(program_.get(), db_.get(), options.eval());
   LPS_RETURN_IF_ERROR(eval.Evaluate());
+  // The ingest block describes the most recent LoadFactsParallel() and
+  // survives evaluation overwrites (the evaluator never fills it).
+  const EvalStats::IngestStats ingest = eval_stats_.ingest;
   eval_stats_ = eval.stats();
+  eval_stats_.ingest = ingest;
   converged_ = true;
   return Status::OK();
 }

@@ -71,6 +71,20 @@ class Session {
   /// collects its "?- goal." queries. No-op when nothing is staged.
   Status Compile();
 
+  /// Bulk-loads a facts-only source through the pipelined parallel
+  /// loader (api/ingest.cc): the input is split into newline-aligned
+  /// chunks, `lanes` parser workers (0 = hardware concurrency) parse
+  /// chunks into per-worker TermStore::Clone scratches, and a merge
+  /// stage remaps scratch terms into the session store in chunk order
+  /// and bulk-inserts with dedup tables presized from the chunk fact
+  /// counts. The result is byte-identical - ToString, not just
+  /// ToCanonicalString - to Load+Compile of the same source at every
+  /// lane count. `source` must contain ground facts only (no rules,
+  /// declarations, or queries); any error (parse, sort, validation)
+  /// leaves the session untouched. Compiles staged units first;
+  /// ingestion metrics land in eval_stats().ingest.
+  Status LoadFactsParallel(const std::string& source, size_t lanes = 0);
+
   /// Brings the database to fixpoint bottom-up, compiling first if
   /// needed. Repeatable: already-derived tuples are kept.
   Status Evaluate();

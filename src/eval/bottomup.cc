@@ -224,8 +224,19 @@ Status BottomUpEvaluator::EvaluateStratum(
     }
   }
 
-  // Delta watermarks per predicate.
+  // Delta watermarks per predicate, with the tombstone count observed
+  // when the watermark was taken: an insert that lands on a tombstoned
+  // tuple (retracted earlier, re-derived now) revives its original row
+  // *below* the watermark. No erase runs during a fixpoint, so a
+  // dead-count drop is a sound and complete revive witness; the next
+  // delta for that predicate widens to a full (naive) range to pick
+  // the revived rows up.
   std::unordered_map<PredicateId, size_t> mark;
+  std::unordered_map<PredicateId, size_t> dead_mark;
+  auto dead_count = [this](PredicateId p) -> size_t {
+    const Relation* rel = db_->FindRelation(p);
+    return rel == nullptr ? 0 : rel->dead_count();
+  };
 
   size_t iteration = 0;
   for (;;) {
@@ -250,11 +261,18 @@ Status BottomUpEvaluator::EvaluateStratum(
           PredicateId p = rules_[ci].clause->body[li].pred;
           if (delta.count(p)) continue;
           size_t begin = mark.count(p) ? mark[p] : 0;
+          auto dm = dead_mark.find(p);
+          if (dm != dead_mark.end() && dead_count(p) < dm->second) {
+            begin = 0;  // rows revived below the watermark
+          }
           delta[p] = {begin, db_->RelationSize(p)};
         }
       }
     }
-    for (auto& [p, range] : delta) mark[p] = range.second;
+    for (auto& [p, range] : delta) {
+      mark[p] = range.second;
+      dead_mark[p] = dead_count(p);
+    }
 
     // Phase A (parallel mode only): shard every parallel-safe rule's
     // delta joins across the pool against the frozen pre-iteration

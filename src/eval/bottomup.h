@@ -105,6 +105,25 @@ struct EvalStats {
   size_t delta_rounds = 0;        // semi-naive rounds seeded from the batch
   size_t overdeleted_tuples = 0;  // tuples tombstoned by DRed over-delete
   size_t rederived_tuples = 0;    // over-deleted tuples saved by rederive
+  // ---- Bulk ingestion (api/ingest.cc), filled by the last
+  // Session::LoadFactsParallel; all zero otherwise. Unlike the rest of
+  // EvalStats this block survives later evaluations and mutation
+  // commits - it always describes the most recent bulk load. ------------
+  struct IngestStats {
+    size_t lanes = 0;           // parser lanes the load actually used
+    size_t chunks = 0;          // newline-aligned chunks parsed
+    size_t facts_parsed = 0;    // fact literals produced by the lanes
+    size_t facts_inserted = 0;  // net-new rows after dedup in the merge
+    size_t scratch_terms = 0;   // terms interned across lane scratches
+    size_t remap_hits = 0;      // fact arguments already session-valid
+                                // (prefix-stable Clone: no re-intern)
+    size_t presize_rehashes_avoided = 0;  // dedup doublings skipped by
+                                          // Relation::Reserve presizing
+    double parse_ms = 0;  // wall time of the parallel parse phase
+    double merge_ms = 0;  // wall time of the merge (intern/translate/
+                          // insert passes together)
+  };
+  IngestStats ingest;
 };
 
 class BottomUpEvaluator {

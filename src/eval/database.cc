@@ -42,11 +42,44 @@ const Relation* Database::FindRelation(PredicateId pred) const {
   return it == relations_.end() ? nullptr : it->second.get();
 }
 
-bool Database::AddTuple(PredicateId pred, TupleRef t) {
+Relation::InsertOutcome Database::AddTupleEx(PredicateId pred,
+                                             TupleRef t) {
   for (TermId term : t) RegisterTerm(term);
-  bool added = relation(pred).Insert(t);
-  if (added) ++version_;
-  return added;
+  Relation::InsertOutcome out = relation(pred).InsertRow(t);
+  if (out.added) ++version_;
+  if (out.revived && revive_log_enabled_) {
+    revive_log_.push_back({pred, out.row});
+  }
+  return out;
+}
+
+size_t Database::Reserve(PredicateId pred, size_t additional_rows) {
+  return relation(pred).Reserve(additional_rows);
+}
+
+Relation::InsertOutcome Database::BulkInserter::Insert(PredicateId pred,
+                                                       TupleRef t,
+                                                       size_t hash) {
+  for (TermId term : t) {
+    if (term >= seen_.size()) {
+      seen_.resize(std::max<size_t>(db_->store_->size(),
+                                    static_cast<size_t>(term) + 1),
+                   false);
+    }
+    if (!seen_[term]) {
+      db_->RegisterTerm(term);
+      seen_[term] = true;
+    }
+  }
+  if (pred >= rels_.size()) rels_.resize(pred + 1, nullptr);
+  Relation*& rel = rels_[pred];
+  if (rel == nullptr) rel = &db_->relation(pred);
+  Relation::InsertOutcome out = rel->InsertRow(t, hash);
+  if (out.added) ++db_->version_;
+  if (out.revived && db_->revive_log_enabled_) {
+    db_->revive_log_.push_back({pred, out.row});
+  }
+  return out;
 }
 
 bool Database::Contains(PredicateId pred, TupleRef t) const {

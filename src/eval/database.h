@@ -41,9 +41,80 @@ class Database {
   /// terms (and, recursively, set elements) in the active domains. The
   /// TermIds are copied into the relation's row arena; `t` need not
   /// outlive the call.
-  bool AddTuple(PredicateId pred, TupleRef t);
+  bool AddTuple(PredicateId pred, TupleRef t) {
+    return AddTupleEx(pred, t).added;
+  }
   bool AddTuple(PredicateId pred, std::initializer_list<TermId> t) {
     return AddTuple(pred, TupleRef(t.begin(), t.size()));
+  }
+
+  /// AddTuple with the full Relation::InsertOutcome: callers that need
+  /// to know whether the insert revived a tombstoned row (incremental
+  /// maintenance must widen its delta windows to cover revived RowIds
+  /// below its watermark) read `.revived`; bulk loaders read `.row`.
+  /// When the revive log is enabled (EnableReviveLog), every reviving
+  /// insert is also recorded there.
+  Relation::InsertOutcome AddTupleEx(PredicateId pred, TupleRef t);
+
+  /// Pre-grows pred's relation for `additional_rows` upcoming inserts
+  /// (Relation::Reserve), creating the relation if absent. Returns the
+  /// number of doubling rehashes the inserts will no longer perform.
+  size_t Reserve(PredicateId pred, size_t additional_rows);
+
+  /// Amortized insert cursor for bulk loading (api/ingest.cc). Each
+  /// Insert() call is observably identical to AddTupleEx(), but the
+  /// cursor caches the Relation pointer per predicate (skipping the
+  /// relation-map probe and copy-on-write check) and remembers which
+  /// TermIds it has already registered in the active domains, so a
+  /// term recurring across millions of facts pays one registration
+  /// probe instead of one per occurrence. Use strictly within one bulk
+  /// loop: the cached pointers go stale if anything else touches the
+  /// relation map (snapshot publication, ResetDatabase).
+  class BulkInserter {
+   public:
+    explicit BulkInserter(Database* db) : db_(db) {}
+    Relation::InsertOutcome Insert(PredicateId pred, TupleRef t) {
+      return Insert(pred, t, Relation::HashTuple(t));
+    }
+    /// Insert with the tuple's Relation::HashTuple already computed
+    /// (the bulk loader hashes on its parser lanes).
+    Relation::InsertOutcome Insert(PredicateId pred, TupleRef t,
+                                   size_t hash);
+    /// Cache hint for an upcoming Insert(pred, t, hash): prefetches
+    /// pred's dedup home slot. A no-op until the first Insert on pred
+    /// has cached its relation (deliberate - a prefetch must never
+    /// materialize a relation).
+    void Prefetch(PredicateId pred, size_t hash) const {
+      if (pred < rels_.size() && rels_[pred] != nullptr) {
+        rels_[pred]->PrefetchInsert(hash);
+      }
+    }
+
+   private:
+    Database* db_;
+    std::vector<Relation*> rels_;  // PredicateId -> cached relation
+    std::vector<bool> seen_;       // TermId -> registered this run
+  };
+
+  /// One revive observed by AddTupleEx while the revive log was on.
+  struct ReviveEvent {
+    PredicateId pred;
+    RowId row;
+  };
+
+  /// Turns on recording of insert-side revives. Incremental
+  /// maintenance wraps its insert phase in this: revived rows sit
+  /// below the RowId watermark, so the range-mode delta windows would
+  /// silently miss them without an explicit row list.
+  void EnableReviveLog() { revive_log_enabled_ = true; }
+  void DisableReviveLog() {
+    revive_log_enabled_ = false;
+    revive_log_.clear();
+  }
+
+  /// Drains the revive log (events in insertion order).
+  std::vector<ReviveEvent> TakeReviveLog() {
+    return std::exchange(revive_log_, {});
   }
 
   bool Contains(PredicateId pred, TupleRef t) const;
@@ -187,6 +258,8 @@ class Database {
   std::unordered_map<PredicateId, std::shared_ptr<Relation>> relations_;
   std::shared_ptr<TermDomains> domains_;
   uint64_t version_ = 0;
+  bool revive_log_enabled_ = false;
+  std::vector<ReviveEvent> revive_log_;
 };
 
 }  // namespace lps

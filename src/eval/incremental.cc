@@ -589,6 +589,17 @@ Status IncrementalMaintainer::Insert(const std::vector<FactOp>& inserts) {
   }
   for (const FactOp& op : inserts) ensure_mark(op.pred);
 
+  // An insert that lands on a tuple DRed tombstoned earlier *revives*
+  // its original row, which sits below the watermark - range deltas
+  // would silently miss it. Log every reviving insert (seed facts and
+  // in-round derivations alike) and feed the rows back as explicit
+  // rows-mode deltas each round.
+  db_->EnableReviveLog();
+  struct ReviveLogGuard {
+    Database* db;
+    ~ReviveLogGuard() { db->DisableReviveLog(); }
+  } revive_guard{db_};
+
   size_t added = 0;
   for (const FactOp& op : inserts) {
     if (db_->AddTuple(op.pred, op.args)) {
@@ -609,7 +620,15 @@ Status IncrementalMaintainer::Insert(const std::vector<FactOp>& inserts) {
       if (m < end) delta[pred] = {m, end};
       m = end;
     }
-    if (delta.empty()) break;
+    // Below-watermark revives since the previous round (revived rows
+    // never overlap the append ranges: no erase runs during Insert, so
+    // every revived RowId predates the initial marks). Revives on
+    // unscanned predicates are dropped, exactly like appends to them.
+    std::unordered_map<PredicateId, std::vector<RowId>> revived;
+    for (const Database::ReviveEvent& ev : db_->TakeReviveLog()) {
+      if (mark.count(ev.pred)) revived[ev.pred].push_back(ev.row);
+    }
+    if (delta.empty() && revived.empty()) break;
     for (auto& rule : eval_.rules_) {
       auto emit_tuple = [&](const Tuple& out) -> Status {
         if (db_->AddTuple(rule.clause->head.pred, out)) {
@@ -625,19 +644,27 @@ Status IncrementalMaintainer::Insert(const std::vector<FactOp>& inserts) {
         const Literal& lit = rule.clause->body[li];
         if (!lit.positive || sig.IsBuiltin(lit.pred)) continue;
         auto it = delta.find(lit.pred);
-        if (it == delta.end()) continue;
-        BottomUpEvaluator::DeltaSpec spec{li, it->second.first,
-                                          it->second.second};
-        ++eval_.stats_.rule_runs;
-        if (flat) {
-          LPS_RETURN_IF_ERROR(
-              FlatDeltaJoin(rule, DeltaSteps(rule, pos), spec,
-                            emit_tuple));
-        } else {
+        auto rv = revived.find(lit.pred);
+        if (it == delta.end() && rv == revived.end()) continue;
+        auto run_spec =
+            [&](const BottomUpEvaluator::DeltaSpec& spec) -> Status {
+          ++eval_.stats_.rule_runs;
+          if (flat) {
+            return FlatDeltaJoin(rule, DeltaSteps(rule, pos), spec,
+                                 emit_tuple);
+          }
           Substitution theta;
-          LPS_RETURN_IF_ERROR(eval_.ExecSteps(
+          return eval_.ExecSteps(
               rule, DeltaSteps(rule, pos), 0, &theta, &spec,
-              [&](Substitution* t) { return eval_.EmitHead(rule, t); }));
+              [&](Substitution* t) { return eval_.EmitHead(rule, t); });
+        };
+        if (it != delta.end()) {
+          LPS_RETURN_IF_ERROR(run_spec(BottomUpEvaluator::DeltaSpec{
+              li, it->second.first, it->second.second}));
+        }
+        if (rv != revived.end()) {
+          LPS_RETURN_IF_ERROR(run_spec(BottomUpEvaluator::DeltaSpec{
+              li, 0, rv->second.size(), &rv->second}));
         }
       }
     }

@@ -19,11 +19,6 @@ namespace {
 
 constexpr size_t kInitialSlots = 16;
 
-// Dedup slot marker for an erased entry. Distinct from every live
-// entry (RowId + 1 of a real row) and from 0 (empty): probes continue
-// through it, inserts may reuse it.
-constexpr uint32_t kTombstoneSlot = static_cast<uint32_t>(-1);
-
 bool RowsEqual(TupleRef a, TupleRef b) {
   return std::equal(a.begin(), a.end(), b.begin(), b.end());
 }
@@ -56,32 +51,41 @@ bool Relation::MaskedEquals(TupleRef a, TupleRef b, uint32_t mask) {
   return true;
 }
 
-bool Relation::Insert(TupleRef t) {
+void Relation::PrefetchInsert(size_t hash) const {
+  if (dedup_slots_.empty()) return;
+  __builtin_prefetch(&dedup_slots_[Slot(hash, dedup_slots_.size() - 1)]);
+}
+
+Relation::InsertOutcome Relation::InsertRow(TupleRef t, size_t hash) {
   if (dedup_slots_.empty()) dedup_slots_.assign(kInitialSlots, 0);
-  // num_rows_ bounds live entries + tombstones (each erase adds at
-  // most one tombstone for a row that stays in the arena), so the old
-  // load-factor test stays a safe upper bound.
+  // The table holds exactly one entry per arena row (dead rows keep
+  // theirs), so num_rows_ is the exact entry count for the load test.
   if ((num_rows_ + 1) * 4 > dedup_slots_.size() * 3) GrowDedup();
   const size_t cap_mask = dedup_slots_.size() - 1;
-  size_t slot = Slot(HashRange(t), cap_mask);
-  size_t reuse = static_cast<size_t>(-1);
+  size_t slot = Slot(hash, cap_mask);
   for (;;) {
     ++dedup_probes_;
     uint32_t entry = dedup_slots_[slot];
     if (entry == 0) break;
-    if (entry == kTombstoneSlot) {
-      if (reuse == static_cast<size_t>(-1)) reuse = slot;
-    } else if (RowsEqual(row(entry - 1), t)) {
-      return false;
+    if (RowsEqual(row(entry - 1), t)) {
+      const RowId r = entry - 1;
+      if (IsLive(r)) return {false, false, r};
+      // The probe landed on a tombstoned row holding this tuple:
+      // revive it in place. Its RowId, dedup entry, and every posting
+      // that lists it serve again; the arena does not grow.
+      dead_[r] = false;
+      --dead_count_;
+      content_tick_ = NextContentTick();
+      return {true, true, r};
     }
     slot = (slot + 1) & cap_mask;
   }
-  if (reuse != static_cast<size_t>(-1)) slot = reuse;
-  dedup_slots_[slot] = static_cast<uint32_t>(num_rows_) + 1;
+  const RowId r = static_cast<RowId>(num_rows_);
+  dedup_slots_[slot] = r + 1;
   arena_.insert(arena_.end(), t.begin(), t.end());
   ++num_rows_;
   content_tick_ = NextContentTick();
-  return true;
+  return {true, false, r};
 }
 
 void Relation::GrowDedup() {
@@ -89,12 +93,41 @@ void Relation::GrowDedup() {
   std::vector<uint32_t> fresh(cap, 0);
   const size_t cap_mask = cap - 1;
   for (uint32_t entry : dedup_slots_) {
-    if (entry == 0 || entry == kTombstoneSlot) continue;
+    if (entry == 0) continue;
     size_t slot = Slot(HashRange(row(entry - 1)), cap_mask);
     while (fresh[slot] != 0) slot = (slot + 1) & cap_mask;
     fresh[slot] = entry;
   }
   dedup_slots_.swap(fresh);
+}
+
+size_t Relation::Reserve(size_t additional_rows) {
+  const size_t target_rows = num_rows_ + additional_rows;
+  arena_.reserve(target_rows * arity_);
+  size_t cap = dedup_slots_.empty() ? kInitialSlots : dedup_slots_.size();
+  size_t doublings = 0;
+  while (target_rows * 4 > cap * 3) {
+    cap *= 2;
+    ++doublings;
+  }
+  if (doublings == 0) return 0;
+  if (dedup_slots_.empty()) {
+    // No entries yet: allocate at final size, zero rehash work at all.
+    dedup_slots_.assign(cap, 0);
+    return doublings;
+  }
+  // One rehash straight to the final size, in place of the `doublings`
+  // incremental rehashes the upcoming inserts would have triggered.
+  std::vector<uint32_t> fresh(cap, 0);
+  const size_t cap_mask = cap - 1;
+  for (uint32_t entry : dedup_slots_) {
+    if (entry == 0) continue;
+    size_t slot = Slot(HashRange(row(entry - 1)), cap_mask);
+    while (fresh[slot] != 0) slot = (slot + 1) & cap_mask;
+    fresh[slot] = entry;
+  }
+  dedup_slots_.swap(fresh);
+  return doublings;
 }
 
 bool Relation::Contains(TupleRef t) const {
@@ -108,8 +141,10 @@ RowId Relation::Find(TupleRef t) const {
   for (;;) {
     uint32_t entry = dedup_slots_[slot];
     if (entry == 0) return kNoRow;
-    if (entry != kTombstoneSlot && RowsEqual(row(entry - 1), t)) {
-      return entry - 1;
+    if (RowsEqual(row(entry - 1), t)) {
+      // One entry per tuple value, so this is the only candidate: a
+      // dead hit means the tuple is absent, no need to probe further.
+      return IsLive(entry - 1) ? entry - 1 : kNoRow;
     }
     slot = (slot + 1) & cap_mask;
   }
@@ -117,17 +152,8 @@ RowId Relation::Find(TupleRef t) const {
 
 bool Relation::EraseRow(RowId r) {
   if (r >= num_rows_ || !IsLive(r)) return false;
-  const size_t cap_mask = dedup_slots_.size() - 1;
-  size_t slot = Slot(HashRange(row(r)), cap_mask);
-  for (;;) {
-    uint32_t entry = dedup_slots_[slot];
-    if (entry == 0) return false;  // not in the table: corrupt caller
-    if (entry != kTombstoneSlot && entry - 1 == r) {
-      dedup_slots_[slot] = kTombstoneSlot;
-      break;
-    }
-    slot = (slot + 1) & cap_mask;
-  }
+  // The dedup entry stays: it now marks a tombstoned value that a
+  // later Insert of the same tuple revives in place.
   if (dead_.size() < num_rows_) dead_.resize(num_rows_, false);
   dead_[r] = true;
   ++dead_count_;
@@ -137,23 +163,8 @@ bool Relation::EraseRow(RowId r) {
 
 bool Relation::Revive(RowId r) {
   if (r >= dead_.size() || !dead_[r]) return false;
-  const size_t cap_mask = dedup_slots_.size() - 1;
-  size_t slot = Slot(HashRange(row(r)), cap_mask);
-  size_t reuse = static_cast<size_t>(-1);
-  for (;;) {
-    uint32_t entry = dedup_slots_[slot];
-    if (entry == 0) break;
-    if (entry == kTombstoneSlot) {
-      if (reuse == static_cast<size_t>(-1)) reuse = slot;
-    } else if (RowsEqual(row(entry - 1), row(r))) {
-      // A fresh duplicate was inserted after the erase; the dead row
-      // stays dead, the fresh one serves the tuple.
-      return false;
-    }
-    slot = (slot + 1) & cap_mask;
-  }
-  if (reuse != static_cast<size_t>(-1)) slot = reuse;
-  dedup_slots_[slot] = r + 1;
+  // The dedup entry survived the erase (and dedup admits no duplicate
+  // value while it stands), so reviving is just flipping the bit.
   dead_[r] = false;
   --dead_count_;
   content_tick_ = NextContentTick();

@@ -61,9 +61,10 @@ uint64_t NextContentTick();
 struct RelationStats {
   size_t live_rows = 0;
   /// Physical rows in the arena, tombstones included: what a full scan
-  /// actually walks. Under retract/insert churn this can grow well past
-  /// live_rows (re-adding an erased tuple appends a fresh row), and the
-  /// planner charges scans by it.
+  /// actually walks. Sustained retract-heavy churn can grow this past
+  /// live_rows (re-adding an erased tuple revives its row, but rows
+  /// retracted and never re-added stay as tombstones), and the planner
+  /// charges scans by it.
   size_t arena_rows = 0;
   struct MaskStats {
     uint32_t mask = 0;
@@ -79,13 +80,16 @@ struct RelationStats {
 /// some watermark form the delta of an iteration.
 ///
 /// Retraction is tombstoning, not compaction: EraseRow marks the row
-/// dead and removes its dedup entry but leaves the arena and every
-/// per-mask posting list untouched, so RowIds (and the watermark
-/// arithmetic built on them) stay stable. Readers filter through
-/// IsLive - LookupSnapshot/AllIndices do it internally, callers of
-/// Lookup/rows() must do it themselves. Revive re-points the dedup
-/// table at the *original* RowId, so an erase/revive round trip is
-/// invisible to the indexes.
+/// dead but leaves the arena, the dedup entry, and every per-mask
+/// posting list untouched, so RowIds (and the watermark arithmetic
+/// built on them) stay stable. The dedup table keeps exactly one
+/// entry per stored tuple value, dead or alive: Insert of a tuple
+/// whose probe lands on a dead row *revives* that row in place
+/// instead of appending a duplicate, so toggle churn (retract/insert
+/// of the same facts) runs at steady arena size. Readers filter
+/// through IsLive - LookupSnapshot/AllIndices do it internally,
+/// callers of Lookup/rows() must do it themselves. An erase/revive
+/// round trip is invisible to the indexes.
 class Relation {
  public:
   /// Bound-column masks are 32-bit, so only the first 32 columns can
@@ -173,12 +177,55 @@ class Relation {
 
   RowRange rows() const { return RowRange(arena_.data(), arity_, num_rows_); }
 
-  /// Inserts; returns true if the row was new. The row's TermIds are
-  /// copied into the arena; `t` need not outlive the call.
-  bool Insert(TupleRef t);
+  /// Result of InsertRow: whether the tuple became newly live, whether
+  /// that happened by reviving a tombstoned arena row (as opposed to
+  /// appending a fresh one), and the RowId it lives at either way.
+  struct InsertOutcome {
+    bool added = false;    // tuple was absent-or-dead and is now live
+    bool revived = false;  // added by flipping a tombstone, not appending
+    RowId row = kNoRow;    // where the tuple lives (valid even if !added)
+  };
+
+  /// Inserts; if the dedup probe lands on a tombstoned row holding the
+  /// same tuple, that row is revived in place (its RowId, dedup entry,
+  /// and index postings all serve again) instead of appending a
+  /// duplicate arena row. The row's TermIds are copied into the arena;
+  /// `t` need not outlive the call.
+  InsertOutcome InsertRow(TupleRef t) { return InsertRow(t, HashTuple(t)); }
+
+  /// InsertRow with the tuple's HashTuple(t) already in hand. The bulk
+  /// loader computes hashes on its parser lanes and hands them to the
+  /// sequential insert pass, which then starts each probe without
+  /// touching the tuple bytes first (and can PrefetchInsert ahead).
+  /// Passing a hash != HashTuple(t) corrupts the dedup table.
+  InsertOutcome InsertRow(TupleRef t, size_t hash);
+
+  /// The hash InsertRow's dedup probe derives its home slot from.
+  static size_t HashTuple(TupleRef t) { return HashRange(t); }
+
+  /// Prefetches the dedup home slot for an upcoming
+  /// InsertRow(t, hash). Purely a cache hint: no relation state
+  /// changes, and a wrong (or never-followed-up) hash is harmless.
+  void PrefetchInsert(size_t hash) const;
+
+  /// Inserts; returns true if the tuple became newly live (fresh
+  /// append or tombstone revive).
+  bool Insert(TupleRef t) { return InsertRow(t).added; }
   bool Insert(std::initializer_list<TermId> t) {
     return Insert(TupleRef(t.begin(), t.size()));
   }
+
+  /// Pre-grows the arena and the dedup table for `additional_rows`
+  /// upcoming inserts: the arena reserves capacity and the dedup table
+  /// jumps straight to the smallest power-of-two size whose load
+  /// factor accommodates size() + additional_rows, paying at most one
+  /// rehash now instead of the log-many doubling rehashes the inserts
+  /// would otherwise trigger. Returns the number of doubling rehashes
+  /// those inserts will no longer perform. Physical layout only: no
+  /// content change, so the content tick is NOT advanced (tick equality
+  /// still witnesses identical rows/tombstones; callers comparing ticks
+  /// never see capacity).
+  size_t Reserve(size_t additional_rows);
 
   bool Contains(TupleRef t) const;
   bool Contains(std::initializer_list<TermId> t) const {
@@ -188,14 +235,16 @@ class Relation {
   /// RowId of the live row equal to `t`, or kNoRow.
   RowId Find(TupleRef t) const;
 
-  /// Tombstones row r: drops its dedup entry and marks it dead. The
-  /// arena and the per-mask indexes keep the row (readers skip it via
-  /// IsLive). Returns false if r was already dead.
+  /// Tombstones row r: marks it dead. The arena, the dedup entry, and
+  /// the per-mask indexes keep the row (readers skip it via IsLive;
+  /// the retained dedup entry is what lets a later Insert of the same
+  /// tuple revive r instead of appending). Returns false if r was
+  /// already dead.
   bool EraseRow(RowId r);
 
-  /// Undoes EraseRow: marks r live again and re-inserts its dedup
-  /// entry pointing at the original RowId, so postings that still list
-  /// r serve it again. Returns false if r was not dead.
+  /// Undoes EraseRow: marks r live again, so its still-present dedup
+  /// entry and postings serve it again. Returns false if r was not
+  /// dead.
   bool Revive(RowId r);
 
   /// RowIds (ascending) of rows whose columns selected by `mask` (bit i
@@ -291,8 +340,10 @@ class Relation {
   uint64_t content_tick_ = 0;
   size_t num_rows_ = 0;
   std::vector<TermId> arena_;         // num_rows_ * arity_ TermIds
-  /// Slot states: 0 = empty, kTombstoneSlot = erased entry (probes
-  /// continue through it, inserts may reuse it), else RowId + 1.
+  /// Slot states: 0 = empty, else RowId + 1. Exactly one entry per
+  /// stored tuple value, dead rows included (erasing keeps the entry
+  /// so re-insert can revive the row), so the entry count is always
+  /// num_rows_.
   std::vector<uint32_t> dedup_slots_;
   uint64_t dedup_probes_ = 0;
   std::vector<bool> dead_;            // sized lazily on first erase

@@ -3,7 +3,7 @@
 namespace lps {
 
 Symbol SymbolTable::Intern(std::string_view name) {
-  auto it = index_.find(std::string(name));
+  auto it = index_.find(name);
   if (it != index_.end()) return it->second;
   Symbol id = static_cast<Symbol>(names_.size());
   names_.emplace_back(name);
@@ -12,7 +12,7 @@ Symbol SymbolTable::Intern(std::string_view name) {
 }
 
 Symbol SymbolTable::Lookup(std::string_view name) const {
-  auto it = index_.find(std::string(name));
+  auto it = index_.find(name);
   return it == index_.end() ? kInvalidSymbol : it->second;
 }
 

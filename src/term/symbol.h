@@ -46,9 +46,33 @@ class SymbolTable {
   /// freeze a store for concurrent serving.
   void CopyFrom(const SymbolTable& other);
 
+  /// Pre-grows the index for `additional` upcoming interns, so a bulk
+  /// load pays one rehash up front instead of log-many doublings.
+  void Reserve(size_t additional) {
+    names_.reserve(names_.size() + additional);
+    index_.reserve(index_.size() + additional);
+  }
+
  private:
+  // Transparent hash/eq: Intern and Lookup probe with the caller's
+  // string_view directly instead of materializing a std::string per
+  // call - on the bulk-load path that temporary was one heap
+  // allocation per constant occurrence.
+  struct NameHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct NameEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
   std::vector<std::string> names_;
-  std::unordered_map<std::string, Symbol> index_;
+  std::unordered_map<std::string, Symbol, NameHash, NameEq> index_;
   uint64_t fresh_counter_ = 0;
 };
 

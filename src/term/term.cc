@@ -80,7 +80,31 @@ TermId TermStore::Intern(Key key) {
 }
 
 TermId TermStore::MakeConstant(Symbol name) {
-  return Intern({TermKind::kConstant, Sort::kAtom, name, 0, {}});
+  // Constants are keyed by their (dense) Symbol alone, so they
+  // hash-cons through a flat side table instead of the Key map: a hit
+  // is one vector load, a miss appends a node with no map insert.
+  // Bulk loading interns millions of fresh constants through here.
+  if (name < constants_by_symbol_.size() &&
+      constants_by_symbol_[name] != kInvalidTerm) {
+    return constants_by_symbol_[name];
+  }
+  TermNode node;
+  node.kind = TermKind::kConstant;
+  node.sort = Sort::kAtom;
+  node.ground = true;
+  node.depth = 0;
+  node.symbol = name;
+  node.int_value = 0;
+  node.args_begin = static_cast<uint32_t>(args_.size());
+  node.args_end = node.args_begin;
+  TermId id = static_cast<TermId>(nodes_.size());
+  nodes_.push_back(node);
+  if (name >= constants_by_symbol_.size()) {
+    constants_by_symbol_.resize(static_cast<size_t>(name) + 1,
+                                kInvalidTerm);
+  }
+  constants_by_symbol_[name] = id;
+  return id;
 }
 
 TermId TermStore::MakeConstant(std::string_view name) {
@@ -218,6 +242,7 @@ std::unique_ptr<TermStore> TermStore::Clone() const {
   clone->nodes_ = nodes_;
   clone->args_ = args_;
   clone->index_ = index_;
+  clone->constants_by_symbol_ = constants_by_symbol_;
   clone->set_slots_ = set_slots_;
   clone->set_count_ = set_count_;
   clone->set_interns_ = set_interns_;
@@ -229,8 +254,8 @@ std::unique_ptr<TermStore> TermStore::Clone() const {
 TermId TermStore::TryLookupConstant(std::string_view name) const {
   Symbol sym = symbols_.Lookup(name);
   if (sym == kInvalidSymbol) return kInvalidTerm;
-  auto it = index_.find({TermKind::kConstant, Sort::kAtom, sym, 0, {}});
-  return it == index_.end() ? kInvalidTerm : it->second;
+  return sym < constants_by_symbol_.size() ? constants_by_symbol_[sym]
+                                           : kInvalidTerm;
 }
 
 TermId TermStore::TryLookupInt(int64_t value) const {

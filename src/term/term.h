@@ -156,6 +156,16 @@ class TermStore {
 
   size_t size() const { return nodes_.size(); }
 
+  /// Pre-grows the node arena, intern index and symbol table for up to
+  /// `additional_terms` upcoming interns (an upper bound is fine).
+  /// Capacity only - no ids are minted - so a bulk load pays one
+  /// rehash per table up front instead of log-many doublings.
+  void Reserve(size_t additional_terms) {
+    nodes_.reserve(nodes_.size() + additional_terms);
+    index_.reserve(index_.size() + additional_terms);
+    symbols_.Reserve(additional_terms);
+  }
+
   /// Collects the distinct variables occurring in `id` (first-occurrence
   /// order) into `out`; duplicates are skipped.
   void CollectVariables(TermId id, std::vector<TermId>* out) const;
@@ -198,6 +208,10 @@ class TermStore {
   std::vector<TermNode> nodes_;
   std::vector<TermId> args_;
   std::unordered_map<Key, TermId, KeyHash> index_;
+  /// Constant terms keyed by their Symbol (kInvalidTerm = none yet):
+  /// the authoritative intern table for kConstant, which never touches
+  /// the Key-based index_. Symbols are dense, so this is a flat array.
+  std::vector<TermId> constants_by_symbol_;
   std::vector<uint32_t> set_slots_;  // TermId + 1; 0 = empty
   size_t set_count_ = 0;
   std::vector<TermId> set_scratch_;  // MakeSet(span) canonicalization

@@ -25,9 +25,9 @@ TEST(RelationTest, InsertDedupsAndKeepsOrder) {
 TEST(RelationTest, TombstoneChurnKeepsDedupAndLiveViewsCoherent) {
   // Retraction is tombstoning (eval/incremental.h drives it): erase
   // hides the row from Contains/FindRow/live_size but never compacts
-  // the arena; Revive undoes an over-delete in place; a fresh insert
-  // of an erased tuple appends a new row that serves the tuple from
-  // then on (the corpse stays dead even through Revive).
+  // the arena; Revive undoes an over-delete in place; and a fresh
+  // insert of an erased tuple revives its original row rather than
+  // appending a duplicate, so toggle churn runs at steady arena size.
   Relation rel(2);
   rel.Insert({1, 10});
   rel.Insert({2, 20});
@@ -55,16 +55,26 @@ TEST(RelationTest, TombstoneChurnKeepsDedupAndLiveViewsCoherent) {
   EXPECT_EQ(rel.live_size(), 3u);
 
   // Dedup stays exact through churn: re-inserting a live tuple is
-  // still a no-op, and after a second erase a fresh insert appends.
+  // still a no-op, and after a second erase a fresh insert of the
+  // same tuple revives row 1 in place - the arena does not grow.
   EXPECT_FALSE(rel.Insert({2, 20}));
   EXPECT_TRUE(rel.EraseRow(1));
-  EXPECT_TRUE(rel.Insert({2, 20}));
-  EXPECT_EQ(rel.size(), 4u);
+  Relation::InsertOutcome out = rel.InsertRow(probe);
+  EXPECT_TRUE(out.added);
+  EXPECT_TRUE(out.revived);
+  EXPECT_EQ(out.row, 1u);
+  EXPECT_EQ(rel.size(), 3u);
   EXPECT_EQ(rel.live_size(), 3u);
-  EXPECT_EQ(rel.Find(probe), 3u);
-  // The superseded corpse cannot come back to create a duplicate.
-  EXPECT_FALSE(rel.Revive(1));
-  EXPECT_EQ(rel.live_size(), 3u);
+  EXPECT_EQ(rel.Find(probe), 1u);
+  EXPECT_FALSE(rel.Revive(1));  // already live again
+  // And a reviving insert ticks the content version like any other
+  // successful mutation.
+  const uint64_t tick = rel.content_tick();
+  EXPECT_TRUE(rel.EraseRow(1));
+  EXPECT_GT(rel.content_tick(), tick);
+  out = rel.InsertRow(probe);
+  EXPECT_TRUE(out.revived);
+  EXPECT_GT(rel.content_tick(), tick);
 }
 
 TEST(RelationTest, ContentTickAdvancesOnMutationOnly) {
@@ -357,6 +367,82 @@ TEST(RelationTest, StorageAccountingTracksArenaAndIndexes) {
   size_t before_index = rel.IndexBytes();  // dedup table only
   rel.EnsureIndex(0b01);
   EXPECT_GT(rel.IndexBytes(), before_index);
+}
+
+// ---- Bulk insert with presized dedup (Reserve) -----------------------
+
+// Differential: a relation presized up front via Reserve() and driven
+// through insert / erase / revive churn must be operation-for-operation
+// identical to an unreserved twin that grows one doubling at a time -
+// same InsertRow outcomes (added / revived / row), same live views,
+// same arena layout - with the presized table paying zero growth
+// rehashes during the run. Interleaves tombstone revivals throughout
+// because the bulk-load merge stage presizes tables that may already
+// hold dead rows.
+TEST(RelationTest, BulkInsertWithPresizeMatchesOneAtATimeOracle) {
+  Relation presized(2);
+  Relation oracle(2);
+  constexpr size_t kOps = 4000;
+  EXPECT_GT(presized.Reserve(kOps), 0u);   // skipped >= 1 doubling
+  EXPECT_EQ(presized.Reserve(0), 0u);      // already big enough: no-op
+  EXPECT_EQ(presized.Reserve(kOps), 0u);   // idempotent
+
+  uint64_t rng = 0x9e3779b97f4a7c15ULL;    // deterministic LCG
+  auto next = [&rng]() {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return rng >> 33;
+  };
+  for (size_t i = 0; i < kOps; ++i) {
+    const TermId a = static_cast<TermId>(next() % 61);
+    const TermId b = static_cast<TermId>(next() % 53);
+    const Tuple t{a, b};
+    switch (next() % 4) {
+      case 0:
+      case 1: {  // insert: fresh append, revival, or live dup
+        const Relation::InsertOutcome po = presized.InsertRow(t);
+        const Relation::InsertOutcome oo = oracle.InsertRow(t);
+        ASSERT_EQ(po.added, oo.added);
+        ASSERT_EQ(po.revived, oo.revived);
+        ASSERT_EQ(po.row, oo.row);
+        break;
+      }
+      case 2: {  // erase whatever Find sees (live rows only)
+        const RowId pr = presized.Find(t);
+        ASSERT_EQ(pr, oracle.Find(t));
+        if (pr != Relation::kNoRow) {
+          EXPECT_TRUE(presized.EraseRow(pr));
+          EXPECT_TRUE(oracle.EraseRow(pr));
+        }
+        break;
+      }
+      default: {  // revive an arbitrary row by id
+        if (presized.size() > 0) {
+          const RowId r = static_cast<RowId>(next() % presized.size());
+          ASSERT_EQ(presized.Revive(r), oracle.Revive(r));
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(presized.size(), oracle.size());
+    ASSERT_EQ(presized.live_size(), oracle.live_size());
+  }
+
+  // One arena row per distinct tuple value, ever: 4000 churn ops never
+  // grow the arena past the 61*53 value space.
+  EXPECT_LE(presized.size(), 61u * 53u);
+  EXPECT_GT(presized.size(), 0u);
+  for (RowId r = 0; r < presized.size(); ++r) {
+    ASSERT_EQ(presized.MaterializeRow(r), oracle.MaterializeRow(r));
+    ASSERT_EQ(presized.IsLive(r), oracle.IsLive(r));
+  }
+  // Mask lookups agree row for row after the churn.
+  presized.EnsureIndex(0b01);
+  oracle.EnsureIndex(0b01);
+  for (TermId a = 0; a < 61; ++a) {
+    std::vector<RowId> pv = presized.Lookup(0b01, {a, 0});
+    std::vector<RowId> ov = oracle.Lookup(0b01, {a, 0});
+    ASSERT_EQ(pv, ov) << "postings diverge for key " << a;
+  }
 }
 
 class DatabaseTest : public ::testing::Test {

@@ -686,5 +686,131 @@ TEST(SubsumptionTest, FactChurnInvalidatesMaterializedAnswers) {
   EXPECT_EQ(session.demand_subsumption_count(), 1u);
   EXPECT_EQ(session.eval_stats().subsumption_hits, 1u);
 }
+
+// ---- Pipelined parallel bulk loading (Session::LoadFactsParallel) ----
+
+// Rules + a handful of seed facts loaded the ordinary way into every
+// session below, so the bulk load runs against a store that already
+// holds constants (exercising the remap fast path for pre-existing
+// terms).
+constexpr const char* kBulkRules = R"(
+  edge(n0, n1). weight(n0, 7).
+  reach(X, Y) :- edge(X, Y).
+  reach(X, Z) :- reach(X, Y), edge(Y, Z).
+)";
+
+// A facts-only source big enough to span many 1 KB chunks: constants
+// shared across chunks, integers, set terms, duplicate lines, and a
+// predicate used at both atom and set sort (the cross-chunk sort
+// lattice must still join to kAny exactly like the sequential pass).
+std::string BulkFactsSource(int nodes) {
+  std::string out;
+  auto n = [](int i) { return "n" + std::to_string(i % 97); };
+  for (int i = 0; i < nodes; ++i) {
+    out += "edge(" + n(i) + ", " + n(i * 3 + 1) + ").\n";
+    if (i % 3 == 0)
+      out += "weight(" + n(i) + ", " + std::to_string(i % 17) + ").\n";
+    if (i % 5 == 0)
+      out += "tags(" + n(i) + ", {" + n(i + 1) + ", " + n(i + 2) + "}).\n";
+    if (i % 11 == 0) out += "kind(" + n(i) + ").\n";
+    if (i % 13 == 0) out += "kind({" + n(i) + "}).\n";
+  }
+  out += "edge(n0, n1).\nedge(n0, n1).\n";  // duplicates: merge dedups
+  return out;
+}
+
+TEST(BulkLoadTest, ParallelLoadByteIdenticalAcrossLaneCounts) {
+  const std::string facts = BulkFactsSource(600);
+  ASSERT_GT(facts.size(), 8u * 1024u);  // spans several chunks
+
+  Session seq(LanguageMode::kLDL);
+  ASSERT_OK(seq.Load(kBulkRules));
+  ASSERT_OK(seq.Load(facts));
+  ASSERT_OK(seq.Evaluate());
+  const std::string want = seq.database()->ToString(*seq.signature());
+  ASSERT_FALSE(want.empty());
+
+  for (size_t lanes : {size_t{1}, size_t{2}, size_t{4}}) {
+    Session par(LanguageMode::kLDL);
+    ASSERT_OK(par.Load(kBulkRules));
+    ASSERT_OK(par.LoadFactsParallel(facts, lanes));
+
+    const auto& ingest = par.eval_stats().ingest;
+    EXPECT_EQ(ingest.lanes, lanes);
+    EXPECT_GE(ingest.chunks, lanes);
+    EXPECT_GT(ingest.facts_parsed, 600u);
+    // The two duplicate lines (plus any generator collisions) dedup in
+    // the merge stage.
+    EXPECT_LT(ingest.facts_inserted, ingest.facts_parsed);
+    EXPECT_GT(ingest.scratch_terms, 0u);
+    // n0/n1/7 exist pre-load; remapping them is a prefix-stability hit.
+    EXPECT_GT(ingest.remap_hits, 0u);
+    // Hundreds of edge rows: presizing must have skipped doublings.
+    EXPECT_GT(ingest.presize_rehashes_avoided, 0u);
+
+    const size_t parsed_before_eval = ingest.facts_parsed;
+    ASSERT_OK(par.Evaluate());
+    // The ingest block survives evaluation: .stats-style consumers see
+    // the last bulk load even after re-convergence.
+    EXPECT_EQ(par.eval_stats().ingest.facts_parsed, parsed_before_eval);
+    // Byte-identical, not just canonically equal: insertion order of
+    // facts, rows and domain registrations must match the sequential
+    // pass at every lane count.
+    EXPECT_EQ(par.database()->ToString(*par.signature()), want)
+        << "lane count " << lanes;
+    EXPECT_EQ(par.database()->ToCanonicalString(*par.signature()),
+              seq.database()->ToCanonicalString(*seq.signature()));
+  }
+}
+
+TEST(BulkLoadTest, MidLoadParseErrorLeavesSessionUntouched) {
+  // The torn line sits mid-source, after whole chunks of good facts:
+  // those chunks parse fine in their lanes, but nothing may commit.
+  std::string bad = BulkFactsSource(200);
+  bad.insert(bad.size() / 2, "\nedge(n1, n2\n");
+
+  Session session(LanguageMode::kLDL);
+  ASSERT_OK(session.Load(kBulkRules));
+  ASSERT_OK(session.Evaluate());
+
+  const std::string before = session.database()->ToString(*session.signature());
+  const size_t sig_before = session.signature()->size();
+  const size_t store_before = session.store()->size();
+  const size_t facts_before = session.program()->facts().size();
+  const uint64_t fact_epoch_before = session.fact_epoch();
+  const uint64_t program_epoch_before = session.program_epoch();
+
+  Status st = session.LoadFactsParallel(bad, 2);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("bulk-load chunk"), std::string::npos)
+      << st.ToString();
+
+  // Transactional: no new predicates, terms, facts, rows or epochs.
+  EXPECT_EQ(session.signature()->size(), sig_before);
+  EXPECT_EQ(session.store()->size(), store_before);
+  EXPECT_EQ(session.program()->facts().size(), facts_before);
+  EXPECT_EQ(session.fact_epoch(), fact_epoch_before);
+  EXPECT_EQ(session.program_epoch(), program_epoch_before);
+  EXPECT_TRUE(session.converged());
+  EXPECT_EQ(session.database()->ToString(*session.signature()), before);
+}
+
+TEST(BulkLoadTest, RejectsRulesDeclarationsAndQueries) {
+  Session session(LanguageMode::kLDL);
+  ASSERT_OK(session.Load(kBulkRules));
+  ASSERT_OK(session.Evaluate());
+  const uint64_t epoch = session.program_epoch();
+
+  Status rule = session.LoadFactsParallel("p(X) :- edge(X, Y).\n", 1);
+  ASSERT_FALSE(rule.ok());
+  EXPECT_NE(rule.message().find("ground facts only"), std::string::npos)
+      << rule.ToString();
+
+  Status query = session.LoadFactsParallel("?- edge(X, Y).\n", 1);
+  ASSERT_FALSE(query.ok());
+
+  EXPECT_EQ(session.program_epoch(), epoch);
+  EXPECT_TRUE(session.converged());
+}
 }  // namespace
 }  // namespace lps
